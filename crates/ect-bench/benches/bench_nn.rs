@@ -1,0 +1,68 @@
+//! Neural-network substrate benchmarks: the kernels every model training
+//! loop spends its time in.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ect_nn::layers::ActivationKind;
+use ect_nn::loss::mse;
+use ect_nn::matrix::Matrix;
+use ect_nn::mlp::Mlp;
+use ect_nn::ncf::{Ncf, NcfConfig};
+use ect_nn::optim::{Adam, AdamConfig};
+use ect_types::rng::EctRng;
+
+fn rand_matrix(rows: usize, cols: usize, rng: &mut EctRng) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.normal(0.0, 1.0);
+    }
+    m
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = EctRng::seed_from(1);
+    let a = rand_matrix(64, 128, &mut rng);
+    let b = rand_matrix(128, 64, &mut rng);
+    c.bench_function("matmul_64x128x64", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
+    c.bench_function("transpose_matmul_64x128x64", |bench| {
+        bench.iter(|| std::hint::black_box(a.transpose_matmul(&rand_matrix(64, 64, &mut rng.clone()))))
+    });
+}
+
+fn bench_mlp_train_step(c: &mut Criterion) {
+    let mut rng = EctRng::seed_from(2);
+    let net = Mlp::new(&[121, 64, 32, 3], ActivationKind::Tanh, &mut rng);
+    let x = rand_matrix(64, 121, &mut rng);
+    let y = rand_matrix(64, 3, &mut rng);
+    c.bench_function("mlp_forward_backward_adam_batch64", |bench| {
+        bench.iter_batched(
+            || (net.clone(), Adam::new(AdamConfig::default())),
+            |(mut net, mut opt)| {
+                let pred = net.forward(&x);
+                let (_, grad) = mse(&pred, &y);
+                net.backward(&grad);
+                opt.step(&mut net);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ncf_inference(c: &mut Criterion) {
+    let mut rng = EctRng::seed_from(3);
+    let ncf = Ncf::new(&NcfConfig::small(12, 48), &mut rng);
+    let users: Vec<usize> = (0..64).map(|i| i % 12).collect();
+    let items: Vec<usize> = (0..64).map(|i| (i * 7) % 48).collect();
+    c.bench_function("ncf_infer_batch64", |bench| {
+        bench.iter(|| std::hint::black_box(ncf.infer(&users, &items)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench_matmul, bench_mlp_train_step, bench_ncf_inference
+}
+criterion_main!(benches);

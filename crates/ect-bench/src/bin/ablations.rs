@@ -1,0 +1,12 @@
+//! Runs the DESIGN.md ablations (scheduler / renewables / PPO entropy).
+use ect_bench::experiments::{ablations, build_pricing_artifacts};
+use ect_bench::output::save_json;
+use ect_bench::Scale;
+
+fn main() -> ect_types::Result<()> {
+    let artifacts = build_pricing_artifacts(Scale::from_args())?;
+    let result = ablations::run(&artifacts)?;
+    ablations::print(&result);
+    save_json("ablations", &result);
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 1 (road/base-station coincidence).
+use ect_bench::experiments::fig01;
+use ect_bench::output::save_json;
+
+fn main() -> ect_types::Result<()> {
+    let result = fig01::run()?;
+    fig01::print(&result);
+    save_json("fig01_spatial", &result);
+    Ok(())
+}

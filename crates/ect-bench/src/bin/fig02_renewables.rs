@@ -1,0 +1,10 @@
+//! Regenerates Fig. 2 (renewable active power over two days).
+use ect_bench::experiments::fig02;
+use ect_bench::output::save_json;
+
+fn main() -> ect_types::Result<()> {
+    let result = fig02::run()?;
+    fig02::print(&result);
+    save_json("fig02_renewables", &result);
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 3 (EV charging frequency by hour).
+use ect_bench::experiments::fig03;
+use ect_bench::output::save_json;
+
+fn main() -> ect_types::Result<()> {
+    let result = fig03::run()?;
+    fig03::print(&result);
+    save_json("fig03_charging_freq", &result);
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 4 (battery voltage decay).
+use ect_bench::experiments::fig04;
+use ect_bench::output::save_json;
+
+fn main() -> ect_types::Result<()> {
+    let result = fig04::run()?;
+    fig04::print(&result);
+    save_json("fig04_degradation", &result);
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 5 (RTP vs network traffic).
+use ect_bench::experiments::fig05;
+use ect_bench::output::save_json;
+
+fn main() -> ect_types::Result<()> {
+    let result = fig05::run()?;
+    fig05::print(&result);
+    save_json("fig05_rtp_traffic", &result);
+    Ok(())
+}

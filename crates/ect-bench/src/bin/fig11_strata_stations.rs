@@ -1,0 +1,13 @@
+//! Regenerates Fig. 11 (per-station strata curves). Pass `--full` for the
+//! paper-scale training budget.
+use ect_bench::experiments::{build_pricing_artifacts, fig11};
+use ect_bench::output::save_json;
+use ect_bench::Scale;
+
+fn main() -> ect_types::Result<()> {
+    let artifacts = build_pricing_artifacts(Scale::from_args())?;
+    let result = fig11::run(&artifacts);
+    fig11::print(&result);
+    save_json("fig11_strata_stations", &result);
+    Ok(())
+}

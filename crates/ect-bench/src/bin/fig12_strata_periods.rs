@@ -1,0 +1,13 @@
+//! Regenerates Fig. 12 (strata shares per period). Pass `--full` for the
+//! paper-scale training budget.
+use ect_bench::experiments::{build_pricing_artifacts, fig12};
+use ect_bench::output::save_json;
+use ect_bench::Scale;
+
+fn main() -> ect_types::Result<()> {
+    let artifacts = build_pricing_artifacts(Scale::from_args())?;
+    let result = fig12::run(&artifacts);
+    fig12::print(&result);
+    save_json("fig12_strata_periods", &result);
+    Ok(())
+}

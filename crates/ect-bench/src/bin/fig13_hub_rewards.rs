@@ -1,0 +1,14 @@
+//! Regenerates Fig. 13 (daily rewards of four example hubs). Pass `--full`
+//! for the paper's 500/100 episode budget.
+use ect_bench::experiments::{build_pricing_artifacts, fleet};
+use ect_bench::output::save_json;
+use ect_bench::Scale;
+
+fn main() -> ect_types::Result<()> {
+    let artifacts = build_pricing_artifacts(Scale::from_args())?;
+    eprintln!("[fig13] training the hub fleet …");
+    let report = fleet::run(&artifacts, 8)?;
+    fleet::print_fig13(&report);
+    save_json("fig13_hub_rewards", &report);
+    Ok(())
+}

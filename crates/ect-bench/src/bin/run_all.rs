@@ -1,0 +1,58 @@
+//! Runs every experiment once, sharing the expensive pricing artifacts, and
+//! writes all JSON results under `results/`. Pass `--full` for paper-scale
+//! budgets.
+use ect_bench::experiments::*;
+use ect_bench::output::save_json;
+use ect_bench::Scale;
+use std::time::Instant;
+
+fn main() -> ect_types::Result<()> {
+    let scale = Scale::from_args();
+    let t0 = Instant::now();
+
+    println!("################ measurement figures ################\n");
+    let r = fig01::run()?;
+    fig01::print(&r);
+    save_json("fig01_spatial", &r);
+    let r = fig02::run()?;
+    fig02::print(&r);
+    save_json("fig02_renewables", &r);
+    let r = fig03::run()?;
+    fig03::print(&r);
+    save_json("fig03_charging_freq", &r);
+    let r = fig04::run()?;
+    fig04::print(&r);
+    save_json("fig04_degradation", &r);
+    let r = fig05::run()?;
+    fig05::print(&r);
+    save_json("fig05_rtp_traffic", &r);
+
+    println!("\n################ pricing experiments ({scale:?}) ################\n");
+    eprintln!("[run_all] training pricing models …");
+    let artifacts = build_pricing_artifacts(scale)?;
+    let t = table2::run(&artifacts)?;
+    table2::print(&t);
+    save_json("table2_price", &t);
+    let r = fig11::run(&artifacts);
+    fig11::print(&r);
+    save_json("fig11_strata_stations", &r);
+    let r = fig12::run(&artifacts);
+    fig12::print(&r);
+    save_json("fig12_strata_periods", &r);
+
+    println!("\n################ scheduling experiments ({scale:?}) ################\n");
+    eprintln!("[run_all] training the hub fleet (this is the long stage) …");
+    let report = fleet::run(&artifacts, 8)?;
+    fleet::print_fig13(&report);
+    fleet::print_table3(&report);
+    save_json("fig13_hub_rewards", &report);
+    save_json("table3_hub_rewards", &report);
+
+    println!("\n################ ablations ################\n");
+    let r = ablations::run(&artifacts)?;
+    ablations::print(&r);
+    save_json("ablations", &r);
+
+    println!("\nall experiments done in {:.1} s", t0.elapsed().as_secs_f64());
+    Ok(())
+}

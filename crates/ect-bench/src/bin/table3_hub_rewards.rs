@@ -1,0 +1,14 @@
+//! Regenerates Table III (average daily rewards for all 12 hubs). Pass
+//! `--full` for the paper's 500/100 episode budget.
+use ect_bench::experiments::{build_pricing_artifacts, fleet};
+use ect_bench::output::save_json;
+use ect_bench::Scale;
+
+fn main() -> ect_types::Result<()> {
+    let artifacts = build_pricing_artifacts(Scale::from_args())?;
+    eprintln!("[table3] training the hub fleet …");
+    let report = fleet::run(&artifacts, 8)?;
+    fleet::print_table3(&report);
+    save_json("table3_hub_rewards", &report);
+    Ok(())
+}

@@ -1,0 +1,166 @@
+//! Ablations DESIGN.md calls out (not in the paper, but justified by it):
+//!
+//! 1. **Scheduler ablation** — ECT-DRL vs NoBattery / GreedyPrice /
+//!    TimeOfUse on the same hub: is learning needed, or do rules suffice?
+//! 2. **Renewables ablation** — the same hub bare / PV-only / PV+WT: how
+//!    much of the profit comes from generation vs scheduling?
+//! 3. **Entropy ablation** — PPO with and without the entropy bonus (the
+//!    paper's exact Eq. 27 objective has none).
+//! 4. **Actor-init ablation** — idle-biased "safe init" vs a uniform
+//!    initial policy.
+
+use super::PricingArtifacts;
+use ect_core::prelude::*;
+use ect_core::scheduling::{run_hub_method, run_hub_scheduler};
+use ect_price::engine::NeverDiscount;
+use serde::{Deserialize, Serialize};
+
+/// One ablation row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Ablation family.
+    pub family: String,
+    /// Variant label.
+    pub variant: String,
+    /// Average daily reward, $.
+    pub avg_daily_reward: f64,
+}
+
+/// All ablation rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationResult {
+    /// Rows across the three families.
+    pub rows: Vec<AblationRow>,
+}
+
+/// Runs all three ablation families on hub 0.
+///
+/// # Errors
+///
+/// Propagates environment/training failures.
+pub fn run(artifacts: &PricingArtifacts) -> ect_types::Result<AblationResult> {
+    let system = &artifacts.system;
+    let hub = HubId::new(0);
+    let mut rows = Vec::new();
+
+    // 1. Scheduler ablation.
+    for (variant, mut sched) in [
+        ("NoBattery", Box::new(NoBattery) as Box<dyn Scheduler>),
+        ("GreedyPrice", Box::new(GreedyPrice::default_thresholds())),
+        ("TimeOfUse", Box::new(TimeOfUse)),
+    ] {
+        let r = run_hub_scheduler(system, hub, &NeverDiscount, sched.as_mut())?;
+        rows.push(AblationRow {
+            family: "scheduler".into(),
+            variant: variant.into(),
+            avg_daily_reward: r.avg_daily_reward,
+        });
+    }
+    let drl = run_hub_method(system, hub, &NeverDiscount, "ECT-DRL")?;
+    rows.push(AblationRow {
+        family: "scheduler".into(),
+        variant: "ECT-DRL".into(),
+        avg_daily_reward: drl.avg_daily_reward,
+    });
+
+    // 2. Renewables ablation: vary the plant on a cloned system config via
+    //    direct env evaluation with the TimeOfUse rule.
+    for (variant, plant) in [
+        ("bare", ect_data::renewables::RenewablePlant::none()),
+        (
+            "pv-only",
+            ect_data::renewables::RenewablePlant::pv_only(ect_data::renewables::PvArray {
+                rated_kw: 8.0,
+                derate: 0.85,
+            }),
+        ),
+        (
+            "pv+wt",
+            ect_data::renewables::RenewablePlant::pv_and_wt(
+                ect_data::renewables::PvArray {
+                    rated_kw: 15.0,
+                    derate: 0.85,
+                },
+                ect_data::renewables::WindTurbine {
+                    rated_kw: 20.0,
+                    cut_in: 3.0,
+                    rated_speed: 11.0,
+                    cut_out: 25.0,
+                },
+            ),
+        ),
+    ] {
+        let mut rng = EctRng::seed_from(system.config().seed ^ 0xAB1A);
+        let world = system.world();
+        let mut env = ect_env::fleet::env_for_hub(
+            world,
+            hub,
+            0,
+            world.horizon(),
+            DiscountSchedule::none(world.horizon()),
+            ect_core::OBS_WINDOW,
+            &mut rng,
+        )?;
+        // Swap the plant by rebuilding the env with a modified config.
+        let mut config = env.config().clone();
+        config.plant = plant;
+        let inputs = env.inputs().clone();
+        env = HubEnv::new(config, inputs, ect_core::OBS_WINDOW)?;
+        let (profit, _) = ect_drl::heuristics::run_episode(&mut env, &mut TimeOfUse, 0.5);
+        rows.push(AblationRow {
+            family: "renewables".into(),
+            variant: variant.into(),
+            avg_daily_reward: profit / (world.horizon() as f64 / 24.0),
+        });
+    }
+
+    // 3. Entropy ablation: train two small policies with and without the
+    //    bonus and compare final training returns.
+    for (variant, entropy) in [("entropy=0 (paper Eq. 27)", 0.0), ("entropy=0.01", 0.01)] {
+        let mut config = system.config().clone();
+        config.trainer.episodes = (config.trainer.episodes / 2).max(4);
+        config.trainer.ppo.entropy_coef = entropy;
+        let sub = EctHubSystem::new(SystemConfig {
+            trainer: config.trainer.clone(),
+            ..system.config().clone()
+        })?;
+        let r = run_hub_method(&sub, hub, &NeverDiscount, variant)?;
+        rows.push(AblationRow {
+            family: "ppo-entropy".into(),
+            variant: variant.into(),
+            avg_daily_reward: r.avg_daily_reward,
+        });
+    }
+
+    // 4. Actor-init ablation: uniform vs idle-biased initial policy.
+    for (variant, idle_bias) in [("idle-bias=0 (uniform init)", 0.0), ("idle-bias=2 (safe init)", 2.0)] {
+        let mut trainer = system.config().trainer.clone();
+        trainer.episodes = (trainer.episodes / 2).max(4);
+        trainer.net.idle_bias = idle_bias;
+        let sub = EctHubSystem::new(SystemConfig {
+            trainer,
+            ..system.config().clone()
+        })?;
+        let r = run_hub_method(&sub, hub, &NeverDiscount, variant)?;
+        rows.push(AblationRow {
+            family: "actor-init".into(),
+            variant: variant.into(),
+            avg_daily_reward: r.avg_daily_reward,
+        });
+    }
+
+    Ok(AblationResult { rows })
+}
+
+/// Prints the ablation table.
+pub fn print(result: &AblationResult) {
+    println!("== Ablations ==");
+    let mut family = String::new();
+    for row in &result.rows {
+        if row.family != family {
+            family = row.family.clone();
+            println!("\n[{family}]");
+        }
+        println!("  {:<26} {:>10.2} $/day", row.variant, row.avg_daily_reward);
+    }
+}

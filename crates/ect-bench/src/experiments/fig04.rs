@@ -1,0 +1,49 @@
+//! Fig. 4 — voltage decay of two cells and a battery group over ~350 days.
+
+use ect_data::battery::{BatteryAgeingConfig, BatteryAgeingModel, CELLS_PER_GROUP};
+use ect_types::rng::EctRng;
+use serde::{Deserialize, Serialize};
+
+/// Ageing traces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig04Result {
+    /// Daily voltage of cell 1, V.
+    pub battery1: Vec<f64>,
+    /// Daily voltage of cell 2, V.
+    pub battery2: Vec<f64>,
+    /// Daily voltage of the 24-cell series group, V.
+    pub group: Vec<f64>,
+}
+
+/// Runs the 350-day simulation.
+///
+/// # Errors
+///
+/// Propagates model-configuration failures.
+pub fn run() -> ect_types::Result<Fig04Result> {
+    let model = BatteryAgeingModel::new(BatteryAgeingConfig::default())?;
+    let mut rng = EctRng::seed_from(0xF164);
+    Ok(Fig04Result {
+        battery1: model.cell_trace(350, &mut rng).voltage,
+        battery2: model.cell_trace(350, &mut rng).voltage,
+        group: model.group_trace(CELLS_PER_GROUP, 350, &mut rng).voltage,
+    })
+}
+
+/// Prints every 25th day.
+pub fn print(result: &Fig04Result) {
+    println!("== Fig. 4: battery voltage decay over 350 days ==");
+    println!("  day | battery1 (V) | battery2 (V) | group (V)");
+    for day in (0..350).step_by(25) {
+        println!(
+            "  {day:3} | {:12.3} | {:12.3} | {:9.2}",
+            result.battery1[day], result.battery2[day], result.group[day]
+        );
+    }
+    println!(
+        "\ntotal decay: b1 {:.3} V, b2 {:.3} V, group {:.2} V",
+        result.battery1[0] - result.battery1[349],
+        result.battery2[0] - result.battery2[349],
+        result.group[0] - result.group[349]
+    );
+}

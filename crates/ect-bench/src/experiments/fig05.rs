@@ -1,0 +1,57 @@
+//! Fig. 5 — four days of real-time price vs network traffic.
+//!
+//! The paper's measurement: RTP and base-station load are positively
+//! correlated and both peak in the evening.
+
+use ect_data::rtp::{RtpConfig, RtpGenerator};
+use ect_data::traffic::{pearson_correlation, TrafficConfig, TrafficGenerator};
+use ect_types::rng::EctRng;
+use serde::{Deserialize, Serialize};
+
+/// Price/traffic series plus their correlation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig05Result {
+    /// RTP per hour, $/MWh (the figure's left axis).
+    pub rtp_mwh: Vec<f64>,
+    /// Traffic per hour, GB (the right axis).
+    pub traffic_gb: Vec<f64>,
+    /// Pearson correlation between the two series.
+    pub correlation: f64,
+}
+
+/// Runs 96 hours of one urban site.
+///
+/// # Errors
+///
+/// Propagates generator failures.
+pub fn run() -> ect_types::Result<Fig05Result> {
+    let mut rng = EctRng::seed_from(0xF165);
+    let rtp: Vec<f64> = RtpGenerator::new(RtpConfig::default())?
+        .series(96, &mut rng)
+        .iter()
+        .map(|p| p.as_dollars_per_mwh())
+        .collect();
+    let traffic: Vec<f64> = TrafficGenerator::new(TrafficConfig::urban())?
+        .series(96, &mut rng)
+        .iter()
+        .map(|s| s.volume_gb)
+        .collect();
+    let correlation = pearson_correlation(&rtp, &traffic);
+    Ok(Fig05Result {
+        rtp_mwh: rtp,
+        traffic_gb: traffic,
+        correlation,
+    })
+}
+
+/// Prints the paired series.
+pub fn print(result: &Fig05Result) {
+    println!("== Fig. 5: real-time price vs network traffic (96 h) ==");
+    println!(" hour | RTP ($/MWh) | traffic (GB)");
+    for (h, (p, t)) in result.rtp_mwh.iter().zip(&result.traffic_gb).enumerate() {
+        if h % 4 == 0 {
+            println!("  h{h:02}  | {p:11.1} | {t:12.1}");
+        }
+    }
+    println!("\nPearson correlation(RTP, load): {:.3}", result.correlation);
+}

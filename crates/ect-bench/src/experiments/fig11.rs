@@ -1,0 +1,37 @@
+//! Fig. 11 — predicted strata probabilities by hour for example stations.
+
+use super::PricingArtifacts;
+use ect_price::eval::hourly_strata_curves;
+use serde::{Deserialize, Serialize};
+
+/// Per-station hourly curves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Result {
+    /// `(station, curves[hour] = [None, Incentive, Always])` per station.
+    pub stations: Vec<(usize, Vec<[f64; 3]>)>,
+}
+
+/// Computes the curves for the paper's four example stations.
+pub fn run(artifacts: &PricingArtifacts) -> Fig11Result {
+    let stations = (0..4.min(artifacts.system.world().num_hubs() as usize))
+        .map(|s| {
+            let curves = hourly_strata_curves(&artifacts.model, s);
+            (s, curves.to_vec())
+        })
+        .collect();
+    Fig11Result { stations }
+}
+
+/// Prints each station's curve at 3-hour resolution.
+pub fn print(result: &Fig11Result) {
+    println!("== Fig. 11: strata prediction of example stations ==");
+    for (station, curves) in &result.stations {
+        println!("\nstation {station}:   hour | None  | Incent | Always");
+        for h in (0..24).step_by(3) {
+            let c = curves[h];
+            println!("            {h:2}:00 | {:.3} | {:.3}  | {:.3}", c[0], c[1], c[2]);
+        }
+        let peak = (0..24).max_by(|&a, &b| curves[a][1].total_cmp(&curves[b][1])).unwrap_or(0);
+        println!("            Incentive peak at {peak}:00");
+    }
+}

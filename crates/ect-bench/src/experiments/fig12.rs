@@ -1,0 +1,70 @@
+//! Fig. 12 — strata distribution per six-hour period.
+//!
+//! The paper's finding: Incentive Charge concentrates in 18:00–24:00, so
+//! that is when discounts should be offered.
+
+use super::PricingArtifacts;
+use ect_price::eval::period_strata_shares;
+use ect_types::time::DayPeriod;
+use serde::{Deserialize, Serialize};
+
+/// Period shares, model-predicted and oracle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12Result {
+    /// Predicted shares per period `[None, Incentive, Always]`.
+    pub predicted: [[f64; 3]; 4],
+    /// Ground-truth shares from the generator, same layout.
+    pub oracle: [[f64; 3]; 4],
+}
+
+/// Computes predicted and oracle period shares.
+pub fn run(artifacts: &PricingArtifacts) -> Fig12Result {
+    let predicted =
+        period_strata_shares(&artifacts.model, artifacts.system.world().num_hubs() as usize);
+
+    // Oracle: average the generator's stratum probabilities over the same
+    // hour-of-week grid (slot indices over one week cover all day types).
+    let world = artifacts.system.world();
+    let mut oracle = [[0.0; 3]; 4];
+    let mut counts = [0usize; 4];
+    for s in 0..world.num_hubs() {
+        for slot_idx in 0..168 {
+            let slot = ect_types::time::SlotIndex::new(slot_idx);
+            let period = DayPeriod::of_hour(slot.hour_of_day()).index();
+            let p = world
+                .charging
+                .stratum_probs(ect_types::ids::StationId::new(s), slot);
+            for (o, v) in oracle[period].iter_mut().zip(p) {
+                *o += v;
+            }
+            counts[period] += 1;
+        }
+    }
+    for (row, &n) in oracle.iter_mut().zip(&counts) {
+        for v in row.iter_mut() {
+            *v /= n.max(1) as f64;
+        }
+    }
+    Fig12Result { predicted, oracle }
+}
+
+/// Prints the four pie-chart rows.
+pub fn print(result: &Fig12Result) {
+    println!("== Fig. 12: strata distribution per period ==");
+    println!("period        | predicted None/Incent/Always | oracle None/Incent/Always");
+    for (i, period) in DayPeriod::ALL.iter().enumerate() {
+        let p = result.predicted[i];
+        let o = result.oracle[i];
+        println!(
+            "{period} |     {:.1}% / {:.1}% / {:.1}%     |   {:.1}% / {:.1}% / {:.1}%",
+            p[0] * 100.0, p[1] * 100.0, p[2] * 100.0,
+            o[0] * 100.0, o[1] * 100.0, o[2] * 100.0
+        );
+    }
+    let evening_inc = result.predicted[3][1];
+    let other_max = result.predicted[..3].iter().map(|p| p[1]).fold(0.0, f64::max);
+    println!(
+        "\nIncentive mass in 18:00–24:00 is {:.1}× the next-highest period",
+        evening_inc / other_max.max(1e-9)
+    );
+}

@@ -1,0 +1,4 @@
+//! Fig. 13 — thin alias over the shared fleet experiment (see
+//! [`super::fleet`]); kept as its own module so every figure has one.
+
+pub use super::fleet::{print_fig13 as print, run};

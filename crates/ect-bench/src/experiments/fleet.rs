@@ -1,0 +1,69 @@
+//! Shared fleet experiment: per-hub DRL training under each pricing method.
+//! Backs both Fig. 13 (daily series) and Table III (reward matrix).
+
+use super::PricingArtifacts;
+use ect_core::prelude::*;
+use ect_core::report::FleetReport;
+use ect_price::engine::{EctPriceEngine, PricingEngine};
+use ect_types::rng::EctRng;
+
+/// Trains the four paper engines (reusing the artifact ECT-Price model) and
+/// runs the full hub × method fleet.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn run(artifacts: &PricingArtifacts, threads: usize) -> ect_types::Result<FleetReport> {
+    let system = &artifacts.system;
+    let mut rng = EctRng::seed_from(system.config().seed ^ 0xF1EE7);
+
+    let mut engines: Vec<(String, Box<dyn PricingEngine>)> = Vec::new();
+    for method in [
+        PricingMethod::OutcomeRegression,
+        PricingMethod::InversePropensity,
+        PricingMethod::DoublyRobust,
+    ] {
+        engines.push((
+            method.label().to_string(),
+            ect_core::train_engine(system, method, &artifacts.train, &mut rng)?,
+        ));
+    }
+    engines.push((
+        "Ours".to_string(),
+        Box::new(EctPriceEngine::new(artifacts.model.clone())),
+    ));
+
+    let cells = ect_core::run_fleet(system, &engines, threads)?;
+    Ok(FleetReport::new(cells))
+}
+
+/// Prints the Fig. 13 view: daily reward series of four example hubs.
+pub fn print_fig13(report: &FleetReport) {
+    println!("== Fig. 13: daily reward of four example hubs ==");
+    for hub in report.hubs().into_iter().take(4) {
+        println!("\n{}", report.fig13_markdown(hub));
+        // Summary line: who wins this hub?
+        if let Some((_, winner)) = report.winners().into_iter().find(|(h, _)| *h == hub) {
+            println!("best method on hub {}: {winner}", hub + 1);
+        }
+    }
+}
+
+/// Prints the Table III view: the full reward matrix.
+pub fn print_table3(report: &FleetReport) {
+    println!("== Table III: average daily rewards for all hubs ==\n");
+    println!("{}", report.table3_markdown());
+    let ours = report.method_mean("Ours");
+    for m in report.methods() {
+        if m != "Ours" {
+            let gain = (ours / report.method_mean(&m) - 1.0) * 100.0;
+            println!("Ours vs {m}: {gain:+.1}% average daily reward");
+        }
+    }
+    let wins = report
+        .winners()
+        .into_iter()
+        .filter(|(_, w)| w == "Ours")
+        .count();
+    println!("Ours wins {wins}/{} hubs", report.hubs().len());
+}

@@ -1,0 +1,79 @@
+//! One module per paper table/figure, plus shared pricing artifacts.
+
+pub mod ablations;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fleet;
+pub mod table2;
+
+use crate::Scale;
+use ect_core::prelude::*;
+use ect_price::features::PricingDataset;
+use ect_price::model::EctPriceModel;
+
+/// Everything the pricing experiments share: the system, the observational
+/// split and a trained ECT-Price model.
+pub struct PricingArtifacts {
+    /// The assembled system (world + config).
+    pub system: EctHubSystem,
+    /// Training split of the observational history.
+    pub train: PricingDataset,
+    /// Held-out evaluation split.
+    pub test: PricingDataset,
+    /// The trained ECT-Price model.
+    pub model: EctPriceModel,
+}
+
+/// System configuration at the given experiment scale.
+pub fn system_config(scale: Scale) -> SystemConfig {
+    let mut config = SystemConfig::default();
+    match scale {
+        Scale::Quick => {
+            config.pricing_history_slots = 24 * 7 * 26;
+            config.pricing_test_slots = 24 * 7 * 8;
+            config.ect_price.epochs = 8;
+            config.ect_price.lr_decay = 0.9;
+            config.baseline.epochs = 3;
+            config.trainer.episodes = 150;
+            config.test_episodes = 20;
+        }
+        Scale::Paper => {
+            config.pricing_history_slots = 24 * 365 * 2;
+            config.pricing_test_slots = 24 * 365;
+            config.ect_price.epochs = 30;
+            config.ect_price.lr_decay = 0.92;
+            config.baseline.epochs = 6;
+            config.trainer.episodes = 500;
+            config.test_episodes = 100;
+        }
+    }
+    config
+}
+
+/// Builds the shared pricing artifacts (generates the world, splits the
+/// history, trains ECT-Price).
+///
+/// # Errors
+///
+/// Propagates system construction and training failures.
+pub fn build_pricing_artifacts(scale: Scale) -> ect_types::Result<PricingArtifacts> {
+    let system = EctHubSystem::new(system_config(scale))?;
+    let (train, test) = system.pricing_datasets();
+    let mut rng = EctRng::seed_from(system.config().seed ^ 0x9A1C);
+    let space = system.feature_space();
+    let config = system.config().ect_price.clone();
+    let mut model = EctPriceModel::new(space, &config, &mut rng);
+    model.train(&train, &config, &mut rng)?;
+    Ok(PricingArtifacts {
+        system,
+        train,
+        test,
+        model,
+    })
+}

@@ -1,0 +1,47 @@
+//! Table II — ECT-Price vs OR/IPS/DR across discount levels.
+
+use super::PricingArtifacts;
+use ect_price::engine::EctPriceEngine;
+use ect_price::eval::evaluate_engine;
+use ect_types::rng::EctRng;
+
+/// Re-exported result type: the core crate's table is already the right
+/// shape for this experiment.
+pub use ect_core::pricing::PricingTable as Table2Result;
+
+/// The paper's discount sweep (10 % – 60 %).
+pub const DISCOUNTS: [f64; 6] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+
+/// Runs the full Table II: trains the three baselines (ECT-Price comes
+/// pre-trained in the artifacts) and evaluates everything on the held-out
+/// test split.
+///
+/// # Errors
+///
+/// Propagates baseline-training failures.
+pub fn run(artifacts: &PricingArtifacts) -> ect_types::Result<Table2Result> {
+    let mut rng = EctRng::seed_from(artifacts.system.config().seed ^ 0x7AB2);
+    let mut table = ect_core::pricing_table(
+        &artifacts.system,
+        &artifacts.train,
+        &artifacts.test,
+        &DISCOUNTS,
+        &mut rng,
+    )?;
+    // Replace the freshly trained "Ours" row with the shared artifact model
+    // so Table II, Fig. 11 and Fig. 12 report the same network.
+    let engine = EctPriceEngine::new(artifacts.model.clone());
+    if let Some(ours) = table.methods.iter_mut().find(|m| m.method == "Ours") {
+        ours.per_discount = DISCOUNTS
+            .iter()
+            .map(|&c| evaluate_engine(&engine, &artifacts.test, c))
+            .collect();
+    }
+    Ok(table)
+}
+
+/// Prints the table in the paper's layout.
+pub fn print(table: &Table2Result) {
+    println!("== Table II: pricing evaluation across discount levels ==");
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,35 @@
+//! Experiment harnesses regenerating every table and figure of the paper.
+//!
+//! Each experiment lives in [`experiments`] as a pure function returning a
+//! serialisable result; the `src/bin/*` binaries are thin CLI wrappers, and
+//! `benches/bench_experiments.rs` times scaled-down versions of each one.
+//!
+//! Conventions:
+//!
+//! * every run prints the paper-shaped rows/series to stdout **and** writes
+//!   JSON under `results/` (next to the workspace root) for EXPERIMENTS.md;
+//! * [`Scale::Quick`] (default) finishes in seconds-to-minutes on a laptop;
+//!   [`Scale::Paper`] matches the paper's budgets (pass `--full`).
+
+pub mod experiments;
+pub mod output;
+
+/// Experiment budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-scale defaults.
+    Quick,
+    /// The paper's budgets (500 training episodes, 2-year histories, …).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--full` from argv; everything else is Quick.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Paper
+        } else {
+            Scale::Quick
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Result persistence and terminal rendering helpers.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Directory where experiment JSON lands (workspace `results/`).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/ect-bench; the workspace root is two up.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+/// Writes an experiment result as pretty JSON under `results/<name>.json`.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created or the file not written —
+/// harness binaries should fail loudly.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialise result");
+    std::fs::write(&path, json).expect("write result file");
+    println!("\n[saved {}]", path.display());
+}
+
+/// Renders a numeric series as a fixed-width ASCII bar chart (one row per
+/// point), for eyeballing figure shapes in the terminal.
+pub fn ascii_series(labels: &[String], values: &[f64], width: usize) -> String {
+    assert_eq!(labels.len(), values.len(), "labels/values mismatch");
+    let max = values.iter().copied().fold(f64::EPSILON, f64::max);
+    let mut out = String::new();
+    for (label, &v) in labels.iter().zip(values) {
+        let bar = ((v / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!("{label:>10} | {:<width$} {v:.2}\n", "#".repeat(bar)));
+    }
+    out
+}
+
+/// Hour labels `00:00 … 23:00`.
+pub fn hour_labels() -> Vec<String> {
+    (0..24).map(|h| format!("{h:02}:00")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_series_scales_to_width() {
+        let s = ascii_series(
+            &["a".into(), "b".into()],
+            &[1.0, 2.0],
+            10,
+        );
+        assert!(s.contains("##########"));
+        assert!(s.lines().count() == 2);
+    }
+
+    #[test]
+    fn results_dir_ends_with_results() {
+        assert!(results_dir().ends_with("results"));
+    }
+
+    #[test]
+    fn hour_labels_cover_the_day() {
+        let l = hour_labels();
+        assert_eq!(l.len(), 24);
+        assert_eq!(l[0], "00:00");
+        assert_eq!(l[23], "23:00");
+    }
+}

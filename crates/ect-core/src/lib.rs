@@ -1,0 +1,64 @@
+//! ECT-Hub: the operator-facing API of the base-station-centric
+//! energy-communication-transportation hub.
+//!
+//! This crate ties the whole reproduction together: generate a synthetic
+//! world ([`ect_data`]), train pricing engines (ECT-Price and the OR/IPS/DR
+//! baselines, [`ect_price`]), schedule batteries with PPO ([`ect_drl`]) on
+//! the hub simulator ([`ect_env`]), and assemble the paper's evaluation
+//! artifacts (Table II, Table III, the Fig. 11–13 series).
+//!
+//! # Quick start
+//!
+//! ```
+//! use ect_core::prelude::*;
+//!
+//! // A miniature world: 3 hubs, short histories, tiny training budgets.
+//! let system = EctHubSystem::new(SystemConfig::miniature())?;
+//! let (train, test) = system.pricing_datasets();
+//!
+//! // Train the paper's pricing method and score it against the oracle.
+//! let mut rng = EctRng::seed_from(7);
+//! let engine = train_engine(&system, PricingMethod::EctPrice, &train, &mut rng)?;
+//! let eval = evaluate_engine(engine.as_ref(), &test, 0.2);
+//! assert!(eval.reward > 0.0);
+//! # Ok::<(), ect_types::EctError>(())
+//! ```
+//!
+//! The [`prelude`] re-exports the types most applications need.
+
+pub mod pricing;
+pub mod report;
+pub mod scheduling;
+pub mod system;
+
+pub use pricing::{pricing_table, train_engine, MethodPricingResults, PricingTable};
+pub use report::FleetReport;
+pub use scheduling::{
+    run_fleet, run_hub_method, run_hub_scheduler, schedule_for_hub, HubExperimentResult,
+    OBS_WINDOW,
+};
+pub use system::{EctHubSystem, PricingMethod, SystemConfig};
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use crate::pricing::{pricing_table, train_engine, PricingTable};
+    pub use crate::report::FleetReport;
+    pub use crate::scheduling::{
+        run_fleet, run_hub_method, run_hub_scheduler, schedule_for_hub, HubExperimentResult,
+    };
+    pub use crate::system::{EctHubSystem, PricingMethod, SystemConfig};
+    pub use ect_data::charging::Stratum;
+    pub use ect_data::dataset::{HubSiting, WorldConfig, WorldDataset};
+    pub use ect_drl::heuristics::{DrlScheduler, GreedyPrice, NoBattery, Scheduler, TimeOfUse};
+    pub use ect_drl::trainer::TrainerConfig;
+    pub use ect_env::battery::BpAction;
+    pub use ect_env::env::HubEnv;
+    pub use ect_env::hub::HubConfig;
+    pub use ect_env::tariff::DiscountSchedule;
+    pub use ect_price::engine::PricingEngine;
+    pub use ect_price::eval::evaluate_engine;
+    pub use ect_types::ids::{HubId, StationId};
+    pub use ect_types::rng::EctRng;
+    pub use ect_types::time::SlotIndex;
+    pub use ect_types::units::{DollarsPerKwh, KiloWatt, KiloWattHour, Money};
+}

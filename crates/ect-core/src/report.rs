@@ -1,0 +1,186 @@
+//! Assembled experiment reports: Table III and the Fig. 13 series.
+
+use crate::scheduling::HubExperimentResult;
+use serde::{Deserialize, Serialize};
+
+/// The fleet-wide reward matrix (the paper's Table III) plus the per-day
+/// series backing Fig. 13.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// All (hub, method) cells.
+    pub cells: Vec<HubExperimentResult>,
+}
+
+impl FleetReport {
+    /// Wraps fleet results.
+    pub fn new(cells: Vec<HubExperimentResult>) -> Self {
+        Self { cells }
+    }
+
+    /// Distinct method labels, preserving first-seen order.
+    pub fn methods(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.method) {
+                out.push(c.method.clone());
+            }
+        }
+        out
+    }
+
+    /// Distinct hub ids, ascending.
+    pub fn hubs(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.hub) {
+                out.push(c.hub);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The cell for a given hub and method.
+    pub fn cell(&self, hub: u32, method: &str) -> Option<&HubExperimentResult> {
+        self.cells.iter().find(|c| c.hub == hub && c.method == method)
+    }
+
+    /// Average daily reward of one method across all hubs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the method has no cells.
+    pub fn method_mean(&self, method: &str) -> f64 {
+        let rewards: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.method == method)
+            .map(|c| c.avg_daily_reward)
+            .collect();
+        assert!(!rewards.is_empty(), "no cells for method {method}");
+        rewards.iter().sum::<f64>() / rewards.len() as f64
+    }
+
+    /// Method with the highest reward on each hub.
+    pub fn winners(&self) -> Vec<(u32, String)> {
+        self.hubs()
+            .into_iter()
+            .map(|hub| {
+                let best = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.hub == hub)
+                    .max_by(|a, b| a.avg_daily_reward.total_cmp(&b.avg_daily_reward))
+                    .expect("hub has cells");
+                (hub, best.method.clone())
+            })
+            .collect()
+    }
+
+    /// Renders the Table III layout: methods as rows, hubs as columns.
+    pub fn table3_markdown(&self) -> String {
+        let hubs = self.hubs();
+        let mut out = String::from("| Methods |");
+        for h in &hubs {
+            out.push_str(&format!(" Hub{} |", h + 1));
+        }
+        out.push_str(" Mean |\n|---|");
+        for _ in 0..=hubs.len() {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for method in self.methods() {
+            out.push_str(&format!("| {method} |"));
+            for &h in &hubs {
+                match self.cell(h, &method) {
+                    Some(c) => out.push_str(&format!(" {:.2} |", c.avg_daily_reward)),
+                    None => out.push_str(" – |"),
+                }
+            }
+            out.push_str(&format!(" {:.2} |\n", self.method_mean(&method)));
+        }
+        out
+    }
+
+    /// The Fig. 13 series for one hub: `(method, per-day rewards)` pairs.
+    pub fn fig13_series(&self, hub: u32) -> Vec<(String, Vec<f64>)> {
+        self.cells
+            .iter()
+            .filter(|c| c.hub == hub)
+            .map(|c| (c.method.clone(), c.daily_series.clone()))
+            .collect()
+    }
+
+    /// Renders a Fig. 13-style text series for one hub.
+    pub fn fig13_markdown(&self, hub: u32) -> String {
+        let mut out = format!("**Hub {} — daily reward ($/day)**\n\n", hub + 1);
+        for (method, series) in self.fig13_series(hub) {
+            out.push_str(&format!("{method:>12}: "));
+            for v in &series {
+                out.push_str(&format!("{v:7.1} "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(hub: u32, method: &str, reward: f64) -> HubExperimentResult {
+        HubExperimentResult {
+            hub,
+            method: method.to_string(),
+            avg_daily_reward: reward,
+            daily_series: vec![reward; 3],
+            final_training_return: reward * 30.0,
+        }
+    }
+
+    fn report() -> FleetReport {
+        FleetReport::new(vec![
+            cell(0, "OR", 10.0),
+            cell(0, "Ours", 12.0),
+            cell(1, "OR", 8.0),
+            cell(1, "Ours", 9.0),
+        ])
+    }
+
+    #[test]
+    fn structure_queries() {
+        let r = report();
+        assert_eq!(r.methods(), vec!["OR".to_string(), "Ours".to_string()]);
+        assert_eq!(r.hubs(), vec![0, 1]);
+        assert_eq!(r.cell(1, "Ours").unwrap().avg_daily_reward, 9.0);
+        assert!(r.cell(2, "Ours").is_none());
+    }
+
+    #[test]
+    fn means_and_winners() {
+        let r = report();
+        assert!((r.method_mean("Ours") - 10.5).abs() < 1e-12);
+        assert!((r.method_mean("OR") - 9.0).abs() < 1e-12);
+        let winners = r.winners();
+        assert_eq!(winners, vec![(0, "Ours".to_string()), (1, "Ours".to_string())]);
+    }
+
+    #[test]
+    fn markdown_renders_both_views() {
+        let r = report();
+        let t3 = r.table3_markdown();
+        assert!(t3.contains("| Ours |"));
+        assert!(t3.contains("Hub1"));
+        assert!(t3.contains("Mean"));
+        let f13 = r.fig13_markdown(0);
+        assert!(f13.contains("Hub 1"));
+        assert!(f13.contains("Ours"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no cells for method")]
+    fn method_mean_requires_cells() {
+        let _ = report().method_mean("DR");
+    }
+}

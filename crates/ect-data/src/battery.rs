@@ -1,0 +1,239 @@
+//! Backup-battery calendar ageing (voltage decay).
+//!
+//! Reproduces the measurement behind the paper's Fig. 4 (from Wang et al. \[6\]):
+//! individual 2 V lead-acid cells decay slowly over roughly a year, and a
+//! series group of 24 cells shows the same trend at 24× the scale. This model
+//! supports the economic argument of Section II-B — backup energy decays even
+//! when unused, so selling it to EVs neutralises part of the degradation cost.
+
+use ect_types::rng::{EctRng, OrnsteinUhlenbeck};
+use serde::{Deserialize, Serialize};
+
+/// Nominal cell count of a 48 V-class base-station battery group.
+pub const CELLS_PER_GROUP: usize = 24;
+
+/// Configuration for [`BatteryAgeingModel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatteryAgeingConfig {
+    /// Cell voltage when new, V (float charge, ~2.25–2.30 for lead-acid).
+    pub initial_voltage: f64,
+    /// Mean voltage lost per day, V.
+    pub decay_per_day: f64,
+    /// Half-width of the per-cell decay-rate band (fractional).
+    pub decay_spread: f64,
+    /// Measurement noise, V.
+    pub noise_volts: f64,
+    /// Lowest plausible cell voltage (deep degradation floor), V.
+    pub floor_voltage: f64,
+}
+
+impl Default for BatteryAgeingConfig {
+    fn default() -> Self {
+        Self {
+            initial_voltage: 2.285,
+            decay_per_day: 3.6e-4, // ≈ 0.13 V over 350 days, the Fig. 4 slope
+            decay_spread: 0.35,
+            noise_volts: 0.006,
+            floor_voltage: 1.90,
+        }
+    }
+}
+
+impl BatteryAgeingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for non-physical values.
+    pub fn validate(&self) -> ect_types::Result<()> {
+        if self.initial_voltage <= self.floor_voltage {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "initial voltage {} must exceed floor {}",
+                self.initial_voltage, self.floor_voltage
+            )));
+        }
+        if self.decay_per_day < 0.0 || self.noise_volts < 0.0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "decay and noise must be non-negative".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.decay_spread) {
+            return Err(ect_types::EctError::InvalidConfig(
+                "decay spread must lie in [0, 1)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Daily voltage trace of one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTrace {
+    /// Voltage per day, V.
+    pub voltage: Vec<f64>,
+}
+
+impl CellTrace {
+    /// Total voltage lost from the first to the last day.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace.
+    pub fn total_decay(&self) -> f64 {
+        assert!(!self.voltage.is_empty(), "empty trace");
+        self.voltage[0] - *self.voltage.last().expect("non-empty")
+    }
+}
+
+/// Calendar-ageing generator.
+#[derive(Debug, Clone)]
+pub struct BatteryAgeingModel {
+    config: BatteryAgeingConfig,
+}
+
+impl BatteryAgeingModel {
+    /// Creates a model after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BatteryAgeingConfig::validate`] failures.
+    pub fn new(config: BatteryAgeingConfig) -> ect_types::Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// Simulates one cell for `days` days.
+    pub fn cell_trace(&self, days: usize, rng: &mut EctRng) -> CellTrace {
+        let c = &self.config;
+        let rate = c.decay_per_day
+            * (1.0 + rng.uniform_in(-c.decay_spread, c.decay_spread));
+        let mut noise = OrnsteinUhlenbeck::new(0.0, 0.3, c.noise_volts);
+        let voltage = (0..days)
+            .map(|d| {
+                let v = c.initial_voltage - rate * d as f64 + noise.step(rng);
+                v.max(c.floor_voltage)
+            })
+            .collect();
+        CellTrace { voltage }
+    }
+
+    /// Simulates a series group of `cells` cells for `days` days; the group
+    /// voltage is the sum of its cells (series wiring), which is what the
+    /// paper's Fig. 4 plots against the right-hand axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0`.
+    pub fn group_trace(&self, cells: usize, days: usize, rng: &mut EctRng) -> CellTrace {
+        assert!(cells > 0, "a group needs at least one cell");
+        let traces: Vec<CellTrace> = (0..cells).map(|_| self.cell_trace(days, rng)).collect();
+        let voltage = (0..days)
+            .map(|d| traces.iter().map(|t| t.voltage[d]).sum())
+            .collect();
+        CellTrace { voltage }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> BatteryAgeingModel {
+        BatteryAgeingModel::new(BatteryAgeingConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn cells_decay_at_the_fig4_scale() {
+        let mut rng = EctRng::seed_from(1);
+        let t = model().cell_trace(350, &mut rng);
+        assert_eq!(t.voltage.len(), 350);
+        let decay = t.total_decay();
+        // Fig. 4 shows roughly 0.1–0.2 V over ~350 days.
+        assert!((0.04..0.30).contains(&decay), "decay {decay}");
+        assert!(t.voltage[0] > 2.2 && t.voltage[0] < 2.35);
+    }
+
+    #[test]
+    fn group_voltage_is_in_the_48v_band() {
+        let mut rng = EctRng::seed_from(2);
+        let g = model().group_trace(CELLS_PER_GROUP, 350, &mut rng);
+        // Fig. 4 right axis: 53–55 V.
+        assert!(g.voltage[0] > 52.0 && g.voltage[0] < 56.0, "start {}", g.voltage[0]);
+        assert!(g.total_decay() > 0.5, "group decay {}", g.total_decay());
+    }
+
+    #[test]
+    fn trend_is_monotone_after_smoothing() {
+        let mut rng = EctRng::seed_from(3);
+        let t = model().cell_trace(300, &mut rng);
+        // 30-day window means must decrease steadily despite noise.
+        let window_mean = |lo: usize| -> f64 {
+            t.voltage[lo..lo + 30].iter().sum::<f64>() / 30.0
+        };
+        assert!(window_mean(0) > window_mean(135));
+        assert!(window_mean(135) > window_mean(270));
+    }
+
+    #[test]
+    fn voltage_never_breaks_the_floor() {
+        let cfg = BatteryAgeingConfig {
+            decay_per_day: 0.01, // pathological fast decay
+            ..BatteryAgeingConfig::default()
+        };
+        let mut rng = EctRng::seed_from(4);
+        let t = BatteryAgeingModel::new(cfg.clone()).unwrap().cell_trace(400, &mut rng);
+        assert!(t.voltage.iter().all(|&v| v >= cfg.floor_voltage));
+    }
+
+    #[test]
+    fn cells_age_at_different_rates() {
+        let mut rng = EctRng::seed_from(5);
+        let m = model();
+        let a = m.cell_trace(350, &mut rng).total_decay();
+        let b = m.cell_trace(350, &mut rng).total_decay();
+        assert!((a - b).abs() > 1e-4, "identical decay {a}");
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(BatteryAgeingConfig {
+            initial_voltage: 1.5,
+            ..BatteryAgeingConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BatteryAgeingConfig {
+            decay_spread: 1.0,
+            ..BatteryAgeingConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BatteryAgeingConfig {
+            decay_per_day: -1.0,
+            ..BatteryAgeingConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn group_rejects_zero_cells() {
+        let mut rng = EctRng::seed_from(6);
+        let _ = model().group_trace(0, 10, &mut rng);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn traces_stay_in_physical_band(seed in 0u64..1000) {
+            let mut rng = EctRng::seed_from(seed);
+            let t = model().cell_trace(200, &mut rng);
+            for &v in &t.voltage {
+                prop_assert!(v >= 1.90 && v <= 2.40);
+            }
+        }
+    }
+}

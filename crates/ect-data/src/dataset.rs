@@ -1,0 +1,283 @@
+//! Assembled synthetic world: all traces one evaluation run needs.
+//!
+//! Bundles per-hub weather/traffic, the regional real-time price and the
+//! charging ground truth into a [`WorldDataset`], the object the environment
+//! and the experiment harnesses consume.
+
+use crate::charging::{ChargingConfig, ChargingWorld};
+use crate::rtp::{RtpConfig, RtpGenerator};
+use crate::traffic::{TrafficConfig, TrafficGenerator, TrafficSample};
+use crate::weather::{WeatherConfig, WeatherGenerator, WeatherSample};
+use ect_types::rng::EctRng;
+use ect_types::units::DollarsPerKwh;
+use serde::{Deserialize, Serialize};
+
+/// Siting of a hub, which decides its renewable options and demand profile
+/// (Section III-A: urban hubs are PV-only, rural hubs can host PV + WT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HubSiting {
+    /// Dense deployment, rooftop PV only, busy traffic.
+    Urban,
+    /// Sparse deployment, PV + wind feasible, lighter traffic.
+    Rural,
+}
+
+impl HubSiting {
+    /// Weather profile for this siting.
+    pub fn weather_config(self) -> WeatherConfig {
+        match self {
+            HubSiting::Urban => WeatherConfig::urban(),
+            HubSiting::Rural => WeatherConfig::rural(),
+        }
+    }
+
+    /// Traffic profile for this siting.
+    pub fn traffic_config(self) -> TrafficConfig {
+        match self {
+            HubSiting::Urban => TrafficConfig::urban(),
+            HubSiting::Rural => TrafficConfig::rural(),
+        }
+    }
+}
+
+/// Configuration of the full synthetic world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Number of ECT-Hubs (the paper evaluates 12).
+    pub num_hubs: u32,
+    /// Horizon length in hourly slots.
+    pub horizon_slots: usize,
+    /// Fraction of hubs sited urban (the first `k` hubs).
+    pub urban_fraction: f64,
+    /// Master seed; every trace is forked deterministically from it.
+    pub seed: u64,
+    /// Regional electricity-price settings.
+    pub rtp: RtpConfig,
+    /// Charging-behaviour settings (one station per hub).
+    pub charging: ChargingConfig,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            num_hubs: 12,
+            horizon_slots: 30 * 24,
+            urban_fraction: 0.5,
+            seed: 0x5EED,
+            rtp: RtpConfig::default(),
+            charging: ChargingConfig::default(),
+        }
+    }
+}
+
+impl WorldConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for an empty world or
+    /// inconsistent station count.
+    pub fn validate(&self) -> ect_types::Result<()> {
+        if self.num_hubs == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "a world needs at least one hub".into(),
+            ));
+        }
+        if self.horizon_slots == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "horizon must be at least one slot".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.urban_fraction) {
+            return Err(ect_types::EctError::InvalidConfig(
+                "urban fraction must lie in [0, 1]".into(),
+            ));
+        }
+        self.rtp.validate()?;
+        self.charging.validate()?;
+        Ok(())
+    }
+
+    /// Siting of hub `index` under this config.
+    pub fn siting(&self, index: u32) -> HubSiting {
+        let urban_hubs = (f64::from(self.num_hubs) * self.urban_fraction).round() as u32;
+        if index < urban_hubs {
+            HubSiting::Urban
+        } else {
+            HubSiting::Rural
+        }
+    }
+}
+
+/// Environmental traces for one hub.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HubTraces {
+    /// Siting class the traces were generated for.
+    pub siting: HubSiting,
+    /// Hourly weather.
+    pub weather: Vec<WeatherSample>,
+    /// Hourly base-station traffic.
+    pub traffic: Vec<TrafficSample>,
+}
+
+/// The fully generated world.
+#[derive(Debug, Clone)]
+pub struct WorldDataset {
+    /// Configuration the world was generated from.
+    pub config: WorldConfig,
+    /// Regional real-time price, shared by all hubs.
+    pub rtp: Vec<DollarsPerKwh>,
+    /// Per-hub environmental traces.
+    pub hubs: Vec<HubTraces>,
+    /// Ground-truth charging behaviour (one station per hub).
+    pub charging: ChargingWorld,
+}
+
+impl WorldDataset {
+    /// Generates the world deterministically from `config.seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn generate(config: WorldConfig) -> ect_types::Result<Self> {
+        config.validate()?;
+        let root = EctRng::seed_from(config.seed);
+
+        let mut rtp_rng = root.fork(0x0117);
+        let rtp = RtpGenerator::new(config.rtp.clone())?.series(config.horizon_slots, &mut rtp_rng);
+
+        let mut hubs = Vec::with_capacity(config.num_hubs as usize);
+        for h in 0..config.num_hubs {
+            let siting = config.siting(h);
+            let mut wx_rng = root.fork(0x1000 + u64::from(h));
+            let mut weather_gen = WeatherGenerator::new(siting.weather_config(), &mut wx_rng)?;
+            let weather = weather_gen.series(config.horizon_slots, &mut wx_rng);
+
+            let mut tr_rng = root.fork(0x2000 + u64::from(h));
+            let traffic = TrafficGenerator::new(siting.traffic_config())?
+                .series(config.horizon_slots, &mut tr_rng);
+
+            hubs.push(HubTraces {
+                siting,
+                weather,
+                traffic,
+            });
+        }
+
+        let charging = ChargingWorld::new(ChargingConfig {
+            num_stations: config.num_hubs,
+            ..config.charging.clone()
+        })?;
+
+        Ok(Self {
+            config,
+            rtp,
+            hubs,
+            charging,
+        })
+    }
+
+    /// Horizon length in slots.
+    pub fn horizon(&self) -> usize {
+        self.config.horizon_slots
+    }
+
+    /// Number of hubs.
+    pub fn num_hubs(&self) -> u32 {
+        self.config.num_hubs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_consistent_lengths() {
+        let config = WorldConfig {
+            num_hubs: 4,
+            horizon_slots: 24 * 7,
+            ..WorldConfig::default()
+        };
+        let w = WorldDataset::generate(config).unwrap();
+        assert_eq!(w.rtp.len(), 24 * 7);
+        assert_eq!(w.hubs.len(), 4);
+        for h in &w.hubs {
+            assert_eq!(h.weather.len(), 24 * 7);
+            assert_eq!(h.traffic.len(), 24 * 7);
+        }
+        assert_eq!(w.charging.num_stations(), 4);
+    }
+
+    #[test]
+    fn urban_fraction_splits_sitings() {
+        let config = WorldConfig {
+            num_hubs: 10,
+            urban_fraction: 0.3,
+            horizon_slots: 24,
+            ..WorldConfig::default()
+        };
+        let w = WorldDataset::generate(config).unwrap();
+        let urban = w.hubs.iter().filter(|h| h.siting == HubSiting::Urban).count();
+        assert_eq!(urban, 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = WorldConfig {
+            num_hubs: 2,
+            horizon_slots: 48,
+            ..WorldConfig::default()
+        };
+        let a = WorldDataset::generate(config.clone()).unwrap();
+        let b = WorldDataset::generate(config).unwrap();
+        assert_eq!(a.rtp, b.rtp);
+        assert_eq!(a.hubs[1].weather, b.hubs[1].weather);
+        assert_eq!(a.hubs[0].traffic, b.hubs[0].traffic);
+    }
+
+    #[test]
+    fn hubs_have_decorrelated_weather() {
+        let config = WorldConfig {
+            num_hubs: 2,
+            urban_fraction: 0.0, // same (rural) profile for both
+            horizon_slots: 96,
+            ..WorldConfig::default()
+        };
+        let w = WorldDataset::generate(config).unwrap();
+        assert_ne!(w.hubs[0].weather, w.hubs[1].weather);
+    }
+
+    #[test]
+    fn validation_rejects_empty_world() {
+        assert!(WorldDataset::generate(WorldConfig {
+            num_hubs: 0,
+            ..WorldConfig::default()
+        })
+        .is_err());
+        assert!(WorldDataset::generate(WorldConfig {
+            horizon_slots: 0,
+            ..WorldConfig::default()
+        })
+        .is_err());
+        assert!(WorldDataset::generate(WorldConfig {
+            urban_fraction: 2.0,
+            ..WorldConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn siting_helper_matches_generated_world() {
+        let config = WorldConfig {
+            num_hubs: 6,
+            urban_fraction: 0.5,
+            horizon_slots: 24,
+            ..WorldConfig::default()
+        };
+        let w = WorldDataset::generate(config.clone()).unwrap();
+        for h in 0..6 {
+            assert_eq!(w.hubs[h as usize].siting, config.siting(h));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthetic world generators for the ECT-Hub reproduction.
+//!
+//! The paper evaluates on four external data sources plus one proprietary
+//! dataset; none are redistributable, so this crate builds statistically
+//! faithful substitutes (see DESIGN.md for the substitution table):
+//!
+//! | Paper dataset | Module here |
+//! |---|---|
+//! | NSRDB weather (wind speed, solar radiation) | [`weather`] |
+//! | wind/PV plant output (Fig. 2) | [`renewables`] |
+//! | ENGIE real-time prices (Fig. 5) | [`rtp`] |
+//! | city-scale cellular traffic (Fig. 5) | [`traffic`] |
+//! | 3-year × 12-station campus charging history (Figs. 3, 11, 12, Tab. II) | [`charging`] |
+//! | backup-battery voltage decay (Fig. 4) | [`battery`] |
+//! | OSM roads + OpenCellID base stations (Fig. 1) | [`spatial`] |
+//!
+//! [`dataset`] assembles everything into a [`dataset::WorldDataset`], the
+//! object the simulation environment consumes. All generators are seeded and
+//! deterministic: the same [`dataset::WorldConfig`] always produces the same
+//! world.
+//!
+//! Crucially, [`charging::ChargingWorld`] owns the *causal ground truth*
+//! (which (station, slot) pairs are Always/Incentive/No-Charge), so the
+//! pricing experiments can be scored against oracle strata — something the
+//! paper itself approximates with NCF pre-labeling.
+
+pub mod battery;
+pub mod charging;
+pub mod dataset;
+pub mod renewables;
+pub mod rtp;
+pub mod sessions;
+pub mod spatial;
+pub mod traffic;
+pub mod weather;
+
+pub use charging::{ChargingConfig, ChargingRecord, ChargingWorld, Stratum};
+pub use dataset::{HubSiting, HubTraces, WorldConfig, WorldDataset};
+pub use renewables::{PvArray, RenewablePlant, WindTurbine};
+pub use rtp::{demand_shape, RtpConfig, RtpGenerator};
+pub use sessions::{SessionConfig, SessionSimulator, SessionStats, SlotOccupancy};
+pub use traffic::{pearson_correlation, TrafficConfig, TrafficGenerator, TrafficSample};
+pub use weather::{WeatherConfig, WeatherGenerator, WeatherSample};

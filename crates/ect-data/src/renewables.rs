@@ -1,0 +1,281 @@
+//! Renewable generation: photovoltaic panels and wind turbines.
+//!
+//! Converts [`crate::weather::WeatherSample`]s into electrical power —
+//! `P_PV(t)` and `P_WT(t)` of the paper's Eq. 7. The PV model is the usual
+//! irradiance-proportional rating with a derate factor; the wind turbine uses
+//! the standard piecewise power curve (cut-in / cubic region / rated /
+//! cut-out).
+
+use crate::weather::WeatherSample;
+use ect_types::units::KiloWatt;
+use serde::{Deserialize, Serialize};
+
+/// Photovoltaic array model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PvArray {
+    /// Nameplate rating at 1000 W/m² (standard test conditions), kW.
+    pub rated_kw: f64,
+    /// System derate (soiling, inverter, wiring), typically 0.75–0.9.
+    pub derate: f64,
+}
+
+impl PvArray {
+    /// Creates an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for non-positive rating
+    /// or a derate outside `(0, 1]`.
+    pub fn new(rated_kw: f64, derate: f64) -> ect_types::Result<Self> {
+        if rated_kw <= 0.0 || !rated_kw.is_finite() {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "pv rating must be positive, got {rated_kw}"
+            )));
+        }
+        if derate <= 0.0 || derate > 1.0 {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "pv derate must lie in (0, 1], got {derate}"
+            )));
+        }
+        Ok(Self { rated_kw, derate })
+    }
+
+    /// The rooftop array of the paper's Fig. 2 scale (≈ 0.8 kW peak).
+    pub fn rooftop() -> Self {
+        Self {
+            rated_kw: 0.8,
+            derate: 0.85,
+        }
+    }
+
+    /// Power output under the given irradiance.
+    pub fn power(&self, weather: &WeatherSample) -> KiloWatt {
+        let fraction = (weather.solar_irradiance / 1000.0).clamp(0.0, 1.2);
+        KiloWatt::new(self.rated_kw * self.derate * fraction)
+    }
+}
+
+/// Wind-turbine model with the standard piecewise power curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindTurbine {
+    /// Rated electrical output, kW.
+    pub rated_kw: f64,
+    /// Cut-in wind speed, m/s (no output below).
+    pub cut_in: f64,
+    /// Rated wind speed, m/s (full output at and above, until cut-out).
+    pub rated_speed: f64,
+    /// Cut-out speed, m/s (shutdown above, for safety).
+    pub cut_out: f64,
+}
+
+impl WindTurbine {
+    /// Creates a turbine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] unless
+    /// `0 < cut_in < rated_speed < cut_out` and the rating is positive.
+    pub fn new(rated_kw: f64, cut_in: f64, rated_speed: f64, cut_out: f64) -> ect_types::Result<Self> {
+        if rated_kw <= 0.0 || !rated_kw.is_finite() {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "wt rating must be positive, got {rated_kw}"
+            )));
+        }
+        if !(0.0 < cut_in && cut_in < rated_speed && rated_speed < cut_out) {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "wind speeds must satisfy 0 < cut-in {cut_in} < rated {rated_speed} < cut-out {cut_out}"
+            )));
+        }
+        Ok(Self {
+            rated_kw,
+            cut_in,
+            rated_speed,
+            cut_out,
+        })
+    }
+
+    /// A small tower-mounted turbine at the paper's Fig. 2 scale (≈ 0.5 kW).
+    pub fn small_tower() -> Self {
+        Self {
+            rated_kw: 0.5,
+            cut_in: 3.0,
+            rated_speed: 11.0,
+            cut_out: 25.0,
+        }
+    }
+
+    /// Power output at the given wind speed.
+    ///
+    /// Cubic interpolation between cut-in and rated speed, the standard
+    /// engineering approximation of the aerodynamic power curve.
+    pub fn power(&self, weather: &WeatherSample) -> KiloWatt {
+        let v = weather.wind_speed;
+        let kw = if v < self.cut_in || v >= self.cut_out {
+            0.0
+        } else if v >= self.rated_speed {
+            self.rated_kw
+        } else {
+            let num = v.powi(3) - self.cut_in.powi(3);
+            let den = self.rated_speed.powi(3) - self.cut_in.powi(3);
+            self.rated_kw * num / den
+        };
+        KiloWatt::new(kw)
+    }
+}
+
+/// The renewable plant attached to one ECT-Hub: optional PV and/or WT.
+///
+/// Urban hubs typically carry rooftop PV only; rural hubs may have both
+/// (Section III-A of the paper).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RenewablePlant {
+    /// Photovoltaic array, if installed.
+    pub pv: Option<PvArray>,
+    /// Wind turbine, if installed.
+    pub wt: Option<WindTurbine>,
+}
+
+impl RenewablePlant {
+    /// A hub with no renewable generation.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// PV-only plant.
+    pub fn pv_only(pv: PvArray) -> Self {
+        Self {
+            pv: Some(pv),
+            wt: None,
+        }
+    }
+
+    /// PV + WT plant.
+    pub fn pv_and_wt(pv: PvArray, wt: WindTurbine) -> Self {
+        Self {
+            pv: Some(pv),
+            wt: Some(wt),
+        }
+    }
+
+    /// PV output `P_PV(t)` (zero when absent).
+    pub fn pv_power(&self, weather: &WeatherSample) -> KiloWatt {
+        self.pv.as_ref().map_or(KiloWatt::ZERO, |p| p.power(weather))
+    }
+
+    /// WT output `P_WT(t)` (zero when absent).
+    pub fn wt_power(&self, weather: &WeatherSample) -> KiloWatt {
+        self.wt.as_ref().map_or(KiloWatt::ZERO, |w| w.power(weather))
+    }
+
+    /// Combined renewable output.
+    pub fn total_power(&self, weather: &WeatherSample) -> KiloWatt {
+        self.pv_power(weather) + self.wt_power(weather)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn wx(solar: f64, wind: f64) -> WeatherSample {
+        WeatherSample {
+            solar_irradiance: solar,
+            wind_speed: wind,
+            cloud_cover: 0.0,
+        }
+    }
+
+    #[test]
+    fn pv_scales_with_irradiance() {
+        let pv = PvArray::new(10.0, 0.9).unwrap();
+        assert_eq!(pv.power(&wx(0.0, 0.0)), KiloWatt::ZERO);
+        let half = pv.power(&wx(500.0, 0.0));
+        let full = pv.power(&wx(1000.0, 0.0));
+        assert!((full.as_f64() - 9.0).abs() < 1e-12);
+        assert!((half.as_f64() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pv_caps_over_irradiance() {
+        let pv = PvArray::new(10.0, 1.0).unwrap();
+        // 20 % over STC is the physical cap we allow.
+        assert!((pv.power(&wx(2000.0, 0.0)).as_f64() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pv_validation() {
+        assert!(PvArray::new(0.0, 0.9).is_err());
+        assert!(PvArray::new(5.0, 0.0).is_err());
+        assert!(PvArray::new(5.0, 1.5).is_err());
+        assert!(PvArray::new(f64::NAN, 0.9).is_err());
+    }
+
+    #[test]
+    fn wt_power_curve_regions() {
+        let wt = WindTurbine::new(30.0, 3.0, 12.0, 25.0).unwrap();
+        assert_eq!(wt.power(&wx(0.0, 2.0)), KiloWatt::ZERO); // below cut-in
+        assert_eq!(wt.power(&wx(0.0, 12.0)).as_f64(), 30.0); // rated
+        assert_eq!(wt.power(&wx(0.0, 20.0)).as_f64(), 30.0); // still rated
+        assert_eq!(wt.power(&wx(0.0, 26.0)), KiloWatt::ZERO); // cut-out
+        let p8 = wt.power(&wx(0.0, 8.0)).as_f64();
+        assert!(p8 > 0.0 && p8 < 30.0);
+    }
+
+    #[test]
+    fn wt_curve_is_monotone_between_cut_in_and_rated() {
+        let wt = WindTurbine::small_tower();
+        let mut last = -1.0;
+        let mut v = wt.cut_in;
+        while v < wt.rated_speed {
+            let p = wt.power(&wx(0.0, v)).as_f64();
+            assert!(p >= last, "power curve not monotone at {v}");
+            last = p;
+            v += 0.25;
+        }
+    }
+
+    #[test]
+    fn wt_validation() {
+        assert!(WindTurbine::new(10.0, 3.0, 3.0, 25.0).is_err());
+        assert!(WindTurbine::new(10.0, 0.0, 12.0, 25.0).is_err());
+        assert!(WindTurbine::new(10.0, 3.0, 12.0, 11.0).is_err());
+        assert!(WindTurbine::new(-1.0, 3.0, 12.0, 25.0).is_err());
+    }
+
+    #[test]
+    fn plant_combines_sources() {
+        let plant = RenewablePlant::pv_and_wt(
+            PvArray::new(2.0, 1.0).unwrap(),
+            WindTurbine::new(3.0, 3.0, 12.0, 25.0).unwrap(),
+        );
+        let w = wx(1000.0, 12.0);
+        assert!((plant.total_power(&w).as_f64() - 5.0).abs() < 1e-12);
+        assert!((plant.pv_power(&w).as_f64() - 2.0).abs() < 1e-12);
+        assert!((plant.wt_power(&w).as_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_plant_produces_nothing() {
+        let plant = RenewablePlant::none();
+        assert_eq!(plant.total_power(&wx(1000.0, 15.0)), KiloWatt::ZERO);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn wt_output_bounded_by_rating(v in 0.0f64..40.0) {
+            let wt = WindTurbine::small_tower();
+            let p = wt.power(&wx(0.0, v)).as_f64();
+            prop_assert!(p >= 0.0 && p <= wt.rated_kw + 1e-12);
+        }
+
+        #[test]
+        fn pv_output_bounded(solar in 0.0f64..1500.0) {
+            let pv = PvArray::rooftop();
+            let p = pv.power(&wx(solar, 0.0)).as_f64();
+            prop_assert!(p >= 0.0 && p <= pv.rated_kw * 1.2 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Real-time electricity price (RTP) generator.
+//!
+//! Substitutes the paper's ENGIE Resources price feed. The paper's Fig. 5
+//! shows wholesale prices in the 50–130 $/MWh band that peak in the evening
+//! together with the base-station load; we reproduce that with a shared
+//! diurnal demand shape (see [`demand_shape`]), an autocorrelated noise
+//! process and rare price spikes.
+
+use ect_types::rng::{EctRng, OrnsteinUhlenbeck};
+use ect_types::time::SlotIndex;
+use ect_types::units::DollarsPerKwh;
+use serde::{Deserialize, Serialize};
+
+/// Normalised diurnal electricity-demand shape in `[0, 1]`.
+///
+/// Shared by the price and traffic generators so the two series are
+/// positively correlated, exactly the effect the paper measures in Fig. 5
+/// ("the load rate of base stations is positively correlated with the
+/// electricity price … both peak during the night").
+pub fn demand_shape(hour: usize) -> f64 {
+    debug_assert!(hour < 24);
+    // Two-peak curve: small morning shoulder, dominant evening peak.
+    const SHAPE: [f64; 24] = [
+        0.35, 0.28, 0.22, 0.18, 0.16, 0.18, // 00–05: overnight trough
+        0.28, 0.42, 0.55, 0.60, 0.58, 0.56, // 06–11: morning ramp
+        0.55, 0.52, 0.50, 0.52, 0.58, 0.68, // 12–17: afternoon plateau
+        0.82, 0.95, 1.00, 0.92, 0.70, 0.48, // 18–23: evening peak
+    ];
+    SHAPE[hour]
+}
+
+/// Configuration for [`RtpGenerator`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RtpConfig {
+    /// Price at zero demand, $/MWh.
+    pub base_price_mwh: f64,
+    /// Price swing from trough to peak, $/MWh.
+    pub swing_mwh: f64,
+    /// Autocorrelated noise volatility, $/MWh.
+    pub noise_mwh: f64,
+    /// Per-slot probability of a scarcity spike.
+    pub spike_probability: f64,
+    /// Spike magnitude, $/MWh.
+    pub spike_mwh: f64,
+    /// Weekend demand multiplier (grid load drops on weekends).
+    pub weekend_factor: f64,
+}
+
+impl Default for RtpConfig {
+    fn default() -> Self {
+        Self {
+            base_price_mwh: 48.0,
+            swing_mwh: 75.0,
+            noise_mwh: 4.0,
+            spike_probability: 0.01,
+            spike_mwh: 60.0,
+            weekend_factor: 0.85,
+        }
+    }
+}
+
+impl RtpConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for negative prices or
+    /// probabilities outside `[0, 1]`.
+    pub fn validate(&self) -> ect_types::Result<()> {
+        if self.base_price_mwh < 0.0 || self.swing_mwh < 0.0 || self.spike_mwh < 0.0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "price components must be non-negative".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.spike_probability) {
+            return Err(ect_types::EctError::InvalidConfig(
+                "spike probability must lie in [0, 1]".into(),
+            ));
+        }
+        if self.weekend_factor <= 0.0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "weekend factor must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Streaming real-time price generator.
+#[derive(Debug, Clone)]
+pub struct RtpGenerator {
+    config: RtpConfig,
+    noise: OrnsteinUhlenbeck,
+}
+
+impl RtpGenerator {
+    /// Creates a generator after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RtpConfig::validate`] failures.
+    pub fn new(config: RtpConfig) -> ect_types::Result<Self> {
+        config.validate()?;
+        let noise = OrnsteinUhlenbeck::new(0.0, 0.3, config.noise_mwh);
+        Ok(Self { config, noise })
+    }
+
+    /// Generates the price for one slot, advancing the noise process.
+    pub fn sample(&mut self, slot: SlotIndex, rng: &mut EctRng) -> DollarsPerKwh {
+        let mut mwh = self.config.base_price_mwh
+            + self.config.swing_mwh * demand_shape(slot.hour_of_day());
+        if slot.is_weekend() {
+            mwh *= self.config.weekend_factor;
+        }
+        mwh += self.noise.step(rng);
+        if rng.chance(self.config.spike_probability) {
+            mwh += rng.uniform_in(0.3, 1.0) * self.config.spike_mwh;
+        }
+        DollarsPerKwh::from_dollars_per_mwh(mwh.max(1.0))
+    }
+
+    /// Generates a whole series starting at slot 0.
+    pub fn series(&mut self, slots: usize, rng: &mut EctRng) -> Vec<DollarsPerKwh> {
+        (0..slots)
+            .map(|t| self.sample(SlotIndex::new(t), rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn series(seed: u64, slots: usize) -> Vec<DollarsPerKwh> {
+        let mut rng = EctRng::seed_from(seed);
+        RtpGenerator::new(RtpConfig::default())
+            .unwrap()
+            .series(slots, &mut rng)
+    }
+
+    #[test]
+    fn prices_fall_in_the_papers_band() {
+        let s = series(1, 24 * 60);
+        let mean =
+            s.iter().map(|p| p.as_dollars_per_mwh()).sum::<f64>() / s.len() as f64;
+        assert!((60.0..110.0).contains(&mean), "mean {mean} $/MWh");
+        for p in &s {
+            assert!(p.as_dollars_per_mwh() > 0.0);
+            assert!(p.as_dollars_per_mwh() < 300.0);
+        }
+    }
+
+    #[test]
+    fn evening_peaks_above_overnight_trough() {
+        let s = series(2, 24 * 60);
+        let mean_at = |h: usize| -> f64 {
+            (0..60).map(|d| s[d * 24 + h].as_dollars_per_mwh()).sum::<f64>() / 60.0
+        };
+        assert!(mean_at(20) > mean_at(4) + 30.0, "peak {} trough {}", mean_at(20), mean_at(4));
+    }
+
+    #[test]
+    fn weekends_are_cheaper_on_average() {
+        let s = series(3, 24 * 7 * 20);
+        let (mut wk, mut we) = (Vec::new(), Vec::new());
+        for (t, p) in s.iter().enumerate() {
+            if SlotIndex::new(t).is_weekend() {
+                we.push(p.as_dollars_per_mwh());
+            } else {
+                wk.push(p.as_dollars_per_mwh());
+            }
+        }
+        let m = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(m(&wk) > m(&we), "weekday {} weekend {}", m(&wk), m(&we));
+    }
+
+    #[test]
+    fn demand_shape_peaks_in_the_evening() {
+        let peak_hour = (0..24).max_by(|&a, &b| demand_shape(a).total_cmp(&demand_shape(b))).unwrap();
+        assert!((18..=21).contains(&peak_hour), "peak at {peak_hour}");
+        let trough_hour = (0..24).min_by(|&a, &b| demand_shape(a).total_cmp(&demand_shape(b))).unwrap();
+        assert!((2..=5).contains(&trough_hour), "trough at {trough_hour}");
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(RtpConfig { base_price_mwh: -1.0, ..RtpConfig::default() }.validate().is_err());
+        assert!(RtpConfig { spike_probability: 1.5, ..RtpConfig::default() }.validate().is_err());
+        assert!(RtpConfig { weekend_factor: 0.0, ..RtpConfig::default() }.validate().is_err());
+        assert!(RtpConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(series(5, 200), series(5, 200));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prices_always_positive(seed in 0u64..10_000) {
+            for p in series(seed, 96) {
+                prop_assert!(p.as_f64() > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Road network and base-station geography.
+//!
+//! Substitutes the paper's Fig. 1 measurement (OpenStreetMap main roads +
+//! OpenCellID base stations in Texas): a synthetic region with a highway
+//! backbone and urban street grids, plus base stations placed with a strong
+//! affinity for roads. The harness reports the same feasibility statistic the
+//! figure argues visually — base stations and roads coincide, so EVs pass
+//! ECT-Hubs naturally.
+
+use ect_types::rng::EctRng;
+use serde::{Deserialize, Serialize};
+
+/// A point in km coordinates.
+pub type Point = (f64, f64);
+
+/// Classification of a road segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoadKind {
+    /// Long-haul main road crossing the region.
+    Highway,
+    /// Short urban street inside a city grid.
+    Urban,
+}
+
+/// A straight road segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoadSegment {
+    /// One endpoint, km.
+    pub a: Point,
+    /// Other endpoint, km.
+    pub b: Point,
+    /// Segment class.
+    pub kind: RoadKind,
+}
+
+impl RoadSegment {
+    /// Segment length in km.
+    pub fn length(&self) -> f64 {
+        dist(self.a, self.b)
+    }
+
+    /// Shortest distance from `p` to this segment, km.
+    pub fn distance_to(&self, p: Point) -> f64 {
+        let (ax, ay) = self.a;
+        let (bx, by) = self.b;
+        let (px, py) = p;
+        let (dx, dy) = (bx - ax, by - ay);
+        let len2 = dx * dx + dy * dy;
+        if len2 == 0.0 {
+            return dist(self.a, p);
+        }
+        let t = (((px - ax) * dx + (py - ay) * dy) / len2).clamp(0.0, 1.0);
+        dist((ax + t * dx, ay + t * dy), p)
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment.
+    pub fn point_at(&self, t: f64) -> Point {
+        let t = t.clamp(0.0, 1.0);
+        (
+            self.a.0 + t * (self.b.0 - self.a.0),
+            self.a.1 + t * (self.b.1 - self.a.1),
+        )
+    }
+}
+
+fn dist(a: Point, b: Point) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Configuration of the synthetic region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionConfig {
+    /// Side of the square region, km.
+    pub size_km: f64,
+    /// Number of highways crossing the region.
+    pub num_highways: usize,
+    /// Number of cities with street grids.
+    pub num_cities: usize,
+    /// Streets per city grid (per direction).
+    pub streets_per_city: usize,
+    /// City grid half-size, km.
+    pub city_radius_km: f64,
+    /// Number of base stations to place.
+    pub num_base_stations: usize,
+    /// Fraction of BSs deliberately sited near roads; the rest are uniform.
+    pub road_affinity: f64,
+    /// Std-dev of the lateral offset of road-sited BSs from the road, km.
+    pub road_offset_km: f64,
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        Self {
+            size_km: 200.0,
+            num_highways: 8,
+            num_cities: 5,
+            streets_per_city: 6,
+            city_radius_km: 8.0,
+            num_base_stations: 3000,
+            road_affinity: 0.85,
+            road_offset_km: 0.8,
+        }
+    }
+}
+
+impl RegionConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for empty geometry or
+    /// a road affinity outside `[0, 1]`.
+    pub fn validate(&self) -> ect_types::Result<()> {
+        if self.size_km <= 0.0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "region size must be positive".into(),
+            ));
+        }
+        if self.num_highways + self.num_cities == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "the region needs at least one road source".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.road_affinity) {
+            return Err(ect_types::EctError::InvalidConfig(
+                "road affinity must lie in [0, 1]".into(),
+            ));
+        }
+        if self.num_base_stations == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "at least one base station is required".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Generated region: roads plus base stations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Region {
+    /// All road segments.
+    pub roads: Vec<RoadSegment>,
+    /// Base-station positions, km.
+    pub base_stations: Vec<Point>,
+    /// Region side, km.
+    pub size_km: f64,
+}
+
+impl Region {
+    /// Generates a region from the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegionConfig::validate`] failures.
+    pub fn generate(config: &RegionConfig, rng: &mut EctRng) -> ect_types::Result<Self> {
+        config.validate()?;
+        let s = config.size_km;
+        let mut roads = Vec::new();
+
+        // Highways: straight lines through a random interior point at a
+        // random heading, clipped to the square by over-extending.
+        for _ in 0..config.num_highways {
+            let cx = rng.uniform_in(0.15 * s, 0.85 * s);
+            let cy = rng.uniform_in(0.15 * s, 0.85 * s);
+            let angle = rng.uniform_in(0.0, std::f64::consts::PI);
+            let (dx, dy) = (angle.cos(), angle.sin());
+            let a = clamp_point((cx - dx * 2.0 * s, cy - dy * 2.0 * s), s);
+            let b = clamp_point((cx + dx * 2.0 * s, cy + dy * 2.0 * s), s);
+            roads.push(RoadSegment {
+                a,
+                b,
+                kind: RoadKind::Highway,
+            });
+        }
+
+        // Cities: orthogonal street grids around random centres.
+        let mut city_centres = Vec::new();
+        for _ in 0..config.num_cities {
+            let cx = rng.uniform_in(0.1 * s, 0.9 * s);
+            let cy = rng.uniform_in(0.1 * s, 0.9 * s);
+            city_centres.push((cx, cy));
+            let r = config.city_radius_km.min(0.1 * s);
+            let n = config.streets_per_city.max(1);
+            for i in 0..n {
+                let offset = -r + 2.0 * r * i as f64 / (n.max(2) - 1).max(1) as f64;
+                roads.push(RoadSegment {
+                    a: clamp_point((cx - r, cy + offset), s),
+                    b: clamp_point((cx + r, cy + offset), s),
+                    kind: RoadKind::Urban,
+                });
+                roads.push(RoadSegment {
+                    a: clamp_point((cx + offset, cy - r), s),
+                    b: clamp_point((cx + offset, cy + r), s),
+                    kind: RoadKind::Urban,
+                });
+            }
+        }
+
+        // Base stations: mostly near roads (weighted by length), the rest
+        // uniform over the region.
+        let weights: Vec<f64> = roads.iter().map(RoadSegment::length).collect();
+        let mut base_stations = Vec::with_capacity(config.num_base_stations);
+        for _ in 0..config.num_base_stations {
+            let p = if rng.chance(config.road_affinity) {
+                let seg = &roads[rng.categorical(&weights)];
+                let on_road = seg.point_at(rng.uniform());
+                let off = (
+                    rng.normal(0.0, config.road_offset_km),
+                    rng.normal(0.0, config.road_offset_km),
+                );
+                clamp_point((on_road.0 + off.0, on_road.1 + off.1), s)
+            } else {
+                (rng.uniform_in(0.0, s), rng.uniform_in(0.0, s))
+            };
+            base_stations.push(p);
+        }
+
+        Ok(Self {
+            roads,
+            base_stations,
+            size_km: s,
+        })
+    }
+
+    /// Distance from a point to the nearest road, km.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region has no roads.
+    pub fn distance_to_nearest_road(&self, p: Point) -> f64 {
+        self.roads
+            .iter()
+            .map(|r| r.distance_to(p))
+            .min_by(f64::total_cmp)
+            .expect("region without roads")
+    }
+
+    /// Fraction of base stations within `d_km` of a road — the paper's
+    /// "high degree of coincidence" claim, quantified.
+    pub fn bs_road_coincidence(&self, d_km: f64) -> f64 {
+        let near = self
+            .base_stations
+            .iter()
+            .filter(|&&p| self.distance_to_nearest_road(p) <= d_km)
+            .count();
+        near as f64 / self.base_stations.len() as f64
+    }
+
+    /// Fraction of road length within `d_km` of some base station, estimated
+    /// by sampling `samples_per_segment` points per segment. This is the
+    /// EV-side view: how much of the road network an ECT-Hub can serve.
+    pub fn road_bs_coverage(&self, d_km: f64, samples_per_segment: usize) -> f64 {
+        let n = samples_per_segment.max(1);
+        let mut covered_len = 0.0;
+        let mut total_len = 0.0;
+        for seg in &self.roads {
+            let len = seg.length();
+            total_len += len;
+            let mut covered = 0usize;
+            for i in 0..n {
+                let p = seg.point_at((i as f64 + 0.5) / n as f64);
+                let near = self
+                    .base_stations
+                    .iter()
+                    .any(|&b| dist(b, p) <= d_km);
+                if near {
+                    covered += 1;
+                }
+            }
+            covered_len += len * covered as f64 / n as f64;
+        }
+        if total_len == 0.0 {
+            0.0
+        } else {
+            covered_len / total_len
+        }
+    }
+
+    /// Total road length, km.
+    pub fn total_road_length(&self) -> f64 {
+        self.roads.iter().map(RoadSegment::length).sum()
+    }
+}
+
+fn clamp_point(p: Point, size: f64) -> Point {
+    (p.0.clamp(0.0, size), p.1.clamp(0.0, size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn region(seed: u64) -> Region {
+        let mut rng = EctRng::seed_from(seed);
+        Region::generate(&RegionConfig::default(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn segment_distance_basics() {
+        let seg = RoadSegment {
+            a: (0.0, 0.0),
+            b: (10.0, 0.0),
+            kind: RoadKind::Highway,
+        };
+        assert_eq!(seg.distance_to((5.0, 3.0)), 3.0);
+        assert_eq!(seg.distance_to((0.0, 0.0)), 0.0);
+        assert_eq!(seg.distance_to((-4.0, 0.0)), 4.0); // beyond endpoint
+        assert_eq!(seg.length(), 10.0);
+    }
+
+    #[test]
+    fn degenerate_segment_distance_is_point_distance() {
+        let seg = RoadSegment {
+            a: (1.0, 1.0),
+            b: (1.0, 1.0),
+            kind: RoadKind::Urban,
+        };
+        assert!((seg.distance_to((4.0, 5.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_geometry_stays_in_region() {
+        let r = region(1);
+        for p in &r.base_stations {
+            assert!(p.0 >= 0.0 && p.0 <= r.size_km);
+            assert!(p.1 >= 0.0 && p.1 <= r.size_km);
+        }
+        for seg in &r.roads {
+            for p in [seg.a, seg.b] {
+                assert!(p.0 >= 0.0 && p.0 <= r.size_km);
+            }
+        }
+    }
+
+    #[test]
+    fn base_stations_coincide_with_roads() {
+        // The paper's Fig. 1 claim: distributions overlap strongly.
+        let r = region(2);
+        let near2 = r.bs_road_coincidence(2.0);
+        assert!(near2 > 0.75, "only {near2} of BSs within 2 km of a road");
+        // And the coincidence is *because* of affinity, not saturation:
+        // a uniform placement would do much worse.
+        let mut rng = EctRng::seed_from(3);
+        let uniform = Region::generate(
+            &RegionConfig {
+                road_affinity: 0.0,
+                ..RegionConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(near2 > uniform.bs_road_coincidence(2.0) + 0.15);
+    }
+
+    #[test]
+    fn coincidence_grows_with_radius() {
+        let r = region(4);
+        let f1 = r.bs_road_coincidence(0.5);
+        let f2 = r.bs_road_coincidence(2.0);
+        let f3 = r.bs_road_coincidence(10.0);
+        assert!(f1 <= f2 && f2 <= f3);
+        assert!(f3 > 0.9);
+    }
+
+    #[test]
+    fn road_coverage_is_a_fraction() {
+        let r = region(5);
+        let c = r.road_bs_coverage(2.0, 8);
+        assert!((0.0..=1.0).contains(&c));
+        assert!(c > 0.3, "coverage {c}");
+    }
+
+    #[test]
+    fn region_has_roads_of_both_kinds() {
+        let r = region(6);
+        assert!(r.roads.iter().any(|s| s.kind == RoadKind::Highway));
+        assert!(r.roads.iter().any(|s| s.kind == RoadKind::Urban));
+        assert!(r.total_road_length() > 100.0);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let bad = RegionConfig {
+            num_base_stations: 0,
+            ..RegionConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RegionConfig {
+            road_affinity: 1.4,
+            ..RegionConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RegionConfig {
+            num_highways: 0,
+            num_cities: 0,
+            ..RegionConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = region(7);
+        let b = region(7);
+        assert_eq!(a.base_stations, b.base_stations);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn point_at_stays_on_segment(t in -1.0f64..2.0) {
+            let seg = RoadSegment { a: (0.0, 0.0), b: (10.0, 10.0), kind: RoadKind::Highway };
+            let p = seg.point_at(t);
+            prop_assert!(p.0 >= 0.0 && p.0 <= 10.0);
+            prop_assert!((p.0 - p.1).abs() < 1e-12);
+        }
+
+        #[test]
+        fn distance_is_non_negative(px in -50.0f64..250.0, py in -50.0f64..250.0) {
+            let seg = RoadSegment { a: (0.0, 0.0), b: (100.0, 40.0), kind: RoadKind::Highway };
+            prop_assert!(seg.distance_to((px, py)) >= 0.0);
+        }
+    }
+}

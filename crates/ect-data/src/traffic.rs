@@ -1,0 +1,275 @@
+//! Base-station network-traffic generator.
+//!
+//! Substitutes the paper's city-scale cellular traffic dataset \[22\]. The
+//! power model (Eq. 1) consumes the load rate `α_t ∈ [0, 1]`; for the Fig. 5
+//! reproduction we also expose traffic volume in GB. Load follows the shared
+//! diurnal [`crate::rtp::demand_shape`], which is what makes traffic and RTP
+//! positively correlated as the paper measures.
+
+use crate::rtp::demand_shape;
+use ect_types::rng::{EctRng, OrnsteinUhlenbeck};
+use ect_types::time::SlotIndex;
+use ect_types::units::LoadRate;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`TrafficGenerator`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Load rate at zero demand (paging, sync — a BS is never fully idle).
+    pub floor: f64,
+    /// Load-rate swing from trough to peak.
+    pub swing: f64,
+    /// Autocorrelated noise volatility (load-rate units).
+    pub noise: f64,
+    /// Weekend load multiplier (residential areas may exceed 1).
+    pub weekend_factor: f64,
+    /// Traffic volume at full load, GB per slot (for Fig. 5 display).
+    pub full_load_gb: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            floor: 0.12,
+            swing: 0.75,
+            noise: 0.035,
+            weekend_factor: 0.9,
+            full_load_gb: 160.0,
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// Busy urban cell profile.
+    pub fn urban() -> Self {
+        Self {
+            floor: 0.18,
+            swing: 0.78,
+            ..Self::default()
+        }
+    }
+
+    /// Quieter rural cell profile.
+    pub fn rural() -> Self {
+        Self {
+            floor: 0.08,
+            swing: 0.45,
+            full_load_gb: 60.0,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] if floor+swing exceed 1
+    /// or parameters are negative.
+    pub fn validate(&self) -> ect_types::Result<()> {
+        if self.floor < 0.0 || self.swing < 0.0 || self.noise < 0.0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "traffic parameters must be non-negative".into(),
+            ));
+        }
+        if self.floor + self.swing > 1.0 {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "floor {} + swing {} exceeds full load",
+                self.floor, self.swing
+            )));
+        }
+        if self.weekend_factor <= 0.0 || self.full_load_gb <= 0.0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "weekend factor and full-load volume must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One slot of traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSample {
+    /// Load rate `α_t` for the power model (Eq. 1).
+    pub load_rate: LoadRate,
+    /// Traffic volume in GB during the slot.
+    pub volume_gb: f64,
+}
+
+/// Streaming per-station traffic generator.
+#[derive(Debug, Clone)]
+pub struct TrafficGenerator {
+    config: TrafficConfig,
+    noise: OrnsteinUhlenbeck,
+}
+
+impl TrafficGenerator {
+    /// Creates a generator after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrafficConfig::validate`] failures.
+    pub fn new(config: TrafficConfig) -> ect_types::Result<Self> {
+        config.validate()?;
+        let noise = OrnsteinUhlenbeck::new(0.0, 0.35, config.noise);
+        Ok(Self { config, noise })
+    }
+
+    /// Generates traffic for one slot, advancing the noise process.
+    pub fn sample(&mut self, slot: SlotIndex, rng: &mut EctRng) -> TrafficSample {
+        let mut load = self.config.floor + self.config.swing * demand_shape(slot.hour_of_day());
+        if slot.is_weekend() {
+            load *= self.config.weekend_factor;
+        }
+        load += self.noise.step(rng);
+        let load_rate = LoadRate::saturating(load);
+        TrafficSample {
+            load_rate,
+            volume_gb: load_rate.as_f64() * self.config.full_load_gb,
+        }
+    }
+
+    /// Generates a whole series starting at slot 0.
+    pub fn series(&mut self, slots: usize, rng: &mut EctRng) -> Vec<TrafficSample> {
+        (0..slots)
+            .map(|t| self.sample(SlotIndex::new(t), rng))
+            .collect()
+    }
+}
+
+/// Pearson correlation between two equally long series.
+///
+/// Used by the Fig. 5 harness to report the RTP/traffic correlation the
+/// paper's measurement study observes.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are shorter than 2.
+pub fn pearson_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "correlation needs equal lengths");
+    assert!(a.len() >= 2, "correlation needs at least two points");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtp::{RtpConfig, RtpGenerator};
+    use proptest::prelude::*;
+
+    fn series(seed: u64, slots: usize) -> Vec<TrafficSample> {
+        let mut rng = EctRng::seed_from(seed);
+        TrafficGenerator::new(TrafficConfig::default())
+            .unwrap()
+            .series(slots, &mut rng)
+    }
+
+    #[test]
+    fn load_rate_stays_in_unit_interval() {
+        for s in series(1, 24 * 90) {
+            let v = s.load_rate.as_f64();
+            assert!((0.0..=1.0).contains(&v));
+            assert!(s.volume_gb >= 0.0);
+        }
+    }
+
+    #[test]
+    fn evening_load_exceeds_night_load() {
+        let s = series(2, 24 * 60);
+        let mean_at = |h: usize| -> f64 {
+            (0..60).map(|d| s[d * 24 + h].load_rate.as_f64()).sum::<f64>() / 60.0
+        };
+        assert!(mean_at(20) > mean_at(4) + 0.3);
+    }
+
+    #[test]
+    fn traffic_correlates_with_price() {
+        // The paper's Fig. 5 observation: RTP and load rise together.
+        let mut rng = EctRng::seed_from(3);
+        let mut tg = TrafficGenerator::new(TrafficConfig::default()).unwrap();
+        let mut pg = RtpGenerator::new(RtpConfig::default()).unwrap();
+        let slots = 24 * 30;
+        let load: Vec<f64> = tg
+            .series(slots, &mut rng)
+            .iter()
+            .map(|s| s.load_rate.as_f64())
+            .collect();
+        let price: Vec<f64> = pg
+            .series(slots, &mut rng)
+            .iter()
+            .map(|p| p.as_dollars_per_mwh())
+            .collect();
+        let r = pearson_correlation(&load, &price);
+        assert!(r > 0.7, "correlation {r}");
+    }
+
+    #[test]
+    fn urban_busier_than_rural() {
+        let mut rng = EctRng::seed_from(4);
+        let mut urban = TrafficGenerator::new(TrafficConfig::urban()).unwrap();
+        let mut rng2 = EctRng::seed_from(4);
+        let mut rural = TrafficGenerator::new(TrafficConfig::rural()).unwrap();
+        let mu = urban
+            .series(24 * 30, &mut rng)
+            .iter()
+            .map(|s| s.load_rate.as_f64())
+            .sum::<f64>();
+        let mr = rural
+            .series(24 * 30, &mut rng2)
+            .iter()
+            .map(|s| s.load_rate.as_f64())
+            .sum::<f64>();
+        assert!(mu > mr);
+    }
+
+    #[test]
+    fn validation_rejects_overfull_load() {
+        let cfg = TrafficConfig {
+            floor: 0.5,
+            swing: 0.6,
+            ..TrafficConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn correlation_helper_sanity() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson_correlation(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson_correlation(&a, &down) + 1.0).abs() < 1e-12);
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson_correlation(&a, &flat), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn correlation_rejects_mismatch() {
+        let _ = pearson_correlation(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn any_seed_stays_physical(seed in 0u64..10_000) {
+            for s in series(seed, 96) {
+                prop_assert!((0.0..=1.0).contains(&s.load_rate.as_f64()));
+            }
+        }
+    }
+}

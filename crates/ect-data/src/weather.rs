@@ -1,0 +1,301 @@
+//! Synthetic weather: solar irradiance and wind speed.
+//!
+//! Substitutes the paper's NSRDB (National Solar Radiation Database) feed.
+//! Solar irradiance follows a clear-sky half-sine day profile with seasonal
+//! amplitude, attenuated by a mean-reverting cloud-cover process; wind speed
+//! is a mean-reverting process whose long-run level is drawn per-day from a
+//! Weibull distribution (the classical wind-speed law), giving the high
+//! inter-day volatility visible in the paper's Fig. 2.
+
+use ect_types::rng::{EctRng, OrnsteinUhlenbeck};
+use ect_types::time::SlotIndex;
+use serde::{Deserialize, Serialize};
+
+/// Weather observed during one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeatherSample {
+    /// Global horizontal irradiance in W/m².
+    pub solar_irradiance: f64,
+    /// Wind speed at hub height in m/s.
+    pub wind_speed: f64,
+    /// Cloud-cover fraction in `[0, 1]` (0 = clear sky).
+    pub cloud_cover: f64,
+}
+
+/// Configuration of the [`WeatherGenerator`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeatherConfig {
+    /// Peak clear-sky irradiance at solar noon, W/m².
+    pub peak_irradiance: f64,
+    /// Hour of sunrise (fractional hours, e.g. 6.0).
+    pub sunrise_hour: f64,
+    /// Hour of sunset (fractional hours, e.g. 18.0).
+    pub sunset_hour: f64,
+    /// Mean cloud-cover fraction in `[0, 1]`.
+    pub mean_cloud_cover: f64,
+    /// Cloud volatility (OU sigma).
+    pub cloud_volatility: f64,
+    /// Weibull shape parameter for the daily mean wind speed (k ≈ 2).
+    pub wind_weibull_shape: f64,
+    /// Weibull scale parameter for the daily mean wind speed, m/s.
+    pub wind_weibull_scale: f64,
+    /// Intra-day wind volatility (OU sigma), m/s.
+    pub wind_volatility: f64,
+}
+
+impl Default for WeatherConfig {
+    fn default() -> Self {
+        Self {
+            peak_irradiance: 950.0,
+            sunrise_hour: 6.0,
+            sunset_hour: 18.5,
+            mean_cloud_cover: 0.35,
+            cloud_volatility: 0.08,
+            wind_weibull_shape: 2.0,
+            wind_weibull_scale: 6.5,
+            wind_volatility: 0.9,
+        }
+    }
+}
+
+impl WeatherConfig {
+    /// A sunnier, less windy profile typical of an urban rooftop deployment.
+    pub fn urban() -> Self {
+        Self {
+            mean_cloud_cover: 0.30,
+            wind_weibull_scale: 4.5,
+            ..Self::default()
+        }
+    }
+
+    /// A windier rural profile where both PV and WT are practical.
+    pub fn rural() -> Self {
+        Self {
+            mean_cloud_cover: 0.40,
+            wind_weibull_scale: 7.5,
+            ..Self::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] if hours are out of
+    /// order or parameters are non-physical.
+    pub fn validate(&self) -> ect_types::Result<()> {
+        if !(0.0..24.0).contains(&self.sunrise_hour)
+            || !(0.0..24.0).contains(&self.sunset_hour)
+            || self.sunrise_hour >= self.sunset_hour
+        {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "sunrise {} must precede sunset {}",
+                self.sunrise_hour, self.sunset_hour
+            )));
+        }
+        if self.peak_irradiance <= 0.0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "peak irradiance must be positive".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.mean_cloud_cover) {
+            return Err(ect_types::EctError::InvalidConfig(
+                "mean cloud cover must lie in [0, 1]".into(),
+            ));
+        }
+        if self.wind_weibull_shape <= 0.0 || self.wind_weibull_scale <= 0.0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "weibull parameters must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Streaming weather generator.
+///
+/// # Example
+///
+/// ```
+/// use ect_data::weather::{WeatherConfig, WeatherGenerator};
+/// use ect_types::rng::EctRng;
+///
+/// let mut rng = EctRng::seed_from(1);
+/// let mut gen = WeatherGenerator::new(WeatherConfig::default(), &mut rng)?;
+/// let series = gen.series(48, &mut rng);
+/// assert_eq!(series.len(), 48);
+/// // Solar output is zero at midnight.
+/// assert_eq!(series[0].solar_irradiance, 0.0);
+/// # Ok::<(), ect_types::EctError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeatherGenerator {
+    config: WeatherConfig,
+    cloud: OrnsteinUhlenbeck,
+    wind: OrnsteinUhlenbeck,
+    current_day: Option<usize>,
+}
+
+impl WeatherGenerator {
+    /// Creates a generator after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WeatherConfig::validate`] failures.
+    pub fn new(config: WeatherConfig, rng: &mut EctRng) -> ect_types::Result<Self> {
+        config.validate()?;
+        let cloud = OrnsteinUhlenbeck::new(config.mean_cloud_cover, 0.15, config.cloud_volatility);
+        let first_mean = rng.weibull(config.wind_weibull_shape, config.wind_weibull_scale);
+        let wind = OrnsteinUhlenbeck::new(first_mean.max(0.1), 0.25, config.wind_volatility)
+            .with_state(first_mean.max(0.1));
+        Ok(Self {
+            config,
+            cloud,
+            wind,
+            current_day: None,
+        })
+    }
+
+    /// Clear-sky irradiance at the given slot (before cloud attenuation).
+    pub fn clear_sky_irradiance(&self, slot: SlotIndex) -> f64 {
+        let hour = slot.hour_of_day() as f64 + 0.5; // mid-slot sun position
+        let (rise, set) = (self.config.sunrise_hour, self.config.sunset_hour);
+        if hour <= rise || hour >= set {
+            return 0.0;
+        }
+        let phase = (hour - rise) / (set - rise);
+        self.config.peak_irradiance * (std::f64::consts::PI * phase).sin().max(0.0)
+    }
+
+    /// Generates the weather for one slot, advancing the internal processes.
+    pub fn sample(&mut self, slot: SlotIndex, rng: &mut EctRng) -> WeatherSample {
+        // Redraw the wind regime once per day from the Weibull law.
+        let day = slot.day();
+        if self.current_day != Some(day) {
+            self.current_day = Some(day);
+            let mean = rng
+                .weibull(self.config.wind_weibull_shape, self.config.wind_weibull_scale)
+                .max(0.1);
+            self.wind = OrnsteinUhlenbeck::new(mean, 0.25, self.config.wind_volatility)
+                .with_state(self.wind.current().max(0.0));
+        }
+        let cloud = self.cloud.step(rng).clamp(0.0, 1.0);
+        let wind = self.wind.step(rng).max(0.0);
+        // Clouds attenuate up to 75 % of the clear-sky beam.
+        let irradiance = self.clear_sky_irradiance(slot) * (1.0 - 0.75 * cloud);
+        WeatherSample {
+            solar_irradiance: irradiance.max(0.0),
+            wind_speed: wind,
+            cloud_cover: cloud,
+        }
+    }
+
+    /// Generates a whole series starting at slot 0.
+    pub fn series(&mut self, slots: usize, rng: &mut EctRng) -> Vec<WeatherSample> {
+        (0..slots)
+            .map(|t| self.sample(SlotIndex::new(t), rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn series(seed: u64, slots: usize) -> Vec<WeatherSample> {
+        let mut rng = EctRng::seed_from(seed);
+        let mut g = WeatherGenerator::new(WeatherConfig::default(), &mut rng).unwrap();
+        g.series(slots, &mut rng)
+    }
+
+    #[test]
+    fn night_has_zero_solar() {
+        let s = series(1, 72);
+        for (t, w) in s.iter().enumerate() {
+            let hour = t % 24;
+            if !(6..19).contains(&hour) {
+                assert_eq!(w.solar_irradiance, 0.0, "hour {hour}");
+            }
+        }
+    }
+
+    #[test]
+    fn midday_is_brighter_than_morning() {
+        let s = series(2, 24 * 30);
+        let mean_at = |h: usize| -> f64 {
+            (0..30).map(|d| s[d * 24 + h].solar_irradiance).sum::<f64>() / 30.0
+        };
+        assert!(mean_at(12) > mean_at(8));
+        assert!(mean_at(12) > mean_at(16));
+        assert!(mean_at(12) > 200.0, "midday mean {}", mean_at(12));
+    }
+
+    #[test]
+    fn wind_is_volatile_across_days() {
+        let s = series(3, 24 * 60);
+        let daily: Vec<f64> = (0..60)
+            .map(|d| (0..24).map(|h| s[d * 24 + h].wind_speed).sum::<f64>() / 24.0)
+            .collect();
+        let mean = daily.iter().sum::<f64>() / daily.len() as f64;
+        let var = daily.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / daily.len() as f64;
+        // Daily regimes differ: coefficient of variation well above zero.
+        assert!(var.sqrt() / mean > 0.15, "cv {}", var.sqrt() / mean);
+    }
+
+    #[test]
+    fn physical_ranges_hold() {
+        for w in series(4, 24 * 120) {
+            assert!(w.solar_irradiance >= 0.0 && w.solar_irradiance <= 1000.0);
+            assert!(w.wind_speed >= 0.0 && w.wind_speed < 60.0);
+            assert!((0.0..=1.0).contains(&w.cloud_cover));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = series(9, 100);
+        let b = series(9, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_rejects_inverted_daylight() {
+        let cfg = WeatherConfig {
+            sunrise_hour: 19.0,
+            sunset_hour: 6.0,
+            ..WeatherConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_cloud_mean() {
+        let cfg = WeatherConfig {
+            mean_cloud_cover: 1.5,
+            ..WeatherConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn profiles_differ_in_wind() {
+        assert!(WeatherConfig::rural().wind_weibull_scale > WeatherConfig::urban().wind_weibull_scale);
+        WeatherConfig::rural().validate().unwrap();
+        WeatherConfig::urban().validate().unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn any_seed_produces_physical_weather(seed in 0u64..10_000) {
+            let mut rng = EctRng::seed_from(seed);
+            let mut g = WeatherGenerator::new(WeatherConfig::default(), &mut rng).unwrap();
+            for w in g.series(96, &mut rng) {
+                prop_assert!(w.solar_irradiance >= 0.0);
+                prop_assert!(w.wind_speed >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Policy checkpointing: persist trained actor-critic networks to disk.
+//!
+//! Training a fleet-scale PPO run is the expensive stage of the pipeline;
+//! checkpoints let operators evaluate, resume or deploy policies without
+//! retraining. Format: pretty JSON of the full network (weights only —
+//! forward caches are skipped by construction).
+
+use crate::actor_critic::ActorCritic;
+use std::path::Path;
+
+/// Saves a policy as JSON.
+///
+/// # Errors
+///
+/// Returns [`ect_types::EctError::InvalidConfig`] wrapping I/O or
+/// serialisation failures (message carries the cause).
+pub fn save_policy<P: AsRef<Path>>(policy: &ActorCritic, path: P) -> ect_types::Result<()> {
+    let json = serde_json::to_string(policy).map_err(|e| {
+        ect_types::EctError::InvalidConfig(format!("policy serialisation failed: {e}"))
+    })?;
+    std::fs::write(path.as_ref(), json).map_err(|e| {
+        ect_types::EctError::InvalidConfig(format!(
+            "writing checkpoint {} failed: {e}",
+            path.as_ref().display()
+        ))
+    })
+}
+
+/// Loads a policy saved by [`save_policy`].
+///
+/// # Errors
+///
+/// Returns [`ect_types::EctError::InvalidConfig`] wrapping I/O or parse
+/// failures.
+pub fn load_policy<P: AsRef<Path>>(path: P) -> ect_types::Result<ActorCritic> {
+    let json = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+        ect_types::EctError::InvalidConfig(format!(
+            "reading checkpoint {} failed: {e}",
+            path.as_ref().display()
+        ))
+    })?;
+    serde_json::from_str(&json).map_err(|e| {
+        ect_types::EctError::InvalidConfig(format!("policy deserialisation failed: {e}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor_critic::ActorCriticConfig;
+    use ect_types::rng::EctRng;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ect-drl-ckpt-{name}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn checkpoint_round_trips_exactly() {
+        let mut rng = EctRng::seed_from(1);
+        let policy = ActorCritic::new(12, &ActorCriticConfig::default(), &mut rng);
+        let path = temp_path("roundtrip");
+        save_policy(&policy, &path).unwrap();
+        let restored = load_policy(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let state: Vec<f64> = (0..12).map(|i| (i as f64) / 12.0 - 0.5).collect();
+        let (p1, v1) = policy.evaluate_one(&state);
+        let (p2, v2) = restored.evaluate_one(&state);
+        assert_eq!(v1.to_bits(), v2.to_bits());
+        for (a, b) in p1.iter().zip(&p2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(restored.state_dim(), 12);
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = load_policy("/nonexistent/dir/policy.json").unwrap_err();
+        assert!(err.to_string().contains("reading checkpoint"));
+    }
+
+    #[test]
+    fn corrupt_file_is_a_clean_error() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = load_policy(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("deserialisation failed"));
+    }
+}

@@ -1,0 +1,30 @@
+//! ECT-DRL: deep-reinforcement-learning battery scheduling (Section IV-B).
+//!
+//! Given the real-time price, weather, traffic and charging-price windows
+//! plus the battery state of charge (Eq. 24), the agent picks one of three
+//! battery actions per hour — charge, discharge, idle — to maximise the
+//! per-slot profit of Eq. 12. Training uses the Actor-Critic architecture of
+//! Fig. 10 with the PPO clipped surrogate objective (Eqs. 25–28).
+//!
+//! * [`actor_critic`] — the shared-trunk policy/value network;
+//! * [`rollout`] — trajectory buffers and GAE advantage estimation;
+//! * [`ppo`] — the clipped-objective learner;
+//! * [`trainer`] — episode loops matching the paper's protocol (30-day
+//!   episodes, random initial SoC, 500 train / 100 test);
+//! * [`heuristics`] — rule-based comparators (NoBattery, price thresholds,
+//!   time-of-use) and the [`heuristics::Scheduler`] abstraction;
+//! * [`checkpoint`] — JSON persistence for trained policies.
+
+pub mod actor_critic;
+pub mod checkpoint;
+pub mod heuristics;
+pub mod ppo;
+pub mod rollout;
+pub mod trainer;
+
+pub use actor_critic::{ActorCritic, ActorCriticConfig};
+pub use checkpoint::{load_policy, save_policy};
+pub use heuristics::{run_episode, DrlScheduler, GreedyPrice, NoBattery, Scheduler, TimeOfUse};
+pub use ppo::{Ppo, PpoConfig, UpdateStats};
+pub use rollout::{RolloutBuffer, Transition};
+pub use trainer::{evaluate, train, EpisodeFactory, EvalSummary, TrainerConfig, TrainingHistory};

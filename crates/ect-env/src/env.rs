@@ -1,0 +1,611 @@
+//! The ECT-Hub reinforcement-learning environment.
+//!
+//! Implements the paper's system model end to end: each [`HubEnv::step`]
+//! applies one battery action to one hourly slot, computes the power balance
+//! (Eq. 7), the costs (Eqs. 8–10) and the charging revenue (Eq. 11), and
+//! returns the per-slot profit (Eq. 12) as the reward together with the next
+//! state (Eq. 24).
+//!
+//! The state is
+//! `s_t = (RTP⃗, weather⃗, traffic⃗, SRTP⃗, SoC)` — sliding windows of the
+//! exogenous series over the past `window` slots (padded at episode start)
+//! plus the scalar state of charge, all normalised to unit-ish scales.
+
+use crate::battery::{BatteryPoint, BatteryPointConfig, BpAction};
+use crate::hub::HubConfig;
+use crate::power::grid_power;
+use crate::tariff::DiscountSchedule;
+use ect_data::charging::Stratum;
+use ect_data::traffic::TrafficSample;
+use ect_data::weather::WeatherSample;
+use ect_types::units::{DollarsPerKwh, KiloWatt, Money};
+use serde::{Deserialize, Serialize};
+
+/// Exogenous inputs for one episode, all series of equal length.
+#[derive(Debug, Clone)]
+pub struct EpisodeInputs {
+    /// Real-time grid price per slot.
+    pub rtp: Vec<DollarsPerKwh>,
+    /// Weather per slot.
+    pub weather: Vec<WeatherSample>,
+    /// Base-station traffic per slot.
+    pub traffic: Vec<TrafficSample>,
+    /// Discount schedule decided by the pricing engine.
+    pub discounts: DiscountSchedule,
+    /// Ground-truth charging stratum per slot (drives `S_CS`).
+    pub strata: Vec<Stratum>,
+}
+
+impl EpisodeInputs {
+    /// Validates that all series cover the same non-empty horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::ShapeMismatch`] or
+    /// [`ect_types::EctError::InsufficientData`] on inconsistency.
+    pub fn validate(&self) -> ect_types::Result<()> {
+        let n = self.rtp.len();
+        if n == 0 {
+            return Err(ect_types::EctError::InsufficientData(
+                "episode needs at least one slot".into(),
+            ));
+        }
+        for (what, len) in [
+            ("weather", self.weather.len()),
+            ("traffic", self.traffic.len()),
+            ("discounts", self.discounts.len()),
+            ("strata", self.strata.len()),
+        ] {
+            if len != n {
+                return Err(ect_types::EctError::ShapeMismatch {
+                    context: match what {
+                        "weather" => "episode weather series",
+                        "traffic" => "episode traffic series",
+                        "discounts" => "episode discount schedule",
+                        _ => "episode strata series",
+                    },
+                    expected: n,
+                    actual: len,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Episode length in slots.
+    pub fn len(&self) -> usize {
+        self.rtp.len()
+    }
+
+    /// `true` when the episode holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.rtp.is_empty()
+    }
+}
+
+/// Everything that happened in one slot — the audit trail for experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotBreakdown {
+    /// Slot index within the episode.
+    pub slot: usize,
+    /// Base-station draw `P_BS(t)`.
+    pub p_bs: KiloWatt,
+    /// Charging-station draw `P_CS(t)`.
+    pub p_cs: KiloWatt,
+    /// Signed battery power `P_BP(t)`.
+    pub p_bp: KiloWatt,
+    /// Wind output `P_WT(t)`.
+    pub p_wt: KiloWatt,
+    /// Solar output `P_PV(t)`.
+    pub p_pv: KiloWatt,
+    /// Grid import `P_grid(t)` (Eq. 7).
+    pub p_grid: KiloWatt,
+    /// Selling price `SRTP(t)` after discount.
+    pub srtp: DollarsPerKwh,
+    /// Grid price `RTP(t)`.
+    pub rtp: DollarsPerKwh,
+    /// Charging revenue this slot (Eq. 11 summand).
+    pub revenue: Money,
+    /// Grid cost this slot (Eq. 9).
+    pub grid_cost: Money,
+    /// Battery operation cost this slot (Eq. 8).
+    pub bp_cost: Money,
+    /// Profit this slot (Eq. 12 summand) — the RL reward.
+    pub reward: Money,
+    /// State of charge after the slot, kWh.
+    pub soc_kwh: f64,
+    /// The battery action that effectively happened after clamping.
+    pub effective_action: BpAction,
+    /// Whether an EV charged this slot (`S_CS`).
+    pub ev_charged: bool,
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Next observation (valid even on the terminal step).
+    pub state: Vec<f64>,
+    /// Per-slot profit, the RL reward.
+    pub reward: f64,
+    /// `true` when the episode has ended.
+    pub done: bool,
+    /// Full accounting for the slot.
+    pub breakdown: SlotBreakdown,
+}
+
+/// Normalisation constants for the observation vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObsNorm {
+    /// Price scale, $/kWh (≈ the high end of RTP).
+    pub price_scale: f64,
+    /// Irradiance scale, W/m².
+    pub irradiance_scale: f64,
+    /// Wind-speed scale, m/s.
+    pub wind_scale: f64,
+}
+
+impl Default for ObsNorm {
+    fn default() -> Self {
+        Self {
+            price_scale: 0.15,
+            irradiance_scale: 1000.0,
+            wind_scale: 25.0,
+        }
+    }
+}
+
+/// The single-hub environment.
+///
+/// # Example
+///
+/// ```
+/// use ect_env::env::{EpisodeInputs, HubEnv};
+/// use ect_env::hub::HubConfig;
+/// use ect_env::battery::BpAction;
+/// use ect_env::tariff::DiscountSchedule;
+/// use ect_data::charging::Stratum;
+/// use ect_data::weather::WeatherSample;
+/// use ect_data::traffic::TrafficSample;
+/// use ect_types::units::{DollarsPerKwh, LoadRate};
+///
+/// let slots = 24;
+/// let inputs = EpisodeInputs {
+///     rtp: vec![DollarsPerKwh::new(0.08); slots],
+///     weather: vec![WeatherSample { solar_irradiance: 0.0, wind_speed: 5.0, cloud_cover: 0.2 }; slots],
+///     traffic: vec![TrafficSample { load_rate: LoadRate::new(0.5)?, volume_gb: 50.0 }; slots],
+///     discounts: DiscountSchedule::none(slots),
+///     strata: vec![Stratum::AlwaysCharge; slots],
+/// };
+/// let mut env = HubEnv::new(HubConfig::urban(), inputs, 6)?;
+/// let _s0 = env.reset(0.5);
+/// let step = env.step(BpAction::Idle);
+/// assert!(step.reward.is_finite());
+/// # Ok::<(), ect_types::EctError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HubEnv {
+    config: HubConfig,
+    inputs: EpisodeInputs,
+    battery: BatteryPoint,
+    norm: ObsNorm,
+    window: usize,
+    t: usize,
+}
+
+impl HubEnv {
+    /// Creates an environment over the given episode inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration/shape errors from [`HubConfig::validate`] and
+    /// [`EpisodeInputs::validate`], or `InvalidConfig` for a zero window.
+    pub fn new(config: HubConfig, inputs: EpisodeInputs, window: usize) -> ect_types::Result<Self> {
+        config.validate()?;
+        inputs.validate()?;
+        if window == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "observation window must be at least one slot".into(),
+            ));
+        }
+        let battery = BatteryPoint::new(config.battery.clone(), 0.5);
+        Ok(Self {
+            config,
+            inputs,
+            battery,
+            norm: ObsNorm::default(),
+            window,
+            t: 0,
+        })
+    }
+
+    /// Dimension of the observation vector: `5 × window + 1`
+    /// (RTP, solar, wind, traffic, SRTP windows plus SoC).
+    pub fn state_dim(&self) -> usize {
+        5 * self.window + 1
+    }
+
+    /// Episode length in slots.
+    pub fn episode_len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Current slot index.
+    pub fn slot(&self) -> usize {
+        self.t
+    }
+
+    /// The hub configuration.
+    pub fn config(&self) -> &HubConfig {
+        &self.config
+    }
+
+    /// The battery point (for inspection).
+    pub fn battery(&self) -> &BatteryPoint {
+        &self.battery
+    }
+
+    /// Episode inputs (for inspection).
+    pub fn inputs(&self) -> &EpisodeInputs {
+        &self.inputs
+    }
+
+    /// Swaps in a new discount schedule (e.g. from a different pricing
+    /// engine) without regenerating the exogenous series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::ShapeMismatch`] if the length differs.
+    pub fn set_discounts(&mut self, discounts: DiscountSchedule) -> ect_types::Result<()> {
+        if discounts.len() != self.inputs.len() {
+            return Err(ect_types::EctError::ShapeMismatch {
+                context: "discount schedule",
+                expected: self.inputs.len(),
+                actual: discounts.len(),
+            });
+        }
+        self.inputs.discounts = discounts;
+        Ok(())
+    }
+
+    /// Resets to slot 0 with the given initial SoC fraction; returns the
+    /// initial observation. The paper randomises the SoC at episode start.
+    pub fn reset(&mut self, initial_soc_fraction: f64) -> Vec<f64> {
+        self.battery.reset(initial_soc_fraction);
+        self.t = 0;
+        self.observe()
+    }
+
+    fn windowed<F: Fn(usize) -> f64>(&self, out: &mut Vec<f64>, f: F) {
+        // Values at slots (t-window+1 ..= t), clamped at episode start.
+        for k in 0..self.window {
+            let idx = (self.t + k).saturating_sub(self.window - 1).min(self.inputs.len() - 1);
+            out.push(f(idx));
+        }
+    }
+
+    /// Builds the observation at the current slot (Eq. 24).
+    pub fn observe(&self) -> Vec<f64> {
+        let mut s = Vec::with_capacity(self.state_dim());
+        let n = &self.norm;
+        self.windowed(&mut s, |i| self.inputs.rtp[i].as_f64() / n.price_scale);
+        self.windowed(&mut s, |i| {
+            self.inputs.weather[i].solar_irradiance / n.irradiance_scale
+        });
+        self.windowed(&mut s, |i| self.inputs.weather[i].wind_speed / n.wind_scale);
+        self.windowed(&mut s, |i| self.inputs.traffic[i].load_rate.as_f64());
+        self.windowed(&mut s, |i| {
+            self.config
+                .tariff
+                .price_with_discount(self.inputs.discounts.level(i))
+                .as_f64()
+                / self.config.tariff.base_price.as_f64()
+        });
+        s.push(self.battery.soc_fraction());
+        s
+    }
+
+    /// Advances one slot under the given battery action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the episode finished (reset first).
+    pub fn step(&mut self, action: BpAction) -> StepResult {
+        assert!(
+            self.t < self.inputs.len(),
+            "step called on finished episode; call reset"
+        );
+        let t = self.t;
+        let bp = self.battery.apply(action);
+
+        let p_bs = self.config.base_station.power(self.inputs.traffic[t].load_rate);
+        let discounted = self.inputs.discounts.is_discounted(t);
+        let ev_charged = self.inputs.strata[t].outcome(discounted);
+        let p_cs = self.config.charging_station.power(ev_charged);
+        let weather = &self.inputs.weather[t];
+        let p_pv = self.config.plant.pv_power(weather);
+        let p_wt = self.config.plant.wt_power(weather);
+        let p_grid = grid_power(p_bs, p_cs, bp.grid_side_power, p_wt, p_pv);
+
+        let rtp = self.inputs.rtp[t];
+        let srtp = self
+            .config
+            .tariff
+            .price_with_discount(self.inputs.discounts.level(t));
+        let revenue = p_cs.for_one_slot() * srtp;
+        let grid_cost = p_grid.for_one_slot() * rtp;
+        let reward = revenue - grid_cost - bp.op_cost;
+
+        let breakdown = SlotBreakdown {
+            slot: t,
+            p_bs,
+            p_cs,
+            p_bp: bp.grid_side_power,
+            p_wt,
+            p_pv,
+            p_grid,
+            srtp,
+            rtp,
+            revenue,
+            grid_cost,
+            bp_cost: bp.op_cost,
+            reward,
+            soc_kwh: bp.soc.as_f64(),
+            effective_action: bp.effective_action,
+            ev_charged,
+        };
+
+        self.t += 1;
+        let done = self.t >= self.inputs.len();
+        StepResult {
+            state: self.observe(),
+            reward: reward.as_f64(),
+            done,
+            breakdown,
+        }
+    }
+
+    /// Runs a full episode under a fixed policy closure; returns total profit
+    /// and the per-slot audit trail.
+    pub fn rollout<P>(&mut self, initial_soc: f64, mut policy: P) -> (Money, Vec<SlotBreakdown>)
+    where
+        P: FnMut(&[f64], &Self) -> BpAction,
+    {
+        let mut state = self.reset(initial_soc);
+        let mut breakdowns = Vec::with_capacity(self.episode_len());
+        let mut total = Money::ZERO;
+        loop {
+            let action = policy(&state, self);
+            let step = self.step(action);
+            total += step.breakdown.reward;
+            breakdowns.push(step.breakdown);
+            state = step.state;
+            if step.done {
+                break;
+            }
+        }
+        (total, breakdowns)
+    }
+
+    /// Verifies the Eq. 6 blackout guarantee at the current SoC: how long the
+    /// base station survives on battery alone at worst-case load.
+    pub fn blackout_endurance_hours(&self) -> f64 {
+        self.battery
+            .blackout_endurance_hours(self.config.base_station.max_power())
+    }
+}
+
+/// A trivially valid battery configuration helper for tests and examples:
+/// scales the default battery so the reserve bound holds for `recovery_hours`.
+pub fn battery_with_reserve(recovery_hours: usize) -> BatteryPointConfig {
+    let mut cfg = BatteryPointConfig::default();
+    let needed = 4.0 * recovery_hours as f64; // default BS max power is 4 kW
+    let held = cfg.soc_min_fraction.as_f64() * cfg.capacity_kwh;
+    if held < needed {
+        cfg.capacity_kwh = needed / cfg.soc_min_fraction.as_f64();
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ect_types::units::LoadRate;
+    use proptest::prelude::*;
+
+    fn flat_inputs(slots: usize, stratum: Stratum) -> EpisodeInputs {
+        EpisodeInputs {
+            rtp: vec![DollarsPerKwh::new(0.08); slots],
+            weather: vec![
+                WeatherSample {
+                    solar_irradiance: 300.0,
+                    wind_speed: 6.0,
+                    cloud_cover: 0.2,
+                };
+                slots
+            ],
+            traffic: vec![
+                TrafficSample {
+                    load_rate: LoadRate::new(0.5).unwrap(),
+                    volume_gb: 40.0,
+                };
+                slots
+            ],
+            discounts: DiscountSchedule::none(slots),
+            strata: vec![stratum; slots],
+        }
+    }
+
+    fn env(slots: usize, stratum: Stratum) -> HubEnv {
+        HubEnv::new(HubConfig::urban(), flat_inputs(slots, stratum), 4).unwrap()
+    }
+
+    #[test]
+    fn state_dim_matches_layout() {
+        let e = env(24, Stratum::NoCharge);
+        assert_eq!(e.state_dim(), 5 * 4 + 1);
+        let mut e = e;
+        let s = e.reset(0.5);
+        assert_eq!(s.len(), e.state_dim());
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn always_charge_generates_revenue() {
+        let mut e = env(24, Stratum::AlwaysCharge);
+        e.reset(0.5);
+        let r = e.step(BpAction::Idle);
+        // 120 kWh sold at 0.50 $/kWh.
+        assert!((r.breakdown.revenue.as_f64() - 60.0).abs() < 1e-9);
+        assert!(r.breakdown.ev_charged);
+        assert!(r.reward > 0.0);
+    }
+
+    #[test]
+    fn incentive_stratum_needs_a_discount() {
+        let mut inputs = flat_inputs(24, Stratum::IncentiveCharge);
+        let mut e = HubEnv::new(HubConfig::urban(), inputs.clone(), 4).unwrap();
+        e.reset(0.5);
+        let r = e.step(BpAction::Idle);
+        assert!(!r.breakdown.ev_charged);
+        assert_eq!(r.breakdown.revenue, Money::ZERO);
+
+        // Now discount slot 0: the incentive EV charges at the reduced price.
+        inputs.discounts = DiscountSchedule::from_levels(
+            std::iter::once(0.2).chain(std::iter::repeat(0.0)).take(24).collect(),
+        )
+        .unwrap();
+        let mut e = HubEnv::new(HubConfig::urban(), inputs, 4).unwrap();
+        e.reset(0.5);
+        let r = e.step(BpAction::Idle);
+        assert!(r.breakdown.ev_charged);
+        assert!((r.breakdown.srtp.as_f64() - 0.40).abs() < 1e-12);
+        assert!((r.breakdown.revenue.as_f64() - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_balance_holds_every_slot() {
+        let mut e = env(48, Stratum::AlwaysCharge);
+        e.reset(0.5);
+        for _ in 0..48 {
+            let r = e.step(BpAction::Charge);
+            let b = &r.breakdown;
+            let net = b.p_bs.as_f64() + b.p_cs.as_f64() + b.p_bp.as_f64()
+                - b.p_wt.as_f64()
+                - b.p_pv.as_f64();
+            assert!((b.p_grid.as_f64() - net.max(0.0)).abs() < 1e-9);
+            if r.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn discharge_reduces_grid_import() {
+        let mut e = env(24, Stratum::AlwaysCharge);
+        e.reset(0.8);
+        let idle = e.step(BpAction::Idle).breakdown;
+        let discharge = e.step(BpAction::Discharge).breakdown;
+        assert!(discharge.p_grid.as_f64() < idle.p_grid.as_f64());
+        assert!(discharge.grid_cost.as_f64() < idle.grid_cost.as_f64());
+    }
+
+    #[test]
+    fn reward_decomposition_matches_eq12() {
+        let mut e = env(24, Stratum::AlwaysCharge);
+        e.reset(0.5);
+        let r = e.step(BpAction::Charge);
+        let b = &r.breakdown;
+        let manual = b.revenue.as_f64() - b.grid_cost.as_f64() - b.bp_cost.as_f64();
+        assert!((r.reward - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn episode_terminates_exactly_at_horizon() {
+        let mut e = env(5, Stratum::NoCharge);
+        e.reset(0.5);
+        for i in 0..5 {
+            let r = e.step(BpAction::Idle);
+            assert_eq!(r.done, i == 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finished episode")]
+    fn stepping_past_the_end_panics() {
+        let mut e = env(2, Stratum::NoCharge);
+        e.reset(0.5);
+        e.step(BpAction::Idle);
+        e.step(BpAction::Idle);
+        e.step(BpAction::Idle);
+    }
+
+    #[test]
+    fn rollout_accumulates_profit() {
+        let mut e = env(24, Stratum::AlwaysCharge);
+        let (total, trail) = e.rollout(0.5, |_, _| BpAction::Idle);
+        assert_eq!(trail.len(), 24);
+        let manual: f64 = trail.iter().map(|b| b.reward.as_f64()).sum();
+        assert!((total.as_f64() - manual).abs() < 1e-9);
+        assert!(total.as_f64() > 0.0);
+    }
+
+    #[test]
+    fn set_discounts_validates_length() {
+        let mut e = env(24, Stratum::NoCharge);
+        assert!(e.set_discounts(DiscountSchedule::none(10)).is_err());
+        assert!(e.set_discounts(DiscountSchedule::none(24)).is_ok());
+    }
+
+    #[test]
+    fn blackout_endurance_meets_recovery_target() {
+        let mut e = env(24, Stratum::NoCharge);
+        e.reset(0.15); // worst case: battery at reserve floor
+        assert!(e.blackout_endurance_hours() >= 8.0);
+    }
+
+    #[test]
+    fn inputs_validation_catches_mismatches() {
+        let mut inputs = flat_inputs(24, Stratum::NoCharge);
+        inputs.traffic.pop();
+        assert!(inputs.validate().is_err());
+        assert!(HubEnv::new(HubConfig::urban(), inputs, 4).is_err());
+        let empty = flat_inputs(0, Stratum::NoCharge);
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert!(HubEnv::new(HubConfig::urban(), flat_inputs(4, Stratum::NoCharge), 0).is_err());
+    }
+
+    #[test]
+    fn battery_with_reserve_scales_capacity() {
+        let cfg = battery_with_reserve(24);
+        assert!(cfg.soc_min_fraction.as_f64() * cfg.capacity_kwh >= 4.0 * 24.0 - 1e-9);
+        cfg.validate(KiloWatt::new(4.0), 24).unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn rewards_and_soc_stay_finite_and_bounded(
+            seed in 0u64..500,
+            actions in proptest::collection::vec(0usize..3, 24),
+        ) {
+            let _ = seed;
+            let mut e = env(24, Stratum::AlwaysCharge);
+            e.reset(0.5);
+            let cfg = e.battery().config().clone();
+            for &a in &actions {
+                let r = e.step(BpAction::from_index(a));
+                prop_assert!(r.reward.is_finite());
+                prop_assert!(r.breakdown.p_grid.as_f64() >= 0.0);
+                let soc = r.breakdown.soc_kwh;
+                prop_assert!(soc >= cfg.soc_min_kwh().as_f64() - 1e-9);
+                prop_assert!(soc <= cfg.soc_max_kwh().as_f64() + 1e-9);
+                if r.done { break; }
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Fleet helpers: building per-hub episodes from a generated world.
+//!
+//! The paper evaluates 12 ECT-Hubs; this module slices a
+//! [`WorldDataset`](ect_data::dataset::WorldDataset#) into per-hub
+//! [`EpisodeInputs`], drawing the ground-truth charging strata for the
+//! episode window and applying a discount schedule from a pricing engine.
+
+use crate::env::{EpisodeInputs, HubEnv};
+use crate::hub::HubConfig;
+use crate::tariff::DiscountSchedule;
+use ect_data::charging::Stratum;
+use ect_data::dataset::WorldDataset;
+use ect_types::ids::{HubId, StationId};
+use ect_types::rng::EctRng;
+use ect_types::time::SlotIndex;
+
+/// Draws the ground-truth stratum series for one station over a slot range.
+///
+/// # Panics
+///
+/// Panics if the station is outside the world's station set.
+pub fn draw_strata(
+    world: &WorldDataset,
+    station: StationId,
+    start_slot: usize,
+    len: usize,
+    rng: &mut EctRng,
+) -> Vec<Stratum> {
+    assert!(
+        station.as_u32() < world.charging.num_stations(),
+        "station {station} outside world"
+    );
+    (0..len)
+        .map(|k| {
+            world
+                .charging
+                .sample_stratum(station, SlotIndex::new(start_slot + k), rng)
+        })
+        .collect()
+}
+
+/// Builds episode inputs for one hub over `[start_slot, start_slot + len)`.
+///
+/// # Errors
+///
+/// Returns [`ect_types::EctError::InsufficientData`] if the window runs past
+/// the world horizon, or shape errors if the discount schedule mismatches.
+pub fn episode_for_hub(
+    world: &WorldDataset,
+    hub: HubId,
+    start_slot: usize,
+    len: usize,
+    discounts: DiscountSchedule,
+    rng: &mut EctRng,
+) -> ect_types::Result<EpisodeInputs> {
+    if hub.index() >= world.hubs.len() {
+        return Err(ect_types::EctError::InvalidConfig(format!(
+            "hub {hub} outside world of {} hubs",
+            world.hubs.len()
+        )));
+    }
+    if start_slot + len > world.horizon() {
+        return Err(ect_types::EctError::InsufficientData(format!(
+            "episode [{start_slot}, {}) exceeds world horizon {}",
+            start_slot + len,
+            world.horizon()
+        )));
+    }
+    if discounts.len() != len {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "fleet discount schedule",
+            expected: len,
+            actual: discounts.len(),
+        });
+    }
+    let traces = &world.hubs[hub.index()];
+    let strata = draw_strata(world, StationId::new(hub.as_u32()), start_slot, len, rng);
+    let inputs = EpisodeInputs {
+        rtp: world.rtp[start_slot..start_slot + len].to_vec(),
+        weather: traces.weather[start_slot..start_slot + len].to_vec(),
+        traffic: traces.traffic[start_slot..start_slot + len].to_vec(),
+        discounts,
+        strata,
+    };
+    inputs.validate()?;
+    Ok(inputs)
+}
+
+/// Builds a ready [`HubEnv`] for one hub of the world, using the hub preset
+/// matching its siting.
+///
+/// # Errors
+///
+/// Propagates [`episode_for_hub`] and [`HubEnv::new`] failures.
+pub fn env_for_hub(
+    world: &WorldDataset,
+    hub: HubId,
+    start_slot: usize,
+    len: usize,
+    discounts: DiscountSchedule,
+    window: usize,
+    rng: &mut EctRng,
+) -> ect_types::Result<HubEnv> {
+    let inputs = episode_for_hub(world, hub, start_slot, len, discounts, rng)?;
+    let config = HubConfig::for_siting(world.hubs[hub.index()].siting);
+    HubEnv::new(config, inputs, window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::battery::BpAction;
+    use ect_data::dataset::WorldConfig;
+
+    fn world() -> WorldDataset {
+        WorldDataset::generate(WorldConfig {
+            num_hubs: 3,
+            horizon_slots: 24 * 10,
+            ..WorldConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn episode_slices_the_right_window() {
+        let w = world();
+        let mut rng = EctRng::seed_from(1);
+        let inputs =
+            episode_for_hub(&w, HubId::new(1), 24, 48, DiscountSchedule::none(48), &mut rng)
+                .unwrap();
+        assert_eq!(inputs.len(), 48);
+        assert_eq!(inputs.rtp[0], w.rtp[24]);
+        assert_eq!(inputs.weather[5], w.hubs[1].weather[29]);
+    }
+
+    #[test]
+    fn out_of_range_requests_fail() {
+        let w = world();
+        let mut rng = EctRng::seed_from(2);
+        assert!(episode_for_hub(&w, HubId::new(9), 0, 24, DiscountSchedule::none(24), &mut rng)
+            .is_err());
+        assert!(episode_for_hub(
+            &w,
+            HubId::new(0),
+            24 * 9,
+            48,
+            DiscountSchedule::none(48),
+            &mut rng
+        )
+        .is_err());
+        assert!(episode_for_hub(&w, HubId::new(0), 0, 24, DiscountSchedule::none(12), &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn env_runs_an_episode() {
+        let w = world();
+        let mut rng = EctRng::seed_from(3);
+        let mut env = env_for_hub(
+            &w,
+            HubId::new(2),
+            0,
+            24,
+            DiscountSchedule::none(24),
+            6,
+            &mut rng,
+        )
+        .unwrap();
+        let (profit, trail) = env.rollout(0.5, |_, _| BpAction::Idle);
+        assert_eq!(trail.len(), 24);
+        assert!(profit.is_finite());
+    }
+
+    #[test]
+    fn strata_draws_are_deterministic_per_seed() {
+        let w = world();
+        let mut r1 = EctRng::seed_from(4);
+        let mut r2 = EctRng::seed_from(4);
+        let a = draw_strata(&w, StationId::new(0), 0, 100, &mut r1);
+        let b = draw_strata(&w, StationId::new(0), 0, 100, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn siting_decides_env_config() {
+        let w = world(); // 3 hubs, urban_fraction 0.5 → 2 urban (rounded), 1 rural
+        let mut rng = EctRng::seed_from(5);
+        let env0 = env_for_hub(&w, HubId::new(0), 0, 24, DiscountSchedule::none(24), 4, &mut rng)
+            .unwrap();
+        let env2 = env_for_hub(&w, HubId::new(2), 0, 24, DiscountSchedule::none(24), 4, &mut rng)
+            .unwrap();
+        assert!(env0.config().plant.wt.is_none());
+        assert!(env2.config().plant.wt.is_some());
+    }
+}

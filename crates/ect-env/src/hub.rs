@@ -1,0 +1,149 @@
+//! The ECT-Hub configuration: base station + battery point + charging
+//! station + renewables + tariff.
+
+use crate::battery::BatteryPointConfig;
+use crate::power::{BaseStationModel, ChargingStationModel};
+use crate::tariff::SellingTariff;
+use ect_data::dataset::HubSiting;
+use ect_data::renewables::{PvArray, RenewablePlant, WindTurbine};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of one ECT-Hub (Fig. 6 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HubConfig {
+    /// Communication-load model (Eq. 1).
+    pub base_station: BaseStationModel,
+    /// EV charging equipment (Eq. 2).
+    pub charging_station: ChargingStationModel,
+    /// Battery point (Eqs. 3–6, 8).
+    pub battery: BatteryPointConfig,
+    /// Renewable plant (PV and/or WT; Eq. 7).
+    pub plant: RenewablePlant,
+    /// Selling tariff for EV charging (Eq. 11).
+    pub tariff: SellingTariff,
+    /// Estimated grid recovery time `T_r` after a blackout, hours (Eq. 6).
+    pub recovery_hours: usize,
+}
+
+impl HubConfig {
+    /// An urban hub: rooftop PV only, busier traffic, default battery.
+    pub fn urban() -> Self {
+        Self {
+            base_station: BaseStationModel::default(),
+            charging_station: ChargingStationModel::default(),
+            battery: BatteryPointConfig::default(),
+            plant: RenewablePlant::pv_only(PvArray {
+                rated_kw: 8.0,
+                derate: 0.85,
+            }),
+            tariff: SellingTariff::default(),
+            recovery_hours: 8,
+        }
+    }
+
+    /// A rural hub: larger PV plus a wind turbine.
+    pub fn rural() -> Self {
+        Self {
+            plant: RenewablePlant::pv_and_wt(
+                PvArray {
+                    rated_kw: 15.0,
+                    derate: 0.85,
+                },
+                WindTurbine {
+                    rated_kw: 20.0,
+                    cut_in: 3.0,
+                    rated_speed: 11.0,
+                    cut_out: 25.0,
+                },
+            ),
+            ..Self::urban()
+        }
+    }
+
+    /// Hub preset matching a dataset siting.
+    pub fn for_siting(siting: HubSiting) -> Self {
+        match siting {
+            HubSiting::Urban => Self::urban(),
+            HubSiting::Rural => Self::rural(),
+        }
+    }
+
+    /// A hub with no renewables and no schedulable surplus — the
+    /// "plain base station" ablation baseline.
+    pub fn bare() -> Self {
+        Self {
+            plant: RenewablePlant::none(),
+            ..Self::urban()
+        }
+    }
+
+    /// Validates the assembled configuration, including the blackout-reserve
+    /// bound (Eq. 6) linking battery and base station.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] when any component is
+    /// invalid or the reserve bound fails.
+    pub fn validate(&self) -> ect_types::Result<()> {
+        self.battery
+            .validate(self.base_station.max_power(), self.recovery_hours)?;
+        SellingTariff::new(self.tariff.base_price)?;
+        BaseStationModel::new(self.base_station.p_min_kw, self.base_station.p_max_kw)?;
+        ChargingStationModel::new(self.charging_station.rate_kw)?;
+        if let Some(pv) = &self.plant.pv {
+            PvArray::new(pv.rated_kw, pv.derate)?;
+        }
+        if let Some(wt) = &self.plant.wt {
+            WindTurbine::new(wt.rated_kw, wt.cut_in, wt.rated_speed, wt.cut_out)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        Self::urban()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        HubConfig::urban().validate().unwrap();
+        HubConfig::rural().validate().unwrap();
+        HubConfig::bare().validate().unwrap();
+        HubConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn siting_presets_differ_in_renewables() {
+        let urban = HubConfig::for_siting(HubSiting::Urban);
+        let rural = HubConfig::for_siting(HubSiting::Rural);
+        assert!(urban.plant.wt.is_none());
+        assert!(rural.plant.wt.is_some());
+        assert!(rural.plant.pv.as_ref().unwrap().rated_kw > urban.plant.pv.as_ref().unwrap().rated_kw);
+    }
+
+    #[test]
+    fn reserve_violation_is_caught_at_hub_level() {
+        let mut cfg = HubConfig::urban();
+        cfg.recovery_hours = 48; // needs 192 kWh of reserve; soc_min holds 45
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn component_errors_propagate() {
+        let mut cfg = HubConfig::urban();
+        cfg.charging_station.rate_kw = -1.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HubConfig::rural();
+        if let Some(wt) = cfg.plant.wt.as_mut() {
+            wt.cut_in = 50.0;
+        }
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! The ECT-Hub simulation environment.
+//!
+//! Implements the paper's system model (Section III) as a reinforcement-
+//! learning environment:
+//!
+//! * [`power`] — base-station (Eq. 1) and charging-station (Eq. 2) loads and
+//!   the grid balance (Eq. 7);
+//! * [`battery`] — battery-point dynamics with SoC bounds and the blackout
+//!   reserve (Eqs. 3–6) plus the per-slot operation cost (Eq. 8);
+//! * [`tariff`] — the selling price `SRTP(t)` and per-slot discount
+//!   schedules (Eq. 11);
+//! * [`hub`] — the assembled [`hub::HubConfig`] with urban/rural presets;
+//! * [`env`](mod@env) — [`env::HubEnv`], whose [`env::HubEnv::step`] advances one
+//!   hourly slot, returns the Eq. 12 profit as the reward and the Eq. 24
+//!   observation, and records a full [`env::SlotBreakdown`] audit trail;
+//! * [`fleet`] — slicing a generated [`ect_data::dataset::WorldDataset`]
+//!   into per-hub episodes;
+//! * [`blackout`] — grid-outage ride-through simulation, exercising the
+//!   Eq. 6 reserve the rest of the system merely guarantees.
+//!
+//! Invariants enforced (and property-tested): SoC stays within
+//! `[soc_min, soc_max]` under arbitrary action sequences; grid power is never
+//! negative (no feed-in, Section I); `soc_min` always covers the worst-case
+//! base-station draw for the configured recovery time.
+
+pub mod battery;
+pub mod blackout;
+pub mod env;
+pub mod fleet;
+pub mod hub;
+pub mod power;
+pub mod tariff;
+
+pub use battery::{BatteryPoint, BatteryPointConfig, BpAction, BpSlotResult};
+pub use blackout::{ride_through, worst_case_ride_through, BlackoutOutcome, BlackoutScenario};
+pub use env::{EpisodeInputs, HubEnv, SlotBreakdown, StepResult};
+pub use fleet::{draw_strata, env_for_hub, episode_for_hub};
+pub use hub::HubConfig;
+pub use power::{grid_power, BaseStationModel, ChargingStationModel};
+pub use tariff::{DiscountSchedule, SellingTariff};

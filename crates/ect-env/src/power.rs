@@ -1,0 +1,201 @@
+//! Power models of the communication and charging loads (Eqs. 1–2).
+
+use ect_types::units::{KiloWatt, LoadRate};
+use serde::{Deserialize, Serialize};
+
+/// Base-station power model (Eq. 1 of the paper):
+/// `P_BS(t) = P_min + α_t (P_max − P_min)`.
+///
+/// The BBU draws a constant floor; the AAU scales with the load rate, which
+/// is why the paper uses network traffic as the electricity-cost predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaseStationModel {
+    /// Idle power `P_min`, kW.
+    pub p_min_kw: f64,
+    /// Full-load power `P_max`, kW.
+    pub p_max_kw: f64,
+}
+
+impl Default for BaseStationModel {
+    /// A typical 5G site: 2 kW idle, 4 kW at full load (Section II-A).
+    fn default() -> Self {
+        Self {
+            p_min_kw: 2.0,
+            p_max_kw: 4.0,
+        }
+    }
+}
+
+impl BaseStationModel {
+    /// Creates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] unless
+    /// `0 < p_min <= p_max`.
+    pub fn new(p_min_kw: f64, p_max_kw: f64) -> ect_types::Result<Self> {
+        if !(p_min_kw > 0.0 && p_min_kw <= p_max_kw && p_max_kw.is_finite()) {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "base-station power needs 0 < idle {p_min_kw} <= full {p_max_kw}"
+            )));
+        }
+        Ok(Self { p_min_kw, p_max_kw })
+    }
+
+    /// Power draw at the given load rate (Eq. 1).
+    pub fn power(&self, load: LoadRate) -> KiloWatt {
+        KiloWatt::new(self.p_min_kw + load.as_f64() * (self.p_max_kw - self.p_min_kw))
+    }
+
+    /// Worst-case draw (full load), used for the blackout-reserve bound
+    /// (Eq. 6).
+    pub fn max_power(&self) -> KiloWatt {
+        KiloWatt::new(self.p_max_kw)
+    }
+}
+
+/// EV charging-station model (Eq. 2): `P_CS(t) = S_CS(t) · R_CS`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChargingStationModel {
+    /// Charging rate `R_CS` delivered while an EV is plugged in, kW.
+    pub rate_kw: f64,
+}
+
+impl Default for ChargingStationModel {
+    /// Two 60 kW DC fast-charging plugs (120 kW while an EV bay is busy),
+    /// which puts hub revenue on the scale of the paper's Fig. 13.
+    fn default() -> Self {
+        Self { rate_kw: 120.0 }
+    }
+}
+
+impl ChargingStationModel {
+    /// Creates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for a non-positive rate.
+    pub fn new(rate_kw: f64) -> ect_types::Result<Self> {
+        if !(rate_kw > 0.0 && rate_kw.is_finite()) {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "charging rate must be positive, got {rate_kw}"
+            )));
+        }
+        Ok(Self { rate_kw })
+    }
+
+    /// Power delivered this slot (Eq. 2).
+    pub fn power(&self, ev_present: bool) -> KiloWatt {
+        if ev_present {
+            KiloWatt::new(self.rate_kw)
+        } else {
+            KiloWatt::ZERO
+        }
+    }
+}
+
+/// Grid power balance (Eq. 7):
+/// `P_grid = max{0, P_BS + P_CS + P_BP − P_WT − P_PV}`.
+///
+/// `p_bp` is signed: positive while the battery charges (it is a consumer),
+/// negative while it discharges (a provider). Surplus renewable/battery power
+/// beyond the loads is curtailed — the paper rules out feeding back to the
+/// grid (Section I).
+pub fn grid_power(
+    p_bs: KiloWatt,
+    p_cs: KiloWatt,
+    p_bp: KiloWatt,
+    p_wt: KiloWatt,
+    p_pv: KiloWatt,
+) -> KiloWatt {
+    (p_bs + p_cs + p_bp - p_wt - p_pv).max(KiloWatt::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bs_power_is_linear_in_load() {
+        let bs = BaseStationModel::default();
+        assert_eq!(bs.power(LoadRate::IDLE), KiloWatt::new(2.0));
+        assert_eq!(bs.power(LoadRate::FULL), KiloWatt::new(4.0));
+        let half = bs.power(LoadRate::new(0.5).unwrap());
+        assert!((half.as_f64() - 3.0).abs() < 1e-12);
+        assert_eq!(bs.max_power(), KiloWatt::new(4.0));
+    }
+
+    #[test]
+    fn bs_validation() {
+        assert!(BaseStationModel::new(0.0, 4.0).is_err());
+        assert!(BaseStationModel::new(5.0, 4.0).is_err());
+        assert!(BaseStationModel::new(2.0, f64::INFINITY).is_err());
+        assert!(BaseStationModel::new(2.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn cs_power_follows_state() {
+        let cs = ChargingStationModel::default();
+        assert_eq!(cs.power(false), KiloWatt::ZERO);
+        assert_eq!(cs.power(true), KiloWatt::new(120.0));
+    }
+
+    #[test]
+    fn cs_validation() {
+        assert!(ChargingStationModel::new(0.0).is_err());
+        assert!(ChargingStationModel::new(-5.0).is_err());
+        assert!(ChargingStationModel::new(30.0).is_ok());
+    }
+
+    #[test]
+    fn grid_power_balances_and_floors_at_zero() {
+        // Loads exceed generation: grid supplies the gap.
+        let g = grid_power(
+            KiloWatt::new(3.0),
+            KiloWatt::new(60.0),
+            KiloWatt::new(25.0),
+            KiloWatt::new(10.0),
+            KiloWatt::new(8.0),
+        );
+        assert!((g.as_f64() - 70.0).abs() < 1e-12);
+        // Generation exceeds loads: no export, curtailed to zero.
+        let g = grid_power(
+            KiloWatt::new(3.0),
+            KiloWatt::ZERO,
+            KiloWatt::new(-20.0), // battery discharging
+            KiloWatt::new(30.0),
+            KiloWatt::new(10.0),
+        );
+        assert_eq!(g, KiloWatt::ZERO);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn grid_power_never_negative(
+            bs in 0.0f64..10.0,
+            cs in 0.0f64..100.0,
+            bp in -50.0f64..50.0,
+            wt in 0.0f64..50.0,
+            pv in 0.0f64..50.0,
+        ) {
+            let g = grid_power(
+                KiloWatt::new(bs),
+                KiloWatt::new(cs),
+                KiloWatt::new(bp),
+                KiloWatt::new(wt),
+                KiloWatt::new(pv),
+            );
+            prop_assert!(g.as_f64() >= 0.0);
+        }
+
+        #[test]
+        fn bs_power_within_bounds(load in 0.0f64..1.0) {
+            let bs = BaseStationModel::default();
+            let p = bs.power(LoadRate::new(load).unwrap()).as_f64();
+            prop_assert!(p >= 2.0 && p <= 4.0);
+        }
+    }
+}

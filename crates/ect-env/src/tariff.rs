@@ -1,0 +1,167 @@
+//! Charging-price tariff: the selling price `SRTP(t)` and discounts.
+//!
+//! The operator sets a base selling price per kWh; the pricing engine
+//! (ECT-Price or a baseline) decides per-slot discount levels. `SRTP(t)` is
+//! the discounted price actually charged to EVs (Eq. 11).
+
+use ect_types::units::DollarsPerKwh;
+use serde::{Deserialize, Serialize};
+
+/// The hub's selling tariff.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SellingTariff {
+    /// Undiscounted selling price, $/kWh.
+    pub base_price: DollarsPerKwh,
+}
+
+impl Default for SellingTariff {
+    /// A DC fast-charging price of 0.50 $/kWh.
+    fn default() -> Self {
+        Self {
+            base_price: DollarsPerKwh::new(0.50),
+        }
+    }
+}
+
+impl SellingTariff {
+    /// Creates a tariff.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for a non-positive
+    /// price.
+    pub fn new(base_price: DollarsPerKwh) -> ect_types::Result<Self> {
+        if base_price.as_f64() <= 0.0 || !base_price.is_finite() {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "selling price must be positive, got {base_price}"
+            )));
+        }
+        Ok(Self { base_price })
+    }
+
+    /// `SRTP(t)` under a discount level `c ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the discount is outside `[0, 1)`.
+    pub fn price_with_discount(&self, discount: f64) -> DollarsPerKwh {
+        assert!(
+            (0.0..1.0).contains(&discount),
+            "discount {discount} outside [0, 1)"
+        );
+        self.base_price * (1.0 - discount)
+    }
+}
+
+/// Per-slot discount schedule produced by a pricing engine.
+///
+/// `0.0` means full price; `c > 0` means the price is reduced by the
+/// fraction `c` in that slot.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DiscountSchedule(Vec<f64>);
+
+impl DiscountSchedule {
+    /// A schedule with no discounts over `slots` slots.
+    pub fn none(slots: usize) -> Self {
+        Self(vec![0.0; slots])
+    }
+
+    /// A schedule from explicit levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::OutOfRange`] if any level is outside
+    /// `[0, 1)`.
+    pub fn from_levels(levels: Vec<f64>) -> ect_types::Result<Self> {
+        for &c in &levels {
+            if !(0.0..1.0).contains(&c) {
+                return Err(ect_types::EctError::OutOfRange {
+                    what: "discount level",
+                    value: c,
+                    lo: 0.0,
+                    hi: 1.0,
+                });
+            }
+        }
+        Ok(Self(levels))
+    }
+
+    /// Number of slots covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when the schedule covers no slots.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Discount level at slot `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn level(&self, t: usize) -> f64 {
+        self.0[t]
+    }
+
+    /// `true` if slot `t` is discounted at all.
+    pub fn is_discounted(&self, t: usize) -> bool {
+        self.level(t) > 0.0
+    }
+
+    /// Levels as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Number of discounted slots.
+    pub fn discounted_count(&self) -> usize {
+        self.0.iter().filter(|&&c| c > 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discount_scales_price() {
+        let t = SellingTariff::default();
+        assert_eq!(t.price_with_discount(0.0), DollarsPerKwh::new(0.50));
+        let p = t.price_with_discount(0.2);
+        assert!((p.as_f64() - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn full_discount_is_rejected() {
+        let _ = SellingTariff::default().price_with_discount(1.0);
+    }
+
+    #[test]
+    fn tariff_validation() {
+        assert!(SellingTariff::new(DollarsPerKwh::new(0.0)).is_err());
+        assert!(SellingTariff::new(DollarsPerKwh::new(-0.2)).is_err());
+        assert!(SellingTariff::new(DollarsPerKwh::new(0.3)).is_ok());
+    }
+
+    #[test]
+    fn schedule_construction_and_queries() {
+        let s = DiscountSchedule::from_levels(vec![0.0, 0.2, 0.0, 0.5]).unwrap();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_discounted(0));
+        assert!(s.is_discounted(1));
+        assert_eq!(s.level(3), 0.5);
+        assert_eq!(s.discounted_count(), 2);
+        let none = DiscountSchedule::none(3);
+        assert_eq!(none.discounted_count(), 0);
+        assert!(!none.is_empty());
+    }
+
+    #[test]
+    fn schedule_rejects_bad_levels() {
+        assert!(DiscountSchedule::from_levels(vec![1.0]).is_err());
+        assert!(DiscountSchedule::from_levels(vec![-0.1]).is_err());
+    }
+}

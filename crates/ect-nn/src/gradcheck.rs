@@ -1,0 +1,147 @@
+//! Finite-difference gradient verification.
+//!
+//! Every analytic backward pass in this workspace is checked against central
+//! finite differences. This module provides the generic checker used by unit
+//! tests in `ect-nn`, `ect-price` and `ect-drl`.
+
+use crate::matrix::Matrix;
+use crate::param::Parameterized;
+
+/// Verifies accumulated gradients against central finite differences.
+///
+/// The model must already hold the analytic gradients of `loss` in its
+/// parameters (i.e. run `forward` + `backward` first, without zeroing). The
+/// `loss` closure must recompute the *same* scalar loss from scratch using
+/// inference-only paths (no caching side effects).
+///
+/// Returns the maximum absolute error over all parameter entries.
+pub fn finite_difference<M, F>(model: &mut M, loss: F, eps: f64) -> f64
+where
+    M: Parameterized,
+    F: Fn(&mut M) -> f64,
+{
+    // Snapshot analytic gradients first: we must restore them untouched.
+    let mut analytic: Vec<Matrix> = Vec::new();
+    model.for_each_param(&mut |p| analytic.push(p.grad.clone()));
+
+    let mut max_err: f64 = 0.0;
+
+    // We cannot hold two mutable borrows, so perturb by index bookkeeping:
+    // walk parameters one at a time using an outer index.
+    let n_params = {
+        let mut n = 0;
+        model.for_each_param(&mut |_| n += 1);
+        n
+    };
+
+    for pi in 0..n_params {
+        let n_entries = entry_count(model, pi);
+        for ei in 0..n_entries {
+            let original = read_entry(model, pi, ei);
+
+            write_entry(model, pi, ei, original + eps);
+            let up = loss(model);
+            write_entry(model, pi, ei, original - eps);
+            let down = loss(model);
+            write_entry(model, pi, ei, original);
+
+            let numeric = (up - down) / (2.0 * eps);
+            let a = analytic[pi].as_slice()[ei];
+            max_err = max_err.max((numeric - a).abs());
+        }
+    }
+
+    // Restore analytic gradients (loss() evaluations may have clobbered them
+    // if the closure runs training-mode passes).
+    let mut it = analytic.into_iter();
+    model.for_each_param(&mut |p| {
+        p.grad = it.next().expect("gradient snapshot length");
+    });
+
+    max_err
+}
+
+fn entry_count<M: Parameterized>(model: &mut M, param_index: usize) -> usize {
+    let mut count = 0;
+    let mut i = 0;
+    model.for_each_param(&mut |p| {
+        if i == param_index {
+            count = p.len();
+        }
+        i += 1;
+    });
+    count
+}
+
+fn read_entry<M: Parameterized>(model: &mut M, param_index: usize, entry: usize) -> f64 {
+    let mut value = 0.0;
+    let mut i = 0;
+    model.for_each_param(&mut |p| {
+        if i == param_index {
+            value = p.value.as_slice()[entry];
+        }
+        i += 1;
+    });
+    value
+}
+
+fn write_entry<M: Parameterized>(model: &mut M, param_index: usize, entry: usize, value: f64) {
+    let mut i = 0;
+    model.for_each_param(&mut |p| {
+        if i == param_index {
+            p.value.as_mut_slice()[entry] = value;
+        }
+        i += 1;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    /// y = sum(w .* w) has gradient 2w.
+    struct Quadratic {
+        w: Param,
+    }
+
+    impl Parameterized for Quadratic {
+        fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.w);
+        }
+    }
+
+    #[test]
+    fn detects_correct_gradient() {
+        let mut q = Quadratic {
+            w: Param::new(Matrix::from_rows(&[&[1.0, -2.0, 3.0]])),
+        };
+        // Analytic gradient of sum(w²) is 2w.
+        q.w.grad = q.w.value.map(|v| 2.0 * v);
+        let err = finite_difference(&mut q, |m| m.w.value.as_slice().iter().map(|v| v * v).sum(), 1e-6);
+        assert!(err < 1e-6, "err {err}");
+    }
+
+    #[test]
+    fn detects_wrong_gradient() {
+        let mut q = Quadratic {
+            w: Param::new(Matrix::from_rows(&[&[1.0, -2.0, 3.0]])),
+        };
+        q.w.grad = q.w.value.map(|v| 3.0 * v); // deliberately wrong
+        let err = finite_difference(&mut q, |m| m.w.value.as_slice().iter().map(|v| v * v).sum(), 1e-6);
+        assert!(err > 0.5, "err {err} should flag the bug");
+    }
+
+    #[test]
+    fn restores_values_and_grads() {
+        let mut q = Quadratic {
+            w: Param::new(Matrix::from_rows(&[&[1.0, -2.0, 3.0]])),
+        };
+        q.w.grad = q.w.value.map(|v| 2.0 * v);
+        let value_before = q.w.value.clone();
+        let grad_before = q.w.grad.clone();
+        let _ = finite_difference(&mut q, |m| m.w.value.as_slice().iter().map(|v| v * v).sum(), 1e-6);
+        assert_eq!(q.w.value, value_before);
+        assert_eq!(q.w.grad, grad_before);
+    }
+}

@@ -1,0 +1,254 @@
+//! Sequential multi-layer perceptron.
+
+use crate::layers::{Activation, ActivationKind, Linear};
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+use ect_types::rng::EctRng;
+use serde::{Deserialize, Serialize};
+
+/// One stage of a [`Mlp`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Stage {
+    Linear(Linear),
+    Activation(Activation),
+}
+
+/// A feed-forward network built from [`Linear`] and [`Activation`] stages.
+///
+/// # Example
+///
+/// ```
+/// use ect_nn::mlp::Mlp;
+/// use ect_nn::layers::ActivationKind;
+/// use ect_nn::matrix::Matrix;
+/// use ect_types::rng::EctRng;
+///
+/// let mut rng = EctRng::seed_from(0);
+/// let mut net = Mlp::new(&[4, 16, 2], ActivationKind::Relu, &mut rng);
+/// let x = Matrix::zeros(3, 4);
+/// let y = net.forward(&x);
+/// assert_eq!(y.shape(), (3, 2));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    stages: Vec<Stage>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths and hidden activation; the
+    /// output layer is linear (no activation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(widths: &[usize], hidden: ActivationKind, rng: &mut EctRng) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let mut stages = Vec::new();
+        for i in 0..widths.len() - 1 {
+            let layer = if hidden == ActivationKind::Relu {
+                Linear::kaiming(widths[i], widths[i + 1], rng)
+            } else {
+                Linear::new(widths[i], widths[i + 1], rng)
+            };
+            stages.push(Stage::Linear(layer));
+            if i + 2 < widths.len() {
+                stages.push(Stage::Activation(Activation::new(hidden)));
+            }
+        }
+        Self {
+            stages,
+            in_dim: widths[0],
+            out_dim: *widths.last().expect("non-empty widths"),
+        }
+    }
+
+    /// Appends a final activation (e.g. sigmoid for probability outputs).
+    pub fn with_output_activation(mut self, kind: ActivationKind) -> Self {
+        self.stages.push(Stage::Activation(Activation::new(kind)));
+        self
+    }
+
+    /// Overrides one bias entry of the final linear stage (output-prior
+    /// initialisation, e.g. biasing a softmax head toward one class).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no linear stage or `output` is out of
+    /// range.
+    pub fn set_output_bias(&mut self, output: usize, value: f64) {
+        let last_linear = self
+            .stages
+            .iter_mut()
+            .rev()
+            .find_map(|s| match s {
+                Stage::Linear(l) => Some(l),
+                Stage::Activation(_) => None,
+            })
+            .expect("MLP without a linear stage");
+        last_linear.set_bias(output, value);
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Training-mode forward pass (caches intermediates for backward).
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for stage in &mut self.stages {
+            x = match stage {
+                Stage::Linear(l) => l.forward(&x),
+                Stage::Activation(a) => a.forward(&x),
+            };
+        }
+        x
+    }
+
+    /// Inference-mode forward pass (no caches touched).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for stage in &self.stages {
+            x = match stage {
+                Stage::Linear(l) => l.infer(&x),
+                Stage::Activation(a) => a.infer(&x),
+            };
+        }
+        x
+    }
+
+    /// Backward pass; returns `dL/dinput`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Mlp::forward`].
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for stage in self.stages.iter_mut().rev() {
+            g = match stage {
+                Stage::Linear(l) => l.backward(&g),
+                Stage::Activation(a) => a.backward(&g),
+            };
+        }
+        g
+    }
+}
+
+impl Parameterized for Mlp {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for stage in &mut self.stages {
+            if let Stage::Linear(l) = stage {
+                l.for_each_param(f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::finite_difference;
+    use crate::loss::mse;
+    use crate::optim::{Adam, AdamConfig};
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut rng = EctRng::seed_from(5);
+        let mut net = Mlp::new(&[3, 8, 8, 2], ActivationKind::Tanh, &mut rng);
+        assert_eq!(net.in_dim(), 3);
+        assert_eq!(net.out_dim(), 2);
+        let y = net.forward(&Matrix::zeros(7, 3));
+        assert_eq!(y.shape(), (7, 2));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = EctRng::seed_from(6);
+        let mut net = Mlp::new(&[2, 4, 1], ActivationKind::Sigmoid, &mut rng);
+        let x = Matrix::from_rows(&[&[0.5, -0.5], &[1.0, 2.0]]);
+        assert_eq!(net.forward(&x), net.infer(&x));
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = EctRng::seed_from(7);
+        let mut net = Mlp::new(&[3, 5, 2], ActivationKind::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.1, -0.4, 0.9], &[1.2, 0.0, -0.6]]);
+        let target = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+
+        let pred = net.forward(&x);
+        let (_, grad) = mse(&pred, &target);
+        net.backward(&grad);
+
+        let err = finite_difference(
+            &mut net,
+            |m| mse(&m.infer(&x), &target).0,
+            1e-6,
+        );
+        assert!(err < 1e-5, "max grad error {err}");
+    }
+
+    #[test]
+    fn gradients_with_output_activation_match_finite_difference() {
+        let mut rng = EctRng::seed_from(8);
+        let mut net = Mlp::new(&[2, 6, 1], ActivationKind::Relu, &mut rng)
+            .with_output_activation(ActivationKind::Sigmoid);
+        let x = Matrix::from_rows(&[&[0.4, -1.0], &[0.2, 0.7], &[-0.9, 0.1]]);
+        let target = Matrix::from_rows(&[&[1.0], &[0.0], &[1.0]]);
+
+        let pred = net.forward(&x);
+        let (_, grad) = mse(&pred, &target);
+        net.backward(&grad);
+
+        let err = finite_difference(&mut net, |m| mse(&m.infer(&x), &target).0, 1e-6);
+        assert!(err < 1e-5, "max grad error {err}");
+    }
+
+    #[test]
+    fn can_fit_xor() {
+        let mut rng = EctRng::seed_from(9);
+        let mut net = Mlp::new(&[2, 8, 1], ActivationKind::Tanh, &mut rng)
+            .with_output_activation(ActivationKind::Sigmoid);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        let mut opt = Adam::new(AdamConfig {
+            learning_rate: 0.05,
+            weight_decay: 0.0,
+            ..AdamConfig::default()
+        });
+        let mut final_loss = f64::MAX;
+        for _ in 0..800 {
+            let pred = net.forward(&x);
+            let (loss, grad) = mse(&pred, &y);
+            final_loss = loss;
+            net.backward(&grad);
+            opt.step(&mut net);
+        }
+        assert!(final_loss < 0.01, "xor loss {final_loss}");
+        let pred = net.infer(&x);
+        assert!(pred[(0, 0)] < 0.2 && pred[(3, 0)] < 0.2);
+        assert!(pred[(1, 0)] > 0.8 && pred[(2, 0)] > 0.8);
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let mut rng = EctRng::seed_from(10);
+        let mut net = Mlp::new(&[3, 5, 2], ActivationKind::Relu, &mut rng);
+        // (3*5 + 5) + (5*2 + 2) = 20 + 12
+        assert_eq!(net.param_count(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_single_width() {
+        let mut rng = EctRng::seed_from(11);
+        let _ = Mlp::new(&[3], ActivationKind::Relu, &mut rng);
+    }
+}

@@ -1,0 +1,286 @@
+//! Neural Collaborative Filtering (He et al., WWW 2017).
+//!
+//! The paper uses NCF twice: to pre-label charging history into
+//! *Always Charge* / *Incentive Charge* strata (via predicted ratings), and as
+//! the base model of the OR/IPS/DR uplift baselines and the two ECT-Price
+//! tasks. This is the standard two-path architecture: a GMF path
+//! (element-wise product of embeddings) and an MLP path (concatenated
+//! embeddings through a feed-forward tower), fused by a linear head with a
+//! sigmoid output.
+//!
+//! Here "users" are charging stations and "items" are time-slot feature ids
+//! (e.g. hour-of-week buckets).
+
+use crate::layers::{Activation, ActivationKind, Embedding, Linear};
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+use crate::param::{Param, Parameterized};
+use ect_types::rng::EctRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`Ncf`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NcfConfig {
+    /// Number of distinct "users" (charging stations).
+    pub num_users: usize,
+    /// Number of distinct "items" (time-slot buckets).
+    pub num_items: usize,
+    /// Embedding width shared by both paths.
+    pub embed_dim: usize,
+    /// Hidden widths of the MLP tower (input is `2 × embed_dim`).
+    pub mlp_hidden: Vec<usize>,
+}
+
+impl NcfConfig {
+    /// A small default suitable for the 12-station campus dataset.
+    pub fn small(num_users: usize, num_items: usize) -> Self {
+        Self {
+            num_users,
+            num_items,
+            embed_dim: 8,
+            mlp_hidden: vec![16, 8],
+        }
+    }
+}
+
+/// The NCF rating model: `rating = σ(W [gmf ; mlp] + b)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ncf {
+    gmf_user: Embedding,
+    gmf_item: Embedding,
+    mlp_user: Embedding,
+    mlp_item: Embedding,
+    tower: Mlp,
+    head: Linear,
+    out_act: Activation,
+    embed_dim: usize,
+    tower_out: usize,
+    #[serde(skip)]
+    cache: Option<GmfCache>,
+}
+
+#[derive(Debug, Clone)]
+struct GmfCache {
+    gmf_user_vecs: Matrix,
+    gmf_item_vecs: Matrix,
+}
+
+impl Ncf {
+    /// Creates a model with fresh random parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension in the config is zero.
+    pub fn new(config: &NcfConfig, rng: &mut EctRng) -> Self {
+        assert!(config.num_users > 0, "num_users must be positive");
+        assert!(config.num_items > 0, "num_items must be positive");
+        assert!(config.embed_dim > 0, "embed_dim must be positive");
+        let d = config.embed_dim;
+        let mut tower_widths = vec![2 * d];
+        tower_widths.extend_from_slice(&config.mlp_hidden);
+        let tower_out = *tower_widths.last().expect("tower widths");
+        Self {
+            gmf_user: Embedding::new(config.num_users, d, rng),
+            gmf_item: Embedding::new(config.num_items, d, rng),
+            mlp_user: Embedding::new(config.num_users, d, rng),
+            mlp_item: Embedding::new(config.num_items, d, rng),
+            tower: Mlp::new(&tower_widths, ActivationKind::Relu, rng),
+            head: Linear::new(d + tower_out, 1, rng),
+            out_act: Activation::new(ActivationKind::Sigmoid),
+            embed_dim: d,
+            tower_out,
+            cache: None,
+        }
+    }
+
+    /// Training-mode forward pass; returns `batch × 1` ratings in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` and `items` lengths differ or ids are out of range.
+    pub fn forward(&mut self, users: &[usize], items: &[usize]) -> Matrix {
+        assert_eq!(users.len(), items.len(), "ncf batch mismatch");
+        let gu = self.gmf_user.forward(users);
+        let gi = self.gmf_item.forward(items);
+        let gmf = gu.hadamard(&gi);
+        let mu = self.mlp_user.forward(users);
+        let mi = self.mlp_item.forward(items);
+        let tower_out = self.tower.forward(&Matrix::hconcat(&[&mu, &mi]));
+        let fused = Matrix::hconcat(&[&gmf, &tower_out]);
+        let logits = self.head.forward(&fused);
+        let out = self.out_act.forward(&logits);
+        self.cache = Some(GmfCache {
+            gmf_user_vecs: gu,
+            gmf_item_vecs: gi,
+        });
+        out
+    }
+
+    /// Inference-mode forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` and `items` lengths differ or ids are out of range.
+    pub fn infer(&self, users: &[usize], items: &[usize]) -> Matrix {
+        assert_eq!(users.len(), items.len(), "ncf batch mismatch");
+        let gu = self.gmf_user.infer(users);
+        let gi = self.gmf_item.infer(items);
+        let gmf = gu.hadamard(&gi);
+        let mu = self.mlp_user.infer(users);
+        let mi = self.mlp_item.infer(items);
+        let tower_out = self.tower.infer(&Matrix::hconcat(&[&mu, &mi]));
+        let fused = Matrix::hconcat(&[&gmf, &tower_out]);
+        self.out_act.infer(&self.head.infer(&fused))
+    }
+
+    /// Convenience scalar prediction for a single (user, item) pair.
+    pub fn predict_one(&self, user: usize, item: usize) -> f64 {
+        self.infer(&[user], &[item])[(0, 0)]
+    }
+
+    /// Backward pass from `dL/drating`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Ncf::forward`].
+    pub fn backward(&mut self, grad_out: &Matrix) {
+        let cache = self.cache.take().expect("Ncf::backward before forward");
+        let grad_logits = self.out_act.backward(grad_out);
+        let grad_fused = self.head.backward(&grad_logits);
+        let parts = grad_fused.hsplit(&[self.embed_dim, self.tower_out]);
+        let (grad_gmf, grad_tower) = (&parts[0], &parts[1]);
+
+        // GMF path: gmf = gu ⊙ gi.
+        self.gmf_user.backward(&grad_gmf.hadamard(&cache.gmf_item_vecs));
+        self.gmf_item.backward(&grad_gmf.hadamard(&cache.gmf_user_vecs));
+
+        // MLP path.
+        let grad_concat = self.tower.backward(grad_tower);
+        let emb_parts = grad_concat.hsplit(&[self.embed_dim, self.embed_dim]);
+        self.mlp_user.backward(&emb_parts[0]);
+        self.mlp_item.backward(&emb_parts[1]);
+    }
+}
+
+impl Parameterized for Ncf {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.gmf_user.for_each_param(f);
+        self.gmf_item.for_each_param(f);
+        self.mlp_user.for_each_param(f);
+        self.mlp_item.for_each_param(f);
+        self.tower.for_each_param(f);
+        self.head.for_each_param(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::finite_difference;
+    use crate::loss::mse;
+    use crate::optim::{Adam, AdamConfig};
+
+    fn tiny() -> (Ncf, EctRng) {
+        let mut rng = EctRng::seed_from(21);
+        let model = Ncf::new(
+            &NcfConfig {
+                num_users: 4,
+                num_items: 6,
+                embed_dim: 3,
+                mlp_hidden: vec![5, 4],
+            },
+            &mut rng,
+        );
+        (model, rng)
+    }
+
+    #[test]
+    fn outputs_are_probabilities() {
+        let (mut m, _) = tiny();
+        let y = m.forward(&[0, 1, 2], &[0, 3, 5]);
+        assert_eq!(y.shape(), (3, 1));
+        assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let (mut m, _) = tiny();
+        let users = [0, 3, 1];
+        let items = [2, 4, 0];
+        let a = m.forward(&users, &items);
+        let b = m.infer(&users, &items);
+        assert!(a.sub(&b).max_abs() < 1e-12);
+        assert!((m.predict_one(0, 2) - a[(0, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let (mut m, _) = tiny();
+        let users = [0, 1, 2, 3];
+        let items = [5, 0, 3, 1];
+        let target = Matrix::from_rows(&[&[1.0], &[0.0], &[1.0], &[0.0]]);
+
+        let pred = m.forward(&users, &items);
+        let (_, grad) = mse(&pred, &target);
+        m.backward(&grad);
+
+        let err = finite_difference(
+            &mut m,
+            |model| mse(&model.infer(&users, &items), &target).0,
+            1e-6,
+        );
+        assert!(err < 1e-5, "max grad error {err}");
+    }
+
+    #[test]
+    fn learns_a_preference_table() {
+        // Users 0,1 like even items; users 2,3 like odd items.
+        let (mut m, _) = tiny();
+        let mut users = Vec::new();
+        let mut items = Vec::new();
+        let mut targets = Vec::new();
+        for u in 0..4 {
+            for i in 0..6 {
+                users.push(u);
+                items.push(i);
+                let like = (u < 2) == (i % 2 == 0);
+                targets.push(if like { 1.0 } else { 0.0 });
+            }
+        }
+        let target = Matrix::from_vec(targets.len(), 1, targets.clone());
+        let mut opt = Adam::new(AdamConfig {
+            learning_rate: 0.05,
+            weight_decay: 0.0,
+            ..AdamConfig::default()
+        });
+        let mut loss_final = f64::MAX;
+        for _ in 0..400 {
+            let pred = m.forward(&users, &items);
+            let (loss, grad) = mse(&pred, &target);
+            loss_final = loss;
+            m.backward(&grad);
+            opt.step(&mut m);
+        }
+        assert!(loss_final < 0.02, "ncf training loss {loss_final}");
+        assert!(m.predict_one(0, 0) > 0.8);
+        assert!(m.predict_one(0, 1) < 0.2);
+        assert!(m.predict_one(3, 1) > 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch mismatch")]
+    fn rejects_mismatched_batches() {
+        let (mut m, _) = tiny();
+        let _ = m.forward(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = EctRng::seed_from(77);
+        let mut r2 = EctRng::seed_from(77);
+        let cfg = NcfConfig::small(3, 5);
+        let a = Ncf::new(&cfg, &mut r1);
+        let b = Ncf::new(&cfg, &mut r2);
+        assert!((a.predict_one(1, 2) - b.predict_one(1, 2)).abs() < 1e-15);
+    }
+}

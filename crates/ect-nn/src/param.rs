@@ -1,0 +1,202 @@
+//! Trainable parameters and initialisation.
+
+use crate::matrix::Matrix;
+use ect_types::rng::EctRng;
+use serde::{Deserialize, Serialize};
+
+/// A trainable tensor: value plus accumulated gradient.
+///
+/// Layers accumulate into [`Param::grad`] during their backward pass;
+/// optimizers consume and reset it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient of the loss w.r.t. [`Param::value`].
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Creates a parameter from an initial value with zeroed gradient.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Self { value, grad }
+    }
+
+    /// Xavier/Glorot-uniform initialised parameter, the standard choice for
+    /// tanh/sigmoid networks.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut EctRng) -> Self {
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        let mut value = Matrix::zeros(rows, cols);
+        for v in value.as_mut_slice() {
+            *v = rng.uniform_in(-bound, bound);
+        }
+        Self::new(value)
+    }
+
+    /// He/Kaiming-normal initialised parameter, the standard choice for ReLU
+    /// networks.
+    pub fn kaiming(rows: usize, cols: usize, rng: &mut EctRng) -> Self {
+        let std = (2.0 / rows as f64).sqrt();
+        let mut value = Matrix::zeros(rows, cols);
+        for v in value.as_mut_slice() {
+            *v = rng.normal(0.0, std);
+        }
+        Self::new(value)
+    }
+
+    /// Zero-initialised parameter (biases).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::new(Matrix::zeros(rows, cols))
+    }
+
+    /// Small-normal initialised parameter (embedding tables).
+    pub fn small_normal(rows: usize, cols: usize, std: f64, rng: &mut EctRng) -> Self {
+        let mut value = Matrix::zeros(rows, cols);
+        for v in value.as_mut_slice() {
+            *v = rng.normal(0.0, std);
+        }
+        Self::new(value)
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` when the parameter holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// Anything that exposes trainable parameters to an optimizer.
+///
+/// Visit order must be stable across calls — optimizers key their per-
+/// parameter state (Adam moments) on it.
+pub trait Parameterized {
+    /// Calls `f` once per parameter, in a stable order.
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Clears all gradients.
+    fn zero_grad(&mut self) {
+        self.for_each_param(&mut |p| p.zero_grad());
+    }
+
+    /// Total scalar parameter count.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.for_each_param(&mut |p| n += p.len());
+        n
+    }
+
+    /// `true` if any parameter or gradient is NaN/∞ (divergence detector).
+    fn any_non_finite(&mut self) -> bool {
+        let mut bad = false;
+        self.for_each_param(&mut |p| {
+            if !p.value.all_finite() || !p.grad.all_finite() {
+                bad = true;
+            }
+        });
+        bad
+    }
+
+    /// Global L2 norm of all gradients (for clipping / diagnostics).
+    fn grad_norm(&mut self) -> f64 {
+        let mut acc = 0.0;
+        self.for_each_param(&mut |p| {
+            acc += p.grad.as_slice().iter().map(|g| g * g).sum::<f64>();
+        });
+        acc.sqrt()
+    }
+
+    /// Scales all gradients so their global L2 norm is at most `max_norm`.
+    fn clip_grad_norm(&mut self, max_norm: f64) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            self.for_each_param(&mut |p| p.grad.scale(scale));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Two {
+        a: Param,
+        b: Param,
+    }
+
+    impl Parameterized for Two {
+        fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.a);
+            f(&mut self.b);
+        }
+    }
+
+    fn two() -> Two {
+        Two {
+            a: Param::new(Matrix::filled(2, 2, 1.0)),
+            b: Param::new(Matrix::filled(1, 3, 2.0)),
+        }
+    }
+
+    #[test]
+    fn param_count_sums_elements() {
+        assert_eq!(two().param_count(), 7);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut t = two();
+        t.a.grad = Matrix::filled(2, 2, 5.0);
+        t.zero_grad();
+        assert_eq!(t.a.grad, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn grad_norm_and_clipping() {
+        let mut t = two();
+        t.a.grad = Matrix::filled(2, 2, 3.0); // contributes 4*9=36
+        t.b.grad = Matrix::filled(1, 3, 4.0); // contributes 3*16=48
+        let norm = t.grad_norm();
+        assert!((norm - (84.0f64).sqrt()).abs() < 1e-12);
+        t.clip_grad_norm(1.0);
+        assert!((t.grad_norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_leaves_small_grads_alone() {
+        let mut t = two();
+        t.a.grad = Matrix::filled(2, 2, 0.1);
+        let before = t.grad_norm();
+        t.clip_grad_norm(10.0);
+        assert_eq!(t.grad_norm(), before);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = two();
+        assert!(!t.any_non_finite());
+        t.b.value[(0, 0)] = f64::INFINITY;
+        assert!(t.any_non_finite());
+    }
+
+    #[test]
+    fn initializers_have_sane_scale() {
+        let mut rng = ect_types::rng::EctRng::seed_from(1);
+        let p = Param::xavier(64, 64, &mut rng);
+        assert!(p.value.max_abs() <= (6.0f64 / 128.0).sqrt() + 1e-12);
+        let k = Param::kaiming(64, 64, &mut rng);
+        assert!(k.value.max_abs() < 1.0);
+        let z = Param::zeros(3, 3);
+        assert_eq!(z.value.max_abs(), 0.0);
+    }
+}

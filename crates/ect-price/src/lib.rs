@@ -1,0 +1,42 @@
+//! ECT-Price: causal-inference charging-price discounting (Section IV-A).
+//!
+//! The operator wants to discount charging only where a discount *causes*
+//! charging. Traditional uplift models estimate the average treatment effect
+//! but cannot single out the "Always Buyer" — slots whose EVs charge with or
+//! without a discount, where discounting is pure loss. ECT-Price adapts the
+//! CF-MTL counterfactual multi-task approach: a stratification head predicts
+//! `P(No Charge)`, `P(Incentive Charge)`, `P(Always Charge)` jointly with a
+//! propensity head, trained with the identification losses of Eqs. 18–23.
+//!
+//! Crate layout:
+//!
+//! * [`features`] — station/time-bucket encoding and the
+//!   [`features::PricingDataset`];
+//! * [`model`] — the CF-MTL [`model::EctPriceModel`] and its joint loss
+//!   [`model::cfmtl_loss`];
+//! * [`baselines`] — OR / IPS / DR uplift estimators on NCF base models;
+//! * [`labeling`] — the paper's NCF median-rating pre-labeling pipeline;
+//! * [`engine`] — [`engine::PricingEngine`] decision rules and schedule
+//!   construction;
+//! * [`eval`] — Table II scoring against oracle strata plus the Fig. 11
+//!   curves and Fig. 12 period shares.
+
+pub mod baselines;
+pub mod engine;
+pub mod eval;
+pub mod features;
+pub mod labeling;
+pub mod model;
+
+pub use baselines::{BaselineConfig, BaselineKind, UpliftBaseline};
+pub use engine::{
+    discount_levels, AlwaysDiscount, BaselineEngine, DecisionRule, EctPriceEngine, NeverDiscount,
+    PricingEngine,
+};
+pub use eval::{
+    evaluate_engine, hourly_strata_curves, oracle_evaluation, period_strata_shares,
+    PricingEvaluation, TreatedCounts,
+};
+pub use features::{FeatureSpace, PricingDataset, TIME_BUCKETS};
+pub use labeling::{label_agreement, label_strata, train_rating_model};
+pub use model::{cfmtl_loss, EctPriceConfig, EctPriceModel, StrataProbs};

@@ -1,0 +1,91 @@
+//! Shared error type.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, EctError>;
+
+/// Errors produced by ECT-Hub components.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EctError {
+    /// A numeric argument fell outside its valid range.
+    OutOfRange {
+        /// Human-readable name of the quantity.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// A configuration was internally inconsistent.
+    InvalidConfig(String),
+    /// Two shapes (matrix dims, vector lengths, horizon lengths) disagreed.
+    ShapeMismatch {
+        /// What was being combined.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// A dataset was empty or too small for the requested operation.
+    InsufficientData(String),
+    /// Training diverged (NaN/∞ in parameters or loss).
+    Diverged(String),
+}
+
+impl fmt::Display for EctError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EctError::OutOfRange {
+                what,
+                value,
+                lo,
+                hi,
+            } => write!(f, "{what} {value} outside [{lo}, {hi}]"),
+            EctError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EctError::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(f, "shape mismatch in {context}: expected {expected}, got {actual}"),
+            EctError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            EctError::Diverged(msg) => write!(f, "training diverged: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EctError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_messages() {
+        let e = EctError::OutOfRange {
+            what: "ratio",
+            value: 2.0,
+            lo: 0.0,
+            hi: 1.0,
+        };
+        assert_eq!(e.to_string(), "ratio 2 outside [0, 1]");
+        let e = EctError::InvalidConfig("empty fleet".into());
+        assert!(e.to_string().starts_with("invalid configuration"));
+        let e = EctError::ShapeMismatch {
+            context: "matmul",
+            expected: 3,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<EctError>();
+    }
+}

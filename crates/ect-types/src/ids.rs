@@ -1,0 +1,107 @@
+//! Typed identifiers.
+//!
+//! The fleet simulation manages many hubs, charging stations and battery
+//! points; typed ids (C-NEWTYPE) prevent cross-wiring, e.g. indexing the
+//! charging-history of station 3 with a hub id.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from its numeric value.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Raw numeric value.
+            #[inline]
+            pub const fn as_u32(self) -> u32 {
+                self.0
+            }
+
+            /// The id as an index into a dense `Vec` keyed by this id space.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Iterator over the first `n` ids (`0..n`).
+            pub fn first_n(n: u32) -> impl Iterator<Item = Self> {
+                (0..n).map(Self)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of one ECT-Hub (a base station upgraded with BP/CS/renewables).
+    HubId,
+    "hub"
+);
+id_type!(
+    /// Identifier of one EV charging station.
+    ///
+    /// In the paper's evaluation there are twelve stations, one per hub, but
+    /// the model allows several stations per hub.
+    StationId,
+    "station"
+);
+id_type!(
+    /// Identifier of a battery point (the aggregated backup-battery group of
+    /// one or several nearby base stations).
+    BatteryPointId,
+    "bp"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(HubId::new(3).to_string(), "hub3");
+        assert_eq!(StationId::new(0).to_string(), "station0");
+        assert_eq!(BatteryPointId::new(7).to_string(), "bp7");
+    }
+
+    #[test]
+    fn first_n_enumerates() {
+        let ids: Vec<_> = HubId::first_n(3).collect();
+        assert_eq!(ids, vec![HubId::new(0), HubId::new(1), HubId::new(2)]);
+    }
+
+    #[test]
+    fn index_matches_raw() {
+        assert_eq!(StationId::new(11).index(), 11);
+        assert_eq!(StationId::from(11).as_u32(), 11);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(HubId::new(1) < HubId::new(2));
+    }
+}

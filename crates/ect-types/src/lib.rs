@@ -1,0 +1,46 @@
+//! Common foundation types for the ECT-Hub workspace.
+//!
+//! The ECT-Hub system ("Towards Integrated Energy-Communication-Transportation
+//! Hub", ICDCS 2024) models 5G base stations extended with battery points,
+//! renewable generation and EV charging stations. This crate holds the
+//! vocabulary shared by every other crate:
+//!
+//! * [`units`] — newtypes for physical quantities (kW, kWh, $/kWh, …) so that
+//!   power and energy cannot be confused (the paper's Eq. 4 only works under
+//!   the 1-slot = 1-hour convention, which these types make explicit);
+//! * [`time`] — hourly [`time::SlotIndex`] arithmetic, hour-of-day /
+//!   day-of-week decomposition and the four day periods used by Fig. 12;
+//! * [`ids`] — typed identifiers for hubs, stations and battery points;
+//! * [`rng`] — a deterministic, seedable RNG plus the statistical
+//!   distributions the synthetic data generators need (Normal, Poisson,
+//!   Weibull, Ornstein-Uhlenbeck);
+//! * [`stats`] — descriptive statistics (summaries, quantiles, Welch's t)
+//!   shared by the experiment reports;
+//! * [`error`] — the shared [`error::EctError`] type.
+//!
+//! # Example
+//!
+//! ```
+//! use ect_types::units::{KiloWatt, KiloWattHour};
+//! use ect_types::time::SlotIndex;
+//!
+//! let p = KiloWatt::new(3.2);
+//! // one slot is one hour, so power integrates to energy 1:1
+//! let e: KiloWattHour = p.for_one_slot();
+//! assert!((e.as_f64() - 3.2).abs() < 1e-12);
+//! let t = SlotIndex::new(49);
+//! assert_eq!(t.hour_of_day(), 1);
+//! assert_eq!(t.day(), 2);
+//! ```
+
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use error::{EctError, Result};
+pub use ids::{BatteryPointId, HubId, StationId};
+pub use time::{DayPeriod, SlotIndex, HOURS_PER_DAY, SLOTS_PER_DAY};
+pub use units::{DollarsPerKwh, KiloWatt, KiloWattHour, LoadRate, Money, Ratio};

@@ -1,0 +1,220 @@
+//! Small descriptive-statistics toolkit.
+//!
+//! The experiment reports summarise noisy per-episode rewards; this module
+//! centralises the summary math (mean, variance, quantiles, normal-theory
+//! confidence intervals) so every harness reports them identically.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample or non-finite values.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "summary of empty sample");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "summary of non-finite values"
+        );
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: quantile_sorted(&sorted, 0.5),
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Normal-theory 95 % confidence interval for the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_error();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.2} ± {:.2} (n={}, min {:.2}, median {:.2}, max {:.2})",
+            self.mean,
+            1.96 * self.std_error(),
+            self.n,
+            self.min,
+            self.median,
+            self.max
+        )
+    }
+}
+
+/// Quantile of an already **sorted** sample by linear interpolation.
+///
+/// # Panics
+///
+/// Panics on an empty sample or `q` outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Quantile of an unsorted sample (copies and sorts).
+///
+/// # Panics
+///
+/// Panics on an empty sample or `q` outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    quantile_sorted(&sorted, q)
+}
+
+/// Welch's t-statistic for the difference of two sample means (unequal
+/// variances). Positive when `a`'s mean is larger.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two points.
+pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    assert!(a.len() >= 2 && b.len() >= 2, "welch needs n >= 2 per sample");
+    let sa = Summary::of(a);
+    let sb = Summary::of(b);
+    let va = sa.std_dev.powi(2) / sa.n as f64;
+    let vb = sb.std_dev.powi(2) / sb.n as f64;
+    if va + vb == 0.0 {
+        return 0.0;
+    }
+    (sa.mean - sb.mean) / (va + vb).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        // Sample std dev of 1..5 is sqrt(2.5).
+        assert!((s.std_dev - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_summary() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+        let (lo, hi) = s.ci95();
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn ci_contains_the_mean() {
+        let s = Summary::of(&[10.0, 12.0, 11.0, 9.0, 13.0]);
+        let (lo, hi) = s.ci95();
+        assert!(lo < s.mean && s.mean < hi);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert_eq!(quantile(&v, 0.5), 2.5);
+        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_detects_separated_means() {
+        let a = [10.0, 10.5, 9.5, 10.2, 9.8];
+        let b = [5.0, 5.5, 4.5, 5.2, 4.8];
+        assert!(welch_t(&a, &b) > 5.0);
+        assert!(welch_t(&b, &a) < -5.0);
+        // Identical samples: t = 0.
+        assert_eq!(welch_t(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("mean") && text.contains("n=3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_panics() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_within_min_max(values in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+            let s = Summary::of(&values);
+            prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+            prop_assert!(s.min <= s.median && s.median <= s.max);
+        }
+
+        #[test]
+        fn quantile_is_monotone(values in proptest::collection::vec(-100.0f64..100.0, 2..40), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(quantile(&values, lo) <= quantile(&values, hi) + 1e-9);
+        }
+    }
+}

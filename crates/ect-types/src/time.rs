@@ -1,0 +1,278 @@
+//! Hourly time-slot arithmetic.
+//!
+//! The ECT-Hub model is discretised into hourly slots `t_1 … t_T` (Table I of
+//! the paper). A [`SlotIndex`] counts hours from the start of the simulated
+//! horizon; helpers decompose it into hour-of-day, day, day-of-week and the
+//! four six-hour [`DayPeriod`]s the paper's Fig. 12 aggregates over.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Hours per day; one slot is one hour.
+pub const HOURS_PER_DAY: usize = 24;
+/// Slots per day (alias of [`HOURS_PER_DAY`] under the hourly convention).
+pub const SLOTS_PER_DAY: usize = HOURS_PER_DAY;
+/// Days per simulated week.
+pub const DAYS_PER_WEEK: usize = 7;
+
+/// Index of an hourly slot counted from the start of the horizon.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SlotIndex(usize);
+
+impl SlotIndex {
+    /// The first slot of the horizon.
+    pub const ZERO: SlotIndex = SlotIndex(0);
+
+    /// Creates a slot index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Raw index.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0
+    }
+
+    /// Hour of day in `0..24`.
+    #[inline]
+    pub const fn hour_of_day(self) -> usize {
+        self.0 % HOURS_PER_DAY
+    }
+
+    /// Zero-based day number since the start of the horizon.
+    #[inline]
+    pub const fn day(self) -> usize {
+        self.0 / HOURS_PER_DAY
+    }
+
+    /// Day of week in `0..7` (day 0 is a Monday by convention).
+    #[inline]
+    pub const fn day_of_week(self) -> usize {
+        self.day() % DAYS_PER_WEEK
+    }
+
+    /// `true` on Saturdays and Sundays.
+    #[inline]
+    pub const fn is_weekend(self) -> bool {
+        self.day_of_week() >= 5
+    }
+
+    /// The six-hour period of day this slot falls in (Fig. 12).
+    #[inline]
+    pub fn period(self) -> DayPeriod {
+        DayPeriod::of_hour(self.hour_of_day())
+    }
+
+    /// Iterator over `self .. self + n` slots.
+    pub fn take(self, n: usize) -> impl Iterator<Item = SlotIndex> {
+        (self.0..self.0 + n).map(SlotIndex)
+    }
+
+    /// The next slot.
+    #[inline]
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+
+    /// Fraction of the day elapsed at the start of this slot, in `[0, 1)`.
+    #[inline]
+    pub fn day_fraction(self) -> f64 {
+        self.hour_of_day() as f64 / HOURS_PER_DAY as f64
+    }
+}
+
+impl fmt::Display for SlotIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}h{:02}", self.day(), self.hour_of_day())
+    }
+}
+
+impl Add<usize> for SlotIndex {
+    type Output = SlotIndex;
+    #[inline]
+    fn add(self, rhs: usize) -> SlotIndex {
+        SlotIndex(self.0 + rhs)
+    }
+}
+
+impl AddAssign<usize> for SlotIndex {
+    #[inline]
+    fn add_assign(&mut self, rhs: usize) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for SlotIndex {
+    type Output = usize;
+    /// Number of slots between two indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: SlotIndex) -> usize {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("slot subtraction underflow")
+    }
+}
+
+impl From<usize> for SlotIndex {
+    #[inline]
+    fn from(v: usize) -> Self {
+        Self(v)
+    }
+}
+
+/// The four six-hour periods of the day used by the paper's Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DayPeriod {
+    /// 00:00 – 06:00.
+    Night,
+    /// 06:00 – 12:00.
+    Morning,
+    /// 12:00 – 18:00.
+    Afternoon,
+    /// 18:00 – 24:00.
+    Evening,
+}
+
+impl DayPeriod {
+    /// All four periods in chronological order.
+    pub const ALL: [DayPeriod; 4] = [
+        DayPeriod::Night,
+        DayPeriod::Morning,
+        DayPeriod::Afternoon,
+        DayPeriod::Evening,
+    ];
+
+    /// Period containing the given hour of day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn of_hour(hour: usize) -> Self {
+        match hour {
+            0..=5 => DayPeriod::Night,
+            6..=11 => DayPeriod::Morning,
+            12..=17 => DayPeriod::Afternoon,
+            18..=23 => DayPeriod::Evening,
+            _ => panic!("hour out of range: {hour}"),
+        }
+    }
+
+    /// Position in [`Self::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            DayPeriod::Night => 0,
+            DayPeriod::Morning => 1,
+            DayPeriod::Afternoon => 2,
+            DayPeriod::Evening => 3,
+        }
+    }
+
+    /// Inclusive start hour of the period.
+    pub fn start_hour(self) -> usize {
+        self.index() * 6
+    }
+
+    /// Exclusive end hour of the period.
+    pub fn end_hour(self) -> usize {
+        self.start_hour() + 6
+    }
+}
+
+impl fmt::Display for DayPeriod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}:00-{:02}:00", self.start_hour(), self.end_hour())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decomposition_is_consistent() {
+        let t = SlotIndex::new(3 * 24 + 7);
+        assert_eq!(t.day(), 3);
+        assert_eq!(t.hour_of_day(), 7);
+        assert_eq!(t.day_of_week(), 3);
+        assert!(!t.is_weekend());
+    }
+
+    #[test]
+    fn weekend_detection() {
+        assert!(SlotIndex::new(5 * 24).is_weekend()); // Saturday
+        assert!(SlotIndex::new(6 * 24 + 23).is_weekend()); // Sunday
+        assert!(!SlotIndex::new(7 * 24).is_weekend()); // next Monday
+    }
+
+    #[test]
+    fn periods_cover_the_day() {
+        for h in 0..24 {
+            let p = DayPeriod::of_hour(h);
+            assert!(p.start_hour() <= h && h < p.end_hour());
+        }
+    }
+
+    #[test]
+    fn period_index_round_trips() {
+        for p in DayPeriod::ALL {
+            assert_eq!(DayPeriod::ALL[p.index()], p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hour out of range")]
+    fn of_hour_rejects_24() {
+        let _ = DayPeriod::of_hour(24);
+    }
+
+    #[test]
+    fn take_yields_consecutive_slots() {
+        let v: Vec<_> = SlotIndex::new(10).take(3).collect();
+        assert_eq!(
+            v,
+            vec![SlotIndex::new(10), SlotIndex::new(11), SlotIndex::new(12)]
+        );
+    }
+
+    #[test]
+    fn subtraction_counts_slots() {
+        assert_eq!(SlotIndex::new(30) - SlotIndex::new(24), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SlotIndex::new(1) - SlotIndex::new(2);
+    }
+
+    #[test]
+    fn display_shows_day_and_hour() {
+        assert_eq!(format!("{}", SlotIndex::new(25)), "d1h01");
+        assert_eq!(format!("{}", DayPeriod::Night), "00:00-06:00");
+    }
+
+    proptest! {
+        #[test]
+        fn recomposition_identity(t in 0usize..1_000_000) {
+            let s = SlotIndex::new(t);
+            prop_assert_eq!(s.day() * HOURS_PER_DAY + s.hour_of_day(), t);
+        }
+
+        #[test]
+        fn day_fraction_in_range(t in 0usize..1_000_000) {
+            let f = SlotIndex::new(t).day_fraction();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

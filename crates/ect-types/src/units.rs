@@ -1,0 +1,452 @@
+//! Physical-quantity newtypes.
+//!
+//! Following the newtype guidance (C-NEWTYPE), quantities with different
+//! dimensions are distinct types, so a power cannot silently be used as an
+//! energy or a price. All wrappers are thin `f64` with `Copy` semantics and
+//! support the arithmetic that is meaningful for the dimension.
+//!
+//! The ECT-Hub model uses hourly slots, so [`KiloWatt::for_one_slot`]
+//! converts power to the energy delivered during one slot at a 1:1 numeric
+//! ratio. That convention is what makes the paper's Eq. 4
+//! (`SoC(t+1) = SoC(t) + P_BP(t)`) dimensionally sound.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw `f64` value expressed in this unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw numeric value.
+            #[inline]
+            pub const fn as_f64(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp bounds inverted: {} > {}", lo.0, hi.0);
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// `true` if the value is finite (not NaN/∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $unit)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Ratio between two quantities of the same dimension.
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl From<f64> for $name {
+            #[inline]
+            fn from(v: f64) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Active power in kilowatts.
+    KiloWatt,
+    "kW"
+);
+quantity!(
+    /// Energy in kilowatt-hours.
+    KiloWattHour,
+    "kWh"
+);
+quantity!(
+    /// Electricity price in dollars per kilowatt-hour.
+    DollarsPerKwh,
+    "$/kWh"
+);
+quantity!(
+    /// Money in dollars (positive = income, negative = expense).
+    Money,
+    "$"
+);
+
+impl KiloWatt {
+    /// Energy delivered by this power over exactly one slot (one hour).
+    #[inline]
+    pub fn for_one_slot(self) -> KiloWattHour {
+        KiloWattHour::new(self.0)
+    }
+}
+
+impl KiloWattHour {
+    /// The constant power that delivers this energy in one slot (one hour).
+    #[inline]
+    pub fn over_one_slot(self) -> KiloWatt {
+        KiloWatt::new(self.0)
+    }
+}
+
+impl Mul<DollarsPerKwh> for KiloWattHour {
+    type Output = Money;
+    #[inline]
+    fn mul(self, price: DollarsPerKwh) -> Money {
+        Money::new(self.0 * price.0)
+    }
+}
+
+impl Mul<KiloWattHour> for DollarsPerKwh {
+    type Output = Money;
+    #[inline]
+    fn mul(self, energy: KiloWattHour) -> Money {
+        energy * self
+    }
+}
+
+impl DollarsPerKwh {
+    /// Converts a price quoted in `$ / MWh` (the unit of the paper's Fig. 5).
+    #[inline]
+    pub fn from_dollars_per_mwh(v: f64) -> Self {
+        Self(v / 1000.0)
+    }
+
+    /// This price expressed in `$ / MWh`.
+    #[inline]
+    pub fn as_dollars_per_mwh(self) -> f64 {
+        self.0 * 1000.0
+    }
+}
+
+/// A dimensionless value constrained to `[0, 1]`.
+///
+/// Used for efficiencies, state-of-charge fractions and discount levels.
+/// Construction validates the range (C-VALIDATE).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// The zero ratio.
+    pub const ZERO: Ratio = Ratio(0.0);
+    /// The unit ratio.
+    pub const ONE: Ratio = Ratio(1.0);
+
+    /// Creates a ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EctError::OutOfRange`] if `v` is not finite or lies
+    /// outside `[0, 1]`.
+    pub fn new(v: f64) -> crate::Result<Self> {
+        if v.is_finite() && (0.0..=1.0).contains(&v) {
+            Ok(Self(v))
+        } else {
+            Err(crate::EctError::OutOfRange {
+                what: "ratio",
+                value: v,
+                lo: 0.0,
+                hi: 1.0,
+            })
+        }
+    }
+
+    /// Creates a ratio, clamping out-of-range finite values into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN.
+    pub fn saturating(v: f64) -> Self {
+        assert!(!v.is_nan(), "ratio from NaN");
+        Self(v.clamp(0.0, 1.0))
+    }
+
+    /// Raw value in `[0, 1]`.
+    #[inline]
+    pub const fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// The complementary ratio `1 - self`.
+    #[inline]
+    pub fn complement(self) -> Self {
+        Self(1.0 - self.0)
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+impl Mul<f64> for Ratio {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: f64) -> f64 {
+        self.0 * rhs
+    }
+}
+
+/// Base-station load rate `α_t ∈ [0, 1]` (Eq. 1 of the paper).
+///
+/// Semantically distinct from a generic [`Ratio`]: it is the fraction of the
+/// station's full traffic load, and it is the quantity the traffic generator
+/// produces and the power model consumes.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct LoadRate(f64);
+
+impl LoadRate {
+    /// An idle station.
+    pub const IDLE: LoadRate = LoadRate(0.0);
+    /// A fully loaded station.
+    pub const FULL: LoadRate = LoadRate(1.0);
+
+    /// Creates a load rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EctError::OutOfRange`] when outside `[0, 1]`.
+    pub fn new(v: f64) -> crate::Result<Self> {
+        if v.is_finite() && (0.0..=1.0).contains(&v) {
+            Ok(Self(v))
+        } else {
+            Err(crate::EctError::OutOfRange {
+                what: "load rate",
+                value: v,
+                lo: 0.0,
+                hi: 1.0,
+            })
+        }
+    }
+
+    /// Creates a load rate, clamping finite values into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN.
+    pub fn saturating(v: f64) -> Self {
+        assert!(!v.is_nan(), "load rate from NaN");
+        Self(v.clamp(0.0, 1.0))
+    }
+
+    /// Raw fraction in `[0, 1]`.
+    #[inline]
+    pub const fn as_f64(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for LoadRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "load {:.1}%", self.0 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn power_integrates_to_energy_one_to_one() {
+        let p = KiloWatt::new(2.5);
+        assert_eq!(p.for_one_slot(), KiloWattHour::new(2.5));
+        assert_eq!(KiloWattHour::new(2.5).over_one_slot(), p);
+    }
+
+    #[test]
+    fn energy_times_price_is_money() {
+        let e = KiloWattHour::new(10.0);
+        let pr = DollarsPerKwh::new(0.25);
+        assert_eq!(e * pr, Money::new(2.5));
+        assert_eq!(pr * e, Money::new(2.5));
+    }
+
+    #[test]
+    fn mwh_conversion_round_trips() {
+        let p = DollarsPerKwh::from_dollars_per_mwh(120.0);
+        assert!((p.as_f64() - 0.12).abs() < 1e-12);
+        assert!((p.as_dollars_per_mwh() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_validates_bounds() {
+        assert!(Ratio::new(0.5).is_ok());
+        assert!(Ratio::new(-0.1).is_err());
+        assert!(Ratio::new(1.1).is_err());
+        assert!(Ratio::new(f64::NAN).is_err());
+        assert_eq!(Ratio::saturating(3.0), Ratio::ONE);
+        assert_eq!(Ratio::saturating(-1.0), Ratio::ZERO);
+    }
+
+    #[test]
+    fn ratio_complement() {
+        assert!((Ratio::new(0.3).unwrap().complement().as_f64() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_rate_validates_bounds() {
+        assert!(LoadRate::new(0.0).is_ok());
+        assert!(LoadRate::new(1.0).is_ok());
+        assert!(LoadRate::new(1.5).is_err());
+        assert!(LoadRate::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display_formats_mention_units() {
+        assert!(format!("{}", KiloWatt::new(1.0)).contains("kW"));
+        assert!(format!("{}", KiloWattHour::new(1.0)).contains("kWh"));
+        assert!(format!("{}", DollarsPerKwh::new(1.0)).contains("$/kWh"));
+        assert!(format!("{}", Money::new(1.0)).contains('$'));
+        assert!(format!("{}", Ratio::ONE).contains('%'));
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Money = [1.0, 2.0, 3.5].iter().map(|&v| Money::new(v)).sum();
+        assert_eq!(total, Money::new(6.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp bounds inverted")]
+    fn clamp_panics_on_inverted_bounds() {
+        let _ = KiloWatt::new(1.0).clamp(KiloWatt::new(2.0), KiloWatt::new(1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn add_sub_round_trip(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let x = KiloWattHour::new(a);
+            let y = KiloWattHour::new(b);
+            let back = (x + y) - y;
+            prop_assert!((back.as_f64() - a).abs() < 1e-6);
+        }
+
+        #[test]
+        fn saturating_ratio_in_bounds(v in -10.0f64..10.0) {
+            let r = Ratio::saturating(v);
+            prop_assert!((0.0..=1.0).contains(&r.as_f64()));
+        }
+
+        #[test]
+        fn neg_is_involution(a in -1e6f64..1e6) {
+            let m = Money::new(a);
+            prop_assert_eq!(-(-m), m);
+        }
+    }
+}

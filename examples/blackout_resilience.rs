@@ -1,0 +1,66 @@
+//! Blackout resilience: the Eq. 6 reserve guarantee in action.
+//!
+//! The battery point may trade energy freely, but its lower SoC bound must
+//! always hold enough charge to ride the base station through a grid outage
+//! until the estimated recovery time `T_r`.
+//!
+//! ```bash
+//! cargo run --release --example blackout_resilience
+//! ```
+
+use ect_core::prelude::*;
+use ect_env::battery::{BatteryPoint, BatteryPointConfig};
+use ect_types::units::Ratio;
+
+fn main() -> ect_types::Result<()> {
+    let hub = HubConfig::urban();
+    println!(
+        "hub: BS worst-case draw {:.1} kW, recovery target {} h",
+        hub.base_station.p_max_kw, hub.recovery_hours
+    );
+
+    // 1. The configured battery passes the Eq. 6 validation.
+    hub.battery
+        .validate(hub.base_station.max_power(), hub.recovery_hours)?;
+    println!(
+        "battery: {:.0} kWh, soc_min {:.0}% → reserve {:.1} kWh ≥ {:.1} kWh needed ✓",
+        hub.battery.capacity_kwh,
+        hub.battery.soc_min_fraction.as_f64() * 100.0,
+        hub.battery.soc_min_fraction.as_f64() * hub.battery.capacity_kwh,
+        hub.base_station.p_max_kw * hub.recovery_hours as f64,
+    );
+
+    // 2. Worst case: the scheduler has drained the battery to its floor the
+    //    moment the grid fails. Simulate the outage hour by hour.
+    let mut battery = BatteryPoint::new(hub.battery.clone(), 0.0); // clamps to soc_min
+    println!(
+        "\nblackout at soc_min ({:.1} kWh stored):",
+        battery.soc().as_f64()
+    );
+    let endurance = battery.blackout_endurance_hours(hub.base_station.max_power());
+    println!("  endurance at full load: {endurance:.1} h (target {} h)", hub.recovery_hours);
+    assert!(endurance >= hub.recovery_hours as f64);
+
+    let mut remaining = battery.soc().as_f64() * hub.battery.discharge_efficiency.as_f64();
+    for hour in 0..hub.recovery_hours {
+        remaining -= hub.base_station.p_max_kw;
+        println!(
+            "  hour {:2}: base station on battery, {:6.1} kWh deliverable remaining",
+            hour + 1,
+            remaining.max(0.0)
+        );
+    }
+    println!("grid recovered — communication never dropped.");
+
+    // 3. An undersized battery is rejected at configuration time.
+    let undersized = BatteryPointConfig {
+        capacity_kwh: 60.0,
+        soc_min_fraction: Ratio::saturating(0.10), // 6 kWh reserve < 32 kWh needed
+        ..hub.battery.clone()
+    };
+    match undersized.validate(hub.base_station.max_power(), hub.recovery_hours) {
+        Err(e) => println!("\nundersized battery correctly rejected: {e}"),
+        Ok(()) => unreachable!("validation must fail"),
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Fleet scheduling: train ECT-DRL per hub and compare against rule-based
+//! schedulers on urban and rural sites.
+//!
+//! ```bash
+//! cargo run --release --example fleet_scheduling
+//! ```
+
+use ect_core::prelude::*;
+use ect_core::scheduling::run_hub_scheduler;
+use ect_price::engine::NeverDiscount;
+
+fn main() -> ect_types::Result<()> {
+    let mut config = SystemConfig::miniature();
+    config.trainer.episodes = 30; // a little more training than the test preset
+    let system = EctHubSystem::new(config)?;
+
+    println!("hub | siting | scheduler   | avg daily reward ($)");
+    println!("----|--------|-------------|---------------------");
+    for hub_id in 0..system.world().num_hubs() {
+        let hub = HubId::new(hub_id);
+        let siting = system.world().hubs[hub.index()].siting;
+
+        // Rule-based comparators (no training).
+        for (name, result) in [
+            ("NoBattery", run_hub_scheduler(&system, hub, &NeverDiscount, &mut NoBattery)?),
+            (
+                "GreedyPrice",
+                run_hub_scheduler(
+                    &system,
+                    hub,
+                    &NeverDiscount,
+                    &mut GreedyPrice::default_thresholds(),
+                )?,
+            ),
+            ("TimeOfUse", run_hub_scheduler(&system, hub, &NeverDiscount, &mut TimeOfUse)?),
+        ] {
+            println!(
+                "{hub_id:3} | {siting:?} | {name:<11} | {:.2}",
+                result.avg_daily_reward
+            );
+        }
+
+        // The learned policy.
+        let drl = ect_core::scheduling::run_hub_method(&system, hub, &NeverDiscount, "ECT-DRL")?;
+        println!(
+            "{hub_id:3} | {siting:?} | {:<11} | {:.2}",
+            "ECT-DRL", drl.avg_daily_reward
+        );
+    }
+    Ok(())
+}

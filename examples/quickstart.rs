@@ -1,0 +1,61 @@
+//! Quickstart: build one ECT-Hub, run a month, inspect the profit ledger.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use ect_core::prelude::*;
+
+fn main() -> ect_types::Result<()> {
+    // 1. A miniature synthetic world: 3 hubs (urban + rural), 30 days.
+    let system = EctHubSystem::new(SystemConfig::miniature())?;
+    let world = system.world();
+    println!(
+        "world: {} hubs, {} hourly slots, mean RTP {:.1} $/MWh",
+        world.num_hubs(),
+        world.horizon(),
+        world.rtp.iter().map(|p| p.as_dollars_per_mwh()).sum::<f64>() / world.horizon() as f64
+    );
+
+    // 2. Build the RL environment for hub 0 with no discounts offered.
+    let mut rng = EctRng::seed_from(42);
+    let discounts = DiscountSchedule::none(world.horizon());
+    let mut env = ect_env::fleet::env_for_hub(
+        world,
+        HubId::new(0),
+        0,
+        world.horizon(),
+        discounts,
+        24,
+        &mut rng,
+    )?;
+    println!(
+        "hub 0: {:?} siting, battery {:.0} kWh, blackout endurance {:.1} h at worst-case load",
+        world.hubs[0].siting,
+        env.config().battery.capacity_kwh,
+        env.blackout_endurance_hours(),
+    );
+
+    // 3. Run a month under the time-of-use rule and tally the ledger.
+    let mut scheduler = TimeOfUse;
+    let (profit, trail) = ect_drl::heuristics::run_episode(&mut env, &mut scheduler, 0.5);
+    let revenue: f64 = trail.iter().map(|b| b.revenue.as_f64()).sum();
+    let grid_cost: f64 = trail.iter().map(|b| b.grid_cost.as_f64()).sum();
+    let bp_cost: f64 = trail.iter().map(|b| b.bp_cost.as_f64()).sum();
+    let ev_hours = trail.iter().filter(|b| b.ev_charged).count();
+    println!("\n30-day ledger under TimeOfUse scheduling:");
+    println!("  EV charging revenue : ${revenue:9.2}  ({ev_hours} charging hours)");
+    println!("  grid energy cost    : ${grid_cost:9.2}");
+    println!("  battery wear cost   : ${bp_cost:9.2}");
+    println!("  profit (Eq. 12)     : ${:9.2}  (${:.2}/day)", profit, profit / 30.0);
+
+    // 4. Compare against leaving the battery alone.
+    let (idle_profit, _) = ect_drl::heuristics::run_episode(&mut env, &mut NoBattery, 0.5);
+    println!(
+        "\nNoBattery baseline profit: ${:.2} — scheduling the battery {} ${:.2} over the month",
+        idle_profit,
+        if profit >= idle_profit { "adds" } else { "loses" },
+        (profit - idle_profit).abs()
+    );
+    Ok(())
+}

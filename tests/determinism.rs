@@ -1,0 +1,69 @@
+//! Determinism: identical seeds reproduce identical worlds, schedules,
+//! models and evaluations; different seeds differ.
+
+use ect_core::prelude::*;
+use ect_price::eval::evaluate_engine as eval_engine;
+
+fn mini() -> SystemConfig {
+    let mut config = SystemConfig::miniature();
+    config.world.num_hubs = 2;
+    config.pricing_history_slots = 24 * 7 * 4;
+    config.pricing_test_slots = 24 * 7;
+    config.ect_price.epochs = 2;
+    config
+}
+
+#[test]
+fn worlds_are_reproducible() {
+    let a = EctHubSystem::new(mini()).unwrap();
+    let b = EctHubSystem::new(mini()).unwrap();
+    assert_eq!(a.world().rtp, b.world().rtp);
+    for h in 0..2 {
+        assert_eq!(a.world().hubs[h].weather, b.world().hubs[h].weather);
+        assert_eq!(a.world().hubs[h].traffic, b.world().hubs[h].traffic);
+    }
+}
+
+#[test]
+fn different_world_seeds_differ() {
+    let a = EctHubSystem::new(mini()).unwrap();
+    let mut other = mini();
+    other.world.seed ^= 0xFFFF;
+    let b = EctHubSystem::new(other).unwrap();
+    assert_ne!(a.world().rtp, b.world().rtp);
+}
+
+#[test]
+fn pricing_training_is_reproducible() {
+    let run = || {
+        let system = EctHubSystem::new(mini()).unwrap();
+        let (train, test) = system.pricing_datasets();
+        let mut rng = EctRng::seed_from(77);
+        let engine =
+            ect_core::train_engine(&system, PricingMethod::EctPrice, &train, &mut rng).unwrap();
+        eval_engine(engine.as_ref(), &test, 0.2)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.treated, b.treated);
+    assert_eq!(a.reward, b.reward);
+}
+
+#[test]
+fn drl_training_is_reproducible() {
+    let run = || {
+        let system = EctHubSystem::new(mini()).unwrap();
+        ect_core::run_hub_method(
+            &system,
+            HubId::new(0),
+            &ect_price::engine::NeverDiscount,
+            "NoDiscount",
+        )
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.avg_daily_reward, b.avg_daily_reward);
+    assert_eq!(a.daily_series, b.daily_series);
+    assert_eq!(a.final_training_return, b.final_training_return);
+}

@@ -1,0 +1,111 @@
+//! Pricing stage: ECT-Price against trivial policies, oracle bounds and the
+//! paper's NCF pre-labeling pipeline.
+
+use ect_core::prelude::*;
+use ect_price::engine::{AlwaysDiscount, NeverDiscount};
+use ect_price::eval::{evaluate_engine as eval_engine, oracle_evaluation};
+use ect_price::labeling::{label_agreement, label_strata, train_rating_model};
+
+fn trained_system() -> (EctHubSystem, ect_price::PricingDataset, ect_price::PricingDataset) {
+    let mut config = SystemConfig::miniature();
+    config.world.num_hubs = 3;
+    config.pricing_history_slots = 24 * 7 * 26;
+    config.pricing_test_slots = 24 * 7 * 4;
+    config.ect_price.epochs = 10;
+    config.ect_price.lr_decay = 0.85;
+    let system = EctHubSystem::new(config).unwrap();
+    let (train, test) = system.pricing_datasets();
+    (system, train, test)
+}
+
+#[test]
+fn ect_price_beats_blanket_discounting() {
+    let (system, train, test) = trained_system();
+    let mut rng = EctRng::seed_from(11);
+    let ours =
+        ect_core::train_engine(&system, PricingMethod::EctPrice, &train, &mut rng).unwrap();
+
+    // Blanket discounting is near-optimal at small c (the subsidy is cheap);
+    // selectivity wins once the subsidy gets expensive — the shape of the
+    // paper's Table II, where baseline rewards fall faster with c than Ours.
+    for (c, must_beat_blanket) in [(0.2, false), (0.5, true)] {
+        let ours_eval = eval_engine(ours.as_ref(), &test, c);
+        let blanket = eval_engine(&AlwaysDiscount, &test, c);
+        let never = eval_engine(&NeverDiscount, &test, c);
+        let oracle = oracle_evaluation(&test, c);
+
+        // Selectivity: strictly fewer Always slots subsidised than blanket;
+        // decisively fewer at the expensive discount.
+        assert!(
+            ours_eval.treated.always < blanket.treated.always,
+            "c={c}: treated {} Always vs blanket {}",
+            ours_eval.treated.always,
+            blanket.treated.always
+        );
+        if must_beat_blanket {
+            assert!(
+                ours_eval.treated.always < blanket.treated.always / 2,
+                "c={c}: insufficient selectivity"
+            );
+        }
+        // Bounded by the oracle.
+        assert!(ours_eval.reward <= oracle.reward + 1e-9);
+        // Competitive with the better trivial policy at low c; strictly
+        // better than blanket at high c.
+        if must_beat_blanket {
+            assert!(
+                ours_eval.reward > blanket.reward,
+                "c={c}: ours {} vs blanket {}",
+                ours_eval.reward,
+                blanket.reward
+            );
+        } else {
+            assert!(
+                ours_eval.reward > 0.85 * blanket.reward.max(never.reward),
+                "c={c}: ours {} vs blanket {} / never {}",
+                ours_eval.reward,
+                blanket.reward,
+                never.reward
+            );
+        }
+        // Never-discounting keeps all Always revenue; the model must recover
+        // most of that and add conversions on top.
+        assert!(
+            ours_eval.reward > 0.85 * never.reward,
+            "c={c}: ours {} vs never {}",
+            ours_eval.reward,
+            never.reward
+        );
+    }
+}
+
+#[test]
+fn ncf_labeling_pipeline_agrees_with_oracle_above_chance() {
+    let (system, train, _) = trained_system();
+    let mut rng = EctRng::seed_from(12);
+    let rating = train_rating_model(
+        &system.feature_space(),
+        &train,
+        &system.config().baseline,
+        &mut rng,
+    )
+    .unwrap();
+    let labels = label_strata(&rating, &train).unwrap();
+    let agreement = label_agreement(&labels, &train.strata);
+    assert!(agreement > 0.5, "agreement {agreement}");
+}
+
+#[test]
+fn all_paper_methods_produce_valid_decisions() {
+    let (system, train, test) = trained_system();
+    let mut rng = EctRng::seed_from(13);
+    for method in PricingMethod::PAPER_SET {
+        let engine = ect_core::train_engine(&system, method, &train, &mut rng).unwrap();
+        let eval = eval_engine(engine.as_ref(), &test, 0.3);
+        assert!(eval.reward.is_finite(), "{method}: non-finite reward");
+        assert!(
+            eval.treated.total() <= test.len(),
+            "{method}: treated more than exists"
+        );
+    }
+}

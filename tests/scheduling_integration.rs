@@ -1,0 +1,67 @@
+//! Scheduling stage: DRL training on the real hub environment, rule-based
+//! comparators, and reward accounting consistency.
+
+use ect_core::prelude::*;
+use ect_core::scheduling::{run_hub_method, run_hub_scheduler};
+use ect_price::engine::{AlwaysDiscount, NeverDiscount};
+
+fn system() -> EctHubSystem {
+    let mut config = SystemConfig::miniature();
+    config.trainer.episodes = 3;
+    config.test_episodes = 3;
+    EctHubSystem::new(config).unwrap()
+}
+
+#[test]
+fn drl_training_runs_on_every_hub() {
+    let s = system();
+    for hub in 0..s.world().num_hubs() {
+        let r = run_hub_method(&s, HubId::new(hub), &NeverDiscount, "NoDiscount").unwrap();
+        assert!(r.avg_daily_reward.is_finite(), "hub {hub}");
+        assert_eq!(r.daily_series.len(), 30);
+        assert!(r.final_training_return.is_finite());
+    }
+}
+
+#[test]
+fn discounting_changes_charging_activity() {
+    // With discounts, incentive strata convert: more charging hours and
+    // (at c = 0.2) more revenue than never discounting.
+    let s = system();
+    let mut idle = NoBattery;
+    let never = run_hub_scheduler(&s, HubId::new(0), &NeverDiscount, &mut idle).unwrap();
+    let always = run_hub_scheduler(&s, HubId::new(0), &AlwaysDiscount, &mut idle).unwrap();
+    assert!(
+        always.avg_daily_reward != never.avg_daily_reward,
+        "discounts must change outcomes"
+    );
+}
+
+#[test]
+fn rule_based_schedulers_rank_sanely() {
+    let s = system();
+    let mut results = Vec::new();
+    for (name, mut sched) in [
+        ("NoBattery", Box::new(NoBattery) as Box<dyn Scheduler>),
+        ("GreedyPrice", Box::new(GreedyPrice::default_thresholds())),
+        ("TimeOfUse", Box::new(TimeOfUse)),
+    ] {
+        let r = run_hub_scheduler(&s, HubId::new(1), &NeverDiscount, sched.as_mut()).unwrap();
+        assert!(r.avg_daily_reward.is_finite());
+        results.push((name, r.avg_daily_reward));
+    }
+    // All three must at least keep the hub profitable in this world.
+    for (name, reward) in &results {
+        assert!(*reward > 0.0, "{name} made the hub unprofitable: {reward}");
+    }
+}
+
+#[test]
+fn evaluation_is_deterministic_given_seeds() {
+    let s = system();
+    let mut idle = NoBattery;
+    let a = run_hub_scheduler(&s, HubId::new(2), &NeverDiscount, &mut idle).unwrap();
+    let b = run_hub_scheduler(&s, HubId::new(2), &NeverDiscount, &mut idle).unwrap();
+    assert_eq!(a.avg_daily_reward, b.avg_daily_reward);
+    assert_eq!(a.daily_series, b.daily_series);
+}

@@ -1,0 +1,76 @@
+//! Serde round trips for the public configuration and report types.
+
+use ect_core::prelude::*;
+use ect_core::scheduling::HubExperimentResult;
+use ect_nn::matrix::Matrix;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn world_config_round_trips() {
+    let config = WorldConfig::default();
+    let back = round_trip(&config);
+    assert_eq!(config.num_hubs, back.num_hubs);
+    assert_eq!(config.horizon_slots, back.horizon_slots);
+    assert_eq!(config.seed, back.seed);
+}
+
+#[test]
+fn hub_config_round_trips() {
+    let config = HubConfig::rural();
+    let back = round_trip(&config);
+    assert_eq!(config, back);
+}
+
+#[test]
+fn matrix_round_trips() {
+    let m = Matrix::from_rows(&[&[1.5, -2.0], &[0.0, 42.0]]);
+    assert_eq!(m, round_trip(&m));
+}
+
+#[test]
+fn discount_schedule_round_trips() {
+    let s = DiscountSchedule::from_levels(vec![0.0, 0.2, 0.5]).unwrap();
+    assert_eq!(s, round_trip(&s));
+}
+
+#[test]
+fn experiment_cells_round_trip() {
+    let cell = HubExperimentResult {
+        hub: 3,
+        method: "Ours".into(),
+        avg_daily_reward: 512.3,
+        daily_series: vec![500.0, 510.0, 520.0],
+        final_training_return: 15000.0,
+    };
+    let back = round_trip(&cell);
+    assert_eq!(back.hub, 3);
+    assert_eq!(back.method, "Ours");
+    assert_eq!(back.daily_series.len(), 3);
+}
+
+#[test]
+fn units_round_trip_transparently() {
+    use ect_types::units::{DollarsPerKwh, KiloWattHour};
+    // Transparent newtypes serialise as bare numbers.
+    assert_eq!(serde_json::to_string(&KiloWattHour::new(2.5)).unwrap(), "2.5");
+    let p: DollarsPerKwh = serde_json::from_str("0.12").unwrap();
+    assert_eq!(p, DollarsPerKwh::new(0.12));
+}
+
+#[test]
+fn trained_model_weights_round_trip() {
+    use ect_nn::mlp::Mlp;
+    use ect_nn::layers::ActivationKind;
+    let mut rng = EctRng::seed_from(5);
+    let model = Mlp::new(&[3, 8, 2], ActivationKind::Tanh, &mut rng);
+    let back: Mlp = round_trip(&model);
+    let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3]]);
+    assert!(model.infer(&x).sub(&back.infer(&x)).max_abs() < 1e-15);
+}
