@@ -74,9 +74,11 @@ fn bench_pricing_experiments(c: &mut Criterion) {
 }
 
 fn bench_fleet_cell(c: &mut Criterion) {
-    // One (hub, method) Table III / Fig. 13 cell at a tiny training budget.
+    // Table III / Fig. 13 cells at a tiny training budget: one sequential
+    // (hub, method) cell versus the same three hubs trained as one batched
+    // lockstep fleet.
     let mut config = system_config(Scale::Quick);
-    config.world.num_hubs = 1;
+    config.world.num_hubs = 3;
     config.pricing_history_slots = 24 * 7;
     config.pricing_test_slots = 24 * 7;
     config.trainer.episodes = 2;
@@ -92,6 +94,21 @@ fn bench_fleet_cell(c: &mut Criterion) {
                 ect_core::run_hub_method(
                     &system,
                     ect_types::ids::HubId::new(0),
+                    &ect_price::engine::NeverDiscount,
+                    "NoDiscount",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("table3_fig13_batched_3hubs", |b| {
+        let hubs: Vec<ect_types::ids::HubId> =
+            (0..3).map(ect_types::ids::HubId::new).collect();
+        b.iter(|| {
+            std::hint::black_box(
+                ect_core::run_hubs_method_batched(
+                    &system,
+                    &hubs,
                     &ect_price::engine::NeverDiscount,
                     "NoDiscount",
                 )

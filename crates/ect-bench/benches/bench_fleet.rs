@@ -1,0 +1,162 @@
+//! Batched fleet-engine benchmarks: the paper's 12-hub evaluation stepped
+//! as one lockstep [`FleetEnv`] batch versus 12 sequential [`HubEnv`] loops,
+//! plus the allocation-free observation path versus the allocating one.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ect_data::dataset::{WorldConfig, WorldDataset};
+use ect_env::battery::BpAction;
+use ect_env::env::HubEnv;
+use ect_env::fleet::{env_for_hub, fleet_env_for_hubs};
+use ect_env::tariff::DiscountSchedule;
+use ect_env::vec_env::FleetEnv;
+use ect_types::ids::HubId;
+use ect_types::rng::EctRng;
+use std::time::Duration;
+
+const HUBS: usize = 12; // the paper's fleet size
+const SLOTS: usize = 720; // one 30-day episode
+
+fn world() -> WorldDataset {
+    WorldDataset::generate(WorldConfig {
+        num_hubs: HUBS as u32,
+        horizon_slots: SLOTS,
+        ..WorldConfig::default()
+    })
+    .unwrap()
+}
+
+fn sequential_envs(world: &WorldDataset) -> Vec<HubEnv> {
+    (0..HUBS)
+        .map(|h| {
+            let mut rng = EctRng::seed_from(1000 + h as u64);
+            env_for_hub(
+                world,
+                HubId::new(h as u32),
+                0,
+                SLOTS,
+                DiscountSchedule::none(SLOTS),
+                24,
+                &mut rng,
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn batched_fleet(world: &WorldDataset) -> FleetEnv {
+    let hubs: Vec<HubId> = (0..HUBS as u32).map(HubId::new).collect();
+    let discounts = vec![DiscountSchedule::none(SLOTS); HUBS];
+    let mut rngs: Vec<EctRng> = (0..HUBS).map(|h| EctRng::seed_from(1000 + h as u64)).collect();
+    fleet_env_for_hubs(world, &hubs, 0, SLOTS, &discounts, 24, &mut rngs).unwrap()
+}
+
+/// One full 30-day episode, 12 hubs: sequential loops vs one batch engine.
+fn bench_episode_12_hubs(c: &mut Criterion) {
+    let world = world();
+    let envs = sequential_envs(&world);
+    let fleet = batched_fleet(&world);
+    let actions = [BpAction::Charge, BpAction::Discharge, BpAction::Idle];
+
+    let mut group = c.benchmark_group("fleet_episode_12hubs");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+
+    group.bench_function("sequential_hubenv_loops", |b| {
+        b.iter_batched(
+            || envs.clone(),
+            |mut envs| {
+                let mut total = 0.0;
+                for (lane, env) in envs.iter_mut().enumerate() {
+                    env.reset(0.5);
+                    for t in 0..SLOTS {
+                        let step = env.step(actions[(t + lane) % 3]);
+                        total += step.reward;
+                    }
+                }
+                std::hint::black_box(total)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("batched_step_batch", |b| {
+        b.iter_batched(
+            || fleet.clone(),
+            |mut fleet| {
+                let mut total = 0.0;
+                let mut batch_actions = [BpAction::Idle; HUBS];
+                fleet.reset(&[0.5; HUBS]);
+                for t in 0..SLOTS {
+                    for (lane, a) in batch_actions.iter_mut().enumerate() {
+                        *a = actions[(t + lane) % 3];
+                    }
+                    let step = fleet.step_batch(&batch_actions);
+                    total += step.rewards.iter().sum::<f64>();
+                }
+                std::hint::black_box(total)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+/// The observation hot path: allocating `observe()` vs `observe_into`.
+fn bench_observation_path(c: &mut Criterion) {
+    let world = world();
+    let mut env = sequential_envs(&world).remove(0);
+    env.reset(0.5);
+    let mut fleet = batched_fleet(&world);
+    fleet.reset(&[0.5; HUBS]);
+    let mut buf = vec![0.0; env.state_dim()];
+
+    let mut group = c.benchmark_group("fleet_observation");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("hubenv_observe_alloc", |b| {
+        b.iter(|| std::hint::black_box(env.observe()))
+    });
+    group.bench_function("hubenv_observe_into", |b| {
+        b.iter(|| {
+            env.observe_into(&mut buf);
+            std::hint::black_box(buf[0])
+        })
+    });
+    group.bench_function("fleet_observe_into_lane", |b| {
+        b.iter(|| {
+            fleet.observe_into(0, &mut buf);
+            std::hint::black_box(buf[0])
+        })
+    });
+
+    group.finish();
+}
+
+/// Construction cost: N single envs vs one Arc-sharing fleet.
+fn bench_fleet_construction(c: &mut Criterion) {
+    let world = world();
+    let mut group = c.benchmark_group("fleet_construction");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("twelve_hub_envs", |b| {
+        b.iter(|| std::hint::black_box(sequential_envs(&world)))
+    });
+    group.bench_function("one_fleet_env", |b| {
+        b.iter(|| std::hint::black_box(batched_fleet(&world)))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench_episode_12_hubs, bench_observation_path, bench_fleet_construction
+}
+criterion_main!(benches);

@@ -1,5 +1,10 @@
 //! Shared fleet experiment: per-hub DRL training under each pricing method.
 //! Backs both Fig. 13 (daily series) and Table III (reward matrix).
+//!
+//! Rides the batched fleet engine: [`ect_core::run_fleet`] trains each
+//! method's 12 hubs as lockstep [`ect_env::vec_env::FleetEnv`] batches
+//! (exogenous series `Arc`-shared, observations allocation-free), with
+//! results bit-identical to the sequential per-cell path.
 
 use super::PricingArtifacts;
 use ect_core::prelude::*;
@@ -8,7 +13,7 @@ use ect_price::engine::{EctPriceEngine, PricingEngine};
 use ect_types::rng::EctRng;
 
 /// Trains the four paper engines (reusing the artifact ECT-Price model) and
-/// runs the full hub × method fleet.
+/// runs the full hub × method fleet on the batched engine.
 ///
 /// # Errors
 ///

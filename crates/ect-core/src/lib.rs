@@ -34,8 +34,8 @@ pub mod system;
 pub use pricing::{pricing_table, train_engine, MethodPricingResults, PricingTable};
 pub use report::FleetReport;
 pub use scheduling::{
-    run_fleet, run_hub_method, run_hub_scheduler, schedule_for_hub, HubExperimentResult,
-    OBS_WINDOW,
+    run_fleet, run_hub_method, run_hub_scheduler, run_hubs_method_batched, schedule_for_hub,
+    HubExperimentResult, OBS_WINDOW,
 };
 pub use system::{EctHubSystem, PricingMethod, SystemConfig};
 
@@ -44,7 +44,8 @@ pub mod prelude {
     pub use crate::pricing::{pricing_table, train_engine, PricingTable};
     pub use crate::report::FleetReport;
     pub use crate::scheduling::{
-        run_fleet, run_hub_method, run_hub_scheduler, schedule_for_hub, HubExperimentResult,
+        run_fleet, run_hub_method, run_hub_scheduler, run_hubs_method_batched, schedule_for_hub,
+        HubExperimentResult,
     };
     pub use crate::system::{EctHubSystem, PricingMethod, SystemConfig};
     pub use ect_data::charging::Stratum;

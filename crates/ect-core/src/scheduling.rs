@@ -1,10 +1,25 @@
 //! Scheduling stage: per-hub DRL training under each pricing method, with
 //! parallel fleet execution (Fig. 13 / Table III of the paper).
+//!
+//! Two execution engines produce identical results:
+//!
+//! * [`run_hub_method`] — one `(hub, method)` cell at a time over the
+//!   sequential [`ect_env::env::HubEnv`];
+//! * [`run_hubs_method_batched`] / [`run_fleet`] — hub *batches* stepped in
+//!   lockstep through the [`ect_env::vec_env::FleetEnv`] engine, with each
+//!   worker thread owning a whole chunk of hubs and pushing its results
+//!   once (no per-cell lock traffic).
+//!
+//! The batched path is bit-identical to the sequential one under the same
+//! system seed — lane RNG streams are isolated exactly as the per-hub
+//! streams are (pinned by `tests/batched_equivalence.rs`).
 
 use crate::system::EctHubSystem;
+use ect_drl::collector::{evaluate_fleet_greedy, train_fleet};
 use ect_drl::heuristics::{DrlScheduler, Scheduler};
 use ect_drl::trainer::{evaluate, train, EvalSummary, TrainerConfig, TrainingHistory};
-use ect_env::fleet::env_for_hub;
+use ect_drl::ActorCritic;
+use ect_env::fleet::{env_for_hub, fleet_env_for_hubs};
 use ect_env::tariff::DiscountSchedule;
 use ect_price::engine::{discount_levels, PricingEngine};
 use ect_types::ids::{HubId, StationId};
@@ -80,7 +95,7 @@ pub fn run_hub_method(
     // (the paper: "all the other inputs … remain the same for the four
     // models"); reward differences then isolate discount-schedule quality.
     let trainer_config = TrainerConfig {
-        seed: system.config().seed ^ (u64::from(hub.as_u32()) << 32),
+        seed: hub_seed(system, hub),
         ..system.config().trainer.clone()
     };
     let (policy, history) = train(&trainer_config, factory)?;
@@ -165,9 +180,81 @@ fn assemble_result(
 /// Seed-stream separator so evaluation draws never overlap training draws.
 const EVAL_SEED_STREAM: u64 = 0xE7A1_5EED;
 
-/// Runs the full fleet: every hub × every named engine, in parallel.
+/// The lane seed of one hub: every pricing method shares it, so episodes
+/// stay *paired* across methods, and the batched engine reproduces the
+/// sequential per-hub streams exactly.
+fn hub_seed(system: &EctHubSystem, hub: HubId) -> u64 {
+    system.config().seed ^ (u64::from(hub.as_u32()) << 32)
+}
+
+/// Trains and evaluates ECT-DRL on a *batch* of hubs under one pricing
+/// engine, stepping all of them in lockstep through the
+/// [`ect_env::vec_env::FleetEnv`] engine.
 ///
-/// `threads` caps the worker count (0 = one worker per job).
+/// One lane per hub: lane `i` keeps its own policy, PPO state and RNG
+/// stream seeded exactly as [`run_hub_method`] seeds hub `i`, so the
+/// returned cells are bit-identical to calling [`run_hub_method`] per hub —
+/// while the exogenous series are shared (`Arc`) and the env stepping is
+/// amortised over the batch.
+///
+/// # Errors
+///
+/// Propagates schedule, environment and training failures.
+pub fn run_hubs_method_batched(
+    system: &EctHubSystem,
+    hubs: &[HubId],
+    engine: &dyn PricingEngine,
+    method_label: &str,
+) -> ect_types::Result<Vec<HubExperimentResult>> {
+    if hubs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let world = system.world();
+    let horizon = world.horizon();
+    let discounts: Vec<DiscountSchedule> = hubs
+        .iter()
+        .map(|&hub| schedule_for_hub(system, engine, hub))
+        .collect::<ect_types::Result<_>>()?;
+    let configs: Vec<TrainerConfig> = hubs
+        .iter()
+        .map(|&hub| TrainerConfig {
+            seed: hub_seed(system, hub),
+            ..system.config().trainer.clone()
+        })
+        .collect();
+
+    let factory = |_episode: usize, rngs: &mut [EctRng]| {
+        fleet_env_for_hubs(world, hubs, 0, horizon, &discounts, OBS_WINDOW, rngs)
+    };
+
+    let trained = train_fleet(&configs, factory)?;
+    let policies: Vec<ActorCritic> = trained.iter().map(|(policy, _)| policy.clone()).collect();
+    let eval_seeds: Vec<u64> = configs.iter().map(|c| c.seed ^ EVAL_SEED_STREAM).collect();
+    let summaries = evaluate_fleet_greedy(
+        &policies,
+        factory,
+        system.config().test_episodes,
+        &eval_seeds,
+    )?;
+
+    Ok(hubs
+        .iter()
+        .zip(trained.iter().zip(&summaries))
+        .map(|(&hub, ((_, history), summary))| {
+            assemble_result(hub, method_label, history, summary)
+        })
+        .collect())
+}
+
+/// Runs the full fleet: every hub × every named engine.
+///
+/// Execution rides the batched engine: the `hub × method` grid is split
+/// into per-method hub chunks, each worker thread trains its chunk as one
+/// lockstep [`ect_env::vec_env::FleetEnv`] batch and publishes the chunk's
+/// results with a single lock acquisition. Results are bit-identical to
+/// running [`run_hub_method`] per cell.
+///
+/// `threads` caps the worker count (0 = one worker per chunk).
 ///
 /// # Errors
 ///
@@ -177,29 +264,47 @@ pub fn run_fleet(
     engines: &[(String, Box<dyn PricingEngine>)],
     threads: usize,
 ) -> ect_types::Result<Vec<HubExperimentResult>> {
-    let jobs: Vec<(HubId, usize)> = (0..system.world().num_hubs())
-        .flat_map(|h| (0..engines.len()).map(move |e| (HubId::new(h), e)))
-        .collect();
-    let results = Mutex::new(Vec::with_capacity(jobs.len()));
-    let errors: Mutex<Vec<ect_types::EctError>> = Mutex::new(Vec::new());
+    let num_hubs = system.world().num_hubs();
+    let hubs: Vec<HubId> = (0..num_hubs).map(HubId::new).collect();
+    let cells = (num_hubs as usize) * engines.len();
+    if cells == 0 {
+        return Ok(Vec::new());
+    }
     let workers = if threads == 0 {
-        jobs.len().max(1)
+        cells
     } else {
-        threads.min(jobs.len()).max(1)
+        threads.min(cells).max(1)
     };
 
+    // Split each method's hub list into enough chunks to keep `workers`
+    // busy; each (method, hub-chunk) job is one batched fleet training.
+    let chunks_per_engine = workers.div_ceil(engines.len()).clamp(1, num_hubs as usize);
+    let chunk_len = (num_hubs as usize).div_ceil(chunks_per_engine);
+    let jobs: Vec<(usize, &[HubId])> = (0..engines.len())
+        .flat_map(|e| hubs.chunks(chunk_len).map(move |chunk| (e, chunk)))
+        .collect();
+
+    let results = Mutex::new(Vec::with_capacity(cells));
+    let errors: Mutex<Vec<ect_types::EctError>> = Mutex::new(Vec::new());
+
     crossbeam::thread::scope(|scope| {
-        for chunk in jobs.chunks(jobs.len().div_ceil(workers)) {
+        for worker_jobs in jobs.chunks(jobs.len().div_ceil(workers)) {
             let results = &results;
             let errors = &errors;
             scope.spawn(move |_| {
-                for &(hub, engine_idx) in chunk {
+                // Accumulate locally; publish once per worker.
+                let mut local = Vec::new();
+                for &(engine_idx, hub_chunk) in worker_jobs {
                     let (label, engine) = &engines[engine_idx];
-                    match run_hub_method(system, hub, engine.as_ref(), label) {
-                        Ok(r) => results.lock().push(r),
-                        Err(e) => errors.lock().push(e),
+                    match run_hubs_method_batched(system, hub_chunk, engine.as_ref(), label) {
+                        Ok(mut cells) => local.append(&mut cells),
+                        Err(e) => {
+                            errors.lock().push(e);
+                            return;
+                        }
                     }
                 }
+                results.lock().append(&mut local);
             });
         }
     })
@@ -265,6 +370,47 @@ mod tests {
         assert_eq!(results.len(), 3 * 2);
         // Sorted by (hub, method).
         assert!(results.windows(2).all(|w| (w[0].hub, &w[0].method) <= (w[1].hub, &w[1].method)));
+    }
+
+    #[test]
+    fn batched_fleet_cells_match_sequential_cells() {
+        let s = system();
+        let hubs: Vec<HubId> = (0..3).map(HubId::new).collect();
+        let batched =
+            run_hubs_method_batched(&s, &hubs, &NeverDiscount, "NoDiscount").unwrap();
+        assert_eq!(batched.len(), 3);
+        for (cell, &hub) in batched.iter().zip(&hubs) {
+            let seq = run_hub_method(&s, hub, &NeverDiscount, "NoDiscount").unwrap();
+            assert_eq!(cell.hub, seq.hub);
+            assert_eq!(
+                cell.avg_daily_reward.to_bits(),
+                seq.avg_daily_reward.to_bits(),
+                "hub {hub} avg daily reward"
+            );
+            assert_eq!(
+                cell.final_training_return.to_bits(),
+                seq.final_training_return.to_bits()
+            );
+            assert_eq!(cell.daily_series.len(), seq.daily_series.len());
+            for (a, b) in cell.daily_series.iter().zip(&seq.daily_series) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn run_fleet_matches_per_cell_results_regardless_of_chunking() {
+        let s = system();
+        let engines: Vec<(String, Box<dyn PricingEngine>)> = vec![
+            ("NoDiscount".into(), Box::new(NeverDiscount)),
+        ];
+        let wide = run_fleet(&s, &engines, 0).unwrap(); // one worker per chunk
+        let narrow = run_fleet(&s, &engines, 1).unwrap(); // single worker
+        assert_eq!(wide.len(), narrow.len());
+        for (a, b) in wide.iter().zip(&narrow) {
+            assert_eq!(a.hub, b.hub);
+            assert_eq!(a.avg_daily_reward.to_bits(), b.avg_daily_reward.to_bits());
+        }
     }
 
     #[test]

@@ -232,7 +232,7 @@ mod tests {
             let mut rng = EctRng::seed_from(seed);
             let t = model().cell_trace(200, &mut rng);
             for &v in &t.voltage {
-                prop_assert!(v >= 1.90 && v <= 2.40);
+                prop_assert!((1.90..=2.40).contains(&v));
             }
         }
     }

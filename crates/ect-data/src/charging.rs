@@ -443,9 +443,9 @@ mod tests {
         let records = w.generate_history(24 * 365, &mut rng);
         let shares = period_strata_shares(&records);
         let evening_incentive = shares[3][Stratum::IncentiveCharge.index()];
-        for period in 0..3 {
+        for (period, share) in shares.iter().take(3).enumerate() {
             assert!(
-                evening_incentive > 2.0 * shares[period][Stratum::IncentiveCharge.index()],
+                evening_incentive > 2.0 * share[Stratum::IncentiveCharge.index()],
                 "period {period}"
             );
         }

@@ -9,14 +9,19 @@
 //! * [`actor_critic`] — the shared-trunk policy/value network;
 //! * [`rollout`] — trajectory buffers and GAE advantage estimation;
 //! * [`ppo`] — the clipped-objective learner;
-//! * [`trainer`] — episode loops matching the paper's protocol (30-day
-//!   episodes, random initial SoC, 500 train / 100 test);
+//! * [`trainer`] — sequential episode loops matching the paper's protocol
+//!   (30-day episodes, random initial SoC, 500 train / 100 test);
+//! * [`collector`] — batched rollout collection over the
+//!   [`ect_env::vec_env::FleetEnv`] engine: lockstep fleet training with
+//!   per-lane buffers, bit-identical to the sequential trainer under paired
+//!   seeds;
 //! * [`heuristics`] — rule-based comparators (NoBattery, price thresholds,
 //!   time-of-use) and the [`heuristics::Scheduler`] abstraction;
 //! * [`checkpoint`] — JSON persistence for trained policies.
 
 pub mod actor_critic;
 pub mod checkpoint;
+pub mod collector;
 pub mod heuristics;
 pub mod ppo;
 pub mod rollout;
@@ -24,6 +29,10 @@ pub mod trainer;
 
 pub use actor_critic::{ActorCritic, ActorCriticConfig};
 pub use checkpoint::{load_policy, save_policy};
+pub use collector::{
+    collect_fleet_episode, collect_shared_policy_episode, evaluate_fleet_greedy, train_fleet,
+    FleetFactory,
+};
 pub use heuristics::{run_episode, DrlScheduler, GreedyPrice, NoBattery, Scheduler, TimeOfUse};
 pub use ppo::{Ppo, PpoConfig, UpdateStats};
 pub use rollout::{RolloutBuffer, Transition};

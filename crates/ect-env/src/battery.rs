@@ -385,17 +385,25 @@ mod tests {
     #[test]
     fn config_validation_rejects_nonsense() {
         let p = KiloWatt::new(4.0);
-        let mut c = BatteryPointConfig::default();
-        c.capacity_kwh = 0.0;
+        let c = BatteryPointConfig {
+            capacity_kwh: 0.0,
+            ..BatteryPointConfig::default()
+        };
         assert!(c.validate(p, 1).is_err());
-        let mut c = BatteryPointConfig::default();
-        c.charge_rate_kw = -1.0;
+        let c = BatteryPointConfig {
+            charge_rate_kw: -1.0,
+            ..BatteryPointConfig::default()
+        };
         assert!(c.validate(p, 1).is_err());
-        let mut c = BatteryPointConfig::default();
-        c.soc_min_fraction = Ratio::saturating(0.95);
+        let c = BatteryPointConfig {
+            soc_min_fraction: Ratio::saturating(0.95),
+            ..BatteryPointConfig::default()
+        };
         assert!(c.validate(p, 1).is_err());
-        let mut c = BatteryPointConfig::default();
-        c.op_cost_per_slot = -0.5;
+        let c = BatteryPointConfig {
+            op_cost_per_slot: -0.5,
+            ..BatteryPointConfig::default()
+        };
         assert!(c.validate(p, 1).is_err());
     }
 

@@ -279,8 +279,8 @@ mod tests {
         // Low load early, full load late: the worst 4-hour window is at the
         // end.
         let (weather, mut traffic) = flat_traces(24, 0.2, 0.0);
-        for t in 18..24 {
-            traffic[t].load_rate = LoadRate::saturating(1.0);
+        for sample in traffic.iter_mut().skip(18) {
+            sample.load_rate = LoadRate::saturating(1.0);
         }
         let worst = worst_case_ride_through(&config, &weather, &traffic, 10.0, 4).unwrap();
         // With only 10 kWh stored, the full-load window must be the binding

@@ -21,6 +21,137 @@ use ect_data::weather::WeatherSample;
 use ect_types::units::{DollarsPerKwh, KiloWatt, Money};
 use serde::{Deserialize, Serialize};
 
+/// Borrowed view of one slot's exogenous inputs — the argument of
+/// [`compute_slot`], buildable from [`EpisodeInputs`] (single-hub path) or
+/// from the `Arc`-shared lanes of a [`crate::vec_env::FleetEnv`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlotInputs<'a> {
+    /// Grid price `RTP(t)`.
+    pub rtp: DollarsPerKwh,
+    /// Weather at the slot.
+    pub weather: &'a WeatherSample,
+    /// Base-station load rate at the slot.
+    pub traffic: &'a TrafficSample,
+    /// Discount level `c(t)` decided by the pricing engine.
+    pub discount_level: f64,
+    /// Ground-truth charging stratum.
+    pub stratum: Stratum,
+}
+
+/// Advances one slot of the hub dynamics: applies the battery action,
+/// balances power (Eq. 7), and accounts costs and revenue (Eqs. 8–12).
+///
+/// This is *the* slot kernel — [`HubEnv::step`] and the batched
+/// [`crate::vec_env::FleetEnv::step_batch`] both call it, which is what
+/// makes batched and sequential stepping bit-identical.
+pub(crate) fn compute_slot(
+    config: &HubConfig,
+    inputs: SlotInputs<'_>,
+    battery: &mut BatteryPoint,
+    action: BpAction,
+    t: usize,
+) -> SlotBreakdown {
+    let bp = battery.apply(action);
+
+    let p_bs = config.base_station.power(inputs.traffic.load_rate);
+    let discounted = inputs.discount_level > 0.0;
+    let ev_charged = inputs.stratum.outcome(discounted);
+    let p_cs = config.charging_station.power(ev_charged);
+    let p_pv = config.plant.pv_power(inputs.weather);
+    let p_wt = config.plant.wt_power(inputs.weather);
+    let p_grid = grid_power(p_bs, p_cs, bp.grid_side_power, p_wt, p_pv);
+
+    let rtp = inputs.rtp;
+    let srtp = config.tariff.price_with_discount(inputs.discount_level);
+    let revenue = p_cs.for_one_slot() * srtp;
+    let grid_cost = p_grid.for_one_slot() * rtp;
+    let reward = revenue - grid_cost - bp.op_cost;
+
+    SlotBreakdown {
+        slot: t,
+        p_bs,
+        p_cs,
+        p_bp: bp.grid_side_power,
+        p_wt,
+        p_pv,
+        p_grid,
+        srtp,
+        rtp,
+        revenue,
+        grid_cost,
+        bp_cost: bp.op_cost,
+        reward,
+        soc_kwh: bp.soc.as_f64(),
+        effective_action: bp.effective_action,
+        ev_charged,
+    }
+}
+
+/// Writes the Eq. 24 observation into `out` without allocating: five
+/// sliding windows (RTP, solar, wind, traffic, SRTP) over the past
+/// `window` slots plus the scalar SoC, all normalised.
+///
+/// Shared by [`HubEnv::observe_into`] and the batched
+/// [`crate::vec_env::FleetEnv`] observation path.
+///
+/// # Panics
+///
+/// Panics if `out.len() != 5 * window + 1` or the series are empty.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn write_observation(
+    out: &mut [f64],
+    window: usize,
+    t: usize,
+    norm: &ObsNorm,
+    config: &HubConfig,
+    rtp: &[DollarsPerKwh],
+    weather: &[WeatherSample],
+    traffic: &[TrafficSample],
+    discounts: &DiscountSchedule,
+    soc_fraction: f64,
+) {
+    assert_eq!(out.len(), 5 * window + 1, "observation buffer size mismatch");
+    let len = rtp.len();
+    // Monomorphized per closure so the trivial bodies inline on the hot
+    // path (this runs 5×window times per lane per slot).
+    fn fill<F: Fn(usize) -> f64>(
+        out: &mut [f64],
+        cursor: &mut usize,
+        window: usize,
+        t: usize,
+        len: usize,
+        f: F,
+    ) {
+        // Values at slots (t-window+1 ..= t), clamped at episode start.
+        for k in 0..window {
+            let idx = (t + k).saturating_sub(window - 1).min(len - 1);
+            out[*cursor] = f(idx);
+            *cursor += 1;
+        }
+    }
+    let mut cursor = 0usize;
+    fill(out, &mut cursor, window, t, len, |i| {
+        rtp[i].as_f64() / norm.price_scale
+    });
+    fill(out, &mut cursor, window, t, len, |i| {
+        weather[i].solar_irradiance / norm.irradiance_scale
+    });
+    fill(out, &mut cursor, window, t, len, |i| {
+        weather[i].wind_speed / norm.wind_scale
+    });
+    fill(out, &mut cursor, window, t, len, |i| {
+        traffic[i].load_rate.as_f64()
+    });
+    fill(out, &mut cursor, window, t, len, |i| {
+        config
+            .tariff
+            .price_with_discount(discounts.level(i))
+            .as_f64()
+            / config.tariff.base_price.as_f64()
+    });
+    out[cursor] = soc_fraction;
+}
+
 /// Exogenous inputs for one episode, all series of equal length.
 #[derive(Debug, Clone)]
 pub struct EpisodeInputs {
@@ -118,6 +249,32 @@ pub struct SlotBreakdown {
     pub effective_action: BpAction,
     /// Whether an EV charged this slot (`S_CS`).
     pub ev_charged: bool,
+}
+
+impl Default for SlotBreakdown {
+    /// The all-zero slot: every power, price and money field at zero,
+    /// effective action [`BpAction::Idle`], no EV charged. Used as the
+    /// pre-first-step placeholder in batched engines.
+    fn default() -> Self {
+        Self {
+            slot: 0,
+            p_bs: KiloWatt::ZERO,
+            p_cs: KiloWatt::ZERO,
+            p_bp: KiloWatt::ZERO,
+            p_wt: KiloWatt::ZERO,
+            p_pv: KiloWatt::ZERO,
+            p_grid: KiloWatt::ZERO,
+            srtp: DollarsPerKwh::ZERO,
+            rtp: DollarsPerKwh::ZERO,
+            revenue: Money::ZERO,
+            grid_cost: Money::ZERO,
+            bp_cost: Money::ZERO,
+            reward: Money::ZERO,
+            soc_kwh: 0.0,
+            effective_action: BpAction::Idle,
+            ev_charged: false,
+        }
+    }
 }
 
 /// Result of one environment step.
@@ -275,33 +432,45 @@ impl HubEnv {
         self.observe()
     }
 
-    fn windowed<F: Fn(usize) -> f64>(&self, out: &mut Vec<f64>, f: F) {
-        // Values at slots (t-window+1 ..= t), clamped at episode start.
-        for k in 0..self.window {
-            let idx = (self.t + k).saturating_sub(self.window - 1).min(self.inputs.len() - 1);
-            out.push(f(idx));
-        }
+    /// Writes the observation at the current slot (Eq. 24) into a
+    /// caller-provided buffer — the allocation-free hot path the batched
+    /// [`crate::vec_env::FleetEnv`] engine also rides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.state_dim()`.
+    pub fn observe_into(&self, out: &mut [f64]) {
+        write_observation(
+            out,
+            self.window,
+            self.t,
+            &self.norm,
+            &self.config,
+            &self.inputs.rtp,
+            &self.inputs.weather,
+            &self.inputs.traffic,
+            &self.inputs.discounts,
+            self.battery.soc_fraction(),
+        );
     }
 
     /// Builds the observation at the current slot (Eq. 24).
+    ///
+    /// Thin allocating wrapper over [`HubEnv::observe_into`].
     pub fn observe(&self) -> Vec<f64> {
-        let mut s = Vec::with_capacity(self.state_dim());
-        let n = &self.norm;
-        self.windowed(&mut s, |i| self.inputs.rtp[i].as_f64() / n.price_scale);
-        self.windowed(&mut s, |i| {
-            self.inputs.weather[i].solar_irradiance / n.irradiance_scale
-        });
-        self.windowed(&mut s, |i| self.inputs.weather[i].wind_speed / n.wind_scale);
-        self.windowed(&mut s, |i| self.inputs.traffic[i].load_rate.as_f64());
-        self.windowed(&mut s, |i| {
-            self.config
-                .tariff
-                .price_with_discount(self.inputs.discounts.level(i))
-                .as_f64()
-                / self.config.tariff.base_price.as_f64()
-        });
-        s.push(self.battery.soc_fraction());
+        let mut s = vec![0.0; self.state_dim()];
+        self.observe_into(&mut s);
         s
+    }
+
+    /// Observation window length in slots.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Normalisation constants of the observation.
+    pub fn norm(&self) -> &ObsNorm {
+        &self.norm
     }
 
     /// Advances one slot under the given battery action.
@@ -315,50 +484,25 @@ impl HubEnv {
             "step called on finished episode; call reset"
         );
         let t = self.t;
-        let bp = self.battery.apply(action);
-
-        let p_bs = self.config.base_station.power(self.inputs.traffic[t].load_rate);
-        let discounted = self.inputs.discounts.is_discounted(t);
-        let ev_charged = self.inputs.strata[t].outcome(discounted);
-        let p_cs = self.config.charging_station.power(ev_charged);
-        let weather = &self.inputs.weather[t];
-        let p_pv = self.config.plant.pv_power(weather);
-        let p_wt = self.config.plant.wt_power(weather);
-        let p_grid = grid_power(p_bs, p_cs, bp.grid_side_power, p_wt, p_pv);
-
-        let rtp = self.inputs.rtp[t];
-        let srtp = self
-            .config
-            .tariff
-            .price_with_discount(self.inputs.discounts.level(t));
-        let revenue = p_cs.for_one_slot() * srtp;
-        let grid_cost = p_grid.for_one_slot() * rtp;
-        let reward = revenue - grid_cost - bp.op_cost;
-
-        let breakdown = SlotBreakdown {
-            slot: t,
-            p_bs,
-            p_cs,
-            p_bp: bp.grid_side_power,
-            p_wt,
-            p_pv,
-            p_grid,
-            srtp,
-            rtp,
-            revenue,
-            grid_cost,
-            bp_cost: bp.op_cost,
-            reward,
-            soc_kwh: bp.soc.as_f64(),
-            effective_action: bp.effective_action,
-            ev_charged,
-        };
+        let breakdown = compute_slot(
+            &self.config,
+            SlotInputs {
+                rtp: self.inputs.rtp[t],
+                weather: &self.inputs.weather[t],
+                traffic: &self.inputs.traffic[t],
+                discount_level: self.inputs.discounts.level(t),
+                stratum: self.inputs.strata[t],
+            },
+            &mut self.battery,
+            action,
+            t,
+        );
 
         self.t += 1;
         let done = self.t >= self.inputs.len();
         StepResult {
             state: self.observe(),
-            reward: reward.as_f64(),
+            reward: breakdown.reward.as_f64(),
             done,
             breakdown,
         }

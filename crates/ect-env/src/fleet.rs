@@ -8,11 +8,13 @@
 use crate::env::{EpisodeInputs, HubEnv};
 use crate::hub::HubConfig;
 use crate::tariff::DiscountSchedule;
+use crate::vec_env::{FleetEnv, HubSeries};
 use ect_data::charging::Stratum;
 use ect_data::dataset::WorldDataset;
 use ect_types::ids::{HubId, StationId};
 use ect_types::rng::EctRng;
 use ect_types::time::SlotIndex;
+use std::sync::Arc;
 
 /// Draws the ground-truth stratum series for one station over a slot range.
 ///
@@ -39,6 +41,40 @@ pub fn draw_strata(
         .collect()
 }
 
+/// Shared validation for one hub's episode request: hub in range, window
+/// inside the world horizon, discount schedule the right length. Used by
+/// both the sequential [`episode_for_hub`] and the batched
+/// [`fleet_env_for_hubs`] builders so the two paths cannot drift.
+fn validate_episode_request(
+    world: &WorldDataset,
+    hub: HubId,
+    start_slot: usize,
+    len: usize,
+    discounts_len: usize,
+) -> ect_types::Result<()> {
+    if hub.index() >= world.hubs.len() {
+        return Err(ect_types::EctError::InvalidConfig(format!(
+            "hub {hub} outside world of {} hubs",
+            world.hubs.len()
+        )));
+    }
+    if start_slot + len > world.horizon() {
+        return Err(ect_types::EctError::InsufficientData(format!(
+            "episode [{start_slot}, {}) exceeds world horizon {}",
+            start_slot + len,
+            world.horizon()
+        )));
+    }
+    if discounts_len != len {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "fleet discount schedule",
+            expected: len,
+            actual: discounts_len,
+        });
+    }
+    Ok(())
+}
+
 /// Builds episode inputs for one hub over `[start_slot, start_slot + len)`.
 ///
 /// # Errors
@@ -53,26 +89,7 @@ pub fn episode_for_hub(
     discounts: DiscountSchedule,
     rng: &mut EctRng,
 ) -> ect_types::Result<EpisodeInputs> {
-    if hub.index() >= world.hubs.len() {
-        return Err(ect_types::EctError::InvalidConfig(format!(
-            "hub {hub} outside world of {} hubs",
-            world.hubs.len()
-        )));
-    }
-    if start_slot + len > world.horizon() {
-        return Err(ect_types::EctError::InsufficientData(format!(
-            "episode [{start_slot}, {}) exceeds world horizon {}",
-            start_slot + len,
-            world.horizon()
-        )));
-    }
-    if discounts.len() != len {
-        return Err(ect_types::EctError::ShapeMismatch {
-            context: "fleet discount schedule",
-            expected: len,
-            actual: discounts.len(),
-        });
-    }
+    validate_episode_request(world, hub, start_slot, len, discounts.len())?;
     let traces = &world.hubs[hub.index()];
     let strata = draw_strata(world, StationId::new(hub.as_u32()), start_slot, len, rng);
     let inputs = EpisodeInputs {
@@ -104,6 +121,76 @@ pub fn env_for_hub(
     let inputs = episode_for_hub(world, hub, start_slot, len, discounts, rng)?;
     let config = HubConfig::for_siting(world.hubs[hub.index()].siting);
     HubEnv::new(config, inputs, window)
+}
+
+/// Builds a batched [`FleetEnv`] over several hubs of the world, one lane
+/// per hub, with the regional RTP series stored **once** and `Arc`-shared
+/// across all lanes.
+///
+/// Lane `i` draws its strata from `rngs[i]` with exactly the calls
+/// [`env_for_hub`] would make for that hub — batched and sequential
+/// construction therefore see identical episodes under paired seeds.
+///
+/// # Errors
+///
+/// Propagates per-hub slicing failures, and returns
+/// [`ect_types::EctError::ShapeMismatch`] if `discounts`/`rngs` lengths
+/// differ from `hubs`.
+pub fn fleet_env_for_hubs(
+    world: &WorldDataset,
+    hubs: &[HubId],
+    start_slot: usize,
+    len: usize,
+    discounts: &[DiscountSchedule],
+    window: usize,
+    rngs: &mut [EctRng],
+) -> ect_types::Result<FleetEnv> {
+    if discounts.len() != hubs.len() {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "fleet discount schedules",
+            expected: hubs.len(),
+            actual: discounts.len(),
+        });
+    }
+    if rngs.len() != hubs.len() {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "fleet strata rngs",
+            expected: hubs.len(),
+            actual: rngs.len(),
+        });
+    }
+    let shared_rtp: Arc<[ect_types::units::DollarsPerKwh]> = match world
+        .rtp
+        .get(start_slot..start_slot + len)
+    {
+        Some(slice) => slice.into(),
+        None => {
+            return Err(ect_types::EctError::InsufficientData(format!(
+                "episode [{start_slot}, {}) exceeds world horizon {}",
+                start_slot + len,
+                world.horizon()
+            )))
+        }
+    };
+    let mut lanes = Vec::with_capacity(hubs.len());
+    for ((&hub, schedule), rng) in hubs.iter().zip(discounts).zip(rngs.iter_mut()) {
+        // Same validation and strata draws as `episode_for_hub`, but built
+        // straight into Arc series so the shared RTP slice is never copied
+        // per lane (this runs once per training episode).
+        validate_episode_request(world, hub, start_slot, len, schedule.len())?;
+        let traces = &world.hubs[hub.index()];
+        let strata = draw_strata(world, StationId::new(hub.as_u32()), start_slot, len, rng);
+        let series = HubSeries {
+            rtp: Arc::clone(&shared_rtp),
+            weather: traces.weather[start_slot..start_slot + len].into(),
+            traffic: traces.traffic[start_slot..start_slot + len].into(),
+            discounts: Arc::new(schedule.clone()),
+            strata: strata.into(),
+        };
+        let config = HubConfig::for_siting(world.hubs[hub.index()].siting);
+        lanes.push((config, series));
+    }
+    FleetEnv::new(lanes, window)
 }
 
 #[cfg(test)]
@@ -179,6 +266,101 @@ mod tests {
         let a = draw_strata(&w, StationId::new(0), 0, 100, &mut r1);
         let b = draw_strata(&w, StationId::new(0), 0, 100, &mut r2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_fleet_matches_sequential_envs() {
+        let w = world();
+        let hubs: Vec<HubId> = (0..3).map(HubId::new).collect();
+        let discounts = vec![DiscountSchedule::none(48); 3];
+
+        // Sequential: one env per hub, each from its own seeded rng.
+        let mut seq_envs: Vec<HubEnv> = hubs
+            .iter()
+            .map(|&h| {
+                let mut rng = EctRng::seed_from(100 + u64::from(h.as_u32()));
+                env_for_hub(&w, h, 24, 48, DiscountSchedule::none(48), 6, &mut rng).unwrap()
+            })
+            .collect();
+
+        // Batched: same per-hub rngs, one FleetEnv.
+        let mut rngs: Vec<EctRng> = hubs
+            .iter()
+            .map(|&h| EctRng::seed_from(100 + u64::from(h.as_u32())))
+            .collect();
+        let mut fleet =
+            fleet_env_for_hubs(&w, &hubs, 24, 48, &discounts, 6, &mut rngs).unwrap();
+
+        let socs = [0.3, 0.5, 0.7];
+        for (env, &soc) in seq_envs.iter_mut().zip(&socs) {
+            env.reset(soc);
+        }
+        fleet.reset(&socs);
+        for t in 0..48 {
+            let actions = [BpAction::Charge, BpAction::Idle, BpAction::Discharge];
+            let batch_done = {
+                let step = fleet.step_batch(&actions);
+                for (lane, env) in seq_envs.iter_mut().enumerate() {
+                    let seq = env.step(actions[lane]);
+                    assert_eq!(seq.breakdown, step.breakdowns[lane], "slot {t} lane {lane}");
+                    assert_eq!(seq.state.as_slice(), step.lane_obs(lane));
+                }
+                step.done
+            };
+            if batch_done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_builder_shares_the_rtp_series() {
+        let w = world();
+        let hubs: Vec<HubId> = (0..2).map(HubId::new).collect();
+        let discounts = vec![DiscountSchedule::none(24); 2];
+        let mut rngs = vec![EctRng::seed_from(1), EctRng::seed_from(2)];
+        let fleet = fleet_env_for_hubs(&w, &hubs, 0, 24, &discounts, 4, &mut rngs).unwrap();
+        assert_eq!(
+            fleet.series()[0].rtp.as_ptr(),
+            fleet.series()[1].rtp.as_ptr()
+        );
+    }
+
+    #[test]
+    fn fleet_builder_validates_shapes() {
+        let w = world();
+        let hubs: Vec<HubId> = (0..2).map(HubId::new).collect();
+        let mut rngs = vec![EctRng::seed_from(1), EctRng::seed_from(2)];
+        assert!(fleet_env_for_hubs(
+            &w,
+            &hubs,
+            0,
+            24,
+            &[DiscountSchedule::none(24)],
+            4,
+            &mut rngs
+        )
+        .is_err());
+        assert!(fleet_env_for_hubs(
+            &w,
+            &hubs,
+            0,
+            24,
+            &[DiscountSchedule::none(24), DiscountSchedule::none(24)],
+            4,
+            &mut rngs[..1]
+        )
+        .is_err());
+        assert!(fleet_env_for_hubs(
+            &w,
+            &hubs,
+            24 * 9,
+            48,
+            &[DiscountSchedule::none(48), DiscountSchedule::none(48)],
+            4,
+            &mut rngs
+        )
+        .is_err());
     }
 
     #[test]

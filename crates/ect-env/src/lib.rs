@@ -14,7 +14,10 @@
 //!   hourly slot, returns the Eq. 12 profit as the reward and the Eq. 24
 //!   observation, and records a full [`env::SlotBreakdown`] audit trail;
 //! * [`fleet`] — slicing a generated [`ect_data::dataset::WorldDataset`]
-//!   into per-hub episodes;
+//!   into per-hub episodes, sequential or batched;
+//! * [`vec_env`] — [`vec_env::FleetEnv`], the batched fleet engine stepping
+//!   N hubs in lockstep over `Arc`-shared series with an allocation-free
+//!   observation path;
 //! * [`blackout`] — grid-outage ride-through simulation, exercising the
 //!   Eq. 6 reserve the rest of the system merely guarantees.
 //!
@@ -30,11 +33,13 @@ pub mod fleet;
 pub mod hub;
 pub mod power;
 pub mod tariff;
+pub mod vec_env;
 
 pub use battery::{BatteryPoint, BatteryPointConfig, BpAction, BpSlotResult};
 pub use blackout::{ride_through, worst_case_ride_through, BlackoutOutcome, BlackoutScenario};
 pub use env::{EpisodeInputs, HubEnv, SlotBreakdown, StepResult};
-pub use fleet::{draw_strata, env_for_hub, episode_for_hub};
+pub use fleet::{draw_strata, env_for_hub, episode_for_hub, fleet_env_for_hubs};
 pub use hub::HubConfig;
 pub use power::{grid_power, BaseStationModel, ChargingStationModel};
 pub use tariff::{DiscountSchedule, SellingTariff};
+pub use vec_env::{BatchStep, FleetEnv, HubSeries};

@@ -195,7 +195,7 @@ mod tests {
         fn bs_power_within_bounds(load in 0.0f64..1.0) {
             let bs = BaseStationModel::default();
             let p = bs.power(LoadRate::new(load).unwrap()).as_f64();
-            prop_assert!(p >= 2.0 && p <= 4.0);
+            prop_assert!((2.0..=4.0).contains(&p));
         }
     }
 }

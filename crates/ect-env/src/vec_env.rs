@@ -1,0 +1,673 @@
+//! The batched fleet engine: vectorized lockstep stepping of N hubs.
+//!
+//! The paper evaluates 12 ECT-Hubs; the single-hub [`HubEnv`] steps one hub
+//! at a time and allocates a fresh observation vector per step. [`FleetEnv`]
+//! instead keeps struct-of-arrays state over all lanes — parallel vectors of
+//! configs, batteries and `Arc`-shared exogenous series — advancing every
+//! hub one slot per [`FleetEnv::step_batch`] call and writing all
+//! observations into one flat reusable buffer. After warm-up the stepping
+//! and observation paths perform no heap allocations.
+//!
+//! Bit-exactness: each lane runs the same [`compute_slot`] kernel and
+//! [`write_observation`] layout as [`HubEnv::step`], so a batched trajectory
+//! is bit-identical to stepping the equivalent `HubEnv`s sequentially (the
+//! `tests/batched_equivalence.rs` suite pins this).
+
+use crate::battery::{BatteryPoint, BpAction};
+use crate::env::{
+    compute_slot, write_observation, EpisodeInputs, HubEnv, ObsNorm, SlotBreakdown, SlotInputs,
+};
+use crate::hub::HubConfig;
+use crate::tariff::DiscountSchedule;
+use ect_data::charging::Stratum;
+use ect_data::traffic::TrafficSample;
+use ect_data::weather::WeatherSample;
+use ect_types::units::{DollarsPerKwh, Money};
+use std::sync::Arc;
+
+/// One hub's exogenous series, reference-counted so fleet lanes can share
+/// storage (all hubs of a world share one regional RTP series; replayed
+/// episodes share everything but the strata draw).
+#[derive(Debug, Clone)]
+pub struct HubSeries {
+    /// Real-time grid price per slot.
+    pub rtp: Arc<[DollarsPerKwh]>,
+    /// Weather per slot.
+    pub weather: Arc<[WeatherSample]>,
+    /// Base-station traffic per slot.
+    pub traffic: Arc<[TrafficSample]>,
+    /// Discount schedule from the pricing engine.
+    pub discounts: Arc<DiscountSchedule>,
+    /// Ground-truth charging stratum per slot.
+    pub strata: Arc<[Stratum]>,
+}
+
+impl HubSeries {
+    /// Wraps owned episode inputs, taking sole ownership of each series.
+    pub fn from_inputs(inputs: EpisodeInputs) -> Self {
+        Self {
+            rtp: inputs.rtp.into(),
+            weather: inputs.weather.into(),
+            traffic: inputs.traffic.into(),
+            discounts: Arc::new(inputs.discounts),
+            strata: inputs.strata.into(),
+        }
+    }
+
+    /// Episode length in slots.
+    pub fn len(&self) -> usize {
+        self.rtp.len()
+    }
+
+    /// `true` when the series cover no slots.
+    pub fn is_empty(&self) -> bool {
+        self.rtp.is_empty()
+    }
+
+    /// Validates that all series cover the same non-empty horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::ShapeMismatch`] or
+    /// [`ect_types::EctError::InsufficientData`] on inconsistency.
+    pub fn validate(&self) -> ect_types::Result<()> {
+        let n = self.rtp.len();
+        if n == 0 {
+            return Err(ect_types::EctError::InsufficientData(
+                "fleet lane needs at least one slot".into(),
+            ));
+        }
+        for (what, len) in [
+            ("fleet lane weather series", self.weather.len()),
+            ("fleet lane traffic series", self.traffic.len()),
+            ("fleet lane discount schedule", self.discounts.len()),
+            ("fleet lane strata series", self.strata.len()),
+        ] {
+            if len != n {
+                return Err(ect_types::EctError::ShapeMismatch {
+                    context: what,
+                    expected: n,
+                    actual: len,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of one batched step, borrowing the engine's reusable buffers.
+#[derive(Debug)]
+pub struct BatchStep<'a> {
+    /// All observations, lane-major: lane `i` occupies
+    /// `obs[i * state_dim .. (i + 1) * state_dim]`.
+    pub obs: &'a [f64],
+    /// Per-lane reward (Eq. 12 profit).
+    pub rewards: &'a [f64],
+    /// Per-lane slot accounting.
+    pub breakdowns: &'a [SlotBreakdown],
+    /// `true` when every lane's episode has ended (lanes share one horizon,
+    /// so all end together).
+    pub done: bool,
+}
+
+impl BatchStep<'_> {
+    /// Observation slice of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_obs(&self, lane: usize) -> &[f64] {
+        let dim = self.obs.len() / self.rewards.len();
+        &self.obs[lane * dim..(lane + 1) * dim]
+    }
+}
+
+/// Batched environment over N hub lanes advancing in lockstep.
+///
+/// # Example
+///
+/// ```
+/// use ect_env::battery::BpAction;
+/// use ect_env::env::{EpisodeInputs, HubEnv};
+/// use ect_env::hub::HubConfig;
+/// use ect_env::tariff::DiscountSchedule;
+/// use ect_env::vec_env::FleetEnv;
+/// use ect_data::charging::Stratum;
+/// use ect_data::weather::WeatherSample;
+/// use ect_data::traffic::TrafficSample;
+/// use ect_types::units::{DollarsPerKwh, LoadRate};
+///
+/// let slots = 24;
+/// let inputs = EpisodeInputs {
+///     rtp: vec![DollarsPerKwh::new(0.08); slots],
+///     weather: vec![WeatherSample { solar_irradiance: 0.0, wind_speed: 5.0, cloud_cover: 0.2 }; slots],
+///     traffic: vec![TrafficSample { load_rate: LoadRate::new(0.5)?, volume_gb: 50.0 }; slots],
+///     discounts: DiscountSchedule::none(slots),
+///     strata: vec![Stratum::AlwaysCharge; slots],
+/// };
+/// let envs = vec![
+///     HubEnv::new(HubConfig::urban(), inputs.clone(), 6)?,
+///     HubEnv::new(HubConfig::rural(), inputs, 6)?,
+/// ];
+/// let mut fleet = FleetEnv::from_envs(envs)?;
+/// fleet.reset(&[0.5, 0.5]);
+/// let step = fleet.step_batch(&[BpAction::Idle, BpAction::Charge]);
+/// assert_eq!(step.rewards.len(), 2);
+/// assert!(step.rewards.iter().all(|r| r.is_finite()));
+/// # Ok::<(), ect_types::EctError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetEnv {
+    // Struct-of-arrays lane state: index `i` across these vectors is lane i.
+    configs: Vec<HubConfig>,
+    series: Vec<HubSeries>,
+    batteries: Vec<BatteryPoint>,
+    // Lockstep cursor and layout.
+    norm: ObsNorm,
+    window: usize,
+    horizon: usize,
+    state_dim: usize,
+    t: usize,
+    // Reusable output buffers (the zero-allocation hot path).
+    obs: Vec<f64>,
+    rewards: Vec<f64>,
+    breakdowns: Vec<SlotBreakdown>,
+}
+
+impl FleetEnv {
+    /// Creates a fleet over `(config, series)` lanes sharing one horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for an empty fleet or
+    /// zero window, validation errors from each lane's config/series, and
+    /// [`ect_types::EctError::ShapeMismatch`] when horizons differ.
+    pub fn new(lanes: Vec<(HubConfig, HubSeries)>, window: usize) -> ect_types::Result<Self> {
+        if lanes.is_empty() {
+            return Err(ect_types::EctError::InvalidConfig(
+                "a fleet needs at least one lane".into(),
+            ));
+        }
+        if window == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "observation window must be at least one slot".into(),
+            ));
+        }
+        let horizon = lanes[0].1.len();
+        for (config, series) in &lanes {
+            config.validate()?;
+            series.validate()?;
+            if series.len() != horizon {
+                return Err(ect_types::EctError::ShapeMismatch {
+                    context: "fleet lane horizon",
+                    expected: horizon,
+                    actual: series.len(),
+                });
+            }
+        }
+        let n = lanes.len();
+        let state_dim = 5 * window + 1;
+        let mut configs = Vec::with_capacity(n);
+        let mut series = Vec::with_capacity(n);
+        let mut batteries = Vec::with_capacity(n);
+        for (config, lane_series) in lanes {
+            batteries.push(BatteryPoint::new(config.battery.clone(), 0.5));
+            configs.push(config);
+            series.push(lane_series);
+        }
+        let mut fleet = Self {
+            configs,
+            series,
+            batteries,
+            norm: ObsNorm::default(),
+            window,
+            horizon,
+            state_dim,
+            t: 0,
+            obs: vec![0.0; n * state_dim],
+            rewards: vec![0.0; n],
+            breakdowns: vec![SlotBreakdown::default(); n],
+        };
+        // Populate real slot-0 observations so a freshly built fleet reads
+        // like a freshly built HubEnv instead of returning zero vectors
+        // until the first reset.
+        fleet.refresh_observations();
+        Ok(fleet)
+    }
+
+    /// Builds a fleet from existing single-hub environments (they must share
+    /// one window and horizon, and sit at slot 0). Convenience for tests and
+    /// for migrating sequential call sites.
+    ///
+    /// Each lane inherits its environment's battery state (current SoC), so
+    /// a wrapped env behaves exactly as it would have sequentially; lanes
+    /// still need a [`FleetEnv::reset`] to randomise SoC per episode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FleetEnv::new`] failures; additionally rejects an empty
+    /// environment list, mismatched windows, or an env already stepped past
+    /// slot 0 (lanes advance in lockstep from the episode start — reset it
+    /// first).
+    pub fn from_envs(envs: Vec<HubEnv>) -> ect_types::Result<Self> {
+        let window = match envs.first() {
+            Some(env) => env.window(),
+            None => {
+                return Err(ect_types::EctError::InvalidConfig(
+                    "a fleet needs at least one lane".into(),
+                ))
+            }
+        };
+        let mut lanes = Vec::with_capacity(envs.len());
+        let mut batteries = Vec::with_capacity(envs.len());
+        for env in envs {
+            if env.window() != window {
+                return Err(ect_types::EctError::ShapeMismatch {
+                    context: "fleet lane window",
+                    expected: window,
+                    actual: env.window(),
+                });
+            }
+            if env.slot() != 0 {
+                return Err(ect_types::EctError::InvalidConfig(format!(
+                    "fleet lanes must start at slot 0, got an env at slot {}; reset it first",
+                    env.slot()
+                )));
+            }
+            let config = env.config().clone();
+            let inputs = env.inputs().clone();
+            batteries.push(env.battery().clone());
+            lanes.push((config, HubSeries::from_inputs(inputs)));
+        }
+        let mut fleet = Self::new(lanes, window)?;
+        // Carry the wrapped envs' battery state (SoC) into the lanes.
+        fleet.batteries = batteries;
+        fleet.refresh_observations();
+        Ok(fleet)
+    }
+
+    /// Number of lanes (hubs) stepping in lockstep.
+    pub fn num_lanes(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Dimension of each lane's observation vector: `5 × window + 1`.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// Episode length in slots (shared by all lanes).
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Current slot index.
+    pub fn slot(&self) -> usize {
+        self.t
+    }
+
+    /// Lane configurations.
+    pub fn configs(&self) -> &[HubConfig] {
+        &self.configs
+    }
+
+    /// Lane series (for inspection).
+    pub fn series(&self) -> &[HubSeries] {
+        &self.series
+    }
+
+    /// Lane batteries (for inspection).
+    pub fn batteries(&self) -> &[BatteryPoint] {
+        &self.batteries
+    }
+
+    /// All current observations, lane-major (`num_lanes × state_dim`).
+    pub fn obs(&self) -> &[f64] {
+        &self.obs
+    }
+
+    /// Observation slice of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_obs(&self, lane: usize) -> &[f64] {
+        &self.obs[lane * self.state_dim..(lane + 1) * self.state_dim]
+    }
+
+    /// Writes lane `lane`'s current observation into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or `out.len() != state_dim`.
+    pub fn observe_into(&self, lane: usize, out: &mut [f64]) {
+        let series = &self.series[lane];
+        write_observation(
+            out,
+            self.window,
+            self.t,
+            &self.norm,
+            &self.configs[lane],
+            &series.rtp,
+            &series.weather,
+            &series.traffic,
+            &series.discounts,
+            self.batteries[lane].soc_fraction(),
+        );
+    }
+
+    fn refresh_observations(&mut self) {
+        let dim = self.state_dim;
+        let t = self.t;
+        let norm = self.norm;
+        let window = self.window;
+        for (lane, out) in self.obs.chunks_exact_mut(dim).enumerate() {
+            let series = &self.series[lane];
+            write_observation(
+                out,
+                window,
+                t,
+                &norm,
+                &self.configs[lane],
+                &series.rtp,
+                &series.weather,
+                &series.traffic,
+                &series.discounts,
+                self.batteries[lane].soc_fraction(),
+            );
+        }
+    }
+
+    /// Resets every lane to slot 0 with per-lane initial SoC fractions;
+    /// returns the initial observations, lane-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_soc.len() != num_lanes()`.
+    pub fn reset(&mut self, initial_soc: &[f64]) -> &[f64] {
+        assert_eq!(
+            initial_soc.len(),
+            self.num_lanes(),
+            "one initial SoC per lane"
+        );
+        for (battery, &soc) in self.batteries.iter_mut().zip(initial_soc) {
+            battery.reset(soc);
+        }
+        self.t = 0;
+        self.refresh_observations();
+        &self.obs
+    }
+
+    /// Advances every lane one slot under its action. Returns borrowed
+    /// views of the reusable reward/observation/breakdown buffers — no heap
+    /// allocation happens on this path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the episode already finished or `actions.len()` mismatches
+    /// the lane count.
+    pub fn step_batch(&mut self, actions: &[BpAction]) -> BatchStep<'_> {
+        assert!(
+            self.t < self.horizon,
+            "step_batch called on finished episode; call reset"
+        );
+        assert_eq!(actions.len(), self.num_lanes(), "one action per lane");
+        let t = self.t;
+        for (lane, &action) in actions.iter().enumerate() {
+            let series = &self.series[lane];
+            let breakdown = compute_slot(
+                &self.configs[lane],
+                SlotInputs {
+                    rtp: series.rtp[t],
+                    weather: &series.weather[t],
+                    traffic: &series.traffic[t],
+                    discount_level: series.discounts.level(t),
+                    stratum: series.strata[t],
+                },
+                &mut self.batteries[lane],
+                action,
+                t,
+            );
+            self.rewards[lane] = breakdown.reward.as_f64();
+            self.breakdowns[lane] = breakdown;
+        }
+        self.t += 1;
+        self.refresh_observations();
+        BatchStep {
+            obs: &self.obs,
+            rewards: &self.rewards,
+            breakdowns: &self.breakdowns,
+            done: self.t >= self.horizon,
+        }
+    }
+
+    /// Runs a full episode under a per-lane policy closure; returns per-lane
+    /// total profit and audit trails.
+    ///
+    /// The closure sees `(lane, lane_observation)` and picks that lane's
+    /// action for the slot.
+    pub fn rollout<P>(
+        &mut self,
+        initial_soc: &[f64],
+        mut policy: P,
+    ) -> (Vec<Money>, Vec<Vec<SlotBreakdown>>)
+    where
+        P: FnMut(usize, &[f64]) -> BpAction,
+    {
+        let n = self.num_lanes();
+        self.reset(initial_soc);
+        let mut totals = vec![Money::ZERO; n];
+        let mut trails: Vec<Vec<SlotBreakdown>> = vec![Vec::with_capacity(self.horizon); n];
+        let mut actions = vec![BpAction::Idle; n];
+        loop {
+            for (lane, action) in actions.iter_mut().enumerate() {
+                *action = policy(lane, self.lane_obs(lane));
+            }
+            let step = self.step_batch(&actions);
+            let done = step.done;
+            for lane in 0..n {
+                totals[lane] += step.breakdowns[lane].reward;
+                trails[lane].push(step.breakdowns[lane]);
+            }
+            if done {
+                break;
+            }
+        }
+        (totals, trails)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ect_types::units::LoadRate;
+
+    fn flat_inputs(slots: usize, stratum: Stratum) -> EpisodeInputs {
+        EpisodeInputs {
+            rtp: vec![DollarsPerKwh::new(0.08); slots],
+            weather: vec![
+                WeatherSample {
+                    solar_irradiance: 300.0,
+                    wind_speed: 6.0,
+                    cloud_cover: 0.2,
+                };
+                slots
+            ],
+            traffic: vec![
+                TrafficSample {
+                    load_rate: LoadRate::new(0.5).unwrap(),
+                    volume_gb: 40.0,
+                };
+                slots
+            ],
+            discounts: DiscountSchedule::none(slots),
+            strata: vec![stratum; slots],
+        }
+    }
+
+    fn fleet(lanes: usize, slots: usize) -> FleetEnv {
+        let envs: Vec<HubEnv> = (0..lanes)
+            .map(|i| {
+                let config = if i % 2 == 0 {
+                    HubConfig::urban()
+                } else {
+                    HubConfig::rural()
+                };
+                HubEnv::new(config, flat_inputs(slots, Stratum::AlwaysCharge), 4).unwrap()
+            })
+            .collect();
+        FleetEnv::from_envs(envs).unwrap()
+    }
+
+    #[test]
+    fn batched_stepping_matches_sequential_bitwise() {
+        let slots = 48;
+        let mut envs: Vec<HubEnv> = (0..3)
+            .map(|i| {
+                let config = if i == 2 {
+                    HubConfig::rural()
+                } else {
+                    HubConfig::urban()
+                };
+                HubEnv::new(config, flat_inputs(slots, Stratum::AlwaysCharge), 4).unwrap()
+            })
+            .collect();
+        let mut fleet = FleetEnv::from_envs(envs.clone()).unwrap();
+
+        let socs = [0.2, 0.5, 0.8];
+        for (env, &soc) in envs.iter_mut().zip(&socs) {
+            env.reset(soc);
+        }
+        fleet.reset(&socs);
+        for (lane, env) in envs.iter().enumerate() {
+            let seq_obs = env.observe();
+            assert_eq!(seq_obs.as_slice(), fleet.lane_obs(lane));
+        }
+
+        let cycle = [BpAction::Charge, BpAction::Discharge, BpAction::Idle];
+        for t in 0..slots {
+            let actions: Vec<BpAction> = (0..3).map(|l| cycle[(t + l) % 3]).collect();
+            let seq: Vec<_> = envs
+                .iter_mut()
+                .zip(&actions)
+                .map(|(env, &a)| env.step(a))
+                .collect();
+            let batch = fleet.step_batch(&actions);
+            for (lane, step) in seq.iter().enumerate() {
+                assert_eq!(step.breakdown, batch.breakdowns[lane], "slot {t}");
+                assert_eq!(
+                    step.reward.to_bits(),
+                    batch.rewards[lane].to_bits(),
+                    "slot {t}"
+                );
+                assert_eq!(step.state.as_slice(), batch.lane_obs(lane), "slot {t}");
+                assert_eq!(step.done, batch.done);
+            }
+        }
+    }
+
+    #[test]
+    fn observe_into_matches_flat_buffer() {
+        let mut fleet = fleet(4, 24);
+        fleet.reset(&[0.5; 4]);
+        let mut out = vec![0.0; fleet.state_dim()];
+        for lane in 0..4 {
+            fleet.observe_into(lane, &mut out);
+            assert_eq!(out.as_slice(), fleet.lane_obs(lane));
+        }
+    }
+
+    #[test]
+    fn step_batch_does_not_grow_buffers() {
+        let mut fleet = fleet(6, 24);
+        fleet.reset(&[0.5; 6]);
+        let obs_ptr = fleet.obs.as_ptr();
+        let rewards_ptr = fleet.rewards.as_ptr();
+        let breakdown_cap = fleet.breakdowns.capacity();
+        let actions = vec![BpAction::Charge; 6];
+        for _ in 0..24 {
+            let step = fleet.step_batch(&actions);
+            if step.done {
+                break;
+            }
+        }
+        assert_eq!(fleet.obs.as_ptr(), obs_ptr, "obs buffer reallocated");
+        assert_eq!(fleet.rewards.as_ptr(), rewards_ptr, "rewards reallocated");
+        assert_eq!(fleet.breakdowns.capacity(), breakdown_cap);
+    }
+
+    #[test]
+    fn rollout_accumulates_per_lane() {
+        let mut fleet = fleet(2, 24);
+        let (totals, trails) = fleet.rollout(&[0.5, 0.5], |_, _| BpAction::Idle);
+        assert_eq!(totals.len(), 2);
+        assert_eq!(trails[0].len(), 24);
+        for (total, trail) in totals.iter().zip(&trails) {
+            let manual: f64 = trail.iter().map(|b| b.reward.as_f64()).sum();
+            assert!((total.as_f64() - manual).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn construction_rejects_bad_shapes() {
+        assert!(FleetEnv::from_envs(Vec::new()).is_err());
+        let a = HubEnv::new(
+            HubConfig::urban(),
+            flat_inputs(24, Stratum::NoCharge),
+            4,
+        )
+        .unwrap();
+        let b = HubEnv::new(
+            HubConfig::urban(),
+            flat_inputs(48, Stratum::NoCharge),
+            4,
+        )
+        .unwrap();
+        assert!(FleetEnv::from_envs(vec![a.clone(), b]).is_err());
+        let c = HubEnv::new(
+            HubConfig::urban(),
+            flat_inputs(24, Stratum::NoCharge),
+            6,
+        )
+        .unwrap();
+        assert!(FleetEnv::from_envs(vec![a, c]).is_err());
+        assert!(FleetEnv::new(
+            vec![(
+                HubConfig::urban(),
+                HubSeries::from_inputs(flat_inputs(24, Stratum::NoCharge))
+            )],
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "finished episode")]
+    fn stepping_past_the_end_panics() {
+        let mut fleet = fleet(1, 2);
+        fleet.reset(&[0.5]);
+        let actions = [BpAction::Idle];
+        fleet.step_batch(&actions);
+        fleet.step_batch(&actions);
+        fleet.step_batch(&actions);
+    }
+
+    #[test]
+    fn shared_rtp_is_not_duplicated() {
+        let inputs = flat_inputs(24, Stratum::NoCharge);
+        let rtp: Arc<[DollarsPerKwh]> = inputs.rtp.clone().into();
+        let mk_lane = |cfg: HubConfig| {
+            let mut series = HubSeries::from_inputs(inputs.clone());
+            series.rtp = Arc::clone(&rtp);
+            (cfg, series)
+        };
+        let fleet = FleetEnv::new(
+            vec![mk_lane(HubConfig::urban()), mk_lane(HubConfig::rural())],
+            4,
+        )
+        .unwrap();
+        let a = fleet.series()[0].rtp.as_ptr();
+        let b = fleet.series()[1].rtp.as_ptr();
+        assert_eq!(a, b, "lanes should share one RTP allocation");
+    }
+}

@@ -34,7 +34,12 @@ where
         n
     };
 
-    for pi in 0..n_params {
+    assert_eq!(
+        analytic.len(),
+        n_params,
+        "gradient snapshot count must match parameter count"
+    );
+    for (pi, analytic_grad) in analytic.iter().enumerate() {
         let n_entries = entry_count(model, pi);
         for ei in 0..n_entries {
             let original = read_entry(model, pi, ei);
@@ -46,7 +51,7 @@ where
             write_entry(model, pi, ei, original);
 
             let numeric = (up - down) / (2.0 * eps);
-            let a = analytic[pi].as_slice()[ei];
+            let a = analytic_grad.as_slice()[ei];
             max_err = max_err.max((numeric - a).abs());
         }
     }

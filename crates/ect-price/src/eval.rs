@@ -123,10 +123,10 @@ pub fn oracle_evaluation(data: &PricingDataset, discount: f64) -> PricingEvaluat
 /// Returns `curves[hour] = [P(None), P(Incentive), P(Always)]`.
 pub fn hourly_strata_curves(model: &EctPriceModel, station: usize) -> [[f64; 3]; HOURS_PER_DAY] {
     let mut curves = [[0.0; 3]; HOURS_PER_DAY];
-    for hour in 0..HOURS_PER_DAY {
+    for (hour, curve) in curves.iter_mut().enumerate() {
         let weekday = model.predict_strata(station, hour);
         let weekend = model.predict_strata(station, HOURS_PER_DAY + hour);
-        for (c, (wd, we)) in curves[hour].iter_mut().zip(weekday.iter().zip(weekend)) {
+        for (c, (wd, we)) in curve.iter_mut().zip(weekday.iter().zip(weekend)) {
             *c = (5.0 * wd + 2.0 * we) / 7.0;
         }
     }

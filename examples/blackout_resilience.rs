@@ -32,7 +32,7 @@ fn main() -> ect_types::Result<()> {
 
     // 2. Worst case: the scheduler has drained the battery to its floor the
     //    moment the grid fails. Simulate the outage hour by hour.
-    let mut battery = BatteryPoint::new(hub.battery.clone(), 0.0); // clamps to soc_min
+    let battery = BatteryPoint::new(hub.battery.clone(), 0.0); // clamps to soc_min
     println!(
         "\nblackout at soc_min ({:.1} kWh stored):",
         battery.soc().as_f64()

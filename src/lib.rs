@@ -1,0 +1,28 @@
+//! ECT-Hub facade crate.
+//!
+//! Re-exports the workspace's member crates under one roof so the top-level
+//! integration tests (`tests/`) and runnable examples (`examples/`) have a
+//! single dependency, and downstream users can depend on `ect-hub` alone.
+//!
+//! Crate graph (dependencies point left):
+//!
+//! ```text
+//! ect-types ← ect-data ← ect-env  ←─┐
+//!     ↑          ↑                  ├─ ect-drl ←─┐
+//!     └────── ect-nn ←──────────────┘            ├─ ect-core ← ect-bench
+//!                ↑                               │
+//!                └────────── ect-price ←─────────┘
+//! ```
+
+pub use ect_core as core;
+pub use ect_data as data;
+pub use ect_drl as drl;
+pub use ect_env as env;
+pub use ect_nn as nn;
+pub use ect_price as price;
+pub use ect_types as types;
+
+/// One-stop imports mirroring [`ect_core::prelude`].
+pub mod prelude {
+    pub use ect_core::prelude::*;
+}

@@ -1,0 +1,274 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface this workspace's benches use —
+//! `Criterion::{bench_function, benchmark_group, sample_size,
+//! measurement_time, warm_up_time}`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros — with a
+//! plain wall-clock measurement loop printing mean/min per-iteration times.
+//!
+//! Mirroring real criterion's mode detection: `cargo bench` invokes the
+//! target with a `--bench` argument and gets the full measurement loop;
+//! any other invocation (notably `cargo test --benches`, which passes no
+//! flags) runs each benchmark body exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup (accepted and ignored: every batch
+/// runs one setup + one routine here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Measurement settings and result sink.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo bench` passes `--bench`; `cargo test --benches` passes
+        // nothing — measure only in the former, smoke-run otherwise.
+        let measuring = args.iter().any(|a| a == "--bench");
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            test_mode: !measuring || args.iter().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget for the measurement phase.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the time budget for the warm-up phase.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            settings: self.clone(),
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named group of benchmarks with locally tweakable settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.clone(),
+            _parent: self,
+        }
+    }
+
+    /// Printed at the end of `criterion_main!`; a no-op placeholder.
+    pub fn final_summary() {}
+}
+
+/// A group of related benchmarks sharing tweaked settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Criterion,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            settings: self.settings.clone(),
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{name}", self.name));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark bodies.
+pub struct Bencher {
+    settings: Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.settings.test_mode {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            if warm_start.elapsed() >= self.settings.warm_up_time {
+                break;
+            }
+        }
+        // Measurement: `sample_size` samples or until the budget runs out,
+        // whichever comes later for at least three samples.
+        let budget = self.settings.measurement_time;
+        let meas_start = Instant::now();
+        for i in 0..self.settings.sample_size.max(3) {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if i >= 2 && meas_start.elapsed() >= budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.settings.test_mode {
+            println!("test {name} ... bench (smoke run) ok");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{name}: no samples");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("non-empty samples");
+        println!(
+            "bench {name:<40} mean {mean:>12?}  min {min:>12?}  ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Prevents the optimiser from discarding a value (re-export shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_body() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("inner", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for `crossbeam`: the `thread::scope` surface the
+//! workspace uses, layered over `std::thread::scope` (stable since 1.63).
+
+/// Scoped threads.
+pub mod thread {
+    use std::fmt;
+
+    /// Error type of [`scope`]; never actually produced (a panicking worker
+    /// propagates through `std::thread::scope`), it exists so call sites can
+    /// keep crossbeam's `Result` + `expect` shape.
+    pub struct ScopeError;
+
+    impl fmt::Debug for ScopeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("scoped thread panicked")
+        }
+    }
+
+    /// Wrapper over [`std::thread::Scope`] whose `spawn` closure takes a
+    /// (ignored) scope argument, matching crossbeam's signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives a placeholder scope
+        /// handle (`()`), since nested spawning is unused in this workspace.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all workers are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors crossbeam's signature; this implementation always returns
+    /// `Ok` (worker panics propagate as panics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                scope.spawn(move |_| {
+                    total.fetch_add(
+                        chunk.iter().sum::<u64>(),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                });
+            }
+        })
+        .expect("workers ran");
+        assert_eq!(total.into_inner(), 10);
+    }
+}

@@ -1,0 +1,343 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so this crate provides the
+//! slice of serde's surface the workspace actually uses: `Serialize` /
+//! `Deserialize` traits (with same-named derive macros re-exported from the
+//! vendored `serde_derive`), a JSON-shaped [`Value`] data model, and the
+//! `de::DeserializeOwned` alias. The vendored `serde_json` crate renders
+//! [`Value`] to JSON text and parses it back.
+//!
+//! Deliberate simplifications versus real serde: the data model is
+//! `Value`-tree based (no zero-copy visitors), integers are widened through
+//! `i128`, and only the container attributes this workspace uses
+//! (`transparent`, `skip`) are honoured.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped self-describing value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer number (kept exact so `u64` seeds round-trip).
+    Int(i128),
+    /// Floating-point number.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of a map value.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence value.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The contents of a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    /// "expected X while deserializing Y".
+    pub fn expected(what: &str, context: &str) -> Self {
+        Self(format!("expected {what} while deserializing {context}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types restorable from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Mirror of `serde::de` for the `DeserializeOwned` bound.
+pub mod de {
+    /// Owned deserialization — with a value-tree model every
+    /// [`Deserialize`](crate::Deserialize) is owned.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Derive-support helper: looks up a named field in a map value.
+///
+/// # Errors
+///
+/// Returns [`DeError`] if the key is missing or its value mismatches.
+pub fn __get_field<T: Deserialize>(
+    map: &[(String, Value)],
+    key: &str,
+    context: &str,
+) -> Result<T, DeError> {
+    let v = map
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{key}` while deserializing {context}")))?;
+    T::from_value(v).map_err(|e| DeError(format!("field `{key}` of {context}: {e}")))
+}
+
+/// Derive-support helper: positional access into a sequence value.
+///
+/// # Errors
+///
+/// Returns [`DeError`] if the index is out of range or the element
+/// mismatches.
+pub fn __get_index<T: Deserialize>(seq: &[Value], idx: usize, context: &str) -> Result<T, DeError> {
+    let v = seq
+        .get(idx)
+        .ok_or_else(|| DeError(format!("missing element {idx} while deserializing {context}")))?;
+    T::from_value(v).map_err(|e| DeError(format!("element {idx} of {context}: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("integer {i} out of range for {}", stringify!($t)))),
+                    Value::Num(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    _ => Err(DeError::expected("integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    // Real serde_json writes non-finite floats as null; keep
+                    // the round trip closed by reading null back as NaN.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(DeError::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec"))?;
+        seq.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "array"))?;
+        if seq.len() != N {
+            return Err(DeError(format!(
+                "expected array of length {N}, got {}",
+                seq.len()
+            )));
+        }
+        let items: Result<Vec<T>, DeError> = seq.iter().map(T::from_value).collect();
+        items?
+            .try_into()
+            .map_err(|_| DeError::custom("array length changed during deserialization"))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let seq = v.as_seq().ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+                Ok(($( __get_index::<$t>(seq, $n, "tuple")?, )+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A);
+    (0 A, 1 B);
+    (0 A, 1 B, 2 C);
+    (0 A, 1 B, 2 C, 3 D);
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
