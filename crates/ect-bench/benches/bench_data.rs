@@ -1,6 +1,5 @@
 //! Synthetic-world generator benchmarks.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ect_data::charging::{ChargingConfig, ChargingWorld};
 use ect_data::dataset::{WorldConfig, WorldDataset};
@@ -8,6 +7,7 @@ use ect_data::rtp::{RtpConfig, RtpGenerator};
 use ect_data::spatial::{Region, RegionConfig};
 use ect_data::weather::{WeatherConfig, WeatherGenerator};
 use ect_types::rng::EctRng;
+use std::time::Duration;
 
 fn bench_weather_year(c: &mut Criterion) {
     c.bench_function("weather_series_1y", |bench| {
@@ -41,11 +41,7 @@ fn bench_charging_history_year(c: &mut Criterion) {
 
 fn bench_world_generation(c: &mut Criterion) {
     c.bench_function("world_generate_12hubs_30d", |bench| {
-        bench.iter(|| {
-            std::hint::black_box(
-                WorldDataset::generate(WorldConfig::default()).unwrap(),
-            )
-        })
+        bench.iter(|| std::hint::black_box(WorldDataset::generate(WorldConfig::default()).unwrap()))
     });
 }
 

@@ -1,6 +1,5 @@
 //! Environment benchmarks: slot stepping and whole-episode rollouts.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ect_data::charging::Stratum;
 use ect_data::dataset::{WorldConfig, WorldDataset};
@@ -10,6 +9,7 @@ use ect_env::hub::HubConfig;
 use ect_env::tariff::DiscountSchedule;
 use ect_types::ids::HubId;
 use ect_types::rng::EctRng;
+use std::time::Duration;
 
 fn month_env() -> HubEnv {
     let world = WorldDataset::generate(WorldConfig {
@@ -79,9 +79,8 @@ fn bench_episode_inputs_validate(c: &mut Criterion) {
     };
     let config = HubConfig::urban();
     c.bench_function("hub_env_construction", |bench| {
-        bench.iter(|| {
-            std::hint::black_box(HubEnv::new(config.clone(), inputs.clone(), 24).unwrap())
-        })
+        bench
+            .iter(|| std::hint::black_box(HubEnv::new(config.clone(), inputs.clone(), 24).unwrap()))
     });
 }
 

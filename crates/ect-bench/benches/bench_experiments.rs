@@ -2,10 +2,10 @@
 //! each experiment harness so regressions in any reproduction path are
 //! caught. (The full-scale harnesses are the `src/bin/*` binaries.)
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ect_bench::experiments::*;
 use ect_bench::Scale;
+use std::time::Duration;
 
 fn bench_measurement_figures(c: &mut Criterion) {
     c.bench_function("expt_fig01_spatial", |b| {
@@ -102,8 +102,7 @@ fn bench_fleet_cell(c: &mut Criterion) {
         })
     });
     group.bench_function("table3_fig13_batched_3hubs", |b| {
-        let hubs: Vec<ect_types::ids::HubId> =
-            (0..3).map(ect_types::ids::HubId::new).collect();
+        let hubs: Vec<ect_types::ids::HubId> = (0..3).map(ect_types::ids::HubId::new).collect();
         b.iter(|| {
             std::hint::black_box(
                 ect_core::run_hubs_method_batched(

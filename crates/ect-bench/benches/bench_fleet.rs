@@ -46,7 +46,9 @@ fn sequential_envs(world: &WorldDataset) -> Vec<HubEnv> {
 fn batched_fleet(world: &WorldDataset) -> FleetEnv {
     let hubs: Vec<HubId> = (0..HUBS as u32).map(HubId::new).collect();
     let discounts = vec![DiscountSchedule::none(SLOTS); HUBS];
-    let mut rngs: Vec<EctRng> = (0..HUBS).map(|h| EctRng::seed_from(1000 + h as u64)).collect();
+    let mut rngs: Vec<EctRng> = (0..HUBS)
+        .map(|h| EctRng::seed_from(1000 + h as u64))
+        .collect();
     fleet_env_for_hubs(world, &hubs, 0, SLOTS, &discounts, 24, &mut rngs).unwrap()
 }
 

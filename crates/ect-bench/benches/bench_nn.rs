@@ -1,7 +1,6 @@
 //! Neural-network substrate benchmarks: the kernels every model training
 //! loop spends its time in.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ect_nn::layers::ActivationKind;
 use ect_nn::loss::mse;
@@ -10,6 +9,7 @@ use ect_nn::mlp::Mlp;
 use ect_nn::ncf::{Ncf, NcfConfig};
 use ect_nn::optim::{Adam, AdamConfig};
 use ect_types::rng::EctRng;
+use std::time::Duration;
 
 fn rand_matrix(rows: usize, cols: usize, rng: &mut EctRng) -> Matrix {
     let mut m = Matrix::zeros(rows, cols);
@@ -27,7 +27,9 @@ fn bench_matmul(c: &mut Criterion) {
         bench.iter(|| std::hint::black_box(a.matmul(&b)))
     });
     c.bench_function("transpose_matmul_64x128x64", |bench| {
-        bench.iter(|| std::hint::black_box(a.transpose_matmul(&rand_matrix(64, 64, &mut rng.clone()))))
+        bench.iter(|| {
+            std::hint::black_box(a.transpose_matmul(&rand_matrix(64, 64, &mut rng.clone())))
+        })
     });
 }
 

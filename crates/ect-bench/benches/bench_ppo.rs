@@ -1,11 +1,11 @@
 //! PPO benchmarks: action sampling, GAE and the update step.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ect_drl::actor_critic::{ActorCritic, ActorCriticConfig};
 use ect_drl::ppo::{Ppo, PpoConfig};
 use ect_drl::rollout::{RolloutBuffer, Transition};
 use ect_types::rng::EctRng;
+use std::time::Duration;
 
 fn policy(state_dim: usize) -> ActorCritic {
     let mut rng = EctRng::seed_from(7);

@@ -1,11 +1,11 @@
 //! Pricing-model benchmarks: CF-MTL loss, training epochs and inference.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ect_data::charging::{ChargingConfig, ChargingWorld};
 use ect_price::features::{FeatureSpace, PricingDataset};
 use ect_price::model::{cfmtl_loss, EctPriceConfig, EctPriceModel};
 use ect_types::rng::EctRng;
+use std::time::Duration;
 
 fn dataset(weeks: usize) -> (FeatureSpace, PricingDataset) {
     let world = ChargingWorld::new(ChargingConfig {

@@ -53,6 +53,15 @@ fn main() -> ect_types::Result<()> {
     ablations::print(&r);
     save_json("ablations", &r);
 
-    println!("\nall experiments done in {:.1} s", t0.elapsed().as_secs_f64());
+    println!("\n################ scenario sweep ({scale:?}) ################\n");
+    eprintln!("[run_all] sweeping the stress-scenario library …");
+    let r = scenario_sweep::run(scale, 8)?;
+    scenario_sweep::print(&r);
+    save_json("scenario_sweep", &r);
+
+    println!(
+        "\nall experiments done in {:.1} s",
+        t0.elapsed().as_secs_f64()
+    );
     Ok(())
 }

@@ -133,7 +133,10 @@ pub fn run(artifacts: &PricingArtifacts) -> ect_types::Result<AblationResult> {
     }
 
     // 4. Actor-init ablation: uniform vs idle-biased initial policy.
-    for (variant, idle_bias) in [("idle-bias=0 (uniform init)", 0.0), ("idle-bias=2 (safe init)", 2.0)] {
+    for (variant, idle_bias) in [
+        ("idle-bias=0 (uniform init)", 0.0),
+        ("idle-bias=2 (safe init)", 2.0),
+    ] {
         let mut trainer = system.config().trainer.clone();
         trainer.episodes = (trainer.episodes / 2).max(4);
         trainer.net.idle_bias = idle_bias;

@@ -79,7 +79,12 @@ pub fn print(result: &Fig01Result) {
     );
     println!("fraction of base stations within d km of a main road:");
     println!("  d (km) | road-affine | uniform control");
-    for ((d, a), (_, u)) in result.affine.bs_near_road.iter().zip(&result.uniform.bs_near_road) {
+    for ((d, a), (_, u)) in result
+        .affine
+        .bs_near_road
+        .iter()
+        .zip(&result.uniform.bs_near_road)
+    {
         println!("  {d:6.1} | {a:11.3} | {u:15.3}");
     }
     println!(

@@ -36,7 +36,10 @@ pub fn run() -> ect_types::Result<Fig03Result> {
 /// Prints the histogram.
 pub fn print(result: &Fig03Result) {
     println!("== Fig. 3: charging frequency by hour of day ==");
-    println!("{} sessions over 3 years × 12 stations\n", result.total_sessions);
+    println!(
+        "{} sessions over 3 years × 12 stations\n",
+        result.total_sessions
+    );
     let values: Vec<f64> = result.frequency.iter().map(|&v| v as f64).collect();
     print!("{}", ascii_series(&hour_labels(), &values, 50));
 }

@@ -53,5 +53,8 @@ pub fn print(result: &Fig05Result) {
             println!("  h{h:02}  | {p:11.1} | {t:12.1}");
         }
     }
-    println!("\nPearson correlation(RTP, load): {:.3}", result.correlation);
+    println!(
+        "\nPearson correlation(RTP, load): {:.3}",
+        result.correlation
+    );
 }

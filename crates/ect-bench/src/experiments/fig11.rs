@@ -29,9 +29,14 @@ pub fn print(result: &Fig11Result) {
         println!("\nstation {station}:   hour | None  | Incent | Always");
         for h in (0..24).step_by(3) {
             let c = curves[h];
-            println!("            {h:2}:00 | {:.3} | {:.3}  | {:.3}", c[0], c[1], c[2]);
+            println!(
+                "            {h:2}:00 | {:.3} | {:.3}  | {:.3}",
+                c[0], c[1], c[2]
+            );
         }
-        let peak = (0..24).max_by(|&a, &b| curves[a][1].total_cmp(&curves[b][1])).unwrap_or(0);
+        let peak = (0..24)
+            .max_by(|&a, &b| curves[a][1].total_cmp(&curves[b][1]))
+            .unwrap_or(0);
         println!("            Incentive peak at {peak}:00");
     }
 }

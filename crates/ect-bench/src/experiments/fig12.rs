@@ -19,8 +19,10 @@ pub struct Fig12Result {
 
 /// Computes predicted and oracle period shares.
 pub fn run(artifacts: &PricingArtifacts) -> Fig12Result {
-    let predicted =
-        period_strata_shares(&artifacts.model, artifacts.system.world().num_hubs() as usize);
+    let predicted = period_strata_shares(
+        &artifacts.model,
+        artifacts.system.world().num_hubs() as usize,
+    );
 
     // Oracle: average the generator's stratum probabilities over the same
     // hour-of-week grid (slot indices over one week cover all day types).
@@ -57,12 +59,19 @@ pub fn print(result: &Fig12Result) {
         let o = result.oracle[i];
         println!(
             "{period} |     {:.1}% / {:.1}% / {:.1}%     |   {:.1}% / {:.1}% / {:.1}%",
-            p[0] * 100.0, p[1] * 100.0, p[2] * 100.0,
-            o[0] * 100.0, o[1] * 100.0, o[2] * 100.0
+            p[0] * 100.0,
+            p[1] * 100.0,
+            p[2] * 100.0,
+            o[0] * 100.0,
+            o[1] * 100.0,
+            o[2] * 100.0
         );
     }
     let evening_inc = result.predicted[3][1];
-    let other_max = result.predicted[..3].iter().map(|p| p[1]).fold(0.0, f64::max);
+    let other_max = result.predicted[..3]
+        .iter()
+        .map(|p| p[1])
+        .fold(0.0, f64::max);
     println!(
         "\nIncentive mass in 18:00–24:00 is {:.1}× the next-highest period",
         evening_inc / other_max.max(1e-9)

@@ -1,0 +1,215 @@
+//! Scenario sweep: the stress-scenario library × pricing methods, run
+//! through the batched scenario grid.
+//!
+//! This experiment goes beyond the paper: where the original evaluation uses
+//! one synthetic world plus a single blackout side-study, the sweep replays
+//! the whole fleet pipeline under every entry of
+//! [`ect_data::scenario::scenario_library`] (heatwave, winter-storm
+//! renewable drought, EV-surge weekend, RTP price spike, rolling blackout,
+//! traffic flash crowd) and reports per-scenario reward, cost-exposure and
+//! blackout-endurance numbers. JSON lands in `results/scenario_sweep.json`.
+
+use ect_core::prelude::*;
+use ect_price::engine::{AlwaysDiscount, NeverDiscount, PricingEngine};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated view of one scenario for the report table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSummary {
+    /// Scenario name.
+    pub scenario: String,
+    /// Mean avg-daily-reward per method, `(method, reward)` pairs.
+    pub method_rewards: Vec<(String, f64)>,
+    /// Fleet-total baseline grid cost, $.
+    pub total_grid_cost: f64,
+    /// Fleet-total baseline charging revenue, $.
+    pub total_revenue: f64,
+    /// Fleet-minimum worst-case blackout endurance, hours.
+    pub min_endurance_hours: f64,
+    /// Fleet-total unserved energy across scripted outages, kWh.
+    pub outage_unserved_kwh: f64,
+}
+
+/// Full sweep result: one grid slice per scenario plus the summaries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSweepResult {
+    /// Per-scenario grid output (cells + stress diagnostics).
+    pub grid: Vec<ScenarioGridResult>,
+    /// Per-scenario aggregates, in library order.
+    pub summaries: Vec<ScenarioSummary>,
+}
+
+/// The sweep's experiment scale knobs.
+fn sweep_config(scale: crate::Scale) -> SystemConfig {
+    let mut config = SystemConfig::miniature();
+    match scale {
+        crate::Scale::Quick => {
+            config.world.num_hubs = 4;
+            config.world.horizon_slots = 24 * 14;
+            config.trainer.episodes = 8;
+            config.test_episodes = 4;
+        }
+        crate::Scale::Paper => {
+            config.world.num_hubs = 12;
+            config.world.horizon_slots = 24 * 30;
+            config.trainer.episodes = 120;
+            config.test_episodes = 20;
+        }
+    }
+    config
+}
+
+/// A smoke-sized configuration: small enough for the test suite and CI.
+pub fn smoke_config() -> SystemConfig {
+    let mut config = SystemConfig::miniature();
+    config.world.num_hubs = 2;
+    config.world.horizon_slots = 24 * 4;
+    config.trainer.episodes = 2;
+    config.test_episodes = 1;
+    config
+}
+
+fn engines(_system: &EctHubSystem) -> ect_types::Result<Vec<(String, Box<dyn PricingEngine>)>> {
+    // Training-free engines keep the sweep about the *worlds*: the two
+    // discount extremes bracket every uplift policy's schedule.
+    Ok(vec![
+        (
+            "NoDiscount".into(),
+            Box::new(NeverDiscount) as Box<dyn PricingEngine>,
+        ),
+        ("AlwaysDiscount".into(), Box::new(AlwaysDiscount)),
+    ])
+}
+
+fn summarise(grid: &[ScenarioGridResult]) -> Vec<ScenarioSummary> {
+    grid.iter()
+        .map(|result| {
+            let mut methods: Vec<String> = result.cells.iter().map(|c| c.method.clone()).collect();
+            methods.sort();
+            methods.dedup();
+            ScenarioSummary {
+                scenario: result.scenario.clone(),
+                method_rewards: methods
+                    .into_iter()
+                    .map(|m| {
+                        let mean = result.method_mean(&m);
+                        (m, mean)
+                    })
+                    .collect(),
+                total_grid_cost: result.stress.iter().map(|s| s.baseline_grid_cost).sum(),
+                total_revenue: result.stress.iter().map(|s| s.baseline_revenue).sum(),
+                min_endurance_hours: result
+                    .stress
+                    .iter()
+                    .map(|s| s.worst_endurance_hours)
+                    .fold(f64::INFINITY, f64::min),
+                outage_unserved_kwh: result.stress.iter().map(|s| s.outage_unserved_kwh).sum(),
+            }
+        })
+        .collect()
+}
+
+/// Runs the sweep over a caller-supplied system configuration — the reusable
+/// core behind [`run`] and the smoke test.
+///
+/// # Errors
+///
+/// Propagates system construction and grid failures.
+pub fn run_with_config(
+    config: SystemConfig,
+    threads: usize,
+) -> ect_types::Result<ScenarioSweepResult> {
+    let base = EctHubSystem::new(config)?;
+    let scenarios = scenario_library(base.config().world.horizon_slots);
+    let grid = run_scenario_grid(&base, &scenarios, &engines, threads)?;
+    let summaries = summarise(&grid);
+    Ok(ScenarioSweepResult { grid, summaries })
+}
+
+/// Runs the scenario sweep at the given experiment scale.
+///
+/// # Errors
+///
+/// Propagates system construction and grid failures.
+pub fn run(scale: crate::Scale, threads: usize) -> ect_types::Result<ScenarioSweepResult> {
+    run_with_config(sweep_config(scale), threads)
+}
+
+/// Prints the sweep as a scenario × metric table.
+pub fn print(result: &ScenarioSweepResult) {
+    println!("== Scenario sweep: stress library × pricing methods ==\n");
+    let methods: Vec<String> = result
+        .summaries
+        .first()
+        .map(|s| s.method_rewards.iter().map(|(m, _)| m.clone()).collect())
+        .unwrap_or_default();
+    let mut header = format!("| {:<20} |", "scenario");
+    for m in &methods {
+        header.push_str(&format!(" {m:>14} |"));
+    }
+    header.push_str(&format!(
+        " {:>12} | {:>11} | {:>13} |",
+        "grid cost $", "endure h", "unserved kWh"
+    ));
+    println!("{header}");
+    println!("|{}|", "-".repeat(header.len().saturating_sub(2)));
+    for s in &result.summaries {
+        let mut row = format!("| {:<20} |", s.scenario);
+        for m in &methods {
+            let reward = s
+                .method_rewards
+                .iter()
+                .find(|(name, _)| name == m)
+                .map_or(f64::NAN, |(_, r)| *r);
+            row.push_str(&format!(" {reward:>14.2} |"));
+        }
+        row.push_str(&format!(
+            " {:>12.0} | {:>11.1} | {:>13.2} |",
+            s.total_grid_cost, s.min_endurance_hours, s.outage_unserved_kwh
+        ));
+        println!("{row}");
+    }
+    println!(
+        "\n{} scenarios × {} methods over the batched scenario grid",
+        result.summaries.len(),
+        methods.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ect_data::scenario::SCENARIO_NAMES;
+
+    #[test]
+    fn smoke_sweep_covers_the_whole_library() {
+        let result = run_with_config(smoke_config(), 4).unwrap();
+        assert_eq!(result.grid.len(), SCENARIO_NAMES.len());
+        assert_eq!(result.summaries.len(), SCENARIO_NAMES.len());
+        for (summary, name) in result.summaries.iter().zip(SCENARIO_NAMES) {
+            assert_eq!(summary.scenario, name);
+            assert_eq!(summary.method_rewards.len(), 2);
+            for (_, reward) in &summary.method_rewards {
+                assert!(reward.is_finite(), "{name}");
+            }
+            assert!(summary.total_grid_cost.is_finite());
+            assert!(summary.min_endurance_hours >= 0.0);
+        }
+        // Stress scenarios genuinely stress: the price spike must cost more
+        // than the baseline world, and only the rolling blackout scripts
+        // outages.
+        let by_name = |n: &str| result.summaries.iter().find(|s| s.scenario == n).unwrap();
+        assert!(by_name("rtp-price-spike").total_grid_cost > by_name("baseline").total_grid_cost);
+        assert!(by_name("winter-storm").total_grid_cost > by_name("baseline").total_grid_cost);
+        for s in &result.summaries {
+            if s.scenario != "rolling-blackout" {
+                assert_eq!(s.outage_unserved_kwh, 0.0, "{}", s.scenario);
+            }
+        }
+        // And the result serialises for results/scenario_sweep.json.
+        let json = serde_json::to_string(&result).unwrap();
+        assert!(json.contains("rolling-blackout"));
+        let back: ScenarioSweepResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.summaries.len(), result.summaries.len());
+    }
+}

@@ -36,7 +36,10 @@ pub fn ascii_series(labels: &[String], values: &[f64], width: usize) -> String {
     let mut out = String::new();
     for (label, &v) in labels.iter().zip(values) {
         let bar = ((v / max) * width as f64).round().max(0.0) as usize;
-        out.push_str(&format!("{label:>10} | {:<width$} {v:.2}\n", "#".repeat(bar)));
+        out.push_str(&format!(
+            "{label:>10} | {:<width$} {v:.2}\n",
+            "#".repeat(bar)
+        ));
     }
     out
 }
@@ -52,11 +55,7 @@ mod tests {
 
     #[test]
     fn ascii_series_scales_to_width() {
-        let s = ascii_series(
-            &["a".into(), "b".into()],
-            &[1.0, 2.0],
-            10,
-        );
+        let s = ascii_series(&["a".into(), "b".into()], &[1.0, 2.0], 10);
         assert!(s.contains("##########"));
         assert!(s.lines().count() == 2);
     }

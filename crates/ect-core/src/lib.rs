@@ -28,11 +28,15 @@
 
 pub mod pricing;
 pub mod report;
+pub mod scenario_grid;
 pub mod scheduling;
 pub mod system;
 
 pub use pricing::{pricing_table, train_engine, MethodPricingResults, PricingTable};
 pub use report::FleetReport;
+pub use scenario_grid::{
+    run_scenario_grid, scenario_stress, ScenarioGridResult, ScenarioHubStress,
+};
 pub use scheduling::{
     run_fleet, run_hub_method, run_hub_scheduler, run_hubs_method_batched, schedule_for_hub,
     HubExperimentResult, OBS_WINDOW,
@@ -43,6 +47,9 @@ pub use system::{EctHubSystem, PricingMethod, SystemConfig};
 pub mod prelude {
     pub use crate::pricing::{pricing_table, train_engine, PricingTable};
     pub use crate::report::FleetReport;
+    pub use crate::scenario_grid::{
+        run_scenario_grid, scenario_stress, ScenarioGridResult, ScenarioHubStress,
+    };
     pub use crate::scheduling::{
         run_fleet, run_hub_method, run_hub_scheduler, run_hubs_method_batched, schedule_for_hub,
         HubExperimentResult,
@@ -50,6 +57,10 @@ pub mod prelude {
     pub use crate::system::{EctHubSystem, PricingMethod, SystemConfig};
     pub use ect_data::charging::Stratum;
     pub use ect_data::dataset::{HubSiting, WorldConfig, WorldDataset};
+    pub use ect_data::scenario::{
+        scenario_by_name, scenario_library, ScenarioModifier, ScenarioSpec, Signal, SlotWindow,
+        SCENARIO_NAMES,
+    };
     pub use ect_drl::heuristics::{DrlScheduler, GreedyPrice, NoBattery, Scheduler, TimeOfUse};
     pub use ect_drl::trainer::TrainerConfig;
     pub use ect_env::battery::BpAction;

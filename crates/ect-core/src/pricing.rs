@@ -33,13 +33,8 @@ pub fn train_engine(
             let kind = method
                 .baseline_kind()
                 .expect("non-baseline methods handled above");
-            let baseline = UpliftBaseline::train(
-                kind,
-                &space,
-                train_data,
-                &system.config().baseline,
-                rng,
-            )?;
+            let baseline =
+                UpliftBaseline::train(kind, &space, train_data, &system.config().baseline, rng)?;
             Ok(Box::new(BaselineEngine::new(baseline)))
         }
     }

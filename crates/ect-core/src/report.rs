@@ -42,7 +42,9 @@ impl FleetReport {
 
     /// The cell for a given hub and method.
     pub fn cell(&self, hub: u32, method: &str) -> Option<&HubExperimentResult> {
-        self.cells.iter().find(|c| c.hub == hub && c.method == method)
+        self.cells
+            .iter()
+            .find(|c| c.hub == hub && c.method == method)
     }
 
     /// Average daily reward of one method across all hubs.
@@ -163,7 +165,10 @@ mod tests {
         assert!((r.method_mean("Ours") - 10.5).abs() < 1e-12);
         assert!((r.method_mean("OR") - 9.0).abs() < 1e-12);
         let winners = r.winners();
-        assert_eq!(winners, vec![(0, "Ours".to_string()), (1, "Ours".to_string())]);
+        assert_eq!(
+            winners,
+            vec![(0, "Ours".to_string()), (1, "Ours".to_string())]
+        );
     }
 
     #[test]

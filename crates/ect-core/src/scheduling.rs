@@ -240,9 +240,7 @@ pub fn run_hubs_method_batched(
     Ok(hubs
         .iter()
         .zip(trained.iter().zip(&summaries))
-        .map(|(&hub, ((_, history), summary))| {
-            assemble_result(hub, method_label, history, summary)
-        })
+        .map(|(&hub, ((_, history), summary))| assemble_result(hub, method_label, history, summary))
         .collect())
 }
 
@@ -369,15 +367,16 @@ mod tests {
         let results = run_fleet(&s, &engines, 4).unwrap();
         assert_eq!(results.len(), 3 * 2);
         // Sorted by (hub, method).
-        assert!(results.windows(2).all(|w| (w[0].hub, &w[0].method) <= (w[1].hub, &w[1].method)));
+        assert!(results
+            .windows(2)
+            .all(|w| (w[0].hub, &w[0].method) <= (w[1].hub, &w[1].method)));
     }
 
     #[test]
     fn batched_fleet_cells_match_sequential_cells() {
         let s = system();
         let hubs: Vec<HubId> = (0..3).map(HubId::new).collect();
-        let batched =
-            run_hubs_method_batched(&s, &hubs, &NeverDiscount, "NoDiscount").unwrap();
+        let batched = run_hubs_method_batched(&s, &hubs, &NeverDiscount, "NoDiscount").unwrap();
         assert_eq!(batched.len(), 3);
         for (cell, &hub) in batched.iter().zip(&hubs) {
             let seq = run_hub_method(&s, hub, &NeverDiscount, "NoDiscount").unwrap();
@@ -401,9 +400,8 @@ mod tests {
     #[test]
     fn run_fleet_matches_per_cell_results_regardless_of_chunking() {
         let s = system();
-        let engines: Vec<(String, Box<dyn PricingEngine>)> = vec![
-            ("NoDiscount".into(), Box::new(NeverDiscount)),
-        ];
+        let engines: Vec<(String, Box<dyn PricingEngine>)> =
+            vec![("NoDiscount".into(), Box::new(NeverDiscount))];
         let wide = run_fleet(&s, &engines, 0).unwrap(); // one worker per chunk
         let narrow = run_fleet(&s, &engines, 1).unwrap(); // single worker
         assert_eq!(wide.len(), narrow.len());
@@ -421,10 +419,8 @@ mod tests {
         // conversions outweighs the subsidy at c = 0.2 in this world).
         let s = system();
         let mut no_sched = NoBattery;
-        let base =
-            run_hub_scheduler(&s, HubId::new(0), &NeverDiscount, &mut no_sched).unwrap();
-        let promo =
-            run_hub_scheduler(&s, HubId::new(0), &AlwaysDiscount, &mut no_sched).unwrap();
+        let base = run_hub_scheduler(&s, HubId::new(0), &NeverDiscount, &mut no_sched).unwrap();
+        let promo = run_hub_scheduler(&s, HubId::new(0), &AlwaysDiscount, &mut no_sched).unwrap();
         assert!(
             promo.avg_daily_reward > base.avg_daily_reward * 0.8,
             "promo {} vs base {}",

@@ -1,6 +1,7 @@
 //! The operator-facing system: configuration and world assembly.
 
 use ect_data::dataset::{WorldConfig, WorldDataset};
+use ect_data::scenario::ScenarioSpec;
 use ect_drl::trainer::TrainerConfig;
 use ect_price::baselines::{BaselineConfig, BaselineKind};
 use ect_price::features::{FeatureSpace, PricingDataset};
@@ -67,6 +68,9 @@ impl std::fmt::Display for PricingMethod {
 pub struct SystemConfig {
     /// Synthetic-world settings (hubs, horizon, seeds).
     pub world: WorldConfig,
+    /// Exogenous scenario the world is generated under
+    /// ([`ScenarioSpec::baseline`] reproduces the paper's setting).
+    pub scenario: ScenarioSpec,
     /// Hours of observational charging history used to train pricing
     /// (the paper uses ≈ 2 years of its 3-year dataset).
     pub pricing_history_slots: usize,
@@ -95,6 +99,7 @@ impl Default for SystemConfig {
     fn default() -> Self {
         Self {
             world: WorldConfig::default(),
+            scenario: ScenarioSpec::baseline(),
             pricing_history_slots: 24 * 365 * 2,
             pricing_test_slots: 24 * 365,
             ect_price: EctPriceConfig::default(),
@@ -150,6 +155,7 @@ impl SystemConfig {
     /// Returns [`ect_types::EctError::InvalidConfig`] on inconsistencies.
     pub fn validate(&self) -> ect_types::Result<()> {
         self.world.validate()?;
+        self.scenario.validate(self.world.horizon_slots)?;
         if self.pricing_history_slots == 0 || self.pricing_test_slots == 0 {
             return Err(ect_types::EctError::InvalidConfig(
                 "pricing history and test windows must be non-empty".into(),
@@ -186,8 +192,22 @@ impl EctHubSystem {
     /// Propagates validation and generation failures.
     pub fn new(config: SystemConfig) -> ect_types::Result<Self> {
         config.validate()?;
-        let world = WorldDataset::generate(config.world.clone())?;
+        let world = WorldDataset::generate_scenario(config.world.clone(), &config.scenario)?;
         Ok(Self { config, world })
+    }
+
+    /// Rebuilds the same system under a different scenario (the
+    /// scenario-grid entry point: one world per scenario, everything else
+    /// shared).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and generation failures.
+    pub fn with_scenario(&self, scenario: ScenarioSpec) -> ect_types::Result<Self> {
+        Self::new(SystemConfig {
+            scenario,
+            ..self.config.clone()
+        })
     }
 
     /// System configuration.
@@ -274,5 +294,29 @@ mod tests {
         let a = EctHubSystem::new(SystemConfig::miniature()).unwrap();
         let b = EctHubSystem::new(SystemConfig::miniature()).unwrap();
         assert_eq!(a.world().rtp, b.world().rtp);
+    }
+
+    #[test]
+    fn scenario_threads_through_to_the_world() {
+        use ect_data::scenario::scenario_by_name;
+        let base = EctHubSystem::new(SystemConfig::miniature()).unwrap();
+        assert!(base.world().scenario.is_baseline());
+        let horizon = base.config().world.horizon_slots;
+        let storm = base
+            .with_scenario(scenario_by_name("winter-storm", horizon).unwrap())
+            .unwrap();
+        assert_eq!(storm.world().scenario.name, "winter-storm");
+        let wind = |s: &EctHubSystem| -> f64 {
+            s.world().hubs[0].weather.iter().map(|w| w.wind_speed).sum()
+        };
+        assert!(wind(&storm) < wind(&base));
+        // An invalid scenario for this horizon is rejected at validation.
+        use ect_data::scenario::{ScenarioModifier, ScenarioSpec, Signal, SlotWindow, Spike};
+        let bad = ScenarioSpec::named("bad", "bad").with(ScenarioModifier::Spike(Spike {
+            signal: Signal::Price,
+            window: SlotWindow::new(horizon, 2),
+            factor: 2.0,
+        }));
+        assert!(base.with_scenario(bad).is_err());
     }
 }

@@ -105,8 +105,7 @@ impl BatteryAgeingModel {
     /// Simulates one cell for `days` days.
     pub fn cell_trace(&self, days: usize, rng: &mut EctRng) -> CellTrace {
         let c = &self.config;
-        let rate = c.decay_per_day
-            * (1.0 + rng.uniform_in(-c.decay_spread, c.decay_spread));
+        let rate = c.decay_per_day * (1.0 + rng.uniform_in(-c.decay_spread, c.decay_spread));
         let mut noise = OrnsteinUhlenbeck::new(0.0, 0.3, c.noise_volts);
         let voltage = (0..days)
             .map(|d| {
@@ -159,7 +158,11 @@ mod tests {
         let mut rng = EctRng::seed_from(2);
         let g = model().group_trace(CELLS_PER_GROUP, 350, &mut rng);
         // Fig. 4 right axis: 53–55 V.
-        assert!(g.voltage[0] > 52.0 && g.voltage[0] < 56.0, "start {}", g.voltage[0]);
+        assert!(
+            g.voltage[0] > 52.0 && g.voltage[0] < 56.0,
+            "start {}",
+            g.voltage[0]
+        );
         assert!(g.total_decay() > 0.5, "group decay {}", g.total_decay());
     }
 
@@ -168,9 +171,7 @@ mod tests {
         let mut rng = EctRng::seed_from(3);
         let t = model().cell_trace(300, &mut rng);
         // 30-day window means must decrease steadily despite noise.
-        let window_mean = |lo: usize| -> f64 {
-            t.voltage[lo..lo + 30].iter().sum::<f64>() / 30.0
-        };
+        let window_mean = |lo: usize| -> f64 { t.voltage[lo..lo + 30].iter().sum::<f64>() / 30.0 };
         assert!(window_mean(0) > window_mean(135));
         assert!(window_mean(135) > window_mean(270));
     }
@@ -182,7 +183,9 @@ mod tests {
             ..BatteryAgeingConfig::default()
         };
         let mut rng = EctRng::seed_from(4);
-        let t = BatteryAgeingModel::new(cfg.clone()).unwrap().cell_trace(400, &mut rng);
+        let t = BatteryAgeingModel::new(cfg.clone())
+            .unwrap()
+            .cell_trace(400, &mut rng);
         assert!(t.voltage.iter().all(|&v| v >= cfg.floor_voltage));
     }
 

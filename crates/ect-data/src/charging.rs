@@ -202,6 +202,10 @@ struct StationProfile {
 pub struct ChargingWorld {
     config: ChargingConfig,
     stations: Vec<StationProfile>,
+    /// Scenario-injected per-slot demand multiplier (empty = baseline). When
+    /// shorter than a queried horizon it extends periodically, so a
+    /// 30-day scenario profile also shapes multi-year pricing histories.
+    demand_boost: Vec<f64>,
 }
 
 impl ChargingWorld {
@@ -218,13 +222,42 @@ impl ChargingWorld {
                 let mut rng = root.fork(u64::from(s));
                 StationProfile {
                     demand_multiplier: 1.0
-                        + rng.uniform_in(-config.station_demand_spread, config.station_demand_spread),
+                        + rng.uniform_in(
+                            -config.station_demand_spread,
+                            config.station_demand_spread,
+                        ),
                     always_shift: rng
                         .uniform_in(-config.station_always_shift, config.station_always_shift),
                 }
             })
             .collect();
-        Ok(Self { config, stations })
+        Ok(Self {
+            config,
+            stations,
+            demand_boost: Vec::new(),
+        })
+    }
+
+    /// Installs a scenario demand-boost series (per-slot multipliers on the
+    /// EV presence probability). An empty series restores the baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] if any multiplier is
+    /// negative or non-finite.
+    pub fn set_demand_boost(&mut self, boost: Vec<f64>) -> ect_types::Result<()> {
+        if let Some(&bad) = boost.iter().find(|b| !b.is_finite() || **b < 0.0) {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "demand boost multiplier {bad} must be finite and non-negative"
+            )));
+        }
+        self.demand_boost = boost;
+        Ok(())
+    }
+
+    /// The installed scenario demand-boost series (empty = baseline).
+    pub fn demand_boost(&self) -> &[f64] {
+        &self.demand_boost
     }
 
     /// Number of stations in the world.
@@ -248,6 +281,9 @@ impl ChargingWorld {
             * self.profile(station).demand_multiplier;
         if slot.is_weekend() {
             d *= self.config.weekend_demand_factor;
+        }
+        if !self.demand_boost.is_empty() {
+            d *= self.demand_boost[slot.as_usize() % self.demand_boost.len()];
         }
         d.clamp(0.0, 1.0)
     }
@@ -289,8 +325,7 @@ impl ChargingWorld {
     /// Generates the observational charging history over `slots` hours for
     /// every station: the substitute for the paper's 70k-row campus dataset.
     pub fn generate_history(&self, slots: usize, rng: &mut EctRng) -> Vec<ChargingRecord> {
-        let mut records =
-            Vec::with_capacity(slots * self.config.num_stations as usize);
+        let mut records = Vec::with_capacity(slots * self.config.num_stations as usize);
         for s in 0..self.config.num_stations {
             let station = StationId::new(s);
             let mut srng = rng.fork(u64::from(s).wrapping_add(0xC0FFEE));
@@ -450,7 +485,9 @@ mod tests {
             );
         }
         // And afternoons are dominated by Always among charged slots.
-        assert!(shares[2][Stratum::AlwaysCharge.index()] > shares[2][Stratum::IncentiveCharge.index()]);
+        assert!(
+            shares[2][Stratum::AlwaysCharge.index()] > shares[2][Stratum::IncentiveCharge.index()]
+        );
     }
 
     #[test]
@@ -460,10 +497,7 @@ mod tests {
         let mut rng = EctRng::seed_from(9);
         let records = w.generate_history(24 * 365 * 3, &mut rng);
         let sessions = records.iter().filter(|r| r.charged).count();
-        assert!(
-            (50_000..150_000).contains(&sessions),
-            "sessions {sessions}"
-        );
+        assert!((50_000..150_000).contains(&sessions), "sessions {sessions}");
     }
 
     #[test]
@@ -485,14 +519,33 @@ mod tests {
             .iter()
             .map(|v| (v[0] * 1e9) as i64)
             .collect::<std::collections::HashSet<_>>();
-        assert!(distinct.len() > 6, "only {} distinct profiles", distinct.len());
+        assert!(
+            distinct.len() > 6,
+            "only {} distinct profiles",
+            distinct.len()
+        );
     }
 
     #[test]
     fn validation_rejects_bad_configs() {
-        assert!(ChargingConfig { num_stations: 0, ..Default::default() }.validate().is_err());
-        assert!(ChargingConfig { demand_scale: 0.0, ..Default::default() }.validate().is_err());
-        assert!(ChargingConfig { label_noise: 0.5, ..Default::default() }.validate().is_err());
+        assert!(ChargingConfig {
+            num_stations: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ChargingConfig {
+            demand_scale: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ChargingConfig {
+            label_noise: 0.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(ChargingConfig {
             base_propensity: 0.8,
             evening_propensity_boost: 0.3,
@@ -503,11 +556,40 @@ mod tests {
     }
 
     #[test]
+    fn demand_boost_scales_presence_probability() {
+        let base = world();
+        let mut boosted = world();
+        boosted.set_demand_boost(vec![2.0; 24]).unwrap();
+        let s = StationId::new(0);
+        for t in 0..96 {
+            let slot = SlotIndex::new(t);
+            let pb = base.stratum_probs(s, slot);
+            let px = boosted.stratum_probs(s, slot);
+            let (db, dx) = (1.0 - pb[0], 1.0 - px[0]);
+            // Presence doubles (up to the probability clamp), wrapping the
+            // 24-slot boost series periodically.
+            assert!(dx >= db - 1e-12, "slot {t}");
+            assert!((dx - (db * 2.0).min(1.0)).abs() < 1e-12, "slot {t}");
+        }
+        // The empty boost restores the baseline, and bad boosts are rejected.
+        boosted.set_demand_boost(Vec::new()).unwrap();
+        assert_eq!(
+            boosted.stratum_probs(s, SlotIndex::new(5)),
+            base.stratum_probs(s, SlotIndex::new(5))
+        );
+        assert!(boosted.set_demand_boost(vec![-1.0]).is_err());
+        assert!(boosted.set_demand_boost(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
     fn history_is_deterministic_per_seed() {
         let w = world();
         let mut r1 = EctRng::seed_from(11);
         let mut r2 = EctRng::seed_from(11);
-        assert_eq!(w.generate_history(240, &mut r1), w.generate_history(240, &mut r2));
+        assert_eq!(
+            w.generate_history(240, &mut r1),
+            w.generate_history(240, &mut r2)
+        );
     }
 
     proptest! {

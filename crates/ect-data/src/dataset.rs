@@ -6,6 +6,7 @@
 
 use crate::charging::{ChargingConfig, ChargingWorld};
 use crate::rtp::{RtpConfig, RtpGenerator};
+use crate::scenario::{ExogenousProcess, ScenarioSpec};
 use crate::traffic::{TrafficConfig, TrafficGenerator, TrafficSample};
 use crate::weather::{WeatherConfig, WeatherGenerator, WeatherSample};
 use ect_types::rng::EctRng;
@@ -125,6 +126,9 @@ pub struct HubTraces {
 pub struct WorldDataset {
     /// Configuration the world was generated from.
     pub config: WorldConfig,
+    /// Scenario the world was generated under ([`ScenarioSpec::baseline`]
+    /// for the plain [`WorldDataset::generate`] path).
+    pub scenario: ScenarioSpec,
     /// Regional real-time price, shared by all hubs.
     pub rtp: Vec<DollarsPerKwh>,
     /// Per-hub environmental traces.
@@ -134,28 +138,56 @@ pub struct WorldDataset {
 }
 
 impl WorldDataset {
-    /// Generates the world deterministically from `config.seed`.
+    /// Generates the baseline world deterministically from `config.seed`.
+    ///
+    /// Equivalent to [`WorldDataset::generate_scenario`] under
+    /// [`ScenarioSpec::baseline`] — and bit-identical to the output this
+    /// function produced before the scenario engine existed (pinned by
+    /// `tests/scenario_equivalence.rs`).
     ///
     /// # Errors
     ///
     /// Propagates configuration validation failures.
     pub fn generate(config: WorldConfig) -> ect_types::Result<Self> {
+        Self::generate_scenario(config, &ScenarioSpec::baseline())
+    }
+
+    /// Generates the world under a scenario: each exogenous process draws
+    /// its baseline series on the exact random streams `generate` has always
+    /// used, then the spec's modifiers reshape the series in order.
+    ///
+    /// This is a thin driver over [`ExogenousProcess`]: the weather, traffic
+    /// and price generators implement the trait, and the EV-demand surface
+    /// of the spec lands on [`ChargingWorld::set_demand_boost`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and scenario validation failures.
+    pub fn generate_scenario(config: WorldConfig, spec: &ScenarioSpec) -> ect_types::Result<Self> {
         config.validate()?;
+        spec.validate(config.horizon_slots)?;
         let root = EctRng::seed_from(config.seed);
 
         let mut rtp_rng = root.fork(0x0117);
-        let rtp = RtpGenerator::new(config.rtp.clone())?.series(config.horizon_slots, &mut rtp_rng);
+        let rtp = RtpGenerator::new(config.rtp.clone())?.scenario_series(
+            config.horizon_slots,
+            spec,
+            &mut rtp_rng,
+        );
 
         let mut hubs = Vec::with_capacity(config.num_hubs as usize);
         for h in 0..config.num_hubs {
             let siting = config.siting(h);
             let mut wx_rng = root.fork(0x1000 + u64::from(h));
             let mut weather_gen = WeatherGenerator::new(siting.weather_config(), &mut wx_rng)?;
-            let weather = weather_gen.series(config.horizon_slots, &mut wx_rng);
+            let weather = weather_gen.scenario_series(config.horizon_slots, spec, &mut wx_rng);
 
             let mut tr_rng = root.fork(0x2000 + u64::from(h));
-            let traffic = TrafficGenerator::new(siting.traffic_config())?
-                .series(config.horizon_slots, &mut tr_rng);
+            let traffic = TrafficGenerator::new(siting.traffic_config())?.scenario_series(
+                config.horizon_slots,
+                spec,
+                &mut tr_rng,
+            );
 
             hubs.push(HubTraces {
                 siting,
@@ -164,13 +196,17 @@ impl WorldDataset {
             });
         }
 
-        let charging = ChargingWorld::new(ChargingConfig {
+        let mut charging = ChargingWorld::new(ChargingConfig {
             num_stations: config.num_hubs,
             ..config.charging.clone()
         })?;
+        if let Some(boost) = spec.ev_demand_boost(config.horizon_slots) {
+            charging.set_demand_boost(boost)?;
+        }
 
         Ok(Self {
             config,
+            scenario: spec.clone(),
             rtp,
             hubs,
             charging,
@@ -185,6 +221,45 @@ impl WorldDataset {
     /// Number of hubs.
     pub fn num_hubs(&self) -> u32 {
         self.config.num_hubs
+    }
+
+    /// FNV-1a checksum over every exogenous trace (price, weather, traffic,
+    /// sitings), bit-exact on the floating-point payloads.
+    ///
+    /// Used to pin scenario/baseline equivalence across refactors: two
+    /// worlds with equal checksums carry bit-identical traces.
+    pub fn trace_checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bits: u64| {
+            for byte in bits.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for p in &self.rtp {
+            eat(p.as_f64().to_bits());
+        }
+        for hub in &self.hubs {
+            eat(match hub.siting {
+                HubSiting::Urban => 0,
+                HubSiting::Rural => 1,
+            });
+            for w in &hub.weather {
+                eat(w.solar_irradiance.to_bits());
+                eat(w.wind_speed.to_bits());
+                eat(w.cloud_cover.to_bits());
+            }
+            for t in &hub.traffic {
+                eat(t.load_rate.as_f64().to_bits());
+                eat(t.volume_gb.to_bits());
+            }
+        }
+        for b in self.charging.demand_boost() {
+            eat(b.to_bits());
+        }
+        hash
     }
 }
 
@@ -218,7 +293,11 @@ mod tests {
             ..WorldConfig::default()
         };
         let w = WorldDataset::generate(config).unwrap();
-        let urban = w.hubs.iter().filter(|h| h.siting == HubSiting::Urban).count();
+        let urban = w
+            .hubs
+            .iter()
+            .filter(|h| h.siting == HubSiting::Urban)
+            .count();
         assert_eq!(urban, 3);
     }
 
@@ -265,6 +344,76 @@ mod tests {
             ..WorldConfig::default()
         })
         .is_err());
+    }
+
+    #[test]
+    fn baseline_scenario_is_bit_identical_to_generate() {
+        let config = WorldConfig {
+            num_hubs: 3,
+            horizon_slots: 24 * 5,
+            ..WorldConfig::default()
+        };
+        let plain = WorldDataset::generate(config.clone()).unwrap();
+        let scenario = WorldDataset::generate_scenario(config, &ScenarioSpec::baseline()).unwrap();
+        assert_eq!(plain.rtp, scenario.rtp);
+        for (a, b) in plain.hubs.iter().zip(&scenario.hubs) {
+            assert_eq!(a.weather, b.weather);
+            assert_eq!(a.traffic, b.traffic);
+        }
+        assert_eq!(plain.trace_checksum(), scenario.trace_checksum());
+        assert!(scenario.scenario.is_baseline());
+    }
+
+    #[test]
+    fn stress_scenarios_change_traces_but_stay_on_baseline_streams() {
+        use crate::scenario::scenario_library;
+        let config = WorldConfig {
+            num_hubs: 2,
+            horizon_slots: 24 * 10,
+            ..WorldConfig::default()
+        };
+        let base = WorldDataset::generate(config.clone()).unwrap();
+        let mut checksums = std::collections::HashSet::new();
+        for spec in scenario_library(config.horizon_slots) {
+            let w = WorldDataset::generate_scenario(config.clone(), &spec).unwrap();
+            assert_eq!(w.horizon(), base.horizon());
+            assert_eq!(w.scenario.name, spec.name);
+            assert!(
+                checksums.insert(w.trace_checksum()),
+                "{}: checksum collides",
+                spec.name
+            );
+            // Every trace stays physical under stress.
+            for p in &w.rtp {
+                assert!(p.as_f64().is_finite() && p.as_f64() >= 0.0);
+            }
+            for hub in &w.hubs {
+                for s in &hub.weather {
+                    assert!(s.solar_irradiance >= 0.0 && s.wind_speed >= 0.0);
+                }
+                for t in &hub.traffic {
+                    assert!((0.0..=1.0).contains(&t.load_rate.as_f64()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_generation_rejects_invalid_specs() {
+        use crate::scenario::{ScenarioModifier, Signal, SlotWindow, Spike};
+        let config = WorldConfig {
+            num_hubs: 1,
+            horizon_slots: 24,
+            ..WorldConfig::default()
+        };
+        let spec = ScenarioSpec::named("bad", "window past horizon").with(ScenarioModifier::Spike(
+            Spike {
+                signal: Signal::Traffic,
+                window: SlotWindow::new(20, 10),
+                factor: 2.0,
+            },
+        ));
+        assert!(WorldDataset::generate_scenario(config, &spec).is_err());
     }
 
     #[test]

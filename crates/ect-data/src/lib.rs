@@ -19,6 +19,14 @@
 //! deterministic: the same [`dataset::WorldConfig`] always produces the same
 //! world.
 //!
+//! [`scenario`] generalises generation beyond the paper's single setting:
+//! the per-signal generators implement [`scenario::ExogenousProcess`], a
+//! serde-able [`scenario::ScenarioSpec`] composes stress modifiers (heatwave,
+//! renewable drought, tariff surges, EV demand surges, …) on top of the
+//! baseline processes, and [`scenario::scenario_library`] ships the named
+//! catalog. `ScenarioSpec::baseline()` reproduces the historical traces bit
+//! for bit.
+//!
 //! Crucially, [`charging::ChargingWorld`] owns the *causal ground truth*
 //! (which (station, slot) pairs are Always/Incentive/No-Charge), so the
 //! pricing experiments can be scored against oracle strata — something the
@@ -29,6 +37,7 @@ pub mod charging;
 pub mod dataset;
 pub mod renewables;
 pub mod rtp;
+pub mod scenario;
 pub mod sessions;
 pub mod spatial;
 pub mod traffic;
@@ -38,6 +47,10 @@ pub use charging::{ChargingConfig, ChargingRecord, ChargingWorld, Stratum};
 pub use dataset::{HubSiting, HubTraces, WorldConfig, WorldDataset};
 pub use renewables::{PvArray, RenewablePlant, WindTurbine};
 pub use rtp::{demand_shape, RtpConfig, RtpGenerator};
+pub use scenario::{
+    scenario_by_name, scenario_library, ExogenousProcess, ScenarioModifier, ScenarioSpec, Signal,
+    SlotWindow, SCENARIO_NAMES,
+};
 pub use sessions::{SessionConfig, SessionSimulator, SessionStats, SlotOccupancy};
 pub use traffic::{pearson_correlation, TrafficConfig, TrafficGenerator, TrafficSample};
 pub use weather::{WeatherConfig, WeatherGenerator, WeatherSample};

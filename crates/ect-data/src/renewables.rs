@@ -75,7 +75,12 @@ impl WindTurbine {
     ///
     /// Returns [`ect_types::EctError::InvalidConfig`] unless
     /// `0 < cut_in < rated_speed < cut_out` and the rating is positive.
-    pub fn new(rated_kw: f64, cut_in: f64, rated_speed: f64, cut_out: f64) -> ect_types::Result<Self> {
+    pub fn new(
+        rated_kw: f64,
+        cut_in: f64,
+        rated_speed: f64,
+        cut_out: f64,
+    ) -> ect_types::Result<Self> {
         if rated_kw <= 0.0 || !rated_kw.is_finite() {
             return Err(ect_types::EctError::InvalidConfig(format!(
                 "wt rating must be positive, got {rated_kw}"
@@ -159,12 +164,16 @@ impl RenewablePlant {
 
     /// PV output `P_PV(t)` (zero when absent).
     pub fn pv_power(&self, weather: &WeatherSample) -> KiloWatt {
-        self.pv.as_ref().map_or(KiloWatt::ZERO, |p| p.power(weather))
+        self.pv
+            .as_ref()
+            .map_or(KiloWatt::ZERO, |p| p.power(weather))
     }
 
     /// WT output `P_WT(t)` (zero when absent).
     pub fn wt_power(&self, weather: &WeatherSample) -> KiloWatt {
-        self.wt.as_ref().map_or(KiloWatt::ZERO, |w| w.power(weather))
+        self.wt
+            .as_ref()
+            .map_or(KiloWatt::ZERO, |w| w.power(weather))
     }
 
     /// Combined renewable output.

@@ -105,10 +105,15 @@ impl RtpGenerator {
         Ok(Self { config, noise })
     }
 
+    /// The configuration the generator runs on.
+    pub fn config(&self) -> &RtpConfig {
+        &self.config
+    }
+
     /// Generates the price for one slot, advancing the noise process.
     pub fn sample(&mut self, slot: SlotIndex, rng: &mut EctRng) -> DollarsPerKwh {
-        let mut mwh = self.config.base_price_mwh
-            + self.config.swing_mwh * demand_shape(slot.hour_of_day());
+        let mut mwh =
+            self.config.base_price_mwh + self.config.swing_mwh * demand_shape(slot.hour_of_day());
         if slot.is_weekend() {
             mwh *= self.config.weekend_factor;
         }
@@ -142,8 +147,7 @@ mod tests {
     #[test]
     fn prices_fall_in_the_papers_band() {
         let s = series(1, 24 * 60);
-        let mean =
-            s.iter().map(|p| p.as_dollars_per_mwh()).sum::<f64>() / s.len() as f64;
+        let mean = s.iter().map(|p| p.as_dollars_per_mwh()).sum::<f64>() / s.len() as f64;
         assert!((60.0..110.0).contains(&mean), "mean {mean} $/MWh");
         for p in &s {
             assert!(p.as_dollars_per_mwh() > 0.0);
@@ -155,9 +159,17 @@ mod tests {
     fn evening_peaks_above_overnight_trough() {
         let s = series(2, 24 * 60);
         let mean_at = |h: usize| -> f64 {
-            (0..60).map(|d| s[d * 24 + h].as_dollars_per_mwh()).sum::<f64>() / 60.0
+            (0..60)
+                .map(|d| s[d * 24 + h].as_dollars_per_mwh())
+                .sum::<f64>()
+                / 60.0
         };
-        assert!(mean_at(20) > mean_at(4) + 30.0, "peak {} trough {}", mean_at(20), mean_at(4));
+        assert!(
+            mean_at(20) > mean_at(4) + 30.0,
+            "peak {} trough {}",
+            mean_at(20),
+            mean_at(4)
+        );
     }
 
     #[test]
@@ -177,17 +189,36 @@ mod tests {
 
     #[test]
     fn demand_shape_peaks_in_the_evening() {
-        let peak_hour = (0..24).max_by(|&a, &b| demand_shape(a).total_cmp(&demand_shape(b))).unwrap();
+        let peak_hour = (0..24)
+            .max_by(|&a, &b| demand_shape(a).total_cmp(&demand_shape(b)))
+            .unwrap();
         assert!((18..=21).contains(&peak_hour), "peak at {peak_hour}");
-        let trough_hour = (0..24).min_by(|&a, &b| demand_shape(a).total_cmp(&demand_shape(b))).unwrap();
+        let trough_hour = (0..24)
+            .min_by(|&a, &b| demand_shape(a).total_cmp(&demand_shape(b)))
+            .unwrap();
         assert!((2..=5).contains(&trough_hour), "trough at {trough_hour}");
     }
 
     #[test]
     fn config_validation() {
-        assert!(RtpConfig { base_price_mwh: -1.0, ..RtpConfig::default() }.validate().is_err());
-        assert!(RtpConfig { spike_probability: 1.5, ..RtpConfig::default() }.validate().is_err());
-        assert!(RtpConfig { weekend_factor: 0.0, ..RtpConfig::default() }.validate().is_err());
+        assert!(RtpConfig {
+            base_price_mwh: -1.0,
+            ..RtpConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RtpConfig {
+            spike_probability: 1.5,
+            ..RtpConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RtpConfig {
+            weekend_factor: 0.0,
+            ..RtpConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(RtpConfig::default().validate().is_ok());
     }
 

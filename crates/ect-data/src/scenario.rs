@@ -1,0 +1,1200 @@
+//! Scenario engine: trait-based exogenous world generation plus a library of
+//! named stress scenarios.
+//!
+//! The paper evaluates the ECT hub under a single synthetic world (seasonal
+//! traffic, renewables, RTP, EV sessions) plus one blackout side-study. This
+//! module generalises that: every per-signal generator sits behind the
+//! [`ExogenousProcess`] trait, and a serde-able [`ScenarioSpec`] composes
+//! [`ScenarioModifier`]s (amplitude scaling, time shifts, windowed
+//! spikes/droughts, tariff surges, EV demand surges) on top of the baseline
+//! processes. `ScenarioSpec::baseline()` applies no modifiers, so the
+//! baseline world is *bit-identical* to the historical
+//! [`WorldDataset::generate`](crate::dataset::WorldDataset::generate) output
+//! (pinned by `tests/scenario_equivalence.rs`).
+//!
+//! [`scenario_library`] ships the named stress catalog — heatwave,
+//! winter-storm renewable drought, EV-surge weekend, RTP price spike,
+//! rolling blackout, traffic flash crowd — keyed by name through
+//! [`scenario_by_name`]. Each entry is parameterised by the horizon so the
+//! same scenario runs at smoke, quick and paper scales.
+
+use crate::rtp::RtpGenerator;
+use crate::traffic::TrafficGenerator;
+use crate::weather::WeatherGenerator;
+use ect_types::rng::EctRng;
+use ect_types::time::SLOTS_PER_DAY;
+use ect_types::units::{DollarsPerKwh, LoadRate};
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on any multiplicative modifier factor: beyond this the world
+/// stops being a stress test and starts being a numerics test.
+pub const MAX_SCALE_FACTOR: f64 = 100.0;
+
+/// Upper bound on an additive tariff surge, $/MWh (well past any historical
+/// scarcity event).
+pub const MAX_SURGE_MWH: f64 = 10_000.0;
+
+/// Which exogenous signal a modifier targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Signal {
+    /// Solar irradiance (W/m²) of every hub's weather trace.
+    Solar,
+    /// Wind speed (m/s) of every hub's weather trace.
+    Wind,
+    /// Base-station load rate / traffic volume.
+    Traffic,
+    /// Regional real-time electricity price.
+    Price,
+    /// EV charging demand (the stratum-model presence probability).
+    EvDemand,
+}
+
+impl Signal {
+    /// Every signal, for sweeps and property tests.
+    pub const ALL: [Signal; 5] = [
+        Signal::Solar,
+        Signal::Wind,
+        Signal::Traffic,
+        Signal::Price,
+        Signal::EvDemand,
+    ];
+}
+
+impl std::fmt::Display for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Signal::Solar => "solar",
+            Signal::Wind => "wind",
+            Signal::Traffic => "traffic",
+            Signal::Price => "price",
+            Signal::EvDemand => "ev-demand",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A contiguous slot window `[start, start + len)` a modifier acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotWindow {
+    /// First slot of the window.
+    pub start: usize,
+    /// Window length in slots (must be at least one).
+    pub len: usize,
+}
+
+impl SlotWindow {
+    /// A window covering `[start, start + len)`.
+    pub const fn new(start: usize, len: usize) -> Self {
+        Self { start, len }
+    }
+
+    /// The whole horizon.
+    pub const fn all(horizon: usize) -> Self {
+        Self {
+            start: 0,
+            len: horizon,
+        }
+    }
+
+    /// One-past-the-end slot, or `None` on overflow.
+    pub fn end(&self) -> Option<usize> {
+        self.start.checked_add(self.len)
+    }
+
+    /// `true` when the window contains slot `t`.
+    pub fn contains(&self, t: usize) -> bool {
+        t >= self.start && self.end().is_some_and(|e| t < e)
+    }
+
+    /// Validates the window against a horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for an empty window or
+    /// one running past the horizon.
+    pub fn validate(&self, horizon: usize) -> ect_types::Result<()> {
+        if self.len == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "modifier window must cover at least one slot".into(),
+            ));
+        }
+        match self.end() {
+            Some(end) if end <= horizon => Ok(()),
+            _ => Err(ect_types::EctError::InvalidConfig(format!(
+                "modifier window [{}, {} + {}) exceeds horizon {horizon}",
+                self.start, self.start, self.len
+            ))),
+        }
+    }
+
+    /// The window clipped to a series length, as an index range.
+    fn clipped(&self, len: usize) -> std::ops::Range<usize> {
+        let start = self.start.min(len);
+        let end = self.end().unwrap_or(len).min(len);
+        start..end
+    }
+}
+
+/// Whole-horizon multiplicative rescaling of one signal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmplitudeScale {
+    /// Signal to rescale.
+    pub signal: Signal,
+    /// Multiplicative factor in `(0, MAX_SCALE_FACTOR]`.
+    pub factor: f64,
+}
+
+/// Circular time shift of one signal (e.g. a season/phase displacement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeShift {
+    /// Signal to shift.
+    pub signal: Signal,
+    /// Shift in slots; positive moves the series later in time.
+    pub slots: i64,
+}
+
+/// Windowed surge: multiply one signal by `factor >= 1` inside the window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Spike {
+    /// Signal to boost.
+    pub signal: Signal,
+    /// Affected window.
+    pub window: SlotWindow,
+    /// Factor in `[1, MAX_SCALE_FACTOR]`.
+    pub factor: f64,
+}
+
+/// Windowed drought: multiply one signal by `factor < 1` inside the window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Drought {
+    /// Signal to suppress.
+    pub signal: Signal,
+    /// Affected window.
+    pub window: SlotWindow,
+    /// Factor in `[0, 1)`.
+    pub factor: f64,
+}
+
+/// Windowed additive surge on the real-time price (scarcity pricing).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TariffSurge {
+    /// Affected window.
+    pub window: SlotWindow,
+    /// Price added inside the window, $/MWh, in `[0, MAX_SURGE_MWH]`.
+    pub added_mwh: f64,
+}
+
+/// Windowed multiplicative surge on EV charging demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandSurge {
+    /// Affected window.
+    pub window: SlotWindow,
+    /// Demand multiplier in `(0, MAX_SCALE_FACTOR]`.
+    pub factor: f64,
+}
+
+/// One composable transformation of the exogenous world.
+///
+/// Variants wrap named payload structs (externally tagged), so specs
+/// round-trip through the workspace serde stack and read naturally in JSON:
+/// `{"Spike": {"signal": "Traffic", "window": {...}, "factor": 1.6}}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioModifier {
+    /// Whole-horizon rescale.
+    AmplitudeScale(AmplitudeScale),
+    /// Circular time shift.
+    TimeShift(TimeShift),
+    /// Windowed multiplicative surge (factor ≥ 1).
+    Spike(Spike),
+    /// Windowed multiplicative drought (factor < 1).
+    Drought(Drought),
+    /// Windowed additive price surge.
+    TariffSurge(TariffSurge),
+    /// Windowed EV-demand surge.
+    DemandSurge(DemandSurge),
+}
+
+fn check_factor(factor: f64, lo: f64, hi: f64, what: &str) -> ect_types::Result<()> {
+    if !factor.is_finite() || factor < lo || factor > hi {
+        return Err(ect_types::EctError::InvalidConfig(format!(
+            "{what} factor {factor} outside [{lo}, {hi}]"
+        )));
+    }
+    Ok(())
+}
+
+impl ScenarioModifier {
+    /// The signal this modifier targets ([`Signal::Price`] for tariff
+    /// surges, [`Signal::EvDemand`] for demand surges).
+    pub fn signal(&self) -> Signal {
+        match self {
+            ScenarioModifier::AmplitudeScale(m) => m.signal,
+            ScenarioModifier::TimeShift(m) => m.signal,
+            ScenarioModifier::Spike(m) => m.signal,
+            ScenarioModifier::Drought(m) => m.signal,
+            ScenarioModifier::TariffSurge(_) => Signal::Price,
+            ScenarioModifier::DemandSurge(_) => Signal::EvDemand,
+        }
+    }
+
+    /// The window this modifier acts on (`None` = whole horizon).
+    pub fn window(&self) -> Option<SlotWindow> {
+        match self {
+            ScenarioModifier::AmplitudeScale(_) | ScenarioModifier::TimeShift(_) => None,
+            ScenarioModifier::Spike(m) => Some(m.window),
+            ScenarioModifier::Drought(m) => Some(m.window),
+            ScenarioModifier::TariffSurge(m) => Some(m.window),
+            ScenarioModifier::DemandSurge(m) => Some(m.window),
+        }
+    }
+
+    /// Validates the modifier against a horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for out-of-range
+    /// factors, empty/overflowing windows or over-long shifts.
+    pub fn validate(&self, horizon: usize) -> ect_types::Result<()> {
+        match self {
+            ScenarioModifier::AmplitudeScale(m) => {
+                check_factor(m.factor, f64::MIN_POSITIVE, MAX_SCALE_FACTOR, "amplitude")?;
+            }
+            ScenarioModifier::TimeShift(m) => {
+                let magnitude = m.slots.unsigned_abs() as usize;
+                if magnitude > horizon {
+                    return Err(ect_types::EctError::InvalidConfig(format!(
+                        "time shift of {} slots exceeds horizon {horizon}",
+                        m.slots
+                    )));
+                }
+            }
+            ScenarioModifier::Spike(m) => {
+                check_factor(m.factor, 1.0, MAX_SCALE_FACTOR, "spike")?;
+                m.window.validate(horizon)?;
+            }
+            ScenarioModifier::Drought(m) => {
+                if !m.factor.is_finite() || !(0.0..1.0).contains(&m.factor) {
+                    return Err(ect_types::EctError::InvalidConfig(format!(
+                        "drought factor {} outside [0, 1)",
+                        m.factor
+                    )));
+                }
+                m.window.validate(horizon)?;
+            }
+            ScenarioModifier::TariffSurge(m) => {
+                check_factor(m.added_mwh, 0.0, MAX_SURGE_MWH, "tariff surge")?;
+                m.window.validate(horizon)?;
+            }
+            ScenarioModifier::DemandSurge(m) => {
+                check_factor(
+                    m.factor,
+                    f64::MIN_POSITIVE,
+                    MAX_SCALE_FACTOR,
+                    "demand surge",
+                )?;
+                m.window.validate(horizon)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A named, serde-able description of one exogenous world variant.
+///
+/// The spec layers [`ScenarioModifier`]s over the baseline generators and
+/// optionally scripts grid outages (slot windows during which the grid is
+/// unavailable) that downstream resilience harnesses replay through
+/// `ect_env::blackout`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Registry key (kebab-case by convention).
+    pub name: String,
+    /// One-line human description for reports.
+    pub description: String,
+    /// Modifiers, applied in order on top of the baseline processes.
+    pub modifiers: Vec<ScenarioModifier>,
+    /// Scripted grid-outage windows (empty = grid always up).
+    pub outages: Vec<SlotWindow>,
+}
+
+impl ScenarioSpec {
+    /// The no-op scenario: the world exactly as
+    /// [`WorldDataset::generate`](crate::dataset::WorldDataset::generate)
+    /// has always produced it, bit for bit.
+    pub fn baseline() -> Self {
+        Self {
+            name: "baseline".into(),
+            description: "unmodified seasonal world (the paper's evaluation setting)".into(),
+            modifiers: Vec::new(),
+            outages: Vec::new(),
+        }
+    }
+
+    /// An empty named scenario to build on.
+    pub fn named(name: impl Into<String>, description: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            description: description.into(),
+            modifiers: Vec::new(),
+            outages: Vec::new(),
+        }
+    }
+
+    /// Builder: appends a modifier.
+    #[must_use]
+    pub fn with(mut self, modifier: ScenarioModifier) -> Self {
+        self.modifiers.push(modifier);
+        self
+    }
+
+    /// Builder: appends a scripted grid outage.
+    #[must_use]
+    pub fn with_outage(mut self, window: SlotWindow) -> Self {
+        self.outages.push(window);
+        self
+    }
+
+    /// `true` when the spec changes nothing relative to the baseline.
+    pub fn is_baseline(&self) -> bool {
+        self.modifiers.is_empty() && self.outages.is_empty()
+    }
+
+    /// Validates every modifier and outage window against a horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] on the first invalid
+    /// component, or for an empty name.
+    pub fn validate(&self, horizon: usize) -> ect_types::Result<()> {
+        if self.name.is_empty() {
+            return Err(ect_types::EctError::InvalidConfig(
+                "scenario needs a name".into(),
+            ));
+        }
+        if horizon == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "scenario horizon must be at least one slot".into(),
+            ));
+        }
+        for m in &self.modifiers {
+            m.validate(horizon)?;
+        }
+        for w in &self.outages {
+            w.validate(horizon)?;
+        }
+        Ok(())
+    }
+
+    /// The per-slot EV-demand multiplier the spec induces, or `None` when no
+    /// modifier changes [`Signal::EvDemand`] (keeping the baseline charging
+    /// world untouched and therefore bit-identical).
+    ///
+    /// A [`ScenarioModifier::TimeShift`] on `EvDemand` rotates the boost
+    /// series built so far — i.e. it moves the spec's *surge windows* in
+    /// time, not the charging world's intrinsic diurnal profile. A
+    /// shift-only spec therefore stays a no-op (`None`).
+    pub fn ev_demand_boost(&self, horizon: usize) -> Option<Vec<f64>> {
+        let mut boost = vec![1.0; horizon];
+        let mut touched = false;
+        for m in &self.modifiers {
+            if m.signal() != Signal::EvDemand {
+                continue;
+            }
+            match m {
+                ScenarioModifier::AmplitudeScale(s) => {
+                    touched = true;
+                    for b in &mut boost {
+                        *b *= s.factor;
+                    }
+                }
+                // Rotating an all-ones series changes nothing, so a shift
+                // alone must not install a phantom boost.
+                ScenarioModifier::TimeShift(s) => rotate_series(&mut boost, s.slots),
+                ScenarioModifier::Spike(s) => {
+                    touched = true;
+                    for b in &mut boost[s.window.clipped(horizon)] {
+                        *b *= s.factor;
+                    }
+                }
+                ScenarioModifier::Drought(s) => {
+                    touched = true;
+                    for b in &mut boost[s.window.clipped(horizon)] {
+                        *b *= s.factor;
+                    }
+                }
+                ScenarioModifier::DemandSurge(s) => {
+                    touched = true;
+                    for b in &mut boost[s.window.clipped(horizon)] {
+                        *b *= s.factor;
+                    }
+                }
+                ScenarioModifier::TariffSurge(_) => {}
+            }
+        }
+        touched.then_some(boost)
+    }
+}
+
+/// Circularly rotates a series; positive shifts move values later in time.
+fn rotate_series<T>(series: &mut [T], slots: i64) {
+    if series.is_empty() {
+        return;
+    }
+    let n = series.len();
+    let k = (slots.unsigned_abs() as usize) % n;
+    if k == 0 {
+        return;
+    }
+    if slots > 0 {
+        series.rotate_right(k);
+    } else {
+        series.rotate_left(k);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The exogenous-process trait and its generator implementations
+// ---------------------------------------------------------------------------
+
+/// A per-signal generator that can produce its baseline series and reshape
+/// it under scenario modifiers.
+///
+/// [`WorldDataset::generate_scenario`](crate::dataset::WorldDataset::generate_scenario)
+/// is a thin driver over this trait: it builds each process, asks for
+/// [`ExogenousProcess::scenario_series`], and assembles the world. Modifiers
+/// targeting signals a process does not own must be ignored, which is what
+/// lets one flat modifier list reshape weather, traffic and price coherently.
+pub trait ExogenousProcess {
+    /// The per-slot sample this process emits.
+    type Sample: Clone;
+
+    /// Short process name for diagnostics.
+    fn process_name(&self) -> &'static str;
+
+    /// Generates the unmodified baseline series. Must consume the RNG
+    /// exactly as the historical generator did — scenario worlds stay on the
+    /// same random streams as the baseline world.
+    fn base_series(&mut self, slots: usize, rng: &mut EctRng) -> Vec<Self::Sample>;
+
+    /// Applies one modifier in place, ignoring signals this process does not
+    /// own. Must be deterministic (no RNG): modifiers reshape the already
+    /// drawn series.
+    fn apply_modifier(&self, series: &mut [Self::Sample], modifier: &ScenarioModifier);
+
+    /// Baseline series plus every modifier of the spec, in order.
+    fn scenario_series(
+        &mut self,
+        slots: usize,
+        spec: &ScenarioSpec,
+        rng: &mut EctRng,
+    ) -> Vec<Self::Sample> {
+        let mut series = self.base_series(slots, rng);
+        for m in &spec.modifiers {
+            self.apply_modifier(&mut series, m);
+        }
+        series
+    }
+}
+
+/// Multiplies an extracted field over a window (or everywhere), flooring at
+/// zero — shared by the weather/traffic/price implementations.
+fn scale_field<S>(
+    series: &mut [S],
+    window: Option<SlotWindow>,
+    factor: f64,
+    mut field: impl FnMut(&mut S) -> &mut f64,
+) {
+    let range = match window {
+        Some(w) => w.clipped(series.len()),
+        None => 0..series.len(),
+    };
+    for sample in &mut series[range] {
+        let v = field(sample);
+        *v = (*v * factor).max(0.0);
+    }
+}
+
+/// Rotates one extracted field of a sample series in time.
+fn shift_field<S>(series: &mut [S], slots: i64, mut field: impl FnMut(&mut S) -> &mut f64) {
+    let mut values: Vec<f64> = series.iter_mut().map(|s| *field(s)).collect();
+    rotate_series(&mut values, slots);
+    for (sample, v) in series.iter_mut().zip(values) {
+        *field(sample) = v;
+    }
+}
+
+impl ExogenousProcess for WeatherGenerator {
+    type Sample = crate::weather::WeatherSample;
+
+    fn process_name(&self) -> &'static str {
+        "weather"
+    }
+
+    fn base_series(&mut self, slots: usize, rng: &mut EctRng) -> Vec<Self::Sample> {
+        self.series(slots, rng)
+    }
+
+    fn apply_modifier(&self, series: &mut [Self::Sample], modifier: &ScenarioModifier) {
+        match modifier.signal() {
+            Signal::Solar => match modifier {
+                ScenarioModifier::AmplitudeScale(m) => {
+                    scale_field(series, None, m.factor, |s| &mut s.solar_irradiance)
+                }
+                ScenarioModifier::Spike(m) => scale_field(series, Some(m.window), m.factor, |s| {
+                    &mut s.solar_irradiance
+                }),
+                ScenarioModifier::Drought(m) => {
+                    scale_field(series, Some(m.window), m.factor, |s| {
+                        &mut s.solar_irradiance
+                    })
+                }
+                ScenarioModifier::TimeShift(m) => {
+                    shift_field(series, m.slots, |s| &mut s.solar_irradiance)
+                }
+                _ => {}
+            },
+            Signal::Wind => match modifier {
+                ScenarioModifier::AmplitudeScale(m) => {
+                    scale_field(series, None, m.factor, |s| &mut s.wind_speed)
+                }
+                ScenarioModifier::Spike(m) => {
+                    scale_field(series, Some(m.window), m.factor, |s| &mut s.wind_speed)
+                }
+                ScenarioModifier::Drought(m) => {
+                    scale_field(series, Some(m.window), m.factor, |s| &mut s.wind_speed)
+                }
+                ScenarioModifier::TimeShift(m) => {
+                    shift_field(series, m.slots, |s| &mut s.wind_speed)
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+impl ExogenousProcess for TrafficGenerator {
+    type Sample = crate::traffic::TrafficSample;
+
+    fn process_name(&self) -> &'static str {
+        "traffic"
+    }
+
+    fn base_series(&mut self, slots: usize, rng: &mut EctRng) -> Vec<Self::Sample> {
+        self.series(slots, rng)
+    }
+
+    fn apply_modifier(&self, series: &mut [Self::Sample], modifier: &ScenarioModifier) {
+        if modifier.signal() != Signal::Traffic {
+            return;
+        }
+        let full_load_gb = self.config().full_load_gb;
+        let rescale = |series: &mut [Self::Sample], window: Option<SlotWindow>, factor: f64| {
+            let range = match window {
+                Some(w) => w.clipped(series.len()),
+                None => 0..series.len(),
+            };
+            for sample in &mut series[range] {
+                // Load saturates at full capacity; volume tracks the load so
+                // the two stay consistent under any stacking of modifiers.
+                let load = LoadRate::saturating(sample.load_rate.as_f64() * factor);
+                sample.load_rate = load;
+                sample.volume_gb = load.as_f64() * full_load_gb;
+            }
+        };
+        match modifier {
+            ScenarioModifier::AmplitudeScale(m) => rescale(series, None, m.factor),
+            ScenarioModifier::Spike(m) => rescale(series, Some(m.window), m.factor),
+            ScenarioModifier::Drought(m) => rescale(series, Some(m.window), m.factor),
+            ScenarioModifier::TimeShift(m) => rotate_series(series, m.slots),
+            _ => {}
+        }
+    }
+}
+
+impl ExogenousProcess for RtpGenerator {
+    type Sample = DollarsPerKwh;
+
+    fn process_name(&self) -> &'static str {
+        "rtp"
+    }
+
+    fn base_series(&mut self, slots: usize, rng: &mut EctRng) -> Vec<Self::Sample> {
+        self.series(slots, rng)
+    }
+
+    fn apply_modifier(&self, series: &mut [Self::Sample], modifier: &ScenarioModifier) {
+        if modifier.signal() != Signal::Price {
+            return;
+        }
+        let rescale = |series: &mut [Self::Sample], window: Option<SlotWindow>, factor: f64| {
+            let range = match window {
+                Some(w) => w.clipped(series.len()),
+                None => 0..series.len(),
+            };
+            for price in &mut series[range] {
+                *price = DollarsPerKwh::new((price.as_f64() * factor).max(0.0));
+            }
+        };
+        match modifier {
+            ScenarioModifier::AmplitudeScale(m) => rescale(series, None, m.factor),
+            ScenarioModifier::Spike(m) => rescale(series, Some(m.window), m.factor),
+            ScenarioModifier::Drought(m) => rescale(series, Some(m.window), m.factor),
+            ScenarioModifier::TimeShift(m) => rotate_series(series, m.slots),
+            ScenarioModifier::TariffSurge(m) => {
+                let range = m.window.clipped(series.len());
+                for price in &mut series[range] {
+                    *price = DollarsPerKwh::from_dollars_per_mwh(
+                        price.as_dollars_per_mwh() + m.added_mwh,
+                    );
+                }
+            }
+            ScenarioModifier::DemandSurge(_) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The named stress-scenario library
+// ---------------------------------------------------------------------------
+
+/// Names of every scenario in [`scenario_library`], baseline first.
+pub const SCENARIO_NAMES: [&str; 7] = [
+    "baseline",
+    "heatwave",
+    "winter-storm",
+    "ev-surge-weekend",
+    "rtp-price-spike",
+    "rolling-blackout",
+    "traffic-flashcrowd",
+];
+
+/// A window spanning `[frac_start, frac_start + frac_len)` of the horizon,
+/// clamped so it always validates.
+fn frac_window(horizon: usize, frac_start: f64, frac_len: f64) -> SlotWindow {
+    let start = ((horizon as f64 * frac_start) as usize).min(horizon.saturating_sub(1));
+    let len = ((horizon as f64 * frac_len) as usize)
+        .max(1)
+        .min(horizon - start);
+    SlotWindow { start, len }
+}
+
+/// Mid-horizon heatwave: clear skies, still air, cooling-driven load and
+/// price, EVs avoiding daytime heat charging more (Zhang et al.'s renewable
+/// drought + demand surge, compressed into one event).
+pub fn heatwave(horizon: usize) -> ScenarioSpec {
+    let window = frac_window(horizon, 1.0 / 3.0, 1.0 / 4.0);
+    ScenarioSpec::named(
+        "heatwave",
+        "multi-day heatwave: bright and still, cooling load, scarcity pricing",
+    )
+    .with(ScenarioModifier::Spike(Spike {
+        signal: Signal::Solar,
+        window,
+        factor: 1.15,
+    }))
+    .with(ScenarioModifier::Drought(Drought {
+        signal: Signal::Wind,
+        window,
+        factor: 0.45,
+    }))
+    .with(ScenarioModifier::Spike(Spike {
+        signal: Signal::Traffic,
+        window,
+        factor: 1.25,
+    }))
+    .with(ScenarioModifier::TariffSurge(TariffSurge {
+        window,
+        added_mwh: 45.0,
+    }))
+    .with(ScenarioModifier::DemandSurge(DemandSurge {
+        window,
+        factor: 1.25,
+    }))
+}
+
+/// Winter storm: overcast skies and iced turbines wipe out renewables while
+/// the grid price surges — the renewable-drought endurance test.
+pub fn winter_storm(horizon: usize) -> ScenarioSpec {
+    let window = frac_window(horizon, 0.5, 1.0 / 3.0);
+    ScenarioSpec::named(
+        "winter-storm",
+        "winter storm renewable drought: PV and WT collapse under a price surge",
+    )
+    .with(ScenarioModifier::Drought(Drought {
+        signal: Signal::Solar,
+        window,
+        factor: 0.2,
+    }))
+    .with(ScenarioModifier::Drought(Drought {
+        signal: Signal::Wind,
+        window,
+        factor: 0.3,
+    }))
+    .with(ScenarioModifier::TariffSurge(TariffSurge {
+        window,
+        added_mwh: 80.0,
+    }))
+}
+
+/// EV-surge weekend: every weekend's charging demand multiplies (holiday
+/// traffic), with a mild network-traffic echo.
+pub fn ev_surge_weekend(horizon: usize) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::named(
+        "ev-surge-weekend",
+        "weekend EV surges: charging demand multiplies every weekend",
+    );
+    let days = horizon / SLOTS_PER_DAY;
+    let mut saw_weekend = false;
+    for day in 0..days {
+        if day % 7 == 5 {
+            // Saturday 00:00 .. end of Sunday (clamped to the horizon).
+            let start = day * SLOTS_PER_DAY;
+            let len = (2 * SLOTS_PER_DAY).min(horizon - start);
+            saw_weekend = true;
+            spec = spec.with(ScenarioModifier::DemandSurge(DemandSurge {
+                window: SlotWindow { start, len },
+                factor: 1.8,
+            }));
+        }
+    }
+    if !saw_weekend {
+        // Horizons shorter than a week still get one surge window.
+        spec = spec.with(ScenarioModifier::DemandSurge(DemandSurge {
+            window: frac_window(horizon, 0.5, 0.5),
+            factor: 1.8,
+        }));
+    }
+    spec.with(ScenarioModifier::AmplitudeScale(AmplitudeScale {
+        signal: Signal::Traffic,
+        factor: 1.05,
+    }))
+}
+
+/// RTP price spike: a scarcity event multiplies and surcharges the regional
+/// price over a band of the horizon.
+pub fn rtp_price_spike(horizon: usize) -> ScenarioSpec {
+    let window = frac_window(horizon, 0.6, 1.0 / 6.0);
+    ScenarioSpec::named(
+        "rtp-price-spike",
+        "regional scarcity pricing: RTP multiplies and surcharges over a band",
+    )
+    .with(ScenarioModifier::Spike(Spike {
+        signal: Signal::Price,
+        window,
+        factor: 1.6,
+    }))
+    .with(ScenarioModifier::TariffSurge(TariffSurge {
+        window,
+        added_mwh: 120.0,
+    }))
+}
+
+/// Rolling blackouts: scripted grid outages spread across the horizon, each
+/// preceded by scarcity pricing.
+pub fn rolling_blackout(horizon: usize) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::named(
+        "rolling-blackout",
+        "rolling grid outages with scarcity pricing around each event",
+    );
+    let events = 4.min(horizon.max(1));
+    for k in 0..events {
+        let start = (horizon * (2 * k + 1) / (2 * events)).min(horizon.saturating_sub(1));
+        let len = 4.min(horizon - start).max(1);
+        let window = SlotWindow { start, len };
+        spec = spec
+            .with_outage(window)
+            .with(ScenarioModifier::TariffSurge(TariffSurge {
+                window,
+                added_mwh: 150.0,
+            }));
+    }
+    spec
+}
+
+/// Traffic flash crowd: a mass event saturates the base station for a short
+/// window while prices echo the regional demand.
+pub fn traffic_flashcrowd(horizon: usize) -> ScenarioSpec {
+    let window = frac_window(horizon, 0.25, 1.0 / 12.0);
+    ScenarioSpec::named(
+        "traffic-flashcrowd",
+        "flash crowd: network load saturates over a short event window",
+    )
+    .with(ScenarioModifier::Spike(Spike {
+        signal: Signal::Traffic,
+        window,
+        factor: 1.9,
+    }))
+    .with(ScenarioModifier::Spike(Spike {
+        signal: Signal::Price,
+        window,
+        factor: 1.2,
+    }))
+}
+
+/// The full named stress catalog for a given horizon, baseline first.
+///
+/// Every entry validates against `horizon` by construction, so the library
+/// is usable at smoke, quick and paper scales alike.
+pub fn scenario_library(horizon: usize) -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec::baseline(),
+        heatwave(horizon),
+        winter_storm(horizon),
+        ev_surge_weekend(horizon),
+        rtp_price_spike(horizon),
+        rolling_blackout(horizon),
+        traffic_flashcrowd(horizon),
+    ]
+}
+
+/// Looks a library scenario up by name (the registry key).
+pub fn scenario_by_name(name: &str, horizon: usize) -> Option<ScenarioSpec> {
+    scenario_library(horizon)
+        .into_iter()
+        .find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtp::RtpConfig;
+    use crate::traffic::TrafficConfig;
+    use crate::weather::WeatherConfig;
+    use proptest::prelude::*;
+
+    const HORIZON: usize = 24 * 14;
+
+    fn weather_series(spec: &ScenarioSpec) -> Vec<crate::weather::WeatherSample> {
+        let mut rng = EctRng::seed_from(7);
+        let mut g = WeatherGenerator::new(WeatherConfig::default(), &mut rng).unwrap();
+        g.scenario_series(HORIZON, spec, &mut rng)
+    }
+
+    #[test]
+    fn baseline_spec_is_a_noop() {
+        let spec = ScenarioSpec::baseline();
+        assert!(spec.is_baseline());
+        assert_eq!(weather_series(&spec), weather_series(&spec));
+        let mut rng = EctRng::seed_from(7);
+        let mut g = WeatherGenerator::new(WeatherConfig::default(), &mut rng).unwrap();
+        let base = g.series(HORIZON, &mut rng);
+        assert_eq!(weather_series(&spec), base);
+    }
+
+    #[test]
+    fn solar_drought_suppresses_irradiance_only_in_window() {
+        let window = SlotWindow::new(24, 48);
+        let spec = ScenarioSpec::named("t", "t").with(ScenarioModifier::Drought(Drought {
+            signal: Signal::Solar,
+            window,
+            factor: 0.0,
+        }));
+        let base = weather_series(&ScenarioSpec::baseline());
+        let modified = weather_series(&spec);
+        for (t, (b, m)) in base.iter().zip(&modified).enumerate() {
+            if window.contains(t) {
+                assert_eq!(m.solar_irradiance, 0.0, "slot {t}");
+            } else {
+                assert_eq!(m.solar_irradiance, b.solar_irradiance, "slot {t}");
+            }
+            // Wind untouched either way.
+            assert_eq!(m.wind_speed, b.wind_speed);
+        }
+    }
+
+    #[test]
+    fn traffic_spike_saturates_and_keeps_volume_consistent() {
+        let window = SlotWindow::new(0, HORIZON);
+        let spec = ScenarioSpec::named("t", "t").with(ScenarioModifier::Spike(Spike {
+            signal: Signal::Traffic,
+            window,
+            factor: 10.0,
+        }));
+        let mut rng = EctRng::seed_from(3);
+        let mut g = TrafficGenerator::new(TrafficConfig::default()).unwrap();
+        let series = g.scenario_series(HORIZON, &spec, &mut rng);
+        let full_gb = TrafficConfig::default().full_load_gb;
+        for s in &series {
+            assert!(s.load_rate.as_f64() <= 1.0);
+            assert!((s.volume_gb - s.load_rate.as_f64() * full_gb).abs() < 1e-12);
+        }
+        // A 10× spike on the default profile saturates most slots.
+        let saturated = series
+            .iter()
+            .filter(|s| s.load_rate.as_f64() >= 1.0)
+            .count();
+        assert!(saturated > HORIZON / 2, "only {saturated} saturated");
+    }
+
+    #[test]
+    fn tariff_surge_adds_exactly_inside_window() {
+        let window = SlotWindow::new(10, 20);
+        let spec = ScenarioSpec::named("t", "t").with(ScenarioModifier::TariffSurge(TariffSurge {
+            window,
+            added_mwh: 100.0,
+        }));
+        let mut base_rng = EctRng::seed_from(5);
+        let base = RtpGenerator::new(RtpConfig::default())
+            .unwrap()
+            .series(HORIZON, &mut base_rng);
+        let mut rng = EctRng::seed_from(5);
+        let mut g = RtpGenerator::new(RtpConfig::default()).unwrap();
+        let modified = g.scenario_series(HORIZON, &spec, &mut rng);
+        for (t, (b, m)) in base.iter().zip(&modified).enumerate() {
+            if window.contains(t) {
+                assert!(
+                    (m.as_dollars_per_mwh() - b.as_dollars_per_mwh() - 100.0).abs() < 1e-9,
+                    "slot {t}"
+                );
+            } else {
+                assert_eq!(m, b, "slot {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn time_shift_rotates_price_series() {
+        let spec = ScenarioSpec::named("t", "t").with(ScenarioModifier::TimeShift(TimeShift {
+            signal: Signal::Price,
+            slots: 6,
+        }));
+        let mut base_rng = EctRng::seed_from(9);
+        let base = RtpGenerator::new(RtpConfig::default())
+            .unwrap()
+            .series(HORIZON, &mut base_rng);
+        let mut rng = EctRng::seed_from(9);
+        let mut g = RtpGenerator::new(RtpConfig::default()).unwrap();
+        let shifted = g.scenario_series(HORIZON, &spec, &mut rng);
+        for t in 0..HORIZON {
+            assert_eq!(shifted[(t + 6) % HORIZON], base[t], "slot {t}");
+        }
+    }
+
+    #[test]
+    fn ev_demand_boost_reflects_surges() {
+        let spec = ScenarioSpec::named("t", "t").with(ScenarioModifier::DemandSurge(DemandSurge {
+            window: SlotWindow::new(0, 10),
+            factor: 2.0,
+        }));
+        let boost = spec.ev_demand_boost(HORIZON).unwrap();
+        assert_eq!(boost.len(), HORIZON);
+        assert!(boost[..10].iter().all(|&b| (b - 2.0).abs() < 1e-12));
+        assert!(boost[10..].iter().all(|&b| (b - 1.0).abs() < 1e-12));
+        // A price-only spec leaves EV demand untouched.
+        assert!(rtp_price_spike(HORIZON).ev_demand_boost(HORIZON).is_none());
+        assert!(ScenarioSpec::baseline().ev_demand_boost(HORIZON).is_none());
+    }
+
+    #[test]
+    fn ev_demand_time_shift_moves_surge_windows_not_phantom_boosts() {
+        // A shift alone rotates an all-ones series — a no-op that must not
+        // install a boost (and so must not move the world checksum).
+        let shift_only =
+            ScenarioSpec::named("t", "t").with(ScenarioModifier::TimeShift(TimeShift {
+                signal: Signal::EvDemand,
+                slots: 12,
+            }));
+        assert!(shift_only.ev_demand_boost(HORIZON).is_none());
+
+        // A shift after a surge moves the surge window in time.
+        let shifted_surge = ScenarioSpec::named("t", "t")
+            .with(ScenarioModifier::DemandSurge(DemandSurge {
+                window: SlotWindow::new(0, 10),
+                factor: 2.0,
+            }))
+            .with(ScenarioModifier::TimeShift(TimeShift {
+                signal: Signal::EvDemand,
+                slots: 12,
+            }));
+        let boost = shifted_surge.ev_demand_boost(HORIZON).unwrap();
+        assert!(boost[..12].iter().all(|&b| (b - 1.0).abs() < 1e-12));
+        assert!(boost[12..22].iter().all(|&b| (b - 2.0).abs() < 1e-12));
+        assert!(boost[22..].iter().all(|&b| (b - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn library_has_all_named_scenarios_and_they_validate() {
+        for horizon in [24, 24 * 4, 24 * 30, 24 * 365] {
+            let lib = scenario_library(horizon);
+            assert_eq!(lib.len(), SCENARIO_NAMES.len());
+            for (spec, name) in lib.iter().zip(SCENARIO_NAMES) {
+                assert_eq!(spec.name, name);
+                spec.validate(horizon).unwrap();
+            }
+        }
+        assert!(scenario_by_name("heatwave", 24 * 30).is_some());
+        assert!(scenario_by_name("no-such-scenario", 24 * 30).is_none());
+        assert!(
+            scenario_by_name("rolling-blackout", 24 * 30)
+                .unwrap()
+                .outages
+                .len()
+                >= 2
+        );
+    }
+
+    #[test]
+    fn specs_round_trip_through_serde() {
+        for spec in scenario_library(24 * 30) {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_modifiers() {
+        let horizon = 100;
+        let bad = [
+            ScenarioModifier::AmplitudeScale(AmplitudeScale {
+                signal: Signal::Solar,
+                factor: 0.0,
+            }),
+            ScenarioModifier::AmplitudeScale(AmplitudeScale {
+                signal: Signal::Solar,
+                factor: f64::NAN,
+            }),
+            ScenarioModifier::AmplitudeScale(AmplitudeScale {
+                signal: Signal::Solar,
+                factor: MAX_SCALE_FACTOR * 2.0,
+            }),
+            ScenarioModifier::Spike(Spike {
+                signal: Signal::Wind,
+                window: SlotWindow::new(0, 10),
+                factor: 0.5,
+            }),
+            ScenarioModifier::Drought(Drought {
+                signal: Signal::Wind,
+                window: SlotWindow::new(0, 10),
+                factor: 1.0,
+            }),
+            ScenarioModifier::Spike(Spike {
+                signal: Signal::Wind,
+                window: SlotWindow::new(0, 0),
+                factor: 2.0,
+            }),
+            ScenarioModifier::Spike(Spike {
+                signal: Signal::Wind,
+                window: SlotWindow::new(90, 20),
+                factor: 2.0,
+            }),
+            ScenarioModifier::Spike(Spike {
+                signal: Signal::Wind,
+                window: SlotWindow::new(usize::MAX, 2),
+                factor: 2.0,
+            }),
+            ScenarioModifier::TimeShift(TimeShift {
+                signal: Signal::Price,
+                slots: 101,
+            }),
+            ScenarioModifier::TariffSurge(TariffSurge {
+                window: SlotWindow::new(0, 10),
+                added_mwh: -1.0,
+            }),
+            ScenarioModifier::DemandSurge(DemandSurge {
+                window: SlotWindow::new(0, 10),
+                factor: 0.0,
+            }),
+        ];
+        for m in bad {
+            assert!(m.validate(horizon).is_err(), "{m:?}");
+            let spec = ScenarioSpec::named("bad", "bad").with(m);
+            assert!(spec.validate(horizon).is_err(), "{m:?}");
+        }
+        assert!(ScenarioSpec::named("", "no name")
+            .validate(horizon)
+            .is_err());
+        assert!(ScenarioSpec::baseline().validate(0).is_err());
+        assert!(ScenarioSpec::baseline()
+            .with_outage(SlotWindow::new(99, 5))
+            .validate(horizon)
+            .is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn invalid_windows_always_rejected(
+            start in 0usize..200,
+            len in 0usize..200,
+            factor in 1.0f64..5.0,
+            signal_idx in 0usize..5,
+        ) {
+            let horizon = 100usize;
+            let signal = Signal::ALL[signal_idx];
+            let window = SlotWindow::new(start, len);
+            let m = ScenarioModifier::Spike(Spike { signal, window, factor });
+            let valid = len >= 1 && start + len <= horizon;
+            prop_assert_eq!(m.validate(horizon).is_ok(), valid);
+        }
+
+        #[test]
+        fn out_of_range_scales_always_rejected(
+            kind in 0usize..4,
+            magnitude in 0.0f64..10.0,
+            signal_idx in 0usize..5,
+        ) {
+            let factor = match kind {
+                0 => -magnitude,                            // non-positive
+                1 => MAX_SCALE_FACTOR + 0.001 + magnitude,  // over the cap
+                2 => f64::NAN,
+                _ => f64::INFINITY,
+            };
+            let signal = Signal::ALL[signal_idx];
+            let m = ScenarioModifier::AmplitudeScale(AmplitudeScale { signal, factor });
+            prop_assert!(m.validate(1000).is_err());
+        }
+
+        #[test]
+        fn valid_specs_generate_finite_nonnegative_series(
+            seed in 0u64..500,
+            start_frac in 0.0f64..0.8,
+            len_frac in 0.05f64..0.2,
+            spike in 1.0f64..3.0,
+            drought in 0.0f64..0.9,
+            surge in 0.0f64..200.0,
+            shift in -48i64..48,
+        ) {
+            let horizon = 96usize;
+            let window = frac_window(horizon, start_frac, len_frac);
+            let spec = ScenarioSpec::named("prop", "prop")
+                .with(ScenarioModifier::Spike(Spike { signal: Signal::Traffic, window, factor: spike }))
+                .with(ScenarioModifier::Drought(Drought { signal: Signal::Solar, window, factor: drought }))
+                .with(ScenarioModifier::TariffSurge(TariffSurge { window, added_mwh: surge }))
+                .with(ScenarioModifier::TimeShift(TimeShift { signal: Signal::Wind, slots: shift }))
+                .with(ScenarioModifier::DemandSurge(DemandSurge { window, factor: spike }));
+            spec.validate(horizon).unwrap();
+
+            let mut rng = EctRng::seed_from(seed);
+            let mut wg = WeatherGenerator::new(WeatherConfig::default(), &mut rng).unwrap();
+            let weather = wg.scenario_series(horizon, &spec, &mut rng);
+            prop_assert_eq!(weather.len(), horizon);
+            for w in &weather {
+                prop_assert!(w.solar_irradiance.is_finite() && w.solar_irradiance >= 0.0);
+                prop_assert!(w.wind_speed.is_finite() && w.wind_speed >= 0.0);
+            }
+
+            let mut tg = TrafficGenerator::new(TrafficConfig::default()).unwrap();
+            let traffic = tg.scenario_series(horizon, &spec, &mut rng);
+            prop_assert_eq!(traffic.len(), horizon);
+            for t in &traffic {
+                prop_assert!((0.0..=1.0).contains(&t.load_rate.as_f64()));
+                prop_assert!(t.volume_gb.is_finite() && t.volume_gb >= 0.0);
+            }
+
+            let mut pg = RtpGenerator::new(RtpConfig::default()).unwrap();
+            let prices = pg.scenario_series(horizon, &spec, &mut rng);
+            prop_assert_eq!(prices.len(), horizon);
+            for p in &prices {
+                prop_assert!(p.as_f64().is_finite() && p.as_f64() >= 0.0);
+            }
+
+            let boost = spec.ev_demand_boost(horizon).unwrap();
+            for b in boost {
+                prop_assert!(b.is_finite() && b >= 0.0);
+            }
+        }
+    }
+}

@@ -64,7 +64,10 @@ impl SessionConfig {
             ));
         }
         if self.arrival_profile.len() != HOURS_PER_DAY
-            || self.arrival_profile.iter().any(|&v| !(0.0..=1.0).contains(&v))
+            || self
+                .arrival_profile
+                .iter()
+                .any(|&v| !(0.0..=1.0).contains(&v))
         {
             return Err(ect_types::EctError::InvalidConfig(
                 "arrival profile needs 24 entries in [0, 1]".into(),
@@ -81,8 +84,7 @@ impl SessionConfig {
     /// Offered load `ρ = λ̄ / (s·μ)` at the mean arrival rate — the queueing
     /// stability figure of merit.
     pub fn mean_utilisation(&self) -> f64 {
-        let mean_profile: f64 =
-            self.arrival_profile.iter().sum::<f64>() / HOURS_PER_DAY as f64;
+        let mean_profile: f64 = self.arrival_profile.iter().sum::<f64>() / HOURS_PER_DAY as f64;
         let lambda = self.peak_arrivals_per_hour * mean_profile;
         lambda * self.mean_service_hours / self.plugs as f64
     }
@@ -218,7 +220,9 @@ mod tests {
 
     fn stats(config: SessionConfig, slots: usize, seed: u64) -> SessionStats {
         let mut rng = EctRng::seed_from(seed);
-        SessionSimulator::new(config).unwrap().simulate(slots, &mut rng)
+        SessionSimulator::new(config)
+            .unwrap()
+            .simulate(slots, &mut rng)
     }
 
     #[test]
@@ -306,7 +310,12 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonsense() {
-        assert!(SessionConfig { plugs: 0, ..Default::default() }.validate().is_err());
+        assert!(SessionConfig {
+            plugs: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(SessionConfig {
             peak_arrivals_per_hour: 0.0,
             ..Default::default()

@@ -259,10 +259,7 @@ impl Region {
             let mut covered = 0usize;
             for i in 0..n {
                 let p = seg.point_at((i as f64 + 0.5) / n as f64);
-                let near = self
-                    .base_stations
-                    .iter()
-                    .any(|&b| dist(b, p) <= d_km);
+                let near = self.base_stations.iter().any(|&b| dist(b, p) <= d_km);
                 if near {
                     covered += 1;
                 }

@@ -114,6 +114,12 @@ impl TrafficGenerator {
         Ok(Self { config, noise })
     }
 
+    /// The configuration the generator runs on (used by scenario modifiers
+    /// to keep load rate and traffic volume consistent when rescaling).
+    pub fn config(&self) -> &TrafficConfig {
+        &self.config
+    }
+
     /// Generates traffic for one slot, advancing the noise process.
     pub fn sample(&mut self, slot: SlotIndex, rng: &mut EctRng) -> TrafficSample {
         let mut load = self.config.floor + self.config.swing * demand_shape(slot.hour_of_day());
@@ -190,7 +196,10 @@ mod tests {
     fn evening_load_exceeds_night_load() {
         let s = series(2, 24 * 60);
         let mean_at = |h: usize| -> f64 {
-            (0..60).map(|d| s[d * 24 + h].load_rate.as_f64()).sum::<f64>() / 60.0
+            (0..60)
+                .map(|d| s[d * 24 + h].load_rate.as_f64())
+                .sum::<f64>()
+                / 60.0
         };
         assert!(mean_at(20) > mean_at(4) + 0.3);
     }

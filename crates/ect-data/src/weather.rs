@@ -156,6 +156,11 @@ impl WeatherGenerator {
         })
     }
 
+    /// The configuration the generator runs on.
+    pub fn config(&self) -> &WeatherConfig {
+        &self.config
+    }
+
     /// Clear-sky irradiance at the given slot (before cloud attenuation).
     pub fn clear_sky_irradiance(&self, slot: SlotIndex) -> f64 {
         let hour = slot.hour_of_day() as f64 + 0.5; // mid-slot sun position
@@ -174,7 +179,10 @@ impl WeatherGenerator {
         if self.current_day != Some(day) {
             self.current_day = Some(day);
             let mean = rng
-                .weibull(self.config.wind_weibull_shape, self.config.wind_weibull_scale)
+                .weibull(
+                    self.config.wind_weibull_shape,
+                    self.config.wind_weibull_scale,
+                )
                 .max(0.1);
             self.wind = OrnsteinUhlenbeck::new(mean, 0.25, self.config.wind_volatility)
                 .with_state(self.wind.current().max(0.0));
@@ -280,7 +288,9 @@ mod tests {
 
     #[test]
     fn profiles_differ_in_wind() {
-        assert!(WeatherConfig::rural().wind_weibull_scale > WeatherConfig::urban().wind_weibull_scale);
+        assert!(
+            WeatherConfig::rural().wind_weibull_scale > WeatherConfig::urban().wind_weibull_scale
+        );
         WeatherConfig::rural().validate().unwrap();
         WeatherConfig::urban().validate().unwrap();
     }

@@ -61,7 +61,10 @@ impl ActorCritic {
     /// Panics if `state_dim` is zero or the trunk is configured empty.
     pub fn new(state_dim: usize, config: &ActorCriticConfig, rng: &mut EctRng) -> Self {
         assert!(state_dim > 0, "state dimension must be positive");
-        assert!(!config.trunk_hidden.is_empty(), "trunk needs at least one layer");
+        assert!(
+            !config.trunk_hidden.is_empty(),
+            "trunk needs at least one layer"
+        );
         let mut trunk_widths = vec![state_dim];
         trunk_widths.extend_from_slice(&config.trunk_hidden);
         let trunk_out = *trunk_widths.last().expect("trunk widths");
@@ -223,7 +226,11 @@ mod tests {
         }
         for i in 0..3 {
             let freq = counts[i] as f64 / 9000.0;
-            assert!((freq - probs[i]).abs() < 0.03, "action {i}: {freq} vs {}", probs[i]);
+            assert!(
+                (freq - probs[i]).abs() < 0.03,
+                "action {i}: {freq} vs {}",
+                probs[i]
+            );
         }
     }
 
@@ -232,7 +239,9 @@ mod tests {
         let n = net();
         let state = vec![0.7; 6];
         let (probs, _) = n.evaluate_one(&state);
-        let best = (0..3).max_by(|&a, &b| probs[a].total_cmp(&probs[b])).unwrap();
+        let best = (0..3)
+            .max_by(|&a, &b| probs[a].total_cmp(&probs[b]))
+            .unwrap();
         assert_eq!(n.greedy_action(&state).index(), best);
     }
 

@@ -256,11 +256,8 @@ pub fn train_fleet<F: FleetFactory>(
 
         if (episode + 1) % per_update == 0 {
             for lane in 0..n {
-                let stats = learners[lane].update(
-                    &mut policies[lane],
-                    &buffers[lane],
-                    &mut rngs[lane],
-                )?;
+                let stats =
+                    learners[lane].update(&mut policies[lane], &buffers[lane], &mut rngs[lane])?;
                 histories[lane].update_stats.push(stats);
                 buffers[lane].clear();
             }
@@ -463,7 +460,10 @@ mod tests {
                 seeds[lane],
             )
             .unwrap();
-            assert_eq!(seq.daily_rewards, batched[lane].daily_rewards, "lane {lane}");
+            assert_eq!(
+                seq.daily_rewards, batched[lane].daily_rewards,
+                "lane {lane}"
+            );
             assert_eq!(
                 seq.avg_daily_reward.to_bits(),
                 batched[lane].avg_daily_reward.to_bits()
@@ -490,8 +490,7 @@ mod tests {
         let mut rngs_a: Vec<EctRng> = (0..lanes as u64).map(EctRng::seed_from).collect();
         let mut bufs_a = vec![RolloutBuffer::new(); lanes];
         let policies = vec![policy.clone(); lanes];
-        let ret_a =
-            collect_fleet_episode(&mut fleet_a, &policies, &mut rngs_a, &mut bufs_a, &socs);
+        let ret_a = collect_fleet_episode(&mut fleet_a, &policies, &mut rngs_a, &mut bufs_a, &socs);
 
         let mut fleet_b = make_fleet();
         let mut rngs_b: Vec<EctRng> = (0..lanes as u64).map(EctRng::seed_from).collect();
@@ -524,8 +523,6 @@ mod tests {
             &crate::actor_critic::ActorCriticConfig::default(),
             &mut rng,
         );
-        assert!(
-            evaluate_fleet_greedy(&[policy], fleet_factory(24, 1), 1, &[1, 2]).is_err()
-        );
+        assert!(evaluate_fleet_greedy(&[policy], fleet_factory(24, 1), 1, &[1, 2]).is_err());
     }
 }

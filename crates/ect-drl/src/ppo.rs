@@ -195,11 +195,7 @@ impl Ppo {
                 }
 
                 // Critic regression toward GAE returns (Eq. 27's MSE term).
-                let target = Matrix::from_vec(
-                    b,
-                    1,
-                    chunk.iter().map(|&i| returns[i]).collect(),
-                );
+                let target = Matrix::from_vec(b, 1, chunk.iter().map(|&i| returns[i]).collect());
                 let (value_loss, mut grad_values) = mse(&values, &target);
                 grad_values.scale(cfg.value_coef);
 
@@ -253,7 +249,11 @@ mod tests {
     fn bandit_buffer(policy: &ActorCritic, rng: &mut EctRng, episodes: usize) -> RolloutBuffer {
         let mut buf = RolloutBuffer::new();
         for e in 0..episodes {
-            let state = if e % 2 == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] };
+            let state = if e % 2 == 0 {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            };
             let (action, prob, value) = policy.sample_action(&state, rng);
             let want = if e % 2 == 0 { 0 } else { 1 };
             let reward = if action.index() == want { 1.0 } else { 0.0 };
@@ -327,15 +327,37 @@ mod tests {
         let mut rng = EctRng::seed_from(10);
         let mut policy = tiny_policy(&mut rng);
         let mut ppo = Ppo::new(PpoConfig::default()).unwrap();
-        assert!(ppo.update(&mut policy, &RolloutBuffer::new(), &mut rng).is_err());
+        assert!(ppo
+            .update(&mut policy, &RolloutBuffer::new(), &mut rng)
+            .is_err());
     }
 
     #[test]
     fn config_validation() {
-        assert!(PpoConfig { gamma: 1.5, ..PpoConfig::default() }.validate().is_err());
-        assert!(PpoConfig { clip_epsilon: 0.0, ..PpoConfig::default() }.validate().is_err());
-        assert!(PpoConfig { update_epochs: 0, ..PpoConfig::default() }.validate().is_err());
-        assert!(PpoConfig { value_coef: -1.0, ..PpoConfig::default() }.validate().is_err());
+        assert!(PpoConfig {
+            gamma: 1.5,
+            ..PpoConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PpoConfig {
+            clip_epsilon: 0.0,
+            ..PpoConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PpoConfig {
+            update_epochs: 0,
+            ..PpoConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PpoConfig {
+            value_coef: -1.0,
+            ..PpoConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(PpoConfig::default().validate().is_ok());
     }
 }

@@ -69,7 +69,10 @@ impl RolloutBuffer {
     pub fn gae(&self, gamma: f64, lambda: f64) -> (Vec<f64>, Vec<f64>) {
         assert!(!self.is_empty(), "gae on empty buffer");
         assert!((0.0..=1.0).contains(&gamma), "gamma {gamma} outside [0, 1]");
-        assert!((0.0..=1.0).contains(&lambda), "lambda {lambda} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&lambda),
+            "lambda {lambda} outside [0, 1]"
+        );
         let n = self.transitions.len();
         let mut advantages = vec![0.0; n];
         let mut gae = 0.0;

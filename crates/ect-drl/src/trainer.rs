@@ -212,9 +212,7 @@ mod tests {
     fn factory(slots: usize) -> impl FnMut(usize, &mut EctRng) -> ect_types::Result<HubEnv> {
         move |_episode, _rng| {
             let rtp: Vec<DollarsPerKwh> = (0..slots)
-                .map(|t| {
-                    DollarsPerKwh::new(if (t / 12) % 2 == 0 { 0.04 } else { 0.13 })
-                })
+                .map(|t| DollarsPerKwh::new(if (t / 12) % 2 == 0 { 0.04 } else { 0.13 }))
                 .collect();
             let inputs = EpisodeInputs {
                 rtp,
@@ -259,9 +257,7 @@ mod tests {
         assert_eq!(summary.daily_rewards.len(), 3);
         assert_eq!(summary.daily_rewards[0].len(), 2); // 48 slots = 2 days
         assert!(summary.avg_daily_reward.is_finite());
-        assert!(
-            (summary.avg_episode_profit - 2.0 * summary.avg_daily_reward).abs() < 1e-9
-        );
+        assert!((summary.avg_episode_profit - 2.0 * summary.avg_daily_reward).abs() < 1e-9);
     }
 
     #[test]

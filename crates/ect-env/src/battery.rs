@@ -191,10 +191,8 @@ impl BatteryPoint {
     ///
     /// Panics if `initial_soc_fraction` is NaN.
     pub fn new(config: BatteryPointConfig, initial_soc_fraction: f64) -> Self {
-        let soc = KiloWattHour::new(
-            Ratio::saturating(initial_soc_fraction) * config.capacity_kwh,
-        )
-        .clamp(config.soc_min_kwh(), config.soc_max_kwh());
+        let soc = KiloWattHour::new(Ratio::saturating(initial_soc_fraction) * config.capacity_kwh)
+            .clamp(config.soc_min_kwh(), config.soc_max_kwh());
         Self { config, soc }
     }
 
@@ -433,7 +431,10 @@ mod tests {
         // Per kWh of SoC: charging stores η_ch per grid kWh, discharging
         // delivers η_dch per stored kWh — round trip is η_ch · η_dch.
         let round_trip = (soc_gained / bought) * (recovered / soc_removed);
-        assert!((round_trip - 0.95 * 0.95).abs() < 1e-9, "round trip {round_trip}");
+        assert!(
+            (round_trip - 0.95 * 0.95).abs() < 1e-9,
+            "round trip {round_trip}"
+        );
         assert!(recovered / bought < 1.0, "round trip must lose energy");
         // Net SoC change: +47.5 (charge) − 50 (discharge) = −2.5 kWh.
         assert!((after_discharge - start - (47.5 - 50.0)).abs() < 1e-9);

@@ -107,7 +107,8 @@ pub fn ride_through(
 /// # Errors
 ///
 /// Returns [`ect_types::EctError::InsufficientData`] if the traces are
-/// shorter than the outage duration.
+/// shorter than the outage duration, the duration is zero, or the sweep
+/// range is otherwise empty (no start hour could be evaluated).
 pub fn worst_case_ride_through(
     config: &HubConfig,
     weather: &[WeatherSample],
@@ -141,7 +142,11 @@ pub fn worst_case_ride_through(
             worst = Some(outcome);
         }
     }
-    Ok(worst.expect("at least one scenario evaluated"))
+    worst.ok_or_else(|| {
+        ect_types::EctError::InsufficientData(format!(
+            "blackout sweep of a {duration_hours} h outage over {horizon} slots evaluated no start hour"
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -290,5 +295,24 @@ mod tests {
         // And the sweep rejects impossible durations.
         assert!(worst_case_ride_through(&config, &weather, &traffic, 10.0, 0).is_err());
         assert!(worst_case_ride_through(&config, &weather, &traffic, 10.0, 25).is_err());
+    }
+
+    #[test]
+    fn empty_sweep_ranges_error_instead_of_panicking() {
+        let config = HubConfig::bare();
+        // Empty traces: every duration is unsatisfiable, including 0.
+        let (weather, traffic) = flat_traces(0, 0.5, 0.0);
+        for duration in [0, 1, 8] {
+            let result = worst_case_ride_through(&config, &weather, &traffic, 10.0, duration);
+            assert!(
+                matches!(result, Err(ect_types::EctError::InsufficientData(_))),
+                "duration {duration}: {result:?}"
+            );
+        }
+        // Mismatched trace lengths bound the sweep by the shorter series.
+        let (weather, _) = flat_traces(10, 0.5, 0.0);
+        let (_, traffic) = flat_traces(4, 0.5, 0.0);
+        assert!(worst_case_ride_through(&config, &weather, &traffic, 10.0, 5).is_err());
+        assert!(worst_case_ride_through(&config, &weather, &traffic, 10.0, 4).is_ok());
     }
 }

@@ -110,7 +110,11 @@ pub(crate) fn write_observation(
     discounts: &DiscountSchedule,
     soc_fraction: f64,
 ) {
-    assert_eq!(out.len(), 5 * window + 1, "observation buffer size mismatch");
+    assert_eq!(
+        out.len(),
+        5 * window + 1,
+        "observation buffer size mismatch"
+    );
     let len = rtp.len();
     // Monomorphized per closure so the trivial bodies inline on the hot
     // path (this runs 5×window times per lane per slot).
@@ -615,7 +619,10 @@ mod tests {
 
         // Now discount slot 0: the incentive EV charges at the reduced price.
         inputs.discounts = DiscountSchedule::from_levels(
-            std::iter::once(0.2).chain(std::iter::repeat(0.0)).take(24).collect(),
+            std::iter::once(0.2)
+                .chain(std::iter::repeat(0.0))
+                .take(24)
+                .collect(),
         )
         .unwrap();
         let mut e = HubEnv::new(HubConfig::urban(), inputs, 4).unwrap();

@@ -10,7 +10,8 @@ use crate::hub::HubConfig;
 use crate::tariff::DiscountSchedule;
 use crate::vec_env::{FleetEnv, HubSeries};
 use ect_data::charging::Stratum;
-use ect_data::dataset::WorldDataset;
+use ect_data::dataset::{WorldConfig, WorldDataset};
+use ect_data::scenario::ScenarioSpec;
 use ect_types::ids::{HubId, StationId};
 use ect_types::rng::EctRng;
 use ect_types::time::SlotIndex;
@@ -75,6 +76,46 @@ fn validate_episode_request(
     Ok(())
 }
 
+impl EpisodeInputs {
+    /// Builds episode inputs for one hub of a generated world — the
+    /// constructor-style face of [`episode_for_hub`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`episode_for_hub`] failures.
+    pub fn from_world(
+        world: &WorldDataset,
+        hub: HubId,
+        start_slot: usize,
+        len: usize,
+        discounts: DiscountSchedule,
+        rng: &mut EctRng,
+    ) -> ect_types::Result<Self> {
+        episode_for_hub(world, hub, start_slot, len, discounts, rng)
+    }
+
+    /// Generates a world under the scenario spec and builds episode inputs
+    /// for one of its hubs. The heavyweight path — when several episodes
+    /// share one scenario, generate the world once and use
+    /// [`EpisodeInputs::from_world`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates world-generation and slicing failures.
+    pub fn from_scenario(
+        config: &WorldConfig,
+        spec: &ScenarioSpec,
+        hub: HubId,
+        start_slot: usize,
+        len: usize,
+        discounts: DiscountSchedule,
+        rng: &mut EctRng,
+    ) -> ect_types::Result<Self> {
+        let world = WorldDataset::generate_scenario(config.clone(), spec)?;
+        Self::from_world(&world, hub, start_slot, len, discounts, rng)
+    }
+}
+
 /// Builds episode inputs for one hub over `[start_slot, start_slot + len)`.
 ///
 /// # Errors
@@ -123,6 +164,50 @@ pub fn env_for_hub(
     HubEnv::new(config, inputs, window)
 }
 
+/// Slices the world's shared RTP series for one episode window into an
+/// `Arc` every lane of that world can clone.
+fn shared_rtp_slice(
+    world: &WorldDataset,
+    start_slot: usize,
+    len: usize,
+) -> ect_types::Result<Arc<[ect_types::units::DollarsPerKwh]>> {
+    match world.rtp.get(start_slot..start_slot + len) {
+        Some(slice) => Ok(slice.into()),
+        None => Err(ect_types::EctError::InsufficientData(format!(
+            "episode [{start_slot}, {}) exceeds world horizon {}",
+            start_slot + len,
+            world.horizon()
+        ))),
+    }
+}
+
+/// Builds one fleet lane: same validation and strata draws as
+/// [`episode_for_hub`], but assembled straight into `Arc` series so the
+/// shared RTP slice is never copied per lane. The single lane constructor
+/// behind [`fleet_env_for_hubs`] and [`fleet_env_for_scenarios`] — the two
+/// batched paths cannot drift from each other or from the sequential one.
+fn build_lane(
+    world: &WorldDataset,
+    shared_rtp: &Arc<[ect_types::units::DollarsPerKwh]>,
+    hub: HubId,
+    start_slot: usize,
+    len: usize,
+    schedule: &DiscountSchedule,
+    rng: &mut EctRng,
+) -> ect_types::Result<(HubConfig, HubSeries)> {
+    validate_episode_request(world, hub, start_slot, len, schedule.len())?;
+    let traces = &world.hubs[hub.index()];
+    let strata = draw_strata(world, StationId::new(hub.as_u32()), start_slot, len, rng);
+    let series = HubSeries {
+        rtp: Arc::clone(shared_rtp),
+        weather: traces.weather[start_slot..start_slot + len].into(),
+        traffic: traces.traffic[start_slot..start_slot + len].into(),
+        discounts: Arc::new(schedule.clone()),
+        strata: strata.into(),
+    };
+    Ok((HubConfig::for_siting(traces.siting), series))
+}
+
 /// Builds a batched [`FleetEnv`] over several hubs of the world, one lane
 /// per hub, with the regional RTP series stored **once** and `Arc`-shared
 /// across all lanes.
@@ -159,38 +244,85 @@ pub fn fleet_env_for_hubs(
             actual: rngs.len(),
         });
     }
-    let shared_rtp: Arc<[ect_types::units::DollarsPerKwh]> = match world
-        .rtp
-        .get(start_slot..start_slot + len)
-    {
-        Some(slice) => slice.into(),
-        None => {
-            return Err(ect_types::EctError::InsufficientData(format!(
-                "episode [{start_slot}, {}) exceeds world horizon {}",
-                start_slot + len,
-                world.horizon()
-            )))
-        }
-    };
+    let shared_rtp = shared_rtp_slice(world, start_slot, len)?;
     let mut lanes = Vec::with_capacity(hubs.len());
     for ((&hub, schedule), rng) in hubs.iter().zip(discounts).zip(rngs.iter_mut()) {
-        // Same validation and strata draws as `episode_for_hub`, but built
-        // straight into Arc series so the shared RTP slice is never copied
-        // per lane (this runs once per training episode).
-        validate_episode_request(world, hub, start_slot, len, schedule.len())?;
-        let traces = &world.hubs[hub.index()];
-        let strata = draw_strata(world, StationId::new(hub.as_u32()), start_slot, len, rng);
-        let series = HubSeries {
-            rtp: Arc::clone(&shared_rtp),
-            weather: traces.weather[start_slot..start_slot + len].into(),
-            traffic: traces.traffic[start_slot..start_slot + len].into(),
-            discounts: Arc::new(schedule.clone()),
-            strata: strata.into(),
-        };
-        let config = HubConfig::for_siting(world.hubs[hub.index()].siting);
-        lanes.push((config, series));
+        lanes.push(build_lane(
+            world,
+            &shared_rtp,
+            hub,
+            start_slot,
+            len,
+            schedule,
+            rng,
+        )?);
     }
     FleetEnv::new(lanes, window)
+}
+
+/// Builds a batched [`FleetEnv`] whose lanes run **heterogeneous scenarios
+/// side by side**: lane `i` lives in the world `lanes[i].0` generates (same
+/// `WorldConfig`, different [`ScenarioSpec`]) and plays hub `lanes[i].1`.
+///
+/// Worlds are generated once per distinct spec and shared across the lanes
+/// that request it (the regional RTP series of same-scenario lanes stays one
+/// `Arc` allocation), so a method × scenario grid steps through one lockstep
+/// engine instead of a scenario loop.
+///
+/// # Errors
+///
+/// Propagates world-generation and per-lane slicing failures, and returns
+/// [`ect_types::EctError::ShapeMismatch`] if `discounts`/`rngs` lengths
+/// differ from `lanes`.
+pub fn fleet_env_for_scenarios(
+    config: &WorldConfig,
+    lanes: &[(ScenarioSpec, HubId)],
+    start_slot: usize,
+    len: usize,
+    discounts: &[DiscountSchedule],
+    window: usize,
+    rngs: &mut [EctRng],
+) -> ect_types::Result<FleetEnv> {
+    if discounts.len() != lanes.len() {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "scenario fleet discount schedules",
+            expected: lanes.len(),
+            actual: discounts.len(),
+        });
+    }
+    if rngs.len() != lanes.len() {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "scenario fleet strata rngs",
+            expected: lanes.len(),
+            actual: rngs.len(),
+        });
+    }
+    // One world and one shared RTP slice per distinct spec.
+    let mut worlds: Vec<(
+        &ScenarioSpec,
+        WorldDataset,
+        Arc<[ect_types::units::DollarsPerKwh]>,
+    )> = Vec::new();
+    for (spec, _) in lanes {
+        if worlds.iter().any(|(s, _, _)| *s == spec) {
+            continue;
+        }
+        let world = WorldDataset::generate_scenario(config.clone(), spec)?;
+        let rtp = shared_rtp_slice(&world, start_slot, len)?;
+        worlds.push((spec, world, rtp));
+    }
+
+    let mut built = Vec::with_capacity(lanes.len());
+    for (((spec, hub), schedule), rng) in lanes.iter().zip(discounts).zip(rngs.iter_mut()) {
+        let (_, world, shared_rtp) = worlds
+            .iter()
+            .find(|(s, _, _)| *s == spec)
+            .expect("every lane spec was generated above");
+        built.push(build_lane(
+            world, shared_rtp, *hub, start_slot, len, schedule, rng,
+        )?);
+    }
+    FleetEnv::new(built, window)
 }
 
 #[cfg(test)]
@@ -212,9 +344,15 @@ mod tests {
     fn episode_slices_the_right_window() {
         let w = world();
         let mut rng = EctRng::seed_from(1);
-        let inputs =
-            episode_for_hub(&w, HubId::new(1), 24, 48, DiscountSchedule::none(48), &mut rng)
-                .unwrap();
+        let inputs = episode_for_hub(
+            &w,
+            HubId::new(1),
+            24,
+            48,
+            DiscountSchedule::none(48),
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(inputs.len(), 48);
         assert_eq!(inputs.rtp[0], w.rtp[24]);
         assert_eq!(inputs.weather[5], w.hubs[1].weather[29]);
@@ -224,8 +362,15 @@ mod tests {
     fn out_of_range_requests_fail() {
         let w = world();
         let mut rng = EctRng::seed_from(2);
-        assert!(episode_for_hub(&w, HubId::new(9), 0, 24, DiscountSchedule::none(24), &mut rng)
-            .is_err());
+        assert!(episode_for_hub(
+            &w,
+            HubId::new(9),
+            0,
+            24,
+            DiscountSchedule::none(24),
+            &mut rng
+        )
+        .is_err());
         assert!(episode_for_hub(
             &w,
             HubId::new(0),
@@ -235,8 +380,15 @@ mod tests {
             &mut rng
         )
         .is_err());
-        assert!(episode_for_hub(&w, HubId::new(0), 0, 24, DiscountSchedule::none(12), &mut rng)
-            .is_err());
+        assert!(episode_for_hub(
+            &w,
+            HubId::new(0),
+            0,
+            24,
+            DiscountSchedule::none(12),
+            &mut rng
+        )
+        .is_err());
     }
 
     #[test]
@@ -288,8 +440,7 @@ mod tests {
             .iter()
             .map(|&h| EctRng::seed_from(100 + u64::from(h.as_u32())))
             .collect();
-        let mut fleet =
-            fleet_env_for_hubs(&w, &hubs, 24, 48, &discounts, 6, &mut rngs).unwrap();
+        let mut fleet = fleet_env_for_hubs(&w, &hubs, 24, 48, &discounts, 6, &mut rngs).unwrap();
 
         let socs = [0.3, 0.5, 0.7];
         for (env, &soc) in seq_envs.iter_mut().zip(&socs) {
@@ -364,13 +515,172 @@ mod tests {
     }
 
     #[test]
+    fn from_world_matches_episode_for_hub() {
+        let w = world();
+        let mut r1 = EctRng::seed_from(11);
+        let mut r2 = EctRng::seed_from(11);
+        let a = EpisodeInputs::from_world(
+            &w,
+            HubId::new(1),
+            0,
+            48,
+            DiscountSchedule::none(48),
+            &mut r1,
+        )
+        .unwrap();
+        let b = episode_for_hub(
+            &w,
+            HubId::new(1),
+            0,
+            48,
+            DiscountSchedule::none(48),
+            &mut r2,
+        )
+        .unwrap();
+        assert_eq!(a.rtp, b.rtp);
+        assert_eq!(a.weather, b.weather);
+        assert_eq!(a.strata, b.strata);
+    }
+
+    #[test]
+    fn from_scenario_reshapes_the_episode() {
+        use ect_data::scenario::{scenario_by_name, ScenarioSpec};
+        let config = ect_data::dataset::WorldConfig {
+            num_hubs: 2,
+            horizon_slots: 24 * 10,
+            ..ect_data::dataset::WorldConfig::default()
+        };
+        let spec = scenario_by_name("winter-storm", config.horizon_slots).unwrap();
+        let mut r1 = EctRng::seed_from(3);
+        let mut r2 = EctRng::seed_from(3);
+        let base = EpisodeInputs::from_scenario(
+            &config,
+            &ScenarioSpec::baseline(),
+            HubId::new(1),
+            0,
+            config.horizon_slots,
+            DiscountSchedule::none(config.horizon_slots),
+            &mut r1,
+        )
+        .unwrap();
+        let storm = EpisodeInputs::from_scenario(
+            &config,
+            &spec,
+            HubId::new(1),
+            0,
+            config.horizon_slots,
+            DiscountSchedule::none(config.horizon_slots),
+            &mut r2,
+        )
+        .unwrap();
+        let renewable = |inputs: &EpisodeInputs| -> f64 {
+            inputs
+                .weather
+                .iter()
+                .map(|w| w.solar_irradiance + w.wind_speed)
+                .sum()
+        };
+        assert!(renewable(&storm) < renewable(&base));
+    }
+
+    #[test]
+    fn scenario_fleet_runs_heterogeneous_lanes_side_by_side() {
+        use ect_data::scenario::{scenario_by_name, ScenarioSpec};
+        let config = ect_data::dataset::WorldConfig {
+            num_hubs: 2,
+            horizon_slots: 24 * 4,
+            ..ect_data::dataset::WorldConfig::default()
+        };
+        let horizon = config.horizon_slots;
+        let lanes = vec![
+            (ScenarioSpec::baseline(), HubId::new(0)),
+            (
+                scenario_by_name("rtp-price-spike", horizon).unwrap(),
+                HubId::new(0),
+            ),
+            (ScenarioSpec::baseline(), HubId::new(1)),
+        ];
+        let discounts = vec![DiscountSchedule::none(horizon); 3];
+        let mut rngs: Vec<EctRng> = (0..3).map(|l| EctRng::seed_from(40 + l)).collect();
+        let mut fleet =
+            fleet_env_for_scenarios(&config, &lanes, 0, horizon, &discounts, 6, &mut rngs).unwrap();
+        assert_eq!(fleet.num_lanes(), 3);
+        // Same-scenario lanes share one RTP allocation; the spiked lane does
+        // not, and its prices dominate the baseline's inside the surge.
+        assert_eq!(
+            fleet.series()[0].rtp.as_ptr(),
+            fleet.series()[2].rtp.as_ptr()
+        );
+        assert_ne!(
+            fleet.series()[0].rtp.as_ptr(),
+            fleet.series()[1].rtp.as_ptr()
+        );
+        let spiked: f64 = fleet.series()[1].rtp.iter().map(|p| p.as_f64()).sum();
+        let base: f64 = fleet.series()[0].rtp.iter().map(|p| p.as_f64()).sum();
+        assert!(spiked > base);
+        // And the fleet steps as one lockstep batch.
+        let (totals, trails) = fleet.rollout(&[0.5; 3], |_, _| BpAction::Idle);
+        assert_eq!(totals.len(), 3);
+        assert!(trails.iter().all(|t| t.len() == horizon));
+    }
+
+    #[test]
+    fn scenario_fleet_validates_shapes() {
+        use ect_data::scenario::ScenarioSpec;
+        let config = ect_data::dataset::WorldConfig {
+            num_hubs: 1,
+            horizon_slots: 24,
+            ..ect_data::dataset::WorldConfig::default()
+        };
+        let lanes = vec![(ScenarioSpec::baseline(), HubId::new(0))];
+        let mut rngs = vec![EctRng::seed_from(1)];
+        assert!(fleet_env_for_scenarios(&config, &lanes, 0, 24, &[], 6, &mut rngs).is_err());
+        assert!(fleet_env_for_scenarios(
+            &config,
+            &lanes,
+            0,
+            24,
+            &[DiscountSchedule::none(24)],
+            6,
+            &mut []
+        )
+        .is_err());
+        assert!(fleet_env_for_scenarios(
+            &config,
+            &lanes,
+            12,
+            24,
+            &[DiscountSchedule::none(24)],
+            6,
+            &mut rngs
+        )
+        .is_err());
+    }
+
+    #[test]
     fn siting_decides_env_config() {
         let w = world(); // 3 hubs, urban_fraction 0.5 → 2 urban (rounded), 1 rural
         let mut rng = EctRng::seed_from(5);
-        let env0 = env_for_hub(&w, HubId::new(0), 0, 24, DiscountSchedule::none(24), 4, &mut rng)
-            .unwrap();
-        let env2 = env_for_hub(&w, HubId::new(2), 0, 24, DiscountSchedule::none(24), 4, &mut rng)
-            .unwrap();
+        let env0 = env_for_hub(
+            &w,
+            HubId::new(0),
+            0,
+            24,
+            DiscountSchedule::none(24),
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        let env2 = env_for_hub(
+            &w,
+            HubId::new(2),
+            0,
+            24,
+            DiscountSchedule::none(24),
+            4,
+            &mut rng,
+        )
+        .unwrap();
         assert!(env0.config().plant.wt.is_none());
         assert!(env2.config().plant.wt.is_some());
     }

@@ -124,7 +124,9 @@ mod tests {
         let rural = HubConfig::for_siting(HubSiting::Rural);
         assert!(urban.plant.wt.is_none());
         assert!(rural.plant.wt.is_some());
-        assert!(rural.plant.pv.as_ref().unwrap().rated_kw > urban.plant.pv.as_ref().unwrap().rated_kw);
+        assert!(
+            rural.plant.pv.as_ref().unwrap().rated_kw > urban.plant.pv.as_ref().unwrap().rated_kw
+        );
     }
 
     #[test]

@@ -611,25 +611,10 @@ mod tests {
     #[test]
     fn construction_rejects_bad_shapes() {
         assert!(FleetEnv::from_envs(Vec::new()).is_err());
-        let a = HubEnv::new(
-            HubConfig::urban(),
-            flat_inputs(24, Stratum::NoCharge),
-            4,
-        )
-        .unwrap();
-        let b = HubEnv::new(
-            HubConfig::urban(),
-            flat_inputs(48, Stratum::NoCharge),
-            4,
-        )
-        .unwrap();
+        let a = HubEnv::new(HubConfig::urban(), flat_inputs(24, Stratum::NoCharge), 4).unwrap();
+        let b = HubEnv::new(HubConfig::urban(), flat_inputs(48, Stratum::NoCharge), 4).unwrap();
         assert!(FleetEnv::from_envs(vec![a.clone(), b]).is_err());
-        let c = HubEnv::new(
-            HubConfig::urban(),
-            flat_inputs(24, Stratum::NoCharge),
-            6,
-        )
-        .unwrap();
+        let c = HubEnv::new(HubConfig::urban(), flat_inputs(24, Stratum::NoCharge), 6).unwrap();
         assert!(FleetEnv::from_envs(vec![a, c]).is_err());
         assert!(FleetEnv::new(
             vec![(

@@ -123,7 +123,11 @@ mod tests {
         };
         // Analytic gradient of sum(w²) is 2w.
         q.w.grad = q.w.value.map(|v| 2.0 * v);
-        let err = finite_difference(&mut q, |m| m.w.value.as_slice().iter().map(|v| v * v).sum(), 1e-6);
+        let err = finite_difference(
+            &mut q,
+            |m| m.w.value.as_slice().iter().map(|v| v * v).sum(),
+            1e-6,
+        );
         assert!(err < 1e-6, "err {err}");
     }
 
@@ -133,7 +137,11 @@ mod tests {
             w: Param::new(Matrix::from_rows(&[&[1.0, -2.0, 3.0]])),
         };
         q.w.grad = q.w.value.map(|v| 3.0 * v); // deliberately wrong
-        let err = finite_difference(&mut q, |m| m.w.value.as_slice().iter().map(|v| v * v).sum(), 1e-6);
+        let err = finite_difference(
+            &mut q,
+            |m| m.w.value.as_slice().iter().map(|v| v * v).sum(),
+            1e-6,
+        );
         assert!(err > 0.5, "err {err} should flag the bug");
     }
 
@@ -145,7 +153,11 @@ mod tests {
         q.w.grad = q.w.value.map(|v| 2.0 * v);
         let value_before = q.w.value.clone();
         let grad_before = q.w.grad.clone();
-        let _ = finite_difference(&mut q, |m| m.w.value.as_slice().iter().map(|v| v * v).sum(), 1e-6);
+        let _ = finite_difference(
+            &mut q,
+            |m| m.w.value.as_slice().iter().map(|v| v * v).sum(),
+            1e-6,
+        );
         assert_eq!(q.w.value, value_before);
         assert_eq!(q.w.grad, grad_before);
     }

@@ -93,7 +93,9 @@ impl Linear {
             .as_ref()
             .expect("Linear::backward before forward");
         // dW = xᵀ · dY
-        self.weight.grad.add_assign(&input.transpose_matmul(grad_out));
+        self.weight
+            .grad
+            .add_assign(&input.transpose_matmul(grad_out));
         // db = column sums of dY
         self.bias.grad.add_assign(&grad_out.col_sum());
         // dX = dY · Wᵀ
@@ -251,7 +253,11 @@ impl Embedding {
     fn lookup(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.dim());
         for (row, &id) in indices.iter().enumerate() {
-            assert!(id < self.vocab(), "embedding id {id} out of vocab {}", self.vocab());
+            assert!(
+                id < self.vocab(),
+                "embedding id {id} out of vocab {}",
+                self.vocab()
+            );
             out.row_mut(row).copy_from_slice(self.table.value.row(id));
         }
         out
@@ -268,7 +274,11 @@ impl Embedding {
             .cached_indices
             .as_ref()
             .expect("Embedding::backward before forward");
-        assert_eq!(grad_out.rows(), indices.len(), "embedding grad batch mismatch");
+        assert_eq!(
+            grad_out.rows(),
+            indices.len(),
+            "embedding grad batch mismatch"
+        );
         for (row, &id) in indices.iter().enumerate() {
             let g = grad_out.row(row);
             let dst = self.table.grad.row_mut(id);
@@ -357,11 +367,7 @@ mod tests {
         let ones = Matrix::filled(y.rows(), y.cols(), 1.0);
         let grad_x = l.backward(&ones);
 
-        let max_err = finite_difference(
-            &mut l,
-            |layer| layer.infer(&x).sum(),
-            1e-6,
-        );
+        let max_err = finite_difference(&mut l, |layer| layer.infer(&x).sum(), 1e-6);
         assert!(max_err < 1e-5, "param grad error {max_err}");
 
         // dL/dx for sum loss is row-sum of Wᵀ: each input grad row = W · 1.
@@ -388,7 +394,11 @@ mod tests {
 
     #[test]
     fn activation_backward_matches_numeric_derivative() {
-        for kind in [ActivationKind::Relu, ActivationKind::Sigmoid, ActivationKind::Tanh] {
+        for kind in [
+            ActivationKind::Relu,
+            ActivationKind::Sigmoid,
+            ActivationKind::Tanh,
+        ] {
             let mut act = Activation::new(kind);
             let x = Matrix::from_rows(&[&[0.7, -0.3, 1.9]]);
             let _ = act.forward(&x);

@@ -336,7 +336,11 @@ impl Matrix {
 
     /// New matrix with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Applies `f` to every element in place.
@@ -430,11 +434,15 @@ impl Matrix {
             self.cols,
             "hsplit widths must sum to cols"
         );
-        let mut out: Vec<Matrix> = widths.iter().map(|&w| Matrix::zeros(self.rows, w)).collect();
+        let mut out: Vec<Matrix> = widths
+            .iter()
+            .map(|&w| Matrix::zeros(self.rows, w))
+            .collect();
         for r in 0..self.rows {
             let mut offset = 0;
             for (part, &w) in out.iter_mut().zip(widths) {
-                part.row_mut(r).copy_from_slice(&self.row(r)[offset..offset + w]);
+                part.row_mut(r)
+                    .copy_from_slice(&self.row(r)[offset..offset + w]);
                 offset += w;
             }
         }
@@ -498,7 +506,9 @@ mod tests {
         // Cheap deterministic pseudo-values; good enough for algebra tests.
         let data = (0..rows * cols)
             .map(|i| {
-                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed);
                 ((x >> 33) as f64 / (1u64 << 31) as f64) - 0.5
             })
             .collect();

@@ -44,7 +44,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given.
     pub fn new(widths: &[usize], hidden: ActivationKind, rng: &mut EctRng) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let mut stages = Vec::new();
         for i in 0..widths.len() - 1 {
             let layer = if hidden == ActivationKind::Relu {
@@ -187,11 +190,7 @@ mod tests {
         let (_, grad) = mse(&pred, &target);
         net.backward(&grad);
 
-        let err = finite_difference(
-            &mut net,
-            |m| mse(&m.infer(&x), &target).0,
-            1e-6,
-        );
+        let err = finite_difference(&mut net, |m| mse(&m.infer(&x), &target).0, 1e-6);
         assert!(err < 1e-5, "max grad error {err}");
     }
 

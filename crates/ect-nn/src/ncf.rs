@@ -151,8 +151,10 @@ impl Ncf {
         let (grad_gmf, grad_tower) = (&parts[0], &parts[1]);
 
         // GMF path: gmf = gu ⊙ gi.
-        self.gmf_user.backward(&grad_gmf.hadamard(&cache.gmf_item_vecs));
-        self.gmf_item.backward(&grad_gmf.hadamard(&cache.gmf_user_vecs));
+        self.gmf_user
+            .backward(&grad_gmf.hadamard(&cache.gmf_item_vecs));
+        self.gmf_item
+            .backward(&grad_gmf.hadamard(&cache.gmf_user_vecs));
 
         // MLP path.
         let grad_concat = self.tower.backward(grad_tower);

@@ -126,8 +126,8 @@ impl Adam {
                 v[i] = c.beta2 * v[i] + (1.0 - c.beta2) * g * g;
                 let m_hat = m[i] / bias1;
                 let v_hat = v[i] / bias2;
-                value[i] -= c.learning_rate * (m_hat / (v_hat.sqrt() + c.epsilon)
-                    + c.weight_decay * value[i]);
+                value[i] -= c.learning_rate
+                    * (m_hat / (v_hat.sqrt() + c.epsilon) + c.weight_decay * value[i]);
                 grad[i] = 0.0;
             }
             index += 1;

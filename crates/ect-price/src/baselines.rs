@@ -211,10 +211,10 @@ impl UpliftBaseline {
         config: &BaselineConfig,
         rng: &mut EctRng,
     ) -> ect_types::Result<Self> {
-        let treated_idx: Vec<usize> =
-            (0..data.len()).filter(|&i| data.treated[i] > 0.5).collect();
-        let control_idx: Vec<usize> =
-            (0..data.len()).filter(|&i| data.treated[i] <= 0.5).collect();
+        let treated_idx: Vec<usize> = (0..data.len()).filter(|&i| data.treated[i] > 0.5).collect();
+        let control_idx: Vec<usize> = (0..data.len())
+            .filter(|&i| data.treated[i] <= 0.5)
+            .collect();
         if treated_idx.is_empty() || control_idx.is_empty() {
             return Err(ect_types::EctError::InsufficientData(
                 "uplift training needs both treated and control samples".into(),
@@ -334,9 +334,10 @@ impl UpliftBaseline {
 
     /// Estimated propensity `ê(X)` if this baseline models it.
     pub fn propensity(&self, station: usize, time_bucket: usize) -> Option<f64> {
-        self.propensity
-            .as_ref()
-            .map(|p| p.predict_one(station, time_bucket).clamp(self.clip, 1.0 - self.clip))
+        self.propensity.as_ref().map(|p| {
+            p.predict_one(station, time_bucket)
+                .clamp(self.clip, 1.0 - self.clip)
+        })
     }
 }
 

@@ -197,8 +197,7 @@ mod tests {
     #[test]
     fn discount_levels_mark_selected_slots() {
         let space = FeatureSpace::new(2).unwrap();
-        let levels =
-            discount_levels(&AlwaysDiscount, &space, StationId::new(1), 0, 48, 0.3);
+        let levels = discount_levels(&AlwaysDiscount, &space, StationId::new(1), 0, 48, 0.3);
         assert_eq!(levels.len(), 48);
         assert!(levels.iter().all(|&c| c == 0.3));
         let none = discount_levels(&NeverDiscount, &space, StationId::new(1), 0, 48, 0.3);

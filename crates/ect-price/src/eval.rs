@@ -237,8 +237,7 @@ mod tests {
     fn curves_and_shares_are_distributions() {
         let mut rng = EctRng::seed_from(22);
         let space = FeatureSpace::new(3).unwrap();
-        let model =
-            EctPriceModel::new(space, &crate::model::EctPriceConfig::default(), &mut rng);
+        let model = EctPriceModel::new(space, &crate::model::EctPriceConfig::default(), &mut rng);
         let curves = hourly_strata_curves(&model, 1);
         for hour in curves {
             assert!((hour.iter().sum::<f64>() - 1.0).abs() < 1e-9);

@@ -68,7 +68,10 @@ impl FeatureSpace {
     /// Panics if the station is outside the space.
     pub fn station_index(&self, station: StationId) -> usize {
         let i = station.index();
-        assert!(i < self.num_stations, "station {station} outside feature space");
+        assert!(
+            i < self.num_stations,
+            "station {station} outside feature space"
+        );
         i
     }
 }
@@ -135,7 +138,11 @@ impl PricingDataset {
         let mut train = Self::default();
         let mut test = Self::default();
         for i in 0..self.len() {
-            let dst = if self.slots[i] < boundary { &mut train } else { &mut test };
+            let dst = if self.slots[i] < boundary {
+                &mut train
+            } else {
+                &mut test
+            };
             dst.stations.push(self.stations[i]);
             dst.times.push(self.times[i]);
             dst.treated.push(self.treated[i]);

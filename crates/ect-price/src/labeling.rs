@@ -73,10 +73,7 @@ pub fn train_rating_model(
 /// # Errors
 ///
 /// Returns [`ect_types::EctError::InsufficientData`] on an empty dataset.
-pub fn label_strata(
-    rating_model: &Ncf,
-    data: &PricingDataset,
-) -> ect_types::Result<Vec<Stratum>> {
+pub fn label_strata(rating_model: &Ncf, data: &PricingDataset) -> ect_types::Result<Vec<Stratum>> {
     if data.is_empty() {
         return Err(ect_types::EctError::InsufficientData(
             "labeling needs at least one sample".into(),
@@ -182,7 +179,9 @@ mod tests {
     fn empty_dataset_is_rejected() {
         let space = FeatureSpace::new(2).unwrap();
         let mut rng = EctRng::seed_from(14);
-        assert!(train_rating_model(&space, &PricingDataset::default(), &quick(), &mut rng).is_err());
+        assert!(
+            train_rating_model(&space, &PricingDataset::default(), &quick(), &mut rng).is_err()
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl fmt::Display for EctError {
                 context,
                 expected,
                 actual,
-            } => write!(f, "shape mismatch in {context}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected}, got {actual}"
+            ),
             EctError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
             EctError::Diverged(msg) => write!(f, "training diverged: {msg}"),
         }

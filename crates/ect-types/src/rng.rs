@@ -69,7 +69,10 @@ impl EctRng {
     ///
     /// Panics if `lo >= hi` or either bound is non-finite.
     pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.uniform()
     }
 

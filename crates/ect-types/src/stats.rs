@@ -121,7 +121,10 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
 ///
 /// Panics if either sample has fewer than two points.
 pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
-    assert!(a.len() >= 2 && b.len() >= 2, "welch needs n >= 2 per sample");
+    assert!(
+        a.len() >= 2 && b.len() >= 2,
+        "welch needs n >= 2 per sample"
+    );
     let sa = Summary::of(a);
     let sb = Summary::of(b);
     let va = sa.std_dev.powi(2) / sa.n as f64;

@@ -38,7 +38,10 @@ fn main() -> ect_types::Result<()> {
         battery.soc().as_f64()
     );
     let endurance = battery.blackout_endurance_hours(hub.base_station.max_power());
-    println!("  endurance at full load: {endurance:.1} h (target {} h)", hub.recovery_hours);
+    println!(
+        "  endurance at full load: {endurance:.1} h (target {} h)",
+        hub.recovery_hours
+    );
     assert!(endurance >= hub.recovery_hours as f64);
 
     let mut remaining = battery.soc().as_f64() * hub.battery.discharge_efficiency.as_f64();

@@ -22,7 +22,10 @@ fn main() -> ect_types::Result<()> {
 
         // Rule-based comparators (no training).
         for (name, result) in [
-            ("NoBattery", run_hub_scheduler(&system, hub, &NeverDiscount, &mut NoBattery)?),
+            (
+                "NoBattery",
+                run_hub_scheduler(&system, hub, &NeverDiscount, &mut NoBattery)?,
+            ),
             (
                 "GreedyPrice",
                 run_hub_scheduler(
@@ -32,7 +35,10 @@ fn main() -> ect_types::Result<()> {
                     &mut GreedyPrice::default_thresholds(),
                 )?,
             ),
-            ("TimeOfUse", run_hub_scheduler(&system, hub, &NeverDiscount, &mut TimeOfUse)?),
+            (
+                "TimeOfUse",
+                run_hub_scheduler(&system, hub, &NeverDiscount, &mut TimeOfUse)?,
+            ),
         ] {
             println!(
                 "{hub_id:3} | {siting:?} | {name:<11} | {:.2}",

@@ -14,7 +14,12 @@ fn main() -> ect_types::Result<()> {
         "world: {} hubs, {} hourly slots, mean RTP {:.1} $/MWh",
         world.num_hubs(),
         world.horizon(),
-        world.rtp.iter().map(|p| p.as_dollars_per_mwh()).sum::<f64>() / world.horizon() as f64
+        world
+            .rtp
+            .iter()
+            .map(|p| p.as_dollars_per_mwh())
+            .sum::<f64>()
+            / world.horizon() as f64
     );
 
     // 2. Build the RL environment for hub 0 with no discounts offered.
@@ -47,14 +52,22 @@ fn main() -> ect_types::Result<()> {
     println!("  EV charging revenue : ${revenue:9.2}  ({ev_hours} charging hours)");
     println!("  grid energy cost    : ${grid_cost:9.2}");
     println!("  battery wear cost   : ${bp_cost:9.2}");
-    println!("  profit (Eq. 12)     : ${:9.2}  (${:.2}/day)", profit, profit / 30.0);
+    println!(
+        "  profit (Eq. 12)     : ${:9.2}  (${:.2}/day)",
+        profit,
+        profit / 30.0
+    );
 
     // 4. Compare against leaving the battery alone.
     let (idle_profit, _) = ect_drl::heuristics::run_episode(&mut env, &mut NoBattery, 0.5);
     println!(
         "\nNoBattery baseline profit: ${:.2} — scheduling the battery {} ${:.2} over the month",
         idle_profit,
-        if profit >= idle_profit { "adds" } else { "loses" },
+        if profit >= idle_profit {
+            "adds"
+        } else {
+            "loses"
+        },
         (profit - idle_profit).abs()
     );
     Ok(())

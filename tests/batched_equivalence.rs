@@ -55,7 +55,9 @@ fn paired_envs(world: &WorldDataset) -> (Vec<HubEnv>, FleetEnv) {
             .unwrap()
         })
         .collect();
-    let mut rngs: Vec<EctRng> = (0..HUBS).map(|lane| EctRng::seed_from(lane_seed(lane))).collect();
+    let mut rngs: Vec<EctRng> = (0..HUBS)
+        .map(|lane| EctRng::seed_from(lane_seed(lane)))
+        .collect();
     let fleet = fleet_env_for_hubs(
         world,
         &hub_ids(),
@@ -96,10 +98,7 @@ fn slot_breakdown_trails_are_bit_identical() {
                 "slot {t} lane {lane}"
             );
             // ...and the floats must match to the bit, not just approximately.
-            assert_eq!(
-                step_result.reward.to_bits(),
-                batch.rewards[lane].to_bits()
-            );
+            assert_eq!(step_result.reward.to_bits(), batch.rewards[lane].to_bits());
             let seq_obs = &step_result.state;
             let bat_obs = batch.lane_obs(lane);
             assert_eq!(seq_obs.len(), bat_obs.len());
@@ -150,7 +149,9 @@ fn ppo_rollout_buffers_are_bit_identical() {
     }
 
     // Batched collection: all four lanes in lockstep.
-    let mut rngs: Vec<EctRng> = (0..HUBS).map(|lane| EctRng::seed_from(0xAC70 + lane as u64)).collect();
+    let mut rngs: Vec<EctRng> = (0..HUBS)
+        .map(|lane| EctRng::seed_from(0xAC70 + lane as u64))
+        .collect();
     let mut bat_buffers: Vec<RolloutBuffer> = vec![RolloutBuffer::new(); HUBS];
     collect_fleet_episode(&mut fleet, &policies, &mut rngs, &mut bat_buffers, &socs);
 

@@ -48,8 +48,7 @@ fn pricing_table_reproduces_table2_shape() {
     let system = miniature();
     let (train, test) = system.pricing_datasets();
     let mut rng = EctRng::seed_from(2);
-    let table =
-        ect_core::pricing_table(&system, &train, &test, &[0.1, 0.2], &mut rng).unwrap();
+    let table = ect_core::pricing_table(&system, &train, &test, &[0.1, 0.2], &mut rng).unwrap();
     // Four methods + oracle, each evaluated at both discounts.
     assert_eq!(table.methods.len(), 5);
     for m in &table.methods {

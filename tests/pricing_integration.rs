@@ -6,7 +6,11 @@ use ect_price::engine::{AlwaysDiscount, NeverDiscount};
 use ect_price::eval::{evaluate_engine as eval_engine, oracle_evaluation};
 use ect_price::labeling::{label_agreement, label_strata, train_rating_model};
 
-fn trained_system() -> (EctHubSystem, ect_price::PricingDataset, ect_price::PricingDataset) {
+fn trained_system() -> (
+    EctHubSystem,
+    ect_price::PricingDataset,
+    ect_price::PricingDataset,
+) {
     let mut config = SystemConfig::miniature();
     config.world.num_hubs = 3;
     config.pricing_history_slots = 24 * 7 * 26;
@@ -22,8 +26,7 @@ fn trained_system() -> (EctHubSystem, ect_price::PricingDataset, ect_price::Pric
 fn ect_price_beats_blanket_discounting() {
     let (system, train, test) = trained_system();
     let mut rng = EctRng::seed_from(11);
-    let ours =
-        ect_core::train_engine(&system, PricingMethod::EctPrice, &train, &mut rng).unwrap();
+    let ours = ect_core::train_engine(&system, PricingMethod::EctPrice, &train, &mut rng).unwrap();
 
     // Blanket discounting is near-optimal at small c (the subsidy is cheap);
     // selectivity wins once the subsidy gets expensive — the shape of the

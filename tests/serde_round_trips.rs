@@ -59,15 +59,30 @@ fn experiment_cells_round_trip() {
 fn units_round_trip_transparently() {
     use ect_types::units::{DollarsPerKwh, KiloWattHour};
     // Transparent newtypes serialise as bare numbers.
-    assert_eq!(serde_json::to_string(&KiloWattHour::new(2.5)).unwrap(), "2.5");
+    assert_eq!(
+        serde_json::to_string(&KiloWattHour::new(2.5)).unwrap(),
+        "2.5"
+    );
     let p: DollarsPerKwh = serde_json::from_str("0.12").unwrap();
     assert_eq!(p, DollarsPerKwh::new(0.12));
 }
 
 #[test]
+fn system_config_with_scenario_round_trips() {
+    let mut config = SystemConfig::miniature();
+    config.scenario =
+        scenario_by_name("heatwave", config.world.horizon_slots).expect("library scenario");
+    let back = round_trip(&config);
+    assert_eq!(back.scenario, config.scenario);
+    assert!(!back.scenario.is_baseline());
+    assert_eq!(back.world.num_hubs, config.world.num_hubs);
+    back.validate().unwrap();
+}
+
+#[test]
 fn trained_model_weights_round_trip() {
-    use ect_nn::mlp::Mlp;
     use ect_nn::layers::ActivationKind;
+    use ect_nn::mlp::Mlp;
     let mut rng = EctRng::seed_from(5);
     let model = Mlp::new(&[3, 8, 2], ActivationKind::Tanh, &mut rng);
     let back: Mlp = round_trip(&model);

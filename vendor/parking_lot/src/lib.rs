@@ -17,7 +17,9 @@ impl<T> Mutex<T> {
 
     /// Acquires the lock, ignoring poisoning (parking_lot semantics).
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Consumes the mutex, returning the inner value.

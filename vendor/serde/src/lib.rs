@@ -123,7 +123,11 @@ pub fn __get_field<T: Deserialize>(
         .iter()
         .find(|(k, _)| k == key)
         .map(|(_, v)| v)
-        .ok_or_else(|| DeError(format!("missing field `{key}` while deserializing {context}")))?;
+        .ok_or_else(|| {
+            DeError(format!(
+                "missing field `{key}` while deserializing {context}"
+            ))
+        })?;
     T::from_value(v).map_err(|e| DeError(format!("field `{key}` of {context}: {e}")))
 }
 
@@ -134,9 +138,11 @@ pub fn __get_field<T: Deserialize>(
 /// Returns [`DeError`] if the index is out of range or the element
 /// mismatches.
 pub fn __get_index<T: Deserialize>(seq: &[Value], idx: usize, context: &str) -> Result<T, DeError> {
-    let v = seq
-        .get(idx)
-        .ok_or_else(|| DeError(format!("missing element {idx} while deserializing {context}")))?;
+    let v = seq.get(idx).ok_or_else(|| {
+        DeError(format!(
+            "missing element {idx} while deserializing {context}"
+        ))
+    })?;
     T::from_value(v).map_err(|e| DeError(format!("element {idx} of {context}: {e}")))
 }
 
