@@ -1,0 +1,20 @@
+//! Trains the scenario-mixture generalist, scores zero-shot generalisation
+//! on held-out stress worlds and writes `results/generalization.json`.
+//!
+//! Flags: `--full` for paper-scale budgets, `--smoke` for the CI-sized run.
+use ect_bench::experiments::generalization;
+use ect_bench::output::save_json;
+use ect_bench::Scale;
+
+fn main() -> ect_types::Result<()> {
+    let result = if std::env::args().any(|a| a == "--smoke") {
+        eprintln!("[generalization] smoke-sized generalist run …");
+        generalization::run_with_config(generalization::smoke_config(), 8)?
+    } else {
+        eprintln!("[generalization] training the scenario-mixture generalist …");
+        generalization::run(Scale::from_args(), 8)?
+    };
+    generalization::print(&result);
+    save_json("generalization", &result);
+    Ok(())
+}

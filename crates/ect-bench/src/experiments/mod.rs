@@ -10,6 +10,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fleet;
+pub mod generalization;
 pub mod scenario_sweep;
 pub mod table2;
 

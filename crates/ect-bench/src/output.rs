@@ -1,7 +1,22 @@
 //! Result persistence and terminal rendering helpers.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+
+/// One row of `results/BENCH_summary.json`: how long an experiment stage
+/// took in a `run_all` pass and the single number that summarises it —
+/// the per-PR performance trajectory of the harness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchSummaryEntry {
+    /// Experiment stage name (matches the per-experiment JSON file stem).
+    pub experiment: String,
+    /// Wall-clock time of the stage, seconds.
+    pub wall_time_s: f64,
+    /// Name of the headline metric.
+    pub metric_name: String,
+    /// Value of the headline metric.
+    pub metric_value: f64,
+}
 
 /// Directory where experiment JSON lands (workspace `results/`).
 pub fn results_dir() -> PathBuf {
@@ -63,6 +78,21 @@ mod tests {
     #[test]
     fn results_dir_ends_with_results() {
         assert!(results_dir().ends_with("results"));
+    }
+
+    #[test]
+    fn bench_summary_entries_round_trip() {
+        let entry = BenchSummaryEntry {
+            experiment: "fleet".into(),
+            wall_time_s: 12.5,
+            metric_name: "mean_avg_daily_reward".into(),
+            metric_value: 310.25,
+        };
+        let json = serde_json::to_string(&vec![entry.clone()]).unwrap();
+        let back: Vec<BenchSummaryEntry> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].experiment, entry.experiment);
+        assert_eq!(back[0].metric_value.to_bits(), entry.metric_value.to_bits());
     }
 
     #[test]

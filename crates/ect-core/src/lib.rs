@@ -26,12 +26,17 @@
 //!
 //! The [`prelude`] re-exports the types most applications need.
 
+pub mod generalist;
 pub mod pricing;
 pub mod report;
 pub mod scenario_grid;
 pub mod scheduling;
 pub mod system;
 
+pub use generalist::{
+    heldout_baselines, run_generalist, run_generalist_against, GeneralistOptions,
+    GeneralistOutcome, GeneralistReport, HeldOutBaseline, HeldOutComparison,
+};
 pub use pricing::{pricing_table, train_engine, MethodPricingResults, PricingTable};
 pub use report::FleetReport;
 pub use scenario_grid::{
@@ -45,6 +50,10 @@ pub use system::{EctHubSystem, PricingMethod, SystemConfig};
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
+    pub use crate::generalist::{
+        heldout_baselines, run_generalist, run_generalist_against, GeneralistOptions,
+        GeneralistOutcome, GeneralistReport, HeldOutBaseline, HeldOutComparison,
+    };
     pub use crate::pricing::{pricing_table, train_engine, PricingTable};
     pub use crate::report::FleetReport;
     pub use crate::scenario_grid::{
@@ -61,10 +70,13 @@ pub mod prelude {
         scenario_by_name, scenario_library, ScenarioModifier, ScenarioSpec, Signal, SlotWindow,
         SCENARIO_NAMES,
     };
+    pub use ect_drl::generalist::{
+        train_holdout_split, ScenarioMixture, HELDOUT_SCENARIOS, TRAIN_SCENARIOS,
+    };
     pub use ect_drl::heuristics::{DrlScheduler, GreedyPrice, NoBattery, Scheduler, TimeOfUse};
     pub use ect_drl::trainer::TrainerConfig;
     pub use ect_env::battery::BpAction;
-    pub use ect_env::env::HubEnv;
+    pub use ect_env::env::{HubEnv, ObsAugmentation};
     pub use ect_env::hub::HubConfig;
     pub use ect_env::tariff::DiscountSchedule;
     pub use ect_price::engine::PricingEngine;

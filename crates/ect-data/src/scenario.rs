@@ -34,6 +34,11 @@ pub const MAX_SCALE_FACTOR: f64 = 100.0;
 /// scarcity event).
 pub const MAX_SURGE_MWH: f64 = 10_000.0;
 
+/// Width of [`ScenarioSpec::feature_vector`]: two features per signal
+/// (amplitude deviation, window-weighted surge magnitude) plus the tariff
+/// surge and the scripted-outage fraction.
+pub const SCENARIO_FEATURE_DIM: usize = 2 * Signal::ALL.len() + 2;
+
 /// Which exogenous signal a modifier targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Signal {
@@ -383,6 +388,61 @@ impl ScenarioSpec {
             w.validate(horizon)?;
         }
         Ok(())
+    }
+
+    /// Fixed-width numeric summary of the spec — the scenario-conditioning
+    /// block a generalist policy appends to the Eq. 24 observation.
+    ///
+    /// Layout (width [`SCENARIO_FEATURE_DIM`]):
+    ///
+    /// * per signal in [`Signal::ALL`] order, two features:
+    ///   the summed whole-horizon amplitude deviation `Σ (factor − 1)` of
+    ///   its [`ScenarioModifier::AmplitudeScale`]s, and the window-weighted
+    ///   surge magnitude `Σ (factor − 1) · |window| / horizon` of its
+    ///   windowed multiplicative modifiers (spikes positive, droughts
+    ///   negative);
+    /// * the window-weighted tariff surge, normalised by
+    ///   [`MAX_SURGE_MWH`];
+    /// * the scripted-outage fraction of the horizon.
+    ///
+    /// The baseline spec maps to the all-zero vector, and
+    /// [`ScenarioModifier::TimeShift`]s contribute nothing (they move
+    /// phase, not magnitude). Width is identical for every spec, so
+    /// heterogeneous fleet lanes can share one observation layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn feature_vector(&self, horizon: usize) -> [f64; SCENARIO_FEATURE_DIM] {
+        assert!(horizon > 0, "scenario features need a non-empty horizon");
+        let mut features = [0.0; SCENARIO_FEATURE_DIM];
+        let frac = |window: &SlotWindow| window.clipped(horizon).len() as f64 / horizon as f64;
+        for m in &self.modifiers {
+            let slot = Signal::ALL
+                .iter()
+                .position(|&s| s == m.signal())
+                .expect("Signal::ALL covers every signal");
+            match m {
+                ScenarioModifier::AmplitudeScale(s) => features[2 * slot] += s.factor - 1.0,
+                ScenarioModifier::Spike(s) => {
+                    features[2 * slot + 1] += (s.factor - 1.0) * frac(&s.window);
+                }
+                ScenarioModifier::Drought(s) => {
+                    features[2 * slot + 1] += (s.factor - 1.0) * frac(&s.window);
+                }
+                ScenarioModifier::DemandSurge(s) => {
+                    features[2 * slot + 1] += (s.factor - 1.0) * frac(&s.window);
+                }
+                ScenarioModifier::TariffSurge(s) => {
+                    features[2 * Signal::ALL.len()] +=
+                        s.added_mwh / MAX_SURGE_MWH * frac(&s.window);
+                }
+                ScenarioModifier::TimeShift(_) => {}
+            }
+        }
+        let outage_slots: usize = self.outages.iter().map(|w| w.clipped(horizon).len()).sum();
+        features[SCENARIO_FEATURE_DIM - 1] = outage_slots as f64 / horizon as f64;
+        features
     }
 
     /// The per-slot EV-demand multiplier the spec induces, or `None` when no
@@ -1032,6 +1092,68 @@ mod tests {
                 .len()
                 >= 2
         );
+    }
+
+    #[test]
+    fn feature_vectors_are_fixed_width_and_zero_for_baseline() {
+        // The conditioning block must have one shared width across the whole
+        // library (heterogeneous lanes share one observation layout) and the
+        // baseline must map to the all-zero vector.
+        for horizon in [24, 24 * 14, 24 * 30] {
+            for spec in scenario_library(horizon) {
+                let features = spec.feature_vector(horizon);
+                assert_eq!(features.len(), SCENARIO_FEATURE_DIM, "{}", spec.name);
+                assert!(
+                    features.iter().all(|f| f.is_finite()),
+                    "{}: {features:?}",
+                    spec.name
+                );
+                if spec.is_baseline() {
+                    assert!(features.iter().all(|&f| f == 0.0), "{features:?}");
+                } else {
+                    assert!(
+                        features.iter().any(|&f| f != 0.0),
+                        "{}: all-zero features for a stress spec",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feature_vector_reflects_modifier_magnitudes() {
+        let horizon = 100;
+        let spec = ScenarioSpec::named("t", "t")
+            .with(ScenarioModifier::AmplitudeScale(AmplitudeScale {
+                signal: Signal::Traffic,
+                factor: 1.5,
+            }))
+            .with(ScenarioModifier::Drought(Drought {
+                signal: Signal::Solar,
+                window: SlotWindow::new(0, 50),
+                factor: 0.2,
+            }))
+            .with(ScenarioModifier::TariffSurge(TariffSurge {
+                window: SlotWindow::new(0, 25),
+                added_mwh: 100.0,
+            }))
+            .with_outage(SlotWindow::new(10, 10));
+        let f = spec.feature_vector(horizon);
+        // Traffic is Signal::ALL[2]: amplitude slot 4 carries factor − 1.
+        assert!((f[4] - 0.5).abs() < 1e-12);
+        // Solar is Signal::ALL[0]: surge slot 1 carries (0.2 − 1) · 0.5.
+        assert!((f[1] + 0.4).abs() < 1e-12);
+        // Tariff surge: 100 / MAX_SURGE_MWH · 0.25.
+        assert!((f[10] - 100.0 / MAX_SURGE_MWH * 0.25).abs() < 1e-12);
+        // Outage fraction: 10 / 100.
+        assert!((f[11] - 0.1).abs() < 1e-12);
+        // A pure time shift contributes nothing.
+        let shifted = ScenarioSpec::named("s", "s").with(ScenarioModifier::TimeShift(TimeShift {
+            signal: Signal::Price,
+            slots: 12,
+        }));
+        assert!(shifted.feature_vector(horizon).iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -2,45 +2,176 @@
 //!
 //! Training a fleet-scale PPO run is the expensive stage of the pipeline;
 //! checkpoints let operators evaluate, resume or deploy policies without
-//! retraining. Format: pretty JSON of the full network (weights only —
-//! forward caches are skipped by construction).
+//! retraining. Two formats coexist:
+//!
+//! * the legacy bare-policy JSON of [`save_policy`] / [`load_policy`]
+//!   (weights only — forward caches are skipped by construction);
+//! * the versioned [`PolicyCheckpoint`] envelope of [`save_checkpoint`] /
+//!   [`load_checkpoint`], which additionally carries [`CheckpointMeta`] —
+//!   observation dimension, [`ObsAugmentation`] setting, training scenario
+//!   names and seed — so a loaded generalist policy can *refuse* an
+//!   environment whose observation layout mismatches instead of panicking
+//!   deep inside a matrix multiply.
+//!
+//! I/O and serde failures surface as [`ect_types::EctError::Io`].
 
 use crate::actor_critic::ActorCritic;
+use ect_env::env::ObsAugmentation;
+use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-/// Saves a policy as JSON.
+/// Current envelope version written by [`save_checkpoint`].
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Provenance and layout metadata stored beside the weights.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointMeta {
+    /// Observation dimension the policy was trained on.
+    pub obs_dim: usize,
+    /// Observation augmentation active during training.
+    pub augmentation: ObsAugmentation,
+    /// Names of the scenarios in the training mixture (empty for a
+    /// single-world specialist).
+    pub scenarios: Vec<String>,
+    /// Master training seed.
+    pub seed: u64,
+}
+
+/// A versioned policy checkpoint: metadata envelope plus the network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyCheckpoint {
+    /// Envelope format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Layout and provenance metadata.
+    pub meta: CheckpointMeta,
+    /// The trained network.
+    pub policy: ActorCritic,
+}
+
+impl PolicyCheckpoint {
+    /// Wraps a policy with metadata at the current envelope version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::ShapeMismatch`] when `meta.obs_dim`
+    /// disagrees with the policy's own state dimension.
+    pub fn new(policy: ActorCritic, meta: CheckpointMeta) -> ect_types::Result<Self> {
+        if meta.obs_dim != policy.state_dim() {
+            return Err(ect_types::EctError::ShapeMismatch {
+                context: "checkpoint obs_dim",
+                expected: policy.state_dim(),
+                actual: meta.obs_dim,
+            });
+        }
+        Ok(Self {
+            version: CHECKPOINT_VERSION,
+            meta,
+            policy,
+        })
+    }
+
+    /// Hands out the policy **only if** it matches the caller's observation
+    /// dimension — the guard a generalist deployment calls with its
+    /// environment's `state_dim()` before acting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::ShapeMismatch`] on a layout mismatch.
+    pub fn policy_for_obs_dim(self, obs_dim: usize) -> ect_types::Result<ActorCritic> {
+        if self.meta.obs_dim != obs_dim {
+            return Err(ect_types::EctError::ShapeMismatch {
+                context: "checkpoint obs_dim",
+                expected: obs_dim,
+                actual: self.meta.obs_dim,
+            });
+        }
+        Ok(self.policy)
+    }
+}
+
+/// Saves a bare policy as JSON (legacy format, no metadata).
 ///
 /// # Errors
 ///
-/// Returns [`ect_types::EctError::InvalidConfig`] wrapping I/O or
-/// serialisation failures (message carries the cause).
+/// Returns [`ect_types::EctError::Io`] wrapping I/O or serialisation
+/// failures (message carries the cause).
 pub fn save_policy<P: AsRef<Path>>(policy: &ActorCritic, path: P) -> ect_types::Result<()> {
-    let json = serde_json::to_string(policy).map_err(|e| {
-        ect_types::EctError::InvalidConfig(format!("policy serialisation failed: {e}"))
-    })?;
-    std::fs::write(path.as_ref(), json).map_err(|e| {
-        ect_types::EctError::InvalidConfig(format!(
-            "writing checkpoint {} failed: {e}",
-            path.as_ref().display()
-        ))
+    let json = serde_json::to_string(policy)
+        .map_err(|e| ect_types::EctError::Io(format!("policy serialisation failed: {e}")))?;
+    write_checkpoint_file(path.as_ref(), &json)
+}
+
+/// Loads a policy saved by [`save_policy`] **or** unwraps one from a
+/// [`save_checkpoint`] envelope (metadata is dropped; use
+/// [`load_checkpoint`] to keep it and validate layouts).
+///
+/// # Errors
+///
+/// Returns [`ect_types::EctError::Io`] wrapping I/O or parse failures, and
+/// [`ect_types::EctError::InvalidConfig`] for an envelope from a newer
+/// format version — the version guard holds on both loaders.
+pub fn load_policy<P: AsRef<Path>>(path: P) -> ect_types::Result<ActorCritic> {
+    let json = read_checkpoint_file(path.as_ref())?;
+    if let Ok(envelope) = serde_json::from_str::<PolicyCheckpoint>(&json) {
+        check_version(&envelope)?;
+        return Ok(envelope.policy);
+    }
+    serde_json::from_str(&json)
+        .map_err(|e| ect_types::EctError::Io(format!("policy deserialisation failed: {e}")))
+}
+
+/// Saves a policy inside the versioned metadata envelope.
+///
+/// # Errors
+///
+/// Returns [`ect_types::EctError::ShapeMismatch`] when the metadata
+/// disagrees with the policy's state dimension, and
+/// [`ect_types::EctError::Io`] for I/O or serialisation failures.
+pub fn save_checkpoint<P: AsRef<Path>>(
+    policy: &ActorCritic,
+    meta: CheckpointMeta,
+    path: P,
+) -> ect_types::Result<()> {
+    let envelope = PolicyCheckpoint::new(policy.clone(), meta)?;
+    let json = serde_json::to_string(&envelope)
+        .map_err(|e| ect_types::EctError::Io(format!("checkpoint serialisation failed: {e}")))?;
+    write_checkpoint_file(path.as_ref(), &json)
+}
+
+/// Loads a [`save_checkpoint`] envelope, refusing unknown versions.
+///
+/// # Errors
+///
+/// Returns [`ect_types::EctError::Io`] for I/O/parse failures (including a
+/// legacy bare-policy file, which carries no metadata to validate against)
+/// and [`ect_types::EctError::InvalidConfig`] for an unsupported version.
+pub fn load_checkpoint<P: AsRef<Path>>(path: P) -> ect_types::Result<PolicyCheckpoint> {
+    let json = read_checkpoint_file(path.as_ref())?;
+    let envelope: PolicyCheckpoint = serde_json::from_str(&json)
+        .map_err(|e| ect_types::EctError::Io(format!("checkpoint deserialisation failed: {e}")))?;
+    check_version(&envelope)?;
+    Ok(envelope)
+}
+
+fn check_version(envelope: &PolicyCheckpoint) -> ect_types::Result<()> {
+    if envelope.version > CHECKPOINT_VERSION {
+        return Err(ect_types::EctError::InvalidConfig(format!(
+            "checkpoint version {} is newer than supported version {CHECKPOINT_VERSION}",
+            envelope.version
+        )));
+    }
+    Ok(())
+}
+
+fn write_checkpoint_file(path: &Path, json: &str) -> ect_types::Result<()> {
+    std::fs::write(path, json).map_err(|e| {
+        ect_types::EctError::Io(format!("writing checkpoint {} failed: {e}", path.display()))
     })
 }
 
-/// Loads a policy saved by [`save_policy`].
-///
-/// # Errors
-///
-/// Returns [`ect_types::EctError::InvalidConfig`] wrapping I/O or parse
-/// failures.
-pub fn load_policy<P: AsRef<Path>>(path: P) -> ect_types::Result<ActorCritic> {
-    let json = std::fs::read_to_string(path.as_ref()).map_err(|e| {
-        ect_types::EctError::InvalidConfig(format!(
-            "reading checkpoint {} failed: {e}",
-            path.as_ref().display()
-        ))
-    })?;
-    serde_json::from_str(&json).map_err(|e| {
-        ect_types::EctError::InvalidConfig(format!("policy deserialisation failed: {e}"))
+fn read_checkpoint_file(path: &Path) -> ect_types::Result<String> {
+    std::fs::read_to_string(path).map_err(|e| {
+        ect_types::EctError::Io(format!("reading checkpoint {} failed: {e}", path.display()))
     })
 }
 
@@ -49,15 +180,29 @@ mod tests {
     use super::*;
     use crate::actor_critic::ActorCriticConfig;
     use ect_types::rng::EctRng;
+    use ect_types::EctError;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("ect-drl-ckpt-{name}-{}.json", std::process::id()))
     }
 
+    fn policy(dim: usize) -> ActorCritic {
+        let mut rng = EctRng::seed_from(1);
+        ActorCritic::new(dim, &ActorCriticConfig::default(), &mut rng)
+    }
+
+    fn meta(dim: usize) -> CheckpointMeta {
+        CheckpointMeta {
+            obs_dim: dim,
+            augmentation: ect_env::env::ObsAugmentation::SCENARIO,
+            scenarios: vec!["baseline".into(), "heatwave".into()],
+            seed: 0xD21,
+        }
+    }
+
     #[test]
     fn checkpoint_round_trips_exactly() {
-        let mut rng = EctRng::seed_from(1);
-        let policy = ActorCritic::new(12, &ActorCriticConfig::default(), &mut rng);
+        let policy = policy(12);
         let path = temp_path("roundtrip");
         save_policy(&policy, &path).unwrap();
         let restored = load_policy(&path).unwrap();
@@ -74,17 +219,82 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_is_a_clean_error() {
-        let err = load_policy("/nonexistent/dir/policy.json").unwrap_err();
-        assert!(err.to_string().contains("reading checkpoint"));
+    fn envelope_round_trips_with_metadata() {
+        let policy = policy(10);
+        let path = temp_path("envelope");
+        save_checkpoint(&policy, meta(10), &path).unwrap();
+        let envelope = load_checkpoint(&path).unwrap();
+        assert_eq!(envelope.version, CHECKPOINT_VERSION);
+        assert_eq!(envelope.meta, meta(10));
+
+        // The legacy loader unwraps the same file transparently.
+        let bare = load_policy(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(bare.state_dim(), 10);
+
+        let state: Vec<f64> = (0..10).map(|i| (i as f64) * 0.1 - 0.4).collect();
+        let (p1, v1) = policy.evaluate_one(&state);
+        let (p2, v2) = envelope.policy.evaluate_one(&state);
+        assert_eq!(v1.to_bits(), v2.to_bits());
+        for (a, b) in p1.iter().zip(&p2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]
-    fn corrupt_file_is_a_clean_error() {
+    fn mismatched_obs_dim_is_refused_not_a_panic() {
+        let path = temp_path("mismatch");
+        save_checkpoint(&policy(10), meta(10), &path).unwrap();
+        let envelope = load_checkpoint(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // An env with a different observation layout is refused cleanly.
+        let err = envelope.clone().policy_for_obs_dim(13).unwrap_err();
+        assert!(matches!(err, EctError::ShapeMismatch { .. }), "{err}");
+        // The matching layout hands the policy out.
+        assert_eq!(envelope.policy_for_obs_dim(10).unwrap().state_dim(), 10);
+        // Inconsistent metadata is rejected at save time too.
+        assert!(matches!(
+            save_checkpoint(&policy(10), meta(11), temp_path("bad-meta")).unwrap_err(),
+            EctError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn newer_versions_are_refused() {
+        let policy = policy(8);
+        let mut envelope = PolicyCheckpoint::new(policy, meta(8)).unwrap();
+        envelope.version = CHECKPOINT_VERSION + 1;
+        let path = temp_path("future");
+        std::fs::write(&path, serde_json::to_string(&envelope).unwrap()).unwrap();
+        let err = load_checkpoint(&path).unwrap_err();
+        // The legacy loader must not sneak a future-format policy through.
+        let legacy_err = load_policy(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("newer than supported"));
+        assert!(legacy_err.to_string().contains("newer than supported"));
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_io_error() {
+        let err = load_policy("/nonexistent/dir/policy.json").unwrap_err();
+        assert!(matches!(err, EctError::Io(_)), "{err}");
+        assert!(err.to_string().contains("reading checkpoint"));
+        let err = load_checkpoint("/nonexistent/dir/policy.json").unwrap_err();
+        assert!(matches!(err, EctError::Io(_)), "{err}");
+        // Writing somewhere unwritable is an Io error, not a panic.
+        let err = save_policy(&policy(4), "/nonexistent/dir/policy.json").unwrap_err();
+        assert!(matches!(err, EctError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupt_file_is_a_clean_io_error() {
         let path = temp_path("corrupt");
         std::fs::write(&path, "{ not json").unwrap();
-        let err = load_policy(&path).unwrap_err();
+        let policy_err = load_policy(&path).unwrap_err();
+        let ckpt_err = load_checkpoint(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(err.to_string().contains("deserialisation failed"));
+        assert!(matches!(policy_err, EctError::Io(_)), "{policy_err}");
+        assert!(policy_err.to_string().contains("deserialisation failed"));
+        assert!(matches!(ckpt_err, EctError::Io(_)), "{ckpt_err}");
     }
 }

@@ -1,0 +1,695 @@
+//! Generalist training: one policy across a *mixture* of scenario worlds.
+//!
+//! The per-scenario grid (`run_scenario_grid` in `ect-core`) trains a
+//! specialist policy inside each stress world. This module trains a single
+//! **generalist** instead: every episode, each lane of a batched
+//! [`FleetEnv`] is reassigned a scenario drawn from a weighted
+//! [`ScenarioMixture`], all lanes share one actor-critic (the batched
+//! forward pass of [`collect_shared_policy_episode`]), and the PPO update
+//! consumes the concatenated per-lane buffers. Conditioning on *which*
+//! world a lane lives in rides the
+//! [`ObsAugmentation`](ect_env::env::ObsAugmentation) scenario-feature
+//! block of the observation path.
+//!
+//! Generalisation is measured zero-shot: [`evaluate_generalist`] runs the
+//! trained policy greedily on scenarios it never trained on, and
+//! [`train_holdout_split`] carves the stress library into disjoint
+//! train/held-out sets for exactly that protocol.
+//!
+//! Determinism: mixture assignments derive from `(seed, episode)` alone —
+//! independent of how much RNG the training loop itself consumed — so a
+//! fixed seed reproduces the same curriculum bit for bit.
+
+use crate::actor_critic::ActorCritic;
+use crate::collector::collect_shared_policy_episode;
+use crate::ppo::Ppo;
+use crate::rollout::RolloutBuffer;
+use crate::trainer::{EvalSummary, TrainerConfig, TrainingHistory};
+use ect_data::scenario::{scenario_library, ScenarioSpec};
+use ect_env::battery::BpAction;
+use ect_env::vec_env::FleetEnv;
+use ect_nn::matrix::Matrix;
+use ect_types::rng::EctRng;
+use ect_types::time::SLOTS_PER_DAY;
+use serde::{Deserialize, Serialize};
+
+/// Seed-stream separator for mixture assignments (decorrelated from lane
+/// action/strata streams).
+const MIX_SEED_STREAM: u64 = 0x9E4E_12A1;
+
+/// Seed-stream separator for per-lane RNGs (mirrors the per-hub lane
+/// seeding of the specialist fleet path).
+const LANE_SEED_STREAM: u64 = 0x6E4A_11E5;
+
+/// Library scenarios a generalist trains on (see [`train_holdout_split`]).
+pub const TRAIN_SCENARIOS: [&str; 4] = [
+    "baseline",
+    "heatwave",
+    "ev-surge-weekend",
+    "traffic-flashcrowd",
+];
+
+/// Library scenarios held out for zero-shot evaluation — disjoint from
+/// [`TRAIN_SCENARIOS`], chosen so every held-out world stresses a signal
+/// combination the training mixture never shows (renewable collapse, price
+/// scarcity, scripted outages).
+pub const HELDOUT_SCENARIOS: [&str; 3] = ["winter-storm", "rtp-price-spike", "rolling-blackout"];
+
+/// A weighted set of scenario specs with deterministic per-episode lane
+/// assignment.
+///
+/// # Example
+///
+/// ```
+/// use ect_drl::generalist::ScenarioMixture;
+/// use ect_data::scenario::scenario_library;
+///
+/// let mixture = ScenarioMixture::uniform(scenario_library(24 * 7))?;
+/// let a = mixture.assignment(7, 0, 4);
+/// assert_eq!(a, mixture.assignment(7, 0, 4)); // deterministic per (seed, episode)
+/// assert!(a.iter().all(|&idx| idx < mixture.len()));
+/// # Ok::<(), ect_types::EctError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMixture {
+    entries: Vec<(ScenarioSpec, f64)>,
+}
+
+impl ScenarioMixture {
+    /// Creates a mixture from `(spec, weight)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for an empty mixture,
+    /// a non-finite/negative weight, or all-zero total weight.
+    pub fn new(entries: Vec<(ScenarioSpec, f64)>) -> ect_types::Result<Self> {
+        if entries.is_empty() {
+            return Err(ect_types::EctError::InvalidConfig(
+                "a scenario mixture needs at least one spec".into(),
+            ));
+        }
+        let mut total = 0.0;
+        for (spec, weight) in &entries {
+            if !weight.is_finite() || *weight < 0.0 {
+                return Err(ect_types::EctError::InvalidConfig(format!(
+                    "mixture weight {weight} for '{}' must be finite and non-negative",
+                    spec.name
+                )));
+            }
+            total += weight;
+        }
+        if total <= 0.0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "mixture weights sum to zero".into(),
+            ));
+        }
+        Ok(Self { entries })
+    }
+
+    /// An equal-weight mixture over the given specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for an empty list.
+    pub fn uniform(specs: Vec<ScenarioSpec>) -> ect_types::Result<Self> {
+        Self::new(specs.into_iter().map(|spec| (spec, 1.0)).collect())
+    }
+
+    /// Number of specs in the mixture.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the mixture holds no specs (unreachable through the
+    /// validated constructors).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The spec at one mixture slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn spec(&self, idx: usize) -> &ScenarioSpec {
+        &self.entries[idx].0
+    }
+
+    /// The `(spec, weight)` entries.
+    pub fn entries(&self) -> &[(ScenarioSpec, f64)] {
+        &self.entries
+    }
+
+    /// Deterministic per-episode lane assignment: lane `i` of episode
+    /// `episode` runs `self.spec(assignment[i])`.
+    ///
+    /// The draw derives from `(seed, episode)` alone, so curricula are
+    /// reproducible and independent of training-loop RNG consumption.
+    pub fn assignment(&self, seed: u64, episode: usize, lanes: usize) -> Vec<usize> {
+        let weights: Vec<f64> = self.entries.iter().map(|(_, w)| *w).collect();
+        let mut rng = EctRng::seed_from(seed ^ MIX_SEED_STREAM).fork(episode as u64);
+        (0..lanes).map(|_| rng.categorical(&weights)).collect()
+    }
+}
+
+/// Splits the stress library at `horizon` into the training mixture specs
+/// and the disjoint held-out evaluation specs
+/// ([`TRAIN_SCENARIOS`] / [`HELDOUT_SCENARIOS`]).
+///
+/// # Panics
+///
+/// Panics if the library ever stops covering the named split (a compile-
+/// time-adjacent invariant, exercised by tests).
+pub fn train_holdout_split(horizon: usize) -> (Vec<ScenarioSpec>, Vec<ScenarioSpec>) {
+    let library = scenario_library(horizon);
+    let pick = |names: &[&str]| -> Vec<ScenarioSpec> {
+        names
+            .iter()
+            .map(|&name| {
+                library
+                    .iter()
+                    .find(|spec| spec.name == name)
+                    .unwrap_or_else(|| panic!("scenario '{name}' missing from the library"))
+                    .clone()
+            })
+            .collect()
+    };
+    (pick(&TRAIN_SCENARIOS), pick(&HELDOUT_SCENARIOS))
+}
+
+/// Anything that can build a lockstep fleet whose lane `i` runs the mixture
+/// spec `assignment[i]` — the generalist counterpart of
+/// [`crate::collector::FleetFactory`].
+///
+/// Implemented for closures
+/// `FnMut(usize, &[&ScenarioSpec], &mut [EctRng]) -> Result<FleetEnv>`; the
+/// `usize` is the episode index and `rngs[i]` is lane `i`'s stream.
+pub trait MixtureFleetFactory {
+    /// Builds the fleet for one episode under the given per-lane specs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment construction failures.
+    fn make(
+        &mut self,
+        episode: usize,
+        specs: &[&ScenarioSpec],
+        rngs: &mut [EctRng],
+    ) -> ect_types::Result<FleetEnv>;
+}
+
+impl<F> MixtureFleetFactory for F
+where
+    F: FnMut(usize, &[&ScenarioSpec], &mut [EctRng]) -> ect_types::Result<FleetEnv>,
+{
+    fn make(
+        &mut self,
+        episode: usize,
+        specs: &[&ScenarioSpec],
+        rngs: &mut [EctRng],
+    ) -> ect_types::Result<FleetEnv> {
+        self(episode, specs, rngs)
+    }
+}
+
+/// Generalist training budget: one shared policy over `lanes` mixture lanes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneralistConfig {
+    /// Episode budget, PPO hyper-parameters, network sizes and master seed.
+    /// `episodes_per_update` counts *fleet* episodes (each contributing
+    /// `lanes` trajectories to the update).
+    pub trainer: TrainerConfig,
+    /// Lockstep lanes per episode (each reassigned a mixture spec).
+    pub lanes: usize,
+}
+
+impl GeneralistConfig {
+    /// A reduced budget for tests and quick experiments.
+    pub fn quick(episodes: usize, lanes: usize) -> Self {
+        Self {
+            trainer: TrainerConfig::quick(episodes),
+            lanes,
+        }
+    }
+
+    /// Validates the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for zero lanes or
+    /// episodes, and propagates PPO validation failures.
+    pub fn validate(&self) -> ect_types::Result<()> {
+        if self.lanes == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "generalist training needs at least one lane".into(),
+            ));
+        }
+        if self.trainer.episodes == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "generalist training needs at least one episode".into(),
+            ));
+        }
+        self.trainer.ppo.validate()
+    }
+
+    fn lane_rngs(&self) -> Vec<EctRng> {
+        (0..self.lanes as u64)
+            .map(|lane| EctRng::seed_from(self.trainer.seed ^ (lane << 32) ^ LANE_SEED_STREAM))
+            .collect()
+    }
+}
+
+/// Trains **one shared policy** over lockstep mixture episodes.
+///
+/// Per episode: the mixture assigns each lane a scenario
+/// ([`ScenarioMixture::assignment`]), the factory builds the heterogeneous
+/// fleet, [`collect_shared_policy_episode`] amortises the forward pass over
+/// all lanes, and every `episodes_per_update` episodes the PPO learner
+/// consumes the concatenated per-lane buffers (episode boundaries reset the
+/// GAE recursion, so concatenation is safe).
+///
+/// The recorded [`TrainingHistory`] carries the per-episode return
+/// **averaged across lanes** — the mixture-level learning curve.
+///
+/// # Errors
+///
+/// Propagates config validation, factory, environment and PPO errors, and
+/// rejects a factory whose lane count disagrees with the config.
+pub fn train_generalist<F: MixtureFleetFactory>(
+    config: &GeneralistConfig,
+    mixture: &ScenarioMixture,
+    mut factory: F,
+) -> ect_types::Result<(ActorCritic, TrainingHistory)> {
+    config.validate()?;
+    let n = config.lanes;
+    let seed = config.trainer.seed;
+    let mut master = EctRng::seed_from(seed);
+    let mut rngs = config.lane_rngs();
+
+    // Probe the state dimension from episode 0 on forked streams (the forks
+    // leave the real lane streams untouched).
+    let assignment = mixture.assignment(seed, 0, n);
+    let specs: Vec<&ScenarioSpec> = assignment.iter().map(|&idx| mixture.spec(idx)).collect();
+    let mut probe_rngs: Vec<EctRng> = rngs.iter().map(|r| r.fork(0)).collect();
+    let probe = factory.make(0, &specs, &mut probe_rngs)?;
+    let state_dim = probe.state_dim();
+    if probe.num_lanes() != n {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "generalist lanes",
+            expected: n,
+            actual: probe.num_lanes(),
+        });
+    }
+    drop(probe);
+
+    let mut policy = ActorCritic::new(state_dim, &config.trainer.net, &mut master);
+    let mut ppo = Ppo::new(config.trainer.ppo.clone())?;
+    let mut history = TrainingHistory::default();
+    let mut buffers = vec![RolloutBuffer::new(); n];
+    let mut combined = RolloutBuffer::new();
+    let mut initial_soc = vec![0.0; n];
+
+    let episodes = config.trainer.episodes;
+    let per_update = config.trainer.episodes_per_update.max(1);
+    for episode in 0..episodes {
+        let assignment = mixture.assignment(seed, episode, n);
+        let specs: Vec<&ScenarioSpec> = assignment.iter().map(|&idx| mixture.spec(idx)).collect();
+        let mut fleet = factory.make(episode, &specs, &mut rngs)?;
+        if fleet.num_lanes() != n {
+            return Err(ect_types::EctError::ShapeMismatch {
+                context: "generalist lanes",
+                expected: n,
+                actual: fleet.num_lanes(),
+            });
+        }
+        for (soc, rng) in initial_soc.iter_mut().zip(rngs.iter_mut()) {
+            *soc = rng.uniform(); // the paper randomises episode SoC
+        }
+        let returns = collect_shared_policy_episode(
+            &mut fleet,
+            &policy,
+            &mut rngs,
+            &mut buffers,
+            &initial_soc,
+        );
+        history
+            .episode_returns
+            .push(returns.iter().sum::<f64>() / n as f64);
+
+        if (episode + 1) % per_update == 0 {
+            for buffer in &mut buffers {
+                for t in buffer.transitions() {
+                    combined.push(t.clone());
+                }
+                buffer.clear();
+            }
+            let stats = ppo.update(&mut policy, &combined, &mut master)?;
+            history.update_stats.push(stats);
+            combined.clear();
+        }
+    }
+    if buffers.iter().any(|b| !b.is_empty()) {
+        for buffer in &mut buffers {
+            for t in buffer.transitions() {
+                combined.push(t.clone());
+            }
+            buffer.clear();
+        }
+        let stats = ppo.update(&mut policy, &combined, &mut master)?;
+        history.update_stats.push(stats);
+    }
+    Ok((policy, history))
+}
+
+/// Zero-shot greedy evaluation of a (generalist) policy on **one** scenario:
+/// every lane of every episode runs `spec`, actions come from the batched
+/// argmax of the shared policy, and the summary aggregates over all
+/// `lanes × episodes` trajectories.
+///
+/// The returned [`EvalSummary`] is **lane-flattened**, unlike the
+/// single-hub trainer's: `avg_episode_profit` is the mean profit per
+/// *trajectory* (one lane's episode, total ÷ `episodes × lanes`) and
+/// `daily_rewards` holds one row per `(episode, lane)` pair, episode-major
+/// — `episodes × lanes` rows in total. `avg_daily_reward` keeps its usual
+/// meaning (total ÷ total days) and is the cross-path comparison metric.
+///
+/// The factory receives the same per-lane spec list shape as training, so
+/// one factory serves both paths.
+///
+/// # Errors
+///
+/// Propagates factory failures; rejects zero lanes or episodes.
+pub fn evaluate_generalist<F: MixtureFleetFactory>(
+    policy: &ActorCritic,
+    spec: &ScenarioSpec,
+    mut factory: F,
+    episodes: usize,
+    lanes: usize,
+    seed: u64,
+) -> ect_types::Result<EvalSummary> {
+    if lanes == 0 || episodes == 0 {
+        return Err(ect_types::EctError::InvalidConfig(
+            "generalist evaluation needs at least one lane and one episode".into(),
+        ));
+    }
+    let mut rngs: Vec<EctRng> = (0..lanes as u64)
+        .map(|lane| EctRng::seed_from(seed ^ (lane << 32) ^ LANE_SEED_STREAM))
+        .collect();
+    let specs: Vec<&ScenarioSpec> = vec![spec; lanes];
+    let mut summary = EvalSummary::default();
+    let mut total = 0.0;
+    let mut total_days = 0usize;
+    let mut initial_soc = vec![0.0; lanes];
+    let mut actions = vec![BpAction::Idle; lanes];
+
+    for episode in 0..episodes {
+        let mut fleet = factory.make(episode, &specs, &mut rngs)?;
+        if fleet.num_lanes() != lanes {
+            return Err(ect_types::EctError::ShapeMismatch {
+                context: "generalist evaluation lanes",
+                expected: lanes,
+                actual: fleet.num_lanes(),
+            });
+        }
+        let dim = fleet.state_dim();
+        for (soc, rng) in initial_soc.iter_mut().zip(rngs.iter_mut()) {
+            *soc = rng.uniform();
+        }
+        fleet.reset(&initial_soc);
+        let mut slot_rewards: Vec<Vec<f64>> = vec![Vec::with_capacity(fleet.horizon()); lanes];
+        let mut states = Matrix::from_vec(lanes, dim, fleet.obs().to_vec());
+        loop {
+            // One batched greedy forward pass for every lane.
+            let (prob_rows, _) = policy.infer(&states);
+            for (lane, action) in actions.iter_mut().enumerate() {
+                let row = [
+                    prob_rows[(lane, 0)],
+                    prob_rows[(lane, 1)],
+                    prob_rows[(lane, 2)],
+                ];
+                let idx = (0..3)
+                    .max_by(|&a, &b| row[a].total_cmp(&row[b]))
+                    .expect("three actions");
+                *action = BpAction::from_index(idx);
+            }
+            let step = fleet.step_batch(&actions);
+            for (lane_rewards, &reward) in slot_rewards.iter_mut().zip(step.rewards) {
+                lane_rewards.push(reward);
+            }
+            if step.done {
+                break;
+            }
+            states.as_mut_slice().copy_from_slice(fleet.obs());
+        }
+        for lane_rewards in &slot_rewards {
+            total += lane_rewards.iter().sum::<f64>();
+            let daily: Vec<f64> = lane_rewards
+                .chunks(SLOTS_PER_DAY)
+                .map(|chunk| chunk.iter().sum())
+                .collect();
+            total_days += daily.len();
+            summary.daily_rewards.push(daily);
+        }
+    }
+    summary.avg_episode_profit = total / (episodes * lanes) as f64;
+    summary.avg_daily_reward = total / total_days.max(1) as f64;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ect_data::charging::Stratum;
+    use ect_data::scenario::SCENARIO_NAMES;
+    use ect_env::env::{EpisodeInputs, HubEnv, ObsAugmentation};
+    use ect_env::hub::HubConfig;
+    use ect_env::tariff::DiscountSchedule;
+    use ect_types::units::{DollarsPerKwh, LoadRate};
+    use proptest::prelude::*;
+
+    /// A toy scenario-shaped world: the spec's traffic amplitude feature
+    /// scales the flat price, so lanes genuinely differ per spec.
+    fn toy_env(slots: usize, spec: &ScenarioSpec, aug: &ObsAugmentation) -> HubEnv {
+        let bump: f64 = spec.feature_vector(slots).iter().sum::<f64>() * 0.01;
+        let rtp: Vec<DollarsPerKwh> = (0..slots)
+            .map(|t| {
+                let base = if (t / 12) % 2 == 0 { 0.04 } else { 0.13 };
+                DollarsPerKwh::new(base + bump.abs())
+            })
+            .collect();
+        let inputs = EpisodeInputs {
+            rtp,
+            weather: vec![
+                ect_data::weather::WeatherSample {
+                    solar_irradiance: 0.0,
+                    wind_speed: 0.0,
+                    cloud_cover: 0.0,
+                };
+                slots
+            ],
+            traffic: vec![
+                ect_data::traffic::TrafficSample {
+                    load_rate: LoadRate::new(0.4).unwrap(),
+                    volume_gb: 30.0,
+                };
+                slots
+            ],
+            discounts: DiscountSchedule::none(slots),
+            strata: vec![Stratum::AlwaysCharge; slots],
+        };
+        HubEnv::new(HubConfig::bare(), inputs, 6)
+            .unwrap()
+            .with_augmentation(aug.features_for(spec, slots))
+    }
+
+    fn toy_factory(
+        slots: usize,
+        aug: ObsAugmentation,
+    ) -> impl FnMut(usize, &[&ScenarioSpec], &mut [EctRng]) -> ect_types::Result<FleetEnv> {
+        move |_episode, specs, _rngs| {
+            FleetEnv::from_envs(
+                specs
+                    .iter()
+                    .map(|spec| toy_env(slots, spec, &aug))
+                    .collect(),
+            )
+        }
+    }
+
+    fn library_mixture(slots: usize) -> ScenarioMixture {
+        ScenarioMixture::uniform(scenario_library(slots)).unwrap()
+    }
+
+    #[test]
+    fn mixture_validates_weights() {
+        assert!(ScenarioMixture::new(Vec::new()).is_err());
+        assert!(ScenarioMixture::new(vec![(ScenarioSpec::baseline(), -1.0)]).is_err());
+        assert!(ScenarioMixture::new(vec![(ScenarioSpec::baseline(), f64::NAN)]).is_err());
+        assert!(ScenarioMixture::new(vec![(ScenarioSpec::baseline(), 0.0)]).is_err());
+        let mixture = ScenarioMixture::uniform(scenario_library(48)).unwrap();
+        assert_eq!(mixture.len(), SCENARIO_NAMES.len());
+        assert!(!mixture.is_empty());
+        assert_eq!(mixture.spec(0).name, "baseline");
+        assert_eq!(mixture.entries().len(), mixture.len());
+    }
+
+    #[test]
+    fn split_is_disjoint_and_covers_the_library() {
+        let (train, heldout) = train_holdout_split(24 * 7);
+        assert_eq!(train.len() + heldout.len(), SCENARIO_NAMES.len());
+        for t in &train {
+            assert!(
+                heldout.iter().all(|h| h.name != t.name),
+                "'{}' in both splits",
+                t.name
+            );
+        }
+        assert!(train.iter().any(|s| s.is_baseline()));
+        assert!(heldout.iter().all(|s| !s.is_baseline()));
+    }
+
+    #[test]
+    fn generalist_training_is_deterministic_per_seed() {
+        let slots = 48;
+        let mixture = library_mixture(slots);
+        let config = GeneralistConfig::quick(4, 3);
+        let (p1, h1) = train_generalist(
+            &config,
+            &mixture,
+            toy_factory(slots, ObsAugmentation::SCENARIO),
+        )
+        .unwrap();
+        let (p2, h2) = train_generalist(
+            &config,
+            &mixture,
+            toy_factory(slots, ObsAugmentation::SCENARIO),
+        )
+        .unwrap();
+        assert_eq!(h1.episode_returns, h2.episode_returns);
+        let probe: Vec<f64> = (0..p1.state_dim())
+            .map(|i| (i as f64 * 0.31).sin())
+            .collect();
+        let (a, va) = p1.evaluate_one(&probe);
+        let (b, vb) = p2.evaluate_one(&probe);
+        assert_eq!(va.to_bits(), vb.to_bits());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // The augmented state is wider than the plain Eq. 24 layout.
+        assert_eq!(
+            p1.state_dim(),
+            5 * 6 + 1 + ect_data::scenario::SCENARIO_FEATURE_DIM
+        );
+        assert_eq!(h1.episode_returns.len(), 4);
+        assert!(!h1.update_stats.is_empty());
+    }
+
+    #[test]
+    fn generalist_zero_shot_evaluation_is_finite_and_deterministic() {
+        let slots = 48;
+        let mixture = library_mixture(slots);
+        let config = GeneralistConfig::quick(2, 2);
+        let aug = ObsAugmentation::SCENARIO;
+        let (policy, _) = train_generalist(&config, &mixture, toy_factory(slots, aug)).unwrap();
+        let (_, heldout) = train_holdout_split(slots);
+        for spec in &heldout {
+            let a = evaluate_generalist(&policy, spec, toy_factory(slots, aug), 2, 2, 99).unwrap();
+            let b = evaluate_generalist(&policy, spec, toy_factory(slots, aug), 2, 2, 99).unwrap();
+            assert!(a.avg_daily_reward.is_finite(), "{}", spec.name);
+            assert_eq!(a.daily_rewards.len(), 4, "lanes × episodes trajectories");
+            assert_eq!(
+                a.avg_daily_reward.to_bits(),
+                b.avg_daily_reward.to_bits(),
+                "{}",
+                spec.name
+            );
+        }
+        assert!(evaluate_generalist(
+            &policy,
+            &ScenarioSpec::baseline(),
+            toy_factory(slots, aug),
+            0,
+            2,
+            1
+        )
+        .is_err());
+        assert!(evaluate_generalist(
+            &policy,
+            &ScenarioSpec::baseline(),
+            toy_factory(slots, aug),
+            2,
+            0,
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn generalist_rejects_bad_configs_and_lane_mismatches() {
+        let slots = 24;
+        let mixture = library_mixture(slots);
+        let mut config = GeneralistConfig::quick(2, 0);
+        assert!(
+            train_generalist(&config, &mixture, toy_factory(slots, ObsAugmentation::NONE)).is_err()
+        );
+        config.lanes = 3;
+        config.trainer.episodes = 0;
+        assert!(
+            train_generalist(&config, &mixture, toy_factory(slots, ObsAugmentation::NONE)).is_err()
+        );
+        // Factory building the wrong number of lanes is rejected.
+        let config = GeneralistConfig::quick(2, 3);
+        let wrong = |_e: usize, _specs: &[&ScenarioSpec], _r: &mut [EctRng]| {
+            FleetEnv::from_envs(vec![toy_env(
+                slots,
+                &ScenarioSpec::baseline(),
+                &ObsAugmentation::NONE,
+            )])
+        };
+        assert!(train_generalist(&config, &mixture, wrong).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Satellite contract: assignments are deterministic under a fixed
+        /// seed, and every positive-weight spec is eventually sampled.
+        #[test]
+        fn mixture_assignment_is_deterministic_and_covers_support(
+            seed in 0u64..1_000,
+            lanes in 1usize..6,
+            zero_idx in 0usize..4,
+        ) {
+            let horizon = 48;
+            let mut entries: Vec<(ScenarioSpec, f64)> = scenario_library(horizon)
+                .into_iter()
+                .take(4)
+                .enumerate()
+                .map(|(i, spec)| (spec, 1.0 + i as f64))
+                .collect();
+            entries[zero_idx].1 = 0.0;
+            // Keep at least one positive weight.
+            if entries.iter().all(|(_, w)| *w == 0.0) {
+                entries[0].1 = 1.0;
+            }
+            let mixture = ScenarioMixture::new(entries.clone()).unwrap();
+
+            let mut seen = vec![false; mixture.len()];
+            for episode in 0..128 {
+                let a = mixture.assignment(seed, episode, lanes);
+                let b = mixture.assignment(seed, episode, lanes);
+                prop_assert_eq!(&a, &b, "episode {} not deterministic", episode);
+                for &idx in &a {
+                    prop_assert!(idx < mixture.len());
+                    prop_assert!(entries[idx].1 > 0.0, "zero-weight spec sampled");
+                    seen[idx] = true;
+                }
+            }
+            for (idx, (_, weight)) in entries.iter().enumerate() {
+                if *weight > 0.0 {
+                    prop_assert!(seen[idx], "spec {} never sampled in 128 episodes", idx);
+                }
+            }
+        }
+    }
+}

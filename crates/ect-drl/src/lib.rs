@@ -17,21 +17,35 @@
 //!   seeds;
 //! * [`heuristics`] — rule-based comparators (NoBattery, price thresholds,
 //!   time-of-use) and the [`heuristics::Scheduler`] abstraction;
-//! * [`checkpoint`] — JSON persistence for trained policies.
+//! * [`generalist`] — scenario-mixture training of one shared policy across
+//!   heterogeneous stress worlds, with zero-shot held-out evaluation
+//!   ([`generalist::ScenarioMixture`], [`generalist::train_generalist`],
+//!   [`generalist::evaluate_generalist`]);
+//! * [`checkpoint`] — versioned JSON persistence for trained policies,
+//!   carrying the observation-layout metadata a loaded generalist needs to
+//!   refuse a mismatched environment.
 
 pub mod actor_critic;
 pub mod checkpoint;
 pub mod collector;
+pub mod generalist;
 pub mod heuristics;
 pub mod ppo;
 pub mod rollout;
 pub mod trainer;
 
 pub use actor_critic::{ActorCritic, ActorCriticConfig};
-pub use checkpoint::{load_policy, save_policy};
+pub use checkpoint::{
+    load_checkpoint, load_policy, save_checkpoint, save_policy, CheckpointMeta, PolicyCheckpoint,
+    CHECKPOINT_VERSION,
+};
 pub use collector::{
     collect_fleet_episode, collect_shared_policy_episode, evaluate_fleet_greedy, train_fleet,
     FleetFactory,
+};
+pub use generalist::{
+    evaluate_generalist, train_generalist, train_holdout_split, GeneralistConfig,
+    MixtureFleetFactory, ScenarioMixture, HELDOUT_SCENARIOS, TRAIN_SCENARIOS,
 };
 pub use heuristics::{run_episode, DrlScheduler, GreedyPrice, NoBattery, Scheduler, TimeOfUse};
 pub use ppo::{Ppo, PpoConfig, UpdateStats};

@@ -89,14 +89,17 @@ pub(crate) fn compute_slot(
 
 /// Writes the Eq. 24 observation into `out` without allocating: five
 /// sliding windows (RTP, solar, wind, traffic, SRTP) over the past
-/// `window` slots plus the scalar SoC, all normalised.
+/// `window` slots plus the scalar SoC, all normalised, followed by the
+/// caller's `extra` conditioning block (empty for the paper's plain state —
+/// the layout is then exactly the historical one, bit for bit).
 ///
 /// Shared by [`HubEnv::observe_into`] and the batched
 /// [`crate::vec_env::FleetEnv`] observation path.
 ///
 /// # Panics
 ///
-/// Panics if `out.len() != 5 * window + 1` or the series are empty.
+/// Panics if `out.len() != 5 * window + 1 + extra.len()` or the series are
+/// empty.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn write_observation(
     out: &mut [f64],
@@ -109,10 +112,11 @@ pub(crate) fn write_observation(
     traffic: &[TrafficSample],
     discounts: &DiscountSchedule,
     soc_fraction: f64,
+    extra: &[f64],
 ) {
     assert_eq!(
         out.len(),
-        5 * window + 1,
+        5 * window + 1 + extra.len(),
         "observation buffer size mismatch"
     );
     let len = rtp.len();
@@ -154,6 +158,61 @@ pub(crate) fn write_observation(
             / config.tariff.base_price.as_f64()
     });
     out[cursor] = soc_fraction;
+    out[cursor + 1..].copy_from_slice(extra);
+}
+
+/// Opt-in augmentation of the Eq. 24 observation with a scenario-feature
+/// conditioning block, so one generalist policy can tell which world it is
+/// acting in.
+///
+/// With `scenario_features` off (the default) the observation layout is the
+/// historical `5 × window + 1` vector, bit for bit. With it on, every
+/// observation gains the fixed-width
+/// [`ScenarioSpec::feature_vector`](ect_data::scenario::ScenarioSpec::feature_vector)
+/// block — identical width for every scenario, all-zero for the baseline —
+/// appended after the SoC scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ObsAugmentation {
+    /// Append the scenario-feature block to every observation.
+    pub scenario_features: bool,
+}
+
+impl ObsAugmentation {
+    /// The plain Eq. 24 observation (no extra block).
+    pub const NONE: Self = Self {
+        scenario_features: false,
+    };
+
+    /// Scenario-conditioned observations for generalist training.
+    pub const SCENARIO: Self = Self {
+        scenario_features: true,
+    };
+
+    /// Width of the appended block (0 when disabled).
+    pub fn width(&self) -> usize {
+        if self.scenario_features {
+            ect_data::scenario::SCENARIO_FEATURE_DIM
+        } else {
+            0
+        }
+    }
+
+    /// The conditioning block for one scenario world (empty when disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if enabled and `horizon` is zero.
+    pub fn features_for(
+        &self,
+        spec: &ect_data::scenario::ScenarioSpec,
+        horizon: usize,
+    ) -> Vec<f64> {
+        if self.scenario_features {
+            spec.feature_vector(horizon).to_vec()
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 /// Exogenous inputs for one episode, all series of equal length.
@@ -351,6 +410,9 @@ pub struct HubEnv {
     norm: ObsNorm,
     window: usize,
     t: usize,
+    /// Scenario-conditioning block appended to every observation (empty =
+    /// the plain Eq. 24 state).
+    aug: Vec<f64>,
 }
 
 impl HubEnv {
@@ -376,13 +438,30 @@ impl HubEnv {
             norm: ObsNorm::default(),
             window,
             t: 0,
+            aug: Vec::new(),
         })
     }
 
-    /// Dimension of the observation vector: `5 × window + 1`
-    /// (RTP, solar, wind, traffic, SRTP windows plus SoC).
+    /// Builder: appends a fixed scenario-conditioning block to every
+    /// observation (see [`ObsAugmentation`]). An empty block restores the
+    /// plain Eq. 24 state.
+    #[must_use]
+    pub fn with_augmentation(mut self, features: Vec<f64>) -> Self {
+        self.aug = features;
+        self
+    }
+
+    /// The scenario-conditioning block appended to observations (empty for
+    /// the plain Eq. 24 state).
+    pub fn augmentation(&self) -> &[f64] {
+        &self.aug
+    }
+
+    /// Dimension of the observation vector: `5 × window + 1` (RTP, solar,
+    /// wind, traffic, SRTP windows plus SoC), plus the scenario-conditioning
+    /// block when one is attached.
     pub fn state_dim(&self) -> usize {
-        5 * self.window + 1
+        5 * self.window + 1 + self.aug.len()
     }
 
     /// Episode length in slots.
@@ -455,6 +534,7 @@ impl HubEnv {
             &self.inputs.traffic,
             &self.inputs.discounts,
             self.battery.soc_fraction(),
+            &self.aug,
         );
     }
 
@@ -595,6 +675,55 @@ mod tests {
         let s = e.reset(0.5);
         assert_eq!(s.len(), e.state_dim());
         assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn augmentation_appends_after_soc_and_leaves_prefix_bit_identical() {
+        let mut plain = env(24, Stratum::AlwaysCharge);
+        let features = vec![0.25, -0.5, 1.0];
+        let mut augmented = env(24, Stratum::AlwaysCharge).with_augmentation(features.clone());
+        assert_eq!(augmented.state_dim(), plain.state_dim() + 3);
+        assert_eq!(augmented.augmentation(), features.as_slice());
+
+        let s_plain = plain.reset(0.5);
+        let s_aug = augmented.reset(0.5);
+        let base = plain.state_dim();
+        for (a, b) in s_plain.iter().zip(&s_aug[..base]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(&s_aug[base..], features.as_slice());
+
+        // The dynamics are untouched: stepping both gives identical rewards.
+        for _ in 0..24 {
+            let p = plain.step(BpAction::Charge);
+            let a = augmented.step(BpAction::Charge);
+            assert_eq!(p.reward.to_bits(), a.reward.to_bits());
+            assert_eq!(&a.state[base..], features.as_slice());
+            if p.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn obs_augmentation_width_is_uniform_across_the_library() {
+        // The satellite contract: one width for every library scenario, and
+        // the baseline block is zero-filled.
+        use ect_data::scenario::scenario_library;
+        let horizon = 24 * 7;
+        let aug = ObsAugmentation::SCENARIO;
+        let widths: Vec<usize> = scenario_library(horizon)
+            .iter()
+            .map(|spec| aug.features_for(spec, horizon).len())
+            .collect();
+        assert!(widths.iter().all(|&w| w == aug.width()), "{widths:?}");
+        let baseline = aug.features_for(&ect_data::scenario::ScenarioSpec::baseline(), horizon);
+        assert!(baseline.iter().all(|&f| f == 0.0), "{baseline:?}");
+        assert_eq!(ObsAugmentation::NONE.width(), 0);
+        assert!(ObsAugmentation::NONE
+            .features_for(&ect_data::scenario::ScenarioSpec::baseline(), horizon)
+            .is_empty());
+        assert_eq!(ObsAugmentation::default(), ObsAugmentation::NONE);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! [`EpisodeInputs`], drawing the ground-truth charging strata for the
 //! episode window and applying a discount schedule from a pricing engine.
 
-use crate::env::{EpisodeInputs, HubEnv};
+use crate::env::{EpisodeInputs, HubEnv, ObsAugmentation};
 use crate::hub::HubConfig;
 use crate::tariff::DiscountSchedule;
 use crate::vec_env::{FleetEnv, HubSeries};
@@ -325,6 +325,109 @@ pub fn fleet_env_for_scenarios(
     FleetEnv::new(built, window)
 }
 
+/// [`fleet_env_for_scenarios`] plus an [`ObsAugmentation`]: when scenario
+/// features are enabled, lane `i`'s observations carry the fixed-width
+/// conditioning block of `lanes[i].0` — how a single generalist policy is
+/// told which world each lane lives in. With [`ObsAugmentation::NONE`] this
+/// is exactly `fleet_env_for_scenarios` (same layout, bit for bit).
+///
+/// # Errors
+///
+/// Propagates [`fleet_env_for_scenarios`] failures.
+#[allow(clippy::too_many_arguments)]
+pub fn fleet_env_for_scenarios_augmented(
+    config: &WorldConfig,
+    lanes: &[(ScenarioSpec, HubId)],
+    start_slot: usize,
+    len: usize,
+    discounts: &[DiscountSchedule],
+    window: usize,
+    augment: &ObsAugmentation,
+    rngs: &mut [EctRng],
+) -> ect_types::Result<FleetEnv> {
+    let fleet = fleet_env_for_scenarios(config, lanes, start_slot, len, discounts, window, rngs)?;
+    if augment.width() == 0 {
+        return Ok(fleet);
+    }
+    let features: Vec<Vec<f64>> = lanes
+        .iter()
+        .map(|(spec, _)| augment.features_for(spec, config.horizon_slots))
+        .collect();
+    fleet.with_lane_features(features)
+}
+
+/// Builds a batched [`FleetEnv`] over **pre-generated** worlds: lane `i`
+/// plays hub `lanes[i].1` of the world `lanes[i].0`. The cheap path for
+/// mixture training, where the same few scenario worlds are re-sliced every
+/// episode — generate each world once, then rebuild fleets per episode
+/// without re-running the exogenous generators.
+///
+/// Lanes sharing one `&WorldDataset` share one RTP allocation, exactly as
+/// [`fleet_env_for_scenarios`] dedupes per spec. When `augment` enables
+/// scenario features, each lane's conditioning block is derived from its
+/// world's own [`ScenarioSpec`].
+///
+/// # Errors
+///
+/// Propagates per-lane slicing failures, and returns
+/// [`ect_types::EctError::ShapeMismatch`] if `discounts`/`rngs` lengths
+/// differ from `lanes`.
+pub fn fleet_env_for_worlds(
+    lanes: &[(&WorldDataset, HubId)],
+    start_slot: usize,
+    len: usize,
+    discounts: &[DiscountSchedule],
+    window: usize,
+    augment: &ObsAugmentation,
+    rngs: &mut [EctRng],
+) -> ect_types::Result<FleetEnv> {
+    if discounts.len() != lanes.len() {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "world fleet discount schedules",
+            expected: lanes.len(),
+            actual: discounts.len(),
+        });
+    }
+    if rngs.len() != lanes.len() {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "world fleet strata rngs",
+            expected: lanes.len(),
+            actual: rngs.len(),
+        });
+    }
+    // One shared RTP slice per distinct world (pointer identity: callers
+    // pass the same reference for lanes of the same world).
+    let mut shared: Vec<(*const WorldDataset, Arc<[ect_types::units::DollarsPerKwh]>)> = Vec::new();
+    for (world, _) in lanes {
+        let key: *const WorldDataset = *world;
+        if shared.iter().any(|(k, _)| *k == key) {
+            continue;
+        }
+        shared.push((key, shared_rtp_slice(world, start_slot, len)?));
+    }
+
+    let mut built = Vec::with_capacity(lanes.len());
+    for (((world, hub), schedule), rng) in lanes.iter().zip(discounts).zip(rngs.iter_mut()) {
+        let key: *const WorldDataset = *world;
+        let (_, shared_rtp) = shared
+            .iter()
+            .find(|(k, _)| *k == key)
+            .expect("every lane world was sliced above");
+        built.push(build_lane(
+            world, shared_rtp, *hub, start_slot, len, schedule, rng,
+        )?);
+    }
+    let fleet = FleetEnv::new(built, window)?;
+    if augment.width() == 0 {
+        return Ok(fleet);
+    }
+    let features: Vec<Vec<f64>> = lanes
+        .iter()
+        .map(|(world, _)| augment.features_for(&world.scenario, world.horizon()))
+        .collect();
+    fleet.with_lane_features(features)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,6 +725,120 @@ mod tests {
         let (totals, trails) = fleet.rollout(&[0.5; 3], |_, _| BpAction::Idle);
         assert_eq!(totals.len(), 3);
         assert!(trails.iter().all(|t| t.len() == horizon));
+    }
+
+    #[test]
+    fn augmented_scenario_fleet_carries_spec_features() {
+        use ect_data::scenario::{scenario_by_name, ScenarioSpec, SCENARIO_FEATURE_DIM};
+        let config = ect_data::dataset::WorldConfig {
+            num_hubs: 2,
+            horizon_slots: 24 * 4,
+            ..ect_data::dataset::WorldConfig::default()
+        };
+        let horizon = config.horizon_slots;
+        let storm = scenario_by_name("winter-storm", horizon).unwrap();
+        let lanes = vec![
+            (ScenarioSpec::baseline(), HubId::new(0)),
+            (storm.clone(), HubId::new(1)),
+        ];
+        let discounts = vec![DiscountSchedule::none(horizon); 2];
+
+        // NONE keeps the plain layout, bit-identical to the plain builder.
+        let mut rngs: Vec<EctRng> = (0..2).map(|l| EctRng::seed_from(60 + l)).collect();
+        let plain =
+            fleet_env_for_scenarios(&config, &lanes, 0, horizon, &discounts, 6, &mut rngs).unwrap();
+        let mut rngs: Vec<EctRng> = (0..2).map(|l| EctRng::seed_from(60 + l)).collect();
+        let none = fleet_env_for_scenarios_augmented(
+            &config,
+            &lanes,
+            0,
+            horizon,
+            &discounts,
+            6,
+            &ObsAugmentation::NONE,
+            &mut rngs,
+        )
+        .unwrap();
+        assert_eq!(none.state_dim(), plain.state_dim());
+        assert_eq!(none.obs(), plain.obs());
+
+        // SCENARIO appends the per-spec block: zero for baseline, the storm
+        // spec's feature vector on lane 1.
+        let mut rngs: Vec<EctRng> = (0..2).map(|l| EctRng::seed_from(60 + l)).collect();
+        let augmented = fleet_env_for_scenarios_augmented(
+            &config,
+            &lanes,
+            0,
+            horizon,
+            &discounts,
+            6,
+            &ObsAugmentation::SCENARIO,
+            &mut rngs,
+        )
+        .unwrap();
+        assert_eq!(
+            augmented.state_dim(),
+            plain.state_dim() + SCENARIO_FEATURE_DIM
+        );
+        assert!(augmented.lane_features(0).iter().all(|&f| f == 0.0));
+        assert_eq!(
+            augmented.lane_features(1),
+            storm.feature_vector(horizon).as_slice()
+        );
+    }
+
+    #[test]
+    fn world_fleet_matches_hub_fleet_on_shared_worlds() {
+        // Slicing pre-generated worlds must reproduce fleet_env_for_hubs
+        // bit for bit (same build_lane underneath) and share RTP per world.
+        let w = world();
+        let hubs: Vec<HubId> = (0..2).map(HubId::new).collect();
+        let discounts = vec![DiscountSchedule::none(48); 2];
+        let mut rngs: Vec<EctRng> = (0..2).map(|l| EctRng::seed_from(70 + l)).collect();
+        let by_hubs = fleet_env_for_hubs(&w, &hubs, 24, 48, &discounts, 6, &mut rngs).unwrap();
+
+        let lanes: Vec<(&WorldDataset, HubId)> = hubs.iter().map(|&h| (&w, h)).collect();
+        let mut rngs: Vec<EctRng> = (0..2).map(|l| EctRng::seed_from(70 + l)).collect();
+        let by_worlds = fleet_env_for_worlds(
+            &lanes,
+            24,
+            48,
+            &discounts,
+            6,
+            &ObsAugmentation::NONE,
+            &mut rngs,
+        )
+        .unwrap();
+        assert_eq!(by_worlds.obs(), by_hubs.obs());
+        assert_eq!(
+            by_worlds.series()[0].rtp.as_ptr(),
+            by_worlds.series()[1].rtp.as_ptr(),
+            "lanes of one world share one RTP allocation"
+        );
+
+        // Shape validation mirrors the other builders.
+        let mut rngs = vec![EctRng::seed_from(1)];
+        assert!(fleet_env_for_worlds(
+            &lanes,
+            0,
+            24,
+            &discounts,
+            6,
+            &ObsAugmentation::NONE,
+            &mut rngs
+        )
+        .is_err());
+        let mut rngs: Vec<EctRng> = (0..2).map(EctRng::seed_from).collect();
+        assert!(fleet_env_for_worlds(
+            &lanes,
+            0,
+            24,
+            &[DiscountSchedule::none(24)],
+            6,
+            &ObsAugmentation::NONE,
+            &mut rngs
+        )
+        .is_err());
     }
 
     #[test]

@@ -37,9 +37,10 @@ pub mod vec_env;
 
 pub use battery::{BatteryPoint, BatteryPointConfig, BpAction, BpSlotResult};
 pub use blackout::{ride_through, worst_case_ride_through, BlackoutOutcome, BlackoutScenario};
-pub use env::{EpisodeInputs, HubEnv, SlotBreakdown, StepResult};
+pub use env::{EpisodeInputs, HubEnv, ObsAugmentation, SlotBreakdown, StepResult};
 pub use fleet::{
     draw_strata, env_for_hub, episode_for_hub, fleet_env_for_hubs, fleet_env_for_scenarios,
+    fleet_env_for_scenarios_augmented, fleet_env_for_worlds,
 };
 pub use hub::HubConfig;
 pub use power::{grid_power, BaseStationModel, ChargingStationModel};

@@ -168,6 +168,10 @@ pub struct FleetEnv {
     horizon: usize,
     state_dim: usize,
     t: usize,
+    // Per-lane scenario-conditioning blocks, lane-major (`n × aug_dim`);
+    // empty when the fleet runs the plain Eq. 24 observation.
+    aug: Vec<f64>,
+    aug_dim: usize,
     // Reusable output buffers (the zero-allocation hot path).
     obs: Vec<f64>,
     rewards: Vec<f64>,
@@ -224,6 +228,8 @@ impl FleetEnv {
             horizon,
             state_dim,
             t: 0,
+            aug: Vec::new(),
+            aug_dim: 0,
             obs: vec![0.0; n * state_dim],
             rewards: vec![0.0; n],
             breakdowns: vec![SlotBreakdown::default(); n],
@@ -260,6 +266,7 @@ impl FleetEnv {
         };
         let mut lanes = Vec::with_capacity(envs.len());
         let mut batteries = Vec::with_capacity(envs.len());
+        let mut features = Vec::with_capacity(envs.len());
         for env in envs {
             if env.window() != window {
                 return Err(ect_types::EctError::ShapeMismatch {
@@ -277,13 +284,69 @@ impl FleetEnv {
             let config = env.config().clone();
             let inputs = env.inputs().clone();
             batteries.push(env.battery().clone());
+            features.push(env.augmentation().to_vec());
             lanes.push((config, HubSeries::from_inputs(inputs)));
         }
         let mut fleet = Self::new(lanes, window)?;
+        if features.iter().any(|f| !f.is_empty()) {
+            fleet = fleet.with_lane_features(features)?;
+        }
         // Carry the wrapped envs' battery state (SoC) into the lanes.
         fleet.batteries = batteries;
         fleet.refresh_observations();
         Ok(fleet)
+    }
+
+    /// Builder: attaches one scenario-conditioning block per lane, appended
+    /// after the SoC scalar of that lane's observation (see
+    /// [`crate::env::ObsAugmentation`]). All blocks must share one width so
+    /// the fleet keeps a single observation layout; zero-width blocks
+    /// restore the plain Eq. 24 state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::ShapeMismatch`] when the block count
+    /// differs from the lane count or the blocks disagree on width.
+    pub fn with_lane_features(mut self, features: Vec<Vec<f64>>) -> ect_types::Result<Self> {
+        let n = self.num_lanes();
+        if features.len() != n {
+            return Err(ect_types::EctError::ShapeMismatch {
+                context: "fleet lane feature blocks",
+                expected: n,
+                actual: features.len(),
+            });
+        }
+        let aug_dim = features[0].len();
+        for block in &features {
+            if block.len() != aug_dim {
+                return Err(ect_types::EctError::ShapeMismatch {
+                    context: "fleet lane feature width",
+                    expected: aug_dim,
+                    actual: block.len(),
+                });
+            }
+        }
+        self.aug = features.into_iter().flatten().collect();
+        self.aug_dim = aug_dim;
+        self.state_dim = 5 * self.window + 1 + aug_dim;
+        self.obs = vec![0.0; n * self.state_dim];
+        self.refresh_observations();
+        Ok(self)
+    }
+
+    /// Width of the per-lane conditioning block (0 = plain Eq. 24 state).
+    pub fn aug_dim(&self) -> usize {
+        self.aug_dim
+    }
+
+    /// The conditioning block of one lane (empty when none is attached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_features(&self, lane: usize) -> &[f64] {
+        assert!(lane < self.num_lanes(), "lane {lane} out of range");
+        &self.aug[lane * self.aug_dim..(lane + 1) * self.aug_dim]
     }
 
     /// Number of lanes (hubs) stepping in lockstep.
@@ -291,7 +354,8 @@ impl FleetEnv {
         self.configs.len()
     }
 
-    /// Dimension of each lane's observation vector: `5 × window + 1`.
+    /// Dimension of each lane's observation vector: `5 × window + 1`, plus
+    /// the per-lane conditioning block when one is attached.
     pub fn state_dim(&self) -> usize {
         self.state_dim
     }
@@ -353,6 +417,7 @@ impl FleetEnv {
             &series.traffic,
             &series.discounts,
             self.batteries[lane].soc_fraction(),
+            self.lane_features(lane),
         );
     }
 
@@ -374,6 +439,7 @@ impl FleetEnv {
                 &series.traffic,
                 &series.discounts,
                 self.batteries[lane].soc_fraction(),
+                &self.aug[lane * self.aug_dim..(lane + 1) * self.aug_dim],
             );
         }
     }
@@ -564,6 +630,88 @@ mod tests {
                 assert_eq!(step.done, batch.done);
             }
         }
+    }
+
+    #[test]
+    fn lane_features_append_after_soc_without_touching_dynamics() {
+        let mut plain = fleet(3, 24);
+        let blocks = vec![vec![0.1, 0.2], vec![0.0, 0.0], vec![-0.3, 0.9]];
+        let mut augmented = fleet(3, 24).with_lane_features(blocks.clone()).unwrap();
+        let base = plain.state_dim();
+        assert_eq!(augmented.state_dim(), base + 2);
+        assert_eq!(augmented.aug_dim(), 2);
+
+        plain.reset(&[0.5; 3]);
+        augmented.reset(&[0.5; 3]);
+        let actions = [BpAction::Charge, BpAction::Idle, BpAction::Discharge];
+        for _ in 0..24 {
+            let (p_rewards, p_done) = {
+                let step = plain.step_batch(&actions);
+                (step.rewards.to_vec(), step.done)
+            };
+            let step = augmented.step_batch(&actions);
+            for lane in 0..3 {
+                assert_eq!(p_rewards[lane].to_bits(), step.rewards[lane].to_bits());
+                let obs = step.lane_obs(lane);
+                assert_eq!(&obs[..base], plain.lane_obs(lane));
+                assert_eq!(&obs[base..], blocks[lane].as_slice());
+            }
+            for (lane, block) in blocks.iter().enumerate() {
+                assert_eq!(augmented.lane_features(lane), block.as_slice());
+            }
+            if p_done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn lane_features_validate_shapes() {
+        let f = fleet(2, 24);
+        assert!(f.clone().with_lane_features(vec![vec![1.0]]).is_err());
+        assert!(f
+            .clone()
+            .with_lane_features(vec![vec![1.0], vec![1.0, 2.0]])
+            .is_err());
+        // Zero-width blocks restore the plain layout.
+        let base_dim = f.state_dim();
+        let plain = f.with_lane_features(vec![Vec::new(), Vec::new()]).unwrap();
+        assert_eq!(plain.state_dim(), base_dim);
+    }
+
+    #[test]
+    fn from_envs_carries_hub_env_augmentation() {
+        let features = vec![0.5, -1.0];
+        let envs: Vec<HubEnv> = (0..2)
+            .map(|_| {
+                HubEnv::new(
+                    HubConfig::urban(),
+                    flat_inputs(24, Stratum::AlwaysCharge),
+                    4,
+                )
+                .unwrap()
+                .with_augmentation(features.clone())
+            })
+            .collect();
+        let fleet = FleetEnv::from_envs(envs.clone()).unwrap();
+        assert_eq!(fleet.state_dim(), envs[0].state_dim());
+        for lane in 0..2 {
+            assert_eq!(fleet.lane_features(lane), features.as_slice());
+            let dim = fleet.state_dim();
+            assert_eq!(&fleet.lane_obs(lane)[dim - 2..], features.as_slice());
+        }
+        // Mismatched widths across envs are rejected.
+        let mismatched = vec![
+            envs[0].clone(),
+            HubEnv::new(
+                HubConfig::urban(),
+                flat_inputs(24, Stratum::AlwaysCharge),
+                4,
+            )
+            .unwrap()
+            .with_augmentation(vec![1.0]),
+        ];
+        assert!(FleetEnv::from_envs(mismatched).is_err());
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub enum EctError {
     InsufficientData(String),
     /// Training diverged (NaN/∞ in parameters or loss).
     Diverged(String),
+    /// Persistence failed: file I/O or (de)serialisation of an artifact
+    /// such as a policy checkpoint. The message carries the cause.
+    Io(String),
 }
 
 impl fmt::Display for EctError {
@@ -57,6 +60,7 @@ impl fmt::Display for EctError {
             ),
             EctError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
             EctError::Diverged(msg) => write!(f, "training diverged: {msg}"),
+            EctError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -84,6 +88,9 @@ mod tests {
             actual: 4,
         };
         assert!(e.to_string().contains("matmul"));
+        let e = EctError::Io("writing checkpoint failed: disk full".into());
+        assert!(e.to_string().starts_with("i/o error"));
+        assert!(e.to_string().contains("disk full"));
     }
 
     #[test]
