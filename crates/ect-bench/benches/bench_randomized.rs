@@ -1,0 +1,125 @@
+//! Domain-randomisation benchmarks: the sampled-spec world-generation hot
+//! path behind randomised generalist training.
+//!
+//! Three questions, three groups:
+//!
+//! * `randomized_sample` — drawing a full lane assignment of concrete specs
+//!   from the `all-stress` distribution. Pure arithmetic + RNG; must stay
+//!   trivially cheap next to world generation.
+//! * `randomized_world_gen` — generating one world from a sampled spec
+//!   versus the cost the bounded [`WorldCache`] pays on a hit. The ratio is
+//!   the entire case for caching (hits are ~free, misses are the budget).
+//! * `randomized_episode_worlds` — resolving one training episode's lane
+//!   worlds through a cache that fits the working set (mixture-style reuse)
+//!   versus one that is deliberately too small (eviction churn): the cost
+//!   band the `cache_capacity` knob moves between.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ect_data::dataset::WorldConfig;
+use ect_data::scenario::randomized::all_stress;
+use ect_data::scenario::ScenarioSpec;
+use ect_drl::scenario_source::WorldCache;
+use std::time::Duration;
+
+const SLOTS: usize = 24 * 7; // one week per world
+const LANES: usize = 4;
+
+fn config() -> WorldConfig {
+    WorldConfig {
+        num_hubs: 2,
+        horizon_slots: SLOTS,
+        ..WorldConfig::default()
+    }
+}
+
+fn sampled_specs(episodes: usize) -> Vec<ScenarioSpec> {
+    let distribution = all_stress();
+    (0..episodes)
+        .map(|episode| distribution.sample_spec(42, episode, SLOTS).unwrap())
+        .collect()
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomized_sample");
+    group.measurement_time(Duration::from_secs(4));
+    let distribution = all_stress();
+    let mut episode = 0usize;
+    group.bench_function("lane_assignment", |b| {
+        b.iter(|| {
+            episode = episode.wrapping_add(1);
+            distribution
+                .sample_specs(42, episode, LANES, SLOTS)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_world_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomized_world_gen");
+    group.measurement_time(Duration::from_secs(6));
+    group.sample_size(20);
+    let spec = sampled_specs(1).pop().unwrap();
+
+    // Cold: capacity 1 and an alternating partner spec, so every lookup of
+    // `spec` regenerates the world from the exogenous generators.
+    let other = sampled_specs(2).pop().unwrap();
+    group.bench_function("miss_regenerates", |b| {
+        b.iter_batched(
+            || WorldCache::new(config(), 1).unwrap(),
+            |mut cache| {
+                cache.world_for(&other).unwrap();
+                cache.world_for(&spec).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Warm: the same lookup served from the cache.
+    let mut warm = WorldCache::new(config(), 2).unwrap();
+    warm.world_for(&spec).unwrap();
+    group.bench_function("hit_is_a_scan", |b| {
+        b.iter(|| warm.world_for(&spec).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_episode_worlds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomized_episode_worlds");
+    group.measurement_time(Duration::from_secs(6));
+    group.sample_size(20);
+    // An 8-spec rotation stands in for a training run revisiting worlds.
+    let rotation = sampled_specs(8);
+
+    for (label, capacity) in [("fits_working_set", 8), ("evicts_constantly", 2)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut cache = WorldCache::new(config(), capacity).unwrap();
+                    // Pre-warm with one full pass.
+                    for spec in &rotation {
+                        cache.world_for(spec).unwrap();
+                    }
+                    cache
+                },
+                |mut cache| {
+                    let mut held = Vec::with_capacity(rotation.len());
+                    for spec in &rotation {
+                        held.push(cache.world_for(spec).unwrap());
+                    }
+                    held
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sampling,
+    bench_world_gen,
+    bench_episode_worlds
+);
+criterion_main!(benches);

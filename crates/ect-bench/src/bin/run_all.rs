@@ -1,6 +1,6 @@
 //! Runs every experiment once, sharing the expensive pricing artifacts, and
 //! writes all JSON results under `results/`. Pass `--full` for paper-scale
-//! budgets.
+//! budgets, or `--list` to print the available experiments and exit.
 //!
 //! Besides the per-experiment JSON, the run emits
 //! `results/BENCH_summary.json` — experiment name → wall time + headline
@@ -10,6 +10,90 @@ use ect_bench::experiments::*;
 use ect_bench::output::{save_json, BenchSummaryEntry};
 use ect_bench::Scale;
 use std::time::Instant;
+
+/// Every experiment stage `run_all` executes, in execution order:
+/// `(name, results file stem, one-line description)` — the `--list` output.
+const EXPERIMENTS: &[(&str, &str, &str)] = &[
+    (
+        "fig01_spatial",
+        "fig01_spatial",
+        "road coverage vs base-station density (Fig. 1)",
+    ),
+    (
+        "fig02_renewables",
+        "fig02_renewables",
+        "PV + WT output over a sample week (Fig. 2)",
+    ),
+    (
+        "fig03_charging_freq",
+        "fig03_charging_freq",
+        "charging-session frequency histogram (Fig. 3)",
+    ),
+    (
+        "fig04_degradation",
+        "fig04_degradation",
+        "backup-battery capacity decay (Fig. 4)",
+    ),
+    (
+        "fig05_rtp_traffic",
+        "fig05_rtp_traffic",
+        "RTP vs traffic correlation (Fig. 5)",
+    ),
+    (
+        "pricing_artifacts",
+        "-",
+        "shared world + trained ECT-Price model (no JSON)",
+    ),
+    (
+        "table2_price",
+        "table2_price",
+        "pricing methods vs oracle strata (Table II)",
+    ),
+    (
+        "fig11_strata_stations",
+        "fig11_strata_stations",
+        "per-station strata mix (Fig. 11)",
+    ),
+    (
+        "fig12_strata_periods",
+        "fig12_strata_periods",
+        "per-period strata mix (Fig. 12)",
+    ),
+    (
+        "fleet",
+        "fig13_hub_rewards + table3_hub_rewards",
+        "batched PPO fleet scheduling (Fig. 13 / Table III)",
+    ),
+    (
+        "ablations",
+        "ablations",
+        "component ablations of the hub reward",
+    ),
+    (
+        "scenario_sweep",
+        "scenario_sweep",
+        "stress-scenario library × pricing methods",
+    ),
+    (
+        "generalization",
+        "generalization",
+        "scenario-mixture generalist vs held-out worlds",
+    ),
+    (
+        "severity_sweep",
+        "severity_sweep",
+        "domain-randomised generalist vs per-axis stress intensity",
+    ),
+];
+
+fn print_experiment_list() {
+    println!("experiments run by run_all, in order:\n");
+    for (name, files, description) in EXPERIMENTS {
+        println!("  {name:<22} {description}");
+        println!("  {:<22} └─ results/: {files}", "");
+    }
+    println!("\nflags: --full (paper budgets), --list (this listing)");
+}
 
 /// Times one experiment stage and records its headline metric.
 fn timed<T>(
@@ -31,6 +115,10 @@ fn timed<T>(
 }
 
 fn main() -> ect_types::Result<()> {
+    if std::env::args().any(|a| a == "--list") {
+        print_experiment_list();
+        return Ok(());
+    }
     let scale = Scale::from_args();
     let t0 = Instant::now();
     let mut summary: Vec<BenchSummaryEntry> = Vec::new();
@@ -167,6 +255,31 @@ fn main() -> ect_types::Result<()> {
     )?;
     generalization::print(&r);
     save_json("generalization", &r);
+
+    println!("\n################ severity sweep ({scale:?}) ################\n");
+    eprintln!("[run_all] sweeping stress intensity per axis …");
+    let r = timed(
+        &mut summary,
+        "severity_sweep",
+        "mean_degradation",
+        || severity_sweep::run(scale),
+        |r| r.headline_degradation(),
+    )?;
+    severity_sweep::print(&r);
+    save_json("severity_sweep", &r);
+
+    // Keep the --list catalog honest: every timed stage must be listed.
+    // (Runs on every pass, so a stage added without its EXPERIMENTS entry
+    // fails the next full run instead of silently drifting.)
+    for entry in &summary {
+        assert!(
+            EXPERIMENTS
+                .iter()
+                .any(|(name, _, _)| *name == entry.experiment),
+            "stage '{}' is missing from the EXPERIMENTS catalog (--list)",
+            entry.experiment
+        );
+    }
 
     save_json("BENCH_summary", &summary);
     println!(

@@ -1,0 +1,23 @@
+//! Trains a domain-randomised generalist and walks per-axis severity
+//! ladders, writing `results/severity_sweep.json`.
+//!
+//! Flags: `--full` for paper-scale budgets, `--smoke` for the CI-sized run.
+use ect_bench::experiments::severity_sweep;
+use ect_bench::output::save_json;
+use ect_bench::Scale;
+
+fn main() -> ect_types::Result<()> {
+    let result = if std::env::args().any(|a| a == "--smoke") {
+        eprintln!("[severity_sweep] smoke-sized severity sweep …");
+        severity_sweep::run_with_config(
+            severity_sweep::smoke_config(),
+            severity_sweep::smoke_options(),
+        )?
+    } else {
+        eprintln!("[severity_sweep] training the domain-randomised generalist …");
+        severity_sweep::run(Scale::from_args())?
+    };
+    severity_sweep::print(&result);
+    save_json("severity_sweep", &result);
+    Ok(())
+}

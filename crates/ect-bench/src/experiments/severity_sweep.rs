@@ -1,0 +1,196 @@
+//! Severity sweep: reward-vs-intensity robustness curves of a
+//! domain-randomised generalist.
+//!
+//! This experiment goes beyond the paper and beyond the `generalization`
+//! experiment: instead of scoring zero-shot transfer at a handful of fixed
+//! held-out worlds, it trains one policy on **continuously sampled**
+//! scenarios (the `all-stress` [`ScenarioDistribution`] family) and then
+//! walks a monotone intensity ladder along every [`StressAxis`] — renewable
+//! drought, traffic surge, price shock, EV surge, grid outage — scoring the
+//! generalist against the rule-based schedulers at each rung. JSON lands in
+//! `results/severity_sweep.json`.
+
+use ect_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Full experiment result: the severity report plus the scale's ladder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeveritySweepResult {
+    /// The per-axis robustness curves and training provenance.
+    pub report: SeverityReport,
+}
+
+impl SeveritySweepResult {
+    /// Headline metric: mean generalist degradation from no stress to each
+    /// axis's extreme.
+    pub fn headline_degradation(&self) -> f64 {
+        self.report.mean_degradation()
+    }
+}
+
+/// The experiment's scale knobs.
+fn experiment_config(scale: crate::Scale) -> SystemConfig {
+    let mut config = SystemConfig::miniature();
+    match scale {
+        crate::Scale::Quick => {
+            config.world.num_hubs = 3;
+            config.world.horizon_slots = 24 * 7;
+            config.trainer.episodes = 12;
+            config.test_episodes = 4;
+        }
+        crate::Scale::Paper => {
+            config.world.num_hubs = 12;
+            config.world.horizon_slots = 24 * 30;
+            config.trainer.episodes = 120;
+            config.test_episodes = 20;
+        }
+    }
+    config
+}
+
+/// A smoke-sized configuration: small enough for the test suite and CI.
+pub fn smoke_config() -> SystemConfig {
+    let mut config = SystemConfig::miniature();
+    config.world.num_hubs = 2;
+    config.world.horizon_slots = 24 * 4;
+    config.trainer.episodes = 4;
+    config.test_episodes = 2;
+    config
+}
+
+/// The smoke-sized ladder: three rungs, all five axes, a deliberately tight
+/// world cache so the eviction path is exercised in CI.
+pub fn smoke_options() -> SeverityOptions {
+    SeverityOptions {
+        intensities: vec![0.0, 0.5, 1.0],
+        cache_capacity: 4,
+        ..SeverityOptions::default()
+    }
+}
+
+/// Runs the sweep over caller-supplied configurations — the reusable core
+/// behind [`run`] and the smoke test.
+///
+/// # Errors
+///
+/// Propagates system construction, training and evaluation failures.
+pub fn run_with_config(
+    config: SystemConfig,
+    options: SeverityOptions,
+) -> ect_types::Result<SeveritySweepResult> {
+    let system = EctHubSystem::new(config)?;
+    let outcome = run_severity_sweep(&system, &options)?;
+    Ok(SeveritySweepResult {
+        report: outcome.report,
+    })
+}
+
+/// Runs the severity sweep at the given experiment scale.
+///
+/// # Errors
+///
+/// Propagates system construction, training and evaluation failures.
+pub fn run(scale: crate::Scale) -> ect_types::Result<SeveritySweepResult> {
+    run_with_config(experiment_config(scale), SeverityOptions::default())
+}
+
+/// Prints one reward-vs-intensity table per axis.
+pub fn print(result: &SeveritySweepResult) {
+    let report = &result.report;
+    println!("== Severity sweep: domain-randomised generalist vs stress intensity ==\n");
+    println!(
+        "trained on '{}' ({} lanes × {} episodes, obs_dim {}), world cache {} / {} generated / {} hits\n",
+        report.train_distribution,
+        report.lanes,
+        report.episodes,
+        report.obs_dim,
+        report.cache_capacity,
+        report.worlds_generated,
+        report.cache_hits
+    );
+    for curve in &report.curves {
+        println!(
+            "-- axis: {} (preset '{}') --",
+            curve.axis, curve.distribution
+        );
+        println!(
+            "| {:>9} | {:>11} | {:>11} | {:>9} | {:>9} | {:>13} |",
+            "intensity", "generalist", "best rule", "margin", "endure h", "unserved kWh"
+        );
+        for p in &curve.points {
+            println!(
+                "| {:>9.2} | {:>11.2} | {:>11.2} | {:>9.2} | {:>9.1} | {:>13.2} |",
+                p.intensity,
+                p.generalist,
+                p.best_heuristic,
+                p.generalist - p.best_heuristic,
+                p.min_endurance_hours,
+                p.outage_unserved_kwh
+            );
+        }
+        println!("degradation over the ladder: {:.3}\n", curve.degradation());
+    }
+    println!(
+        "mean degradation across {} axes: {:.3}",
+        report.curves.len(),
+        report.mean_degradation()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_severity_sweep_meets_the_acceptance_bar() {
+        let result = run_with_config(smoke_config(), smoke_options()).unwrap();
+        let report = &result.report;
+
+        // Acceptance bar: monotone intensity ladders for at least three
+        // scenario axes.
+        assert!(
+            report.curves.len() >= 3,
+            "only {} axes",
+            report.curves.len()
+        );
+        for curve in &report.curves {
+            assert!(curve.points.len() >= 2, "{}", curve.axis);
+            let mut last = f64::NEG_INFINITY;
+            for p in &curve.points {
+                assert!(
+                    p.intensity > last,
+                    "{}: intensity ladder not strictly increasing",
+                    curve.axis
+                );
+                last = p.intensity;
+                assert!(p.generalist.is_finite(), "{}", curve.axis);
+                assert_eq!(p.heuristics.len(), 3, "{}", curve.axis);
+                assert!(p.best_heuristic.is_finite(), "{}", curve.axis);
+                assert!(p.min_endurance_hours >= 0.0, "{}", curve.axis);
+            }
+            // Scripted outages only exist on the outage axis, where the
+            // unserved-energy ladder grows with intensity.
+            if curve.axis == "outage" {
+                let unserved: Vec<f64> =
+                    curve.points.iter().map(|p| p.outage_unserved_kwh).collect();
+                assert_eq!(unserved[0], 0.0, "intensity 0 scripts no outage");
+                assert!(
+                    unserved.windows(2).all(|w| w[1] >= w[0]),
+                    "outage unserved energy not monotone: {unserved:?}"
+                );
+            } else {
+                assert!(curve.points.iter().all(|p| p.outage_unserved_kwh == 0.0));
+            }
+        }
+        assert!(result.headline_degradation().is_finite());
+        // The tight smoke cache must have been exercised (more distinct
+        // worlds than capacity ⇒ generations exceed capacity).
+        assert!(report.worlds_generated > report.cache_capacity);
+
+        // And the result serialises for results/severity_sweep.json.
+        let json = serde_json::to_string(&result).unwrap();
+        assert!(json.contains("price-shock"));
+        let back: SeveritySweepResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.report.curves.len(), report.curves.len());
+    }
+}

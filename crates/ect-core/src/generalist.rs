@@ -8,7 +8,7 @@
 //!    ([`ect_drl::generalist::train_holdout_split`]);
 //! 2. score the held-out **baselines** ([`heldout_baselines`]): the
 //!    per-scenario specialists that
-//!    [`run_scenario_grid`](crate::scenario_grid::run_scenario_grid) trains
+//!    [`run_scenario_grid`] trains
 //!    inside each held-out world, plus the rule-based schedulers
 //!    (NoBattery, GreedyPrice, TimeOfUse) — these are independent of any
 //!    generalist choice, so ablation sweeps compute them **once** and share

@@ -31,6 +31,7 @@ pub mod pricing;
 pub mod report;
 pub mod scenario_grid;
 pub mod scheduling;
+pub mod severity;
 pub mod system;
 
 pub use generalist::{
@@ -45,6 +46,10 @@ pub use scenario_grid::{
 pub use scheduling::{
     run_fleet, run_hub_method, run_hub_scheduler, run_hubs_method_batched, schedule_for_hub,
     HubExperimentResult, OBS_WINDOW,
+};
+pub use severity::{
+    run_severity_sweep, SeverityCurve, SeverityOptions, SeverityOutcome, SeverityPoint,
+    SeverityReport,
 };
 pub use system::{EctHubSystem, PricingMethod, SystemConfig};
 
@@ -63,9 +68,17 @@ pub mod prelude {
         run_fleet, run_hub_method, run_hub_scheduler, run_hubs_method_batched, schedule_for_hub,
         HubExperimentResult,
     };
+    pub use crate::severity::{
+        run_severity_sweep, SeverityCurve, SeverityOptions, SeverityOutcome, SeverityPoint,
+        SeverityReport,
+    };
     pub use crate::system::{EctHubSystem, PricingMethod, SystemConfig};
     pub use ect_data::charging::Stratum;
     pub use ect_data::dataset::{HubSiting, WorldConfig, WorldDataset};
+    pub use ect_data::scenario::randomized::{
+        distribution_by_name, distribution_library, ParamRange, ScenarioDistribution, StressAxis,
+        DISTRIBUTION_NAMES,
+    };
     pub use ect_data::scenario::{
         scenario_by_name, scenario_library, ScenarioModifier, ScenarioSpec, Signal, SlotWindow,
         SCENARIO_NAMES,
@@ -74,6 +87,7 @@ pub mod prelude {
         train_holdout_split, ScenarioMixture, HELDOUT_SCENARIOS, TRAIN_SCENARIOS,
     };
     pub use ect_drl::heuristics::{DrlScheduler, GreedyPrice, NoBattery, Scheduler, TimeOfUse};
+    pub use ect_drl::scenario_source::{ScenarioSource, WorldCache};
     pub use ect_drl::trainer::TrainerConfig;
     pub use ect_env::battery::BpAction;
     pub use ect_env::env::{HubEnv, ObsAugmentation};

@@ -6,7 +6,7 @@
 //! [`EctHubSystem`] per [`ScenarioSpec`], the full `scenario × method ×
 //! hub-chunk` job list spread over worker threads, and every chunk trained
 //! as one lockstep [`ect_env::vec_env::FleetEnv`] batch via
-//! [`run_hubs_method_batched`](crate::scheduling::run_hubs_method_batched).
+//! [`run_hubs_method_batched`].
 //! Alongside the reward cells it reports per-hub stress diagnostics
 //! ([`ScenarioHubStress`]): baseline grid cost and revenue exposure,
 //! worst-case blackout ride-through, and the unserved energy of the

@@ -210,6 +210,42 @@ impl EctHubSystem {
         })
     }
 
+    /// Rebuilds the same system around an **already generated** world —
+    /// e.g. one resolved through a `WorldCache` — instead of regenerating
+    /// it. The config's scenario is replaced by the world's own spec, so
+    /// [`EctHubSystem::config`] and [`EctHubSystem::world`] stay
+    /// consistent; the result is bit-identical to
+    /// [`EctHubSystem::with_scenario`] when the world came from the same
+    /// [`WorldConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates config validation failures, and returns
+    /// [`ect_types::EctError::ShapeMismatch`] when the world's shape
+    /// disagrees with this system's world configuration.
+    pub fn with_world(&self, world: WorldDataset) -> ect_types::Result<Self> {
+        if world.horizon() != self.config.world.horizon_slots {
+            return Err(ect_types::EctError::ShapeMismatch {
+                context: "adopted world horizon",
+                expected: self.config.world.horizon_slots,
+                actual: world.horizon(),
+            });
+        }
+        if world.num_hubs() != self.config.world.num_hubs {
+            return Err(ect_types::EctError::ShapeMismatch {
+                context: "adopted world hubs",
+                expected: self.config.world.num_hubs as usize,
+                actual: world.num_hubs() as usize,
+            });
+        }
+        let config = SystemConfig {
+            scenario: world.scenario.clone(),
+            ..self.config.clone()
+        };
+        config.validate()?;
+        Ok(Self { config, world })
+    }
+
     /// System configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config

@@ -27,10 +27,33 @@
 //! catalog. `ScenarioSpec::baseline()` reproduces the historical traces bit
 //! for bit.
 //!
+//! [`scenario::randomized`] goes further still: a
+//! [`scenario::randomized::ScenarioDistribution`] samples concrete specs
+//! from continuous per-parameter ranges — deterministically from
+//! `(seed, episode)` alone — and emits per-axis severity ladders.
+//!
 //! Crucially, [`charging::ChargingWorld`] owns the *causal ground truth*
 //! (which (station, slot) pairs are Always/Incentive/No-Charge), so the
 //! pricing experiments can be scored against oracle strata — something the
 //! paper itself approximates with NCF pre-labeling.
+//!
+//! # Example
+//!
+//! Generate a deterministic world, then sample a stress variant of it:
+//!
+//! ```
+//! use ect_data::dataset::{WorldConfig, WorldDataset};
+//! use ect_data::scenario::randomized::all_stress;
+//!
+//! let config = WorldConfig { num_hubs: 1, horizon_slots: 48, ..WorldConfig::default() };
+//! let baseline = WorldDataset::generate(config.clone())?;
+//! assert_eq!(baseline.horizon(), 48);
+//!
+//! let spec = all_stress().sample_spec(/*seed=*/ 7, /*episode=*/ 0, 48)?;
+//! let stressed = WorldDataset::generate_scenario(config, &spec)?;
+//! assert_eq!(stressed.scenario, spec);
+//! # Ok::<(), ect_types::EctError>(())
+//! ```
 
 pub mod battery;
 pub mod charging;
@@ -47,6 +70,10 @@ pub use charging::{ChargingConfig, ChargingRecord, ChargingWorld, Stratum};
 pub use dataset::{HubSiting, HubTraces, WorldConfig, WorldDataset};
 pub use renewables::{PvArray, RenewablePlant, WindTurbine};
 pub use rtp::{demand_shape, RtpConfig, RtpGenerator};
+pub use scenario::randomized::{
+    distribution_by_name, distribution_library, ParamRange, ScenarioDistribution, StressAxis,
+    DISTRIBUTION_NAMES,
+};
 pub use scenario::{
     scenario_by_name, scenario_library, ExogenousProcess, ScenarioModifier, ScenarioSpec, Signal,
     SlotWindow, SCENARIO_NAMES,

@@ -17,6 +17,13 @@
 //! rolling blackout, traffic flash crowd — keyed by name through
 //! [`scenario_by_name`]. Each entry is parameterised by the horizon so the
 //! same scenario runs at smoke, quick and paper scales.
+//!
+//! [`randomized`] generalises the finite catalog into a *continuous* family:
+//! a [`randomized::ScenarioDistribution`] samples concrete specs from
+//! per-parameter ranges, deterministically from `(seed, episode)` alone, and
+//! produces the per-axis severity ladders behind reward-vs-intensity curves.
+
+pub mod randomized;
 
 use crate::rtp::RtpGenerator;
 use crate::traffic::TrafficGenerator;

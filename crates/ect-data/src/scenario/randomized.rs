@@ -1,0 +1,888 @@
+//! Domain-randomised scenario sampling: continuous distributions over the
+//! stress-scenario parameter space.
+//!
+//! The named [`scenario_library`](crate::scenario::scenario_library) is a
+//! *finite* catalog — seven hand-authored worlds. This module turns it into
+//! a parameterised **family**: a [`ScenarioDistribution`] holds per-parameter
+//! [`ParamRange`]s (whole-horizon amplitude factors, stress-window
+//! position/width, spike/drought/surge magnitudes, the additive tariff-surge
+//! level, the scripted-outage fraction and the EV-demand surge) and
+//! deterministically samples concrete
+//! [`ScenarioSpec`]s from `(seed, episode)`
+//! alone. A generalist policy can therefore train on an effectively infinite
+//! scenario family, and held-out evaluation can sweep *severity curves*
+//! instead of a handful of fixed points.
+//!
+//! Two complementary entry points:
+//!
+//! * [`ScenarioDistribution::sample_specs`] — one fresh spec per fleet lane,
+//!   a pure function of `(seed, episode, lane)`; the domain-randomised
+//!   training path.
+//! * [`ScenarioDistribution::severity_spec`] — a *deterministic* spec at a
+//!   chosen intensity along one [`StressAxis`], linearly interpolated from
+//!   the neutral world to the distribution's extreme; the evaluation ladder
+//!   behind reward-vs-intensity curves.
+//!
+//! [`distribution_library`] ships named presets: one single-axis band per
+//! stress axis (keyed by the axis name) plus the wide `all-stress` mixture
+//! used for training. Validation is strict: inverted ranges (`lo > hi`) and
+//! out-of-domain values are rejected with
+//! [`EctError::InvalidConfig`](ect_types::EctError::InvalidConfig), never
+//! silently clamped.
+
+use crate::scenario::{
+    AmplitudeScale, DemandSurge, Drought, ScenarioModifier, ScenarioSpec, Signal, SlotWindow,
+    Spike, TariffSurge, MAX_SCALE_FACTOR, MAX_SURGE_MWH,
+};
+use ect_types::rng::EctRng;
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on the scripted-outage fraction of the horizon: beyond half
+/// the horizon the world measures outage bookkeeping, not scheduling.
+pub const MAX_OUTAGE_FRACTION: f64 = 0.5;
+
+/// Seed-stream separator for scenario sampling (decorrelated from the
+/// mixture-assignment and lane streams in `ect-drl`).
+const SAMPLE_SEED_STREAM: u64 = 0xD04A_17C3;
+
+/// The range `[lo, hi]` one scenario parameter spans.
+///
+/// Random draws ([`ScenarioDistribution::sample_specs`]) are uniform over
+/// the **half-open** `[lo, hi)`, so `hi` itself is never sampled; it is
+/// still meaningful as the axis *extreme* that severity ladders
+/// ([`ScenarioDistribution::severity_spec`]) interpolate toward, and both
+/// bounds must sit inside the parameter's domain. `lo == hi` pins the
+/// parameter (every draw returns `lo`). Construction never fails —
+/// validation happens in [`ScenarioDistribution::validate`], against the
+/// domain of the parameter the range is used for, so an inverted or
+/// out-of-domain range is reported with the offending parameter's name.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParamRange {
+    /// Lower bound (inclusive; the drought/worst end of drought-style axes).
+    pub lo: f64,
+    /// Upper bound (exclusive for random draws, the severity-ladder extreme
+    /// otherwise).
+    pub hi: f64,
+}
+
+impl ParamRange {
+    /// The range `[lo, hi]`.
+    pub const fn new(lo: f64, hi: f64) -> Self {
+        Self { lo, hi }
+    }
+
+    /// A degenerate range pinning the parameter to one value.
+    pub const fn fixed(value: f64) -> Self {
+        Self {
+            lo: value,
+            hi: value,
+        }
+    }
+
+    /// Validates the range against a parameter domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EctError::InvalidConfig`](ect_types::EctError::InvalidConfig)
+    /// for non-finite bounds, an inverted range (`lo > hi`), or bounds
+    /// escaping `[domain_lo, domain_hi]`.
+    pub fn validate_in(&self, what: &str, domain_lo: f64, domain_hi: f64) -> ect_types::Result<()> {
+        if !self.lo.is_finite() || !self.hi.is_finite() || self.lo > self.hi {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "{what} range [{}, {}] is inverted or non-finite",
+                self.lo, self.hi
+            )));
+        }
+        if self.lo < domain_lo || self.hi > domain_hi {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "{what} range [{}, {}] escapes its domain [{domain_lo}, {domain_hi}]",
+                self.lo, self.hi
+            )));
+        }
+        Ok(())
+    }
+
+    /// Uniform draw from `[lo, hi)` (`lo` itself when the range is pinned).
+    fn sample(&self, rng: &mut EctRng) -> f64 {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.uniform_in(self.lo, self.hi)
+        }
+    }
+
+    /// The midpoint of the range.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// One direction the scenario family can be pushed along — the axes of the
+/// severity sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StressAxis {
+    /// Windowed solar + wind collapse (winter-storm style).
+    RenewableDrought,
+    /// Windowed base-station traffic surge (flash-crowd style).
+    TrafficSurge,
+    /// Windowed RTP multiplication plus an additive tariff surge.
+    PriceShock,
+    /// Windowed EV-charging demand surge.
+    EvSurge,
+    /// Scripted grid outage covering a growing fraction of the horizon.
+    Outage,
+}
+
+impl StressAxis {
+    /// Every axis, in sweep order.
+    pub const ALL: [StressAxis; 5] = [
+        StressAxis::RenewableDrought,
+        StressAxis::TrafficSurge,
+        StressAxis::PriceShock,
+        StressAxis::EvSurge,
+        StressAxis::Outage,
+    ];
+
+    /// The single-axis preset distribution spanning this axis (same entry
+    /// [`distribution_by_name`] returns for the axis name).
+    pub fn preset(&self) -> ScenarioDistribution {
+        match self {
+            StressAxis::RenewableDrought => renewable_drought_band(),
+            StressAxis::TrafficSurge => traffic_surge_band(),
+            StressAxis::PriceShock => price_shock_band(),
+            StressAxis::EvSurge => ev_surge_band(),
+            StressAxis::Outage => outage_band(),
+        }
+    }
+}
+
+impl std::fmt::Display for StressAxis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            StressAxis::RenewableDrought => "renewable-drought",
+            StressAxis::TrafficSurge => "traffic-surge",
+            StressAxis::PriceShock => "price-shock",
+            StressAxis::EvSurge => "ev-surge",
+            StressAxis::Outage => "outage",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A distribution over [`ScenarioSpec`]s: per-parameter ranges the sampler
+/// draws from. All window and outage parameters are *fractions of the
+/// horizon*, so one distribution serves smoke, quick and paper scales alike.
+///
+/// Neutral values (amplitudes and surge factors of `1`, additive surge and
+/// outage fraction of `0`) emit **no modifier**, so
+/// [`ScenarioDistribution::neutral`] samples specs indistinguishable from
+/// the baseline world and a preset only perturbs the axes whose ranges it
+/// widens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioDistribution {
+    /// Registry key (kebab-case by convention).
+    pub name: String,
+    /// One-line human description for reports.
+    pub description: String,
+    /// Fractional start of the stress window, in `[0, 1]`.
+    pub window_start: ParamRange,
+    /// Fractional width of the stress window, in `[0, 1]` (at least one slot
+    /// is always kept).
+    pub window_len: ParamRange,
+    /// Whole-horizon solar amplitude factor, in `(0, MAX_SCALE_FACTOR]`.
+    pub solar_amplitude: ParamRange,
+    /// Whole-horizon wind amplitude factor, in `(0, MAX_SCALE_FACTOR]`.
+    pub wind_amplitude: ParamRange,
+    /// Whole-horizon traffic amplitude factor, in `(0, MAX_SCALE_FACTOR]`.
+    pub traffic_amplitude: ParamRange,
+    /// Windowed solar + wind drought factor, in `[0, 1]` (`1` = no drought).
+    pub renewable_drought: ParamRange,
+    /// Windowed traffic spike factor, in `[1, MAX_SCALE_FACTOR]`.
+    pub traffic_spike: ParamRange,
+    /// Windowed RTP spike factor, in `[1, MAX_SCALE_FACTOR]`.
+    pub price_spike: ParamRange,
+    /// Windowed additive tariff surge, $/MWh, in `[0, MAX_SURGE_MWH]`.
+    pub tariff_surge_mwh: ParamRange,
+    /// Windowed EV-demand surge factor, in `(0, MAX_SCALE_FACTOR]`.
+    pub ev_surge: ParamRange,
+    /// Scripted-outage fraction of the horizon, in `[0, MAX_OUTAGE_FRACTION]`.
+    pub outage_fraction: ParamRange,
+}
+
+impl ScenarioDistribution {
+    /// The do-nothing distribution: every parameter pinned to its neutral
+    /// value, so every sample is a (renamed) baseline world. Presets start
+    /// here and widen only their own axes.
+    pub fn neutral(name: impl Into<String>, description: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            description: description.into(),
+            window_start: ParamRange::new(0.1, 0.7),
+            window_len: ParamRange::new(0.1, 0.3),
+            solar_amplitude: ParamRange::fixed(1.0),
+            wind_amplitude: ParamRange::fixed(1.0),
+            traffic_amplitude: ParamRange::fixed(1.0),
+            renewable_drought: ParamRange::fixed(1.0),
+            traffic_spike: ParamRange::fixed(1.0),
+            price_spike: ParamRange::fixed(1.0),
+            tariff_surge_mwh: ParamRange::fixed(0.0),
+            ev_surge: ParamRange::fixed(1.0),
+            outage_fraction: ParamRange::fixed(0.0),
+        }
+    }
+
+    /// Validates every parameter range against its domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EctError::InvalidConfig`](ect_types::EctError::InvalidConfig)
+    /// for an empty name, an inverted range (`lo > hi`) or any bound outside
+    /// the parameter's domain — ranges are **never** silently clamped.
+    pub fn validate(&self) -> ect_types::Result<()> {
+        if self.name.is_empty() {
+            return Err(ect_types::EctError::InvalidConfig(
+                "scenario distribution needs a name".into(),
+            ));
+        }
+        self.window_start
+            .validate_in("window start fraction", 0.0, 1.0)?;
+        self.window_len
+            .validate_in("window length fraction", 0.0, 1.0)?;
+        let pos = f64::MIN_POSITIVE;
+        self.solar_amplitude
+            .validate_in("solar amplitude", pos, MAX_SCALE_FACTOR)?;
+        self.wind_amplitude
+            .validate_in("wind amplitude", pos, MAX_SCALE_FACTOR)?;
+        self.traffic_amplitude
+            .validate_in("traffic amplitude", pos, MAX_SCALE_FACTOR)?;
+        self.renewable_drought
+            .validate_in("renewable drought factor", 0.0, 1.0)?;
+        self.traffic_spike
+            .validate_in("traffic spike factor", 1.0, MAX_SCALE_FACTOR)?;
+        self.price_spike
+            .validate_in("price spike factor", 1.0, MAX_SCALE_FACTOR)?;
+        self.tariff_surge_mwh
+            .validate_in("tariff surge", 0.0, MAX_SURGE_MWH)?;
+        self.ev_surge
+            .validate_in("EV demand surge", pos, MAX_SCALE_FACTOR)?;
+        self.outage_fraction
+            .validate_in("outage fraction", 0.0, MAX_OUTAGE_FRACTION)?;
+        Ok(())
+    }
+
+    /// Samples one concrete spec per lane for one episode — a pure function
+    /// of `(seed, episode, lane)`: the same inputs always reproduce the same
+    /// specs, bit for bit, independent of any other RNG consumption.
+    ///
+    /// Every sampled spec passes
+    /// [`ScenarioSpec::validate`](crate::scenario::ScenarioSpec::validate)
+    /// at `horizon` by construction (property-tested).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EctError::InvalidConfig`](ect_types::EctError::InvalidConfig)
+    /// for an invalid distribution, a zero horizon or zero lanes.
+    pub fn sample_specs(
+        &self,
+        seed: u64,
+        episode: usize,
+        lanes: usize,
+        horizon: usize,
+    ) -> ect_types::Result<Vec<ScenarioSpec>> {
+        self.validate()?;
+        if horizon == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "scenario sampling needs a non-empty horizon".into(),
+            ));
+        }
+        if lanes == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "scenario sampling needs at least one lane".into(),
+            ));
+        }
+        let root = EctRng::seed_from(seed ^ SAMPLE_SEED_STREAM).fork(episode as u64);
+        (0..lanes)
+            .map(|lane| {
+                let mut rng = root.fork(lane as u64);
+                let spec = self.draw_spec(&mut rng, episode, lane, horizon);
+                spec.validate(horizon)?;
+                Ok(spec)
+            })
+            .collect()
+    }
+
+    /// Samples a single spec — lane 0 of [`ScenarioDistribution::sample_specs`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ScenarioDistribution::sample_specs`].
+    pub fn sample_spec(
+        &self,
+        seed: u64,
+        episode: usize,
+        horizon: usize,
+    ) -> ect_types::Result<ScenarioSpec> {
+        Ok(self
+            .sample_specs(seed, episode, 1, horizon)?
+            .pop()
+            .expect("one lane requested"))
+    }
+
+    /// Draws every parameter in a fixed order (part of the determinism
+    /// contract) and materialises only the non-neutral modifiers.
+    fn draw_spec(
+        &self,
+        rng: &mut EctRng,
+        episode: usize,
+        lane: usize,
+        horizon: usize,
+    ) -> ScenarioSpec {
+        let start_frac = self.window_start.sample(rng);
+        let len_frac = self.window_len.sample(rng);
+        let solar_amp = self.solar_amplitude.sample(rng);
+        let wind_amp = self.wind_amplitude.sample(rng);
+        let traffic_amp = self.traffic_amplitude.sample(rng);
+        let drought = self.renewable_drought.sample(rng);
+        let traffic_spike = self.traffic_spike.sample(rng);
+        let price_spike = self.price_spike.sample(rng);
+        let tariff_surge = self.tariff_surge_mwh.sample(rng);
+        let ev_surge = self.ev_surge.sample(rng);
+        let outage_frac = self.outage_fraction.sample(rng);
+        let window = fraction_window(horizon, start_frac, len_frac);
+        self.build_spec(
+            format!("{}#e{episode}l{lane}", self.name),
+            format!(
+                "sampled from '{}' (episode {episode}, lane {lane})",
+                self.name
+            ),
+            window,
+            ScenarioDraw {
+                solar_amp,
+                wind_amp,
+                traffic_amp,
+                drought,
+                traffic_spike,
+                price_spike,
+                tariff_surge,
+                ev_surge,
+                outage_frac,
+            },
+            horizon,
+        )
+    }
+
+    /// A **deterministic** spec at one point of a severity ladder: the
+    /// stress window sits at the midpoint of the window ranges and the
+    /// chosen axis's magnitude is linearly interpolated from its neutral
+    /// value (`intensity == 0`, a baseline-equivalent world) to this
+    /// distribution's extreme (`intensity == 1`); every other axis stays
+    /// neutral. Sweeping a monotone intensity ladder therefore yields a
+    /// monotone stress ladder along exactly one axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EctError::InvalidConfig`](ect_types::EctError::InvalidConfig)
+    /// for an invalid distribution, a zero horizon or an intensity outside
+    /// `[0, 1]`.
+    pub fn severity_spec(
+        &self,
+        axis: StressAxis,
+        intensity: f64,
+        horizon: usize,
+    ) -> ect_types::Result<ScenarioSpec> {
+        self.validate()?;
+        if horizon == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "severity specs need a non-empty horizon".into(),
+            ));
+        }
+        if !intensity.is_finite() || !(0.0..=1.0).contains(&intensity) {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "severity intensity {intensity} outside [0, 1]"
+            )));
+        }
+        let lerp = |neutral: f64, extreme: f64| neutral + (extreme - neutral) * intensity;
+        let mut draw = ScenarioDraw::neutral();
+        match axis {
+            // The *worst* end of a drought range is its lower bound; every
+            // other axis worsens toward its upper bound.
+            StressAxis::RenewableDrought => draw.drought = lerp(1.0, self.renewable_drought.lo),
+            StressAxis::TrafficSurge => draw.traffic_spike = lerp(1.0, self.traffic_spike.hi),
+            StressAxis::PriceShock => {
+                draw.price_spike = lerp(1.0, self.price_spike.hi);
+                draw.tariff_surge = lerp(0.0, self.tariff_surge_mwh.hi);
+            }
+            StressAxis::EvSurge => draw.ev_surge = lerp(1.0, self.ev_surge.hi),
+            StressAxis::Outage => draw.outage_frac = lerp(0.0, self.outage_fraction.hi),
+        }
+        let window = fraction_window(
+            horizon,
+            self.window_start.midpoint(),
+            self.window_len.midpoint(),
+        );
+        let spec = self.build_spec(
+            format!("{axis}@{intensity:.2}"),
+            format!(
+                "'{}' pushed to intensity {intensity:.2} along the {axis} axis",
+                self.name
+            ),
+            window,
+            draw,
+            horizon,
+        );
+        spec.validate(horizon)?;
+        Ok(spec)
+    }
+
+    /// Assembles a spec from drawn parameter values, emitting only the
+    /// modifiers that deviate from neutral.
+    fn build_spec(
+        &self,
+        name: String,
+        description: String,
+        window: SlotWindow,
+        draw: ScenarioDraw,
+        horizon: usize,
+    ) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::named(name, description);
+        for (signal, factor) in [
+            (Signal::Solar, draw.solar_amp),
+            (Signal::Wind, draw.wind_amp),
+            (Signal::Traffic, draw.traffic_amp),
+        ] {
+            if factor != 1.0 {
+                spec = spec.with(ScenarioModifier::AmplitudeScale(AmplitudeScale {
+                    signal,
+                    factor,
+                }));
+            }
+        }
+        if draw.drought < 1.0 {
+            for signal in [Signal::Solar, Signal::Wind] {
+                spec = spec.with(ScenarioModifier::Drought(Drought {
+                    signal,
+                    window,
+                    factor: draw.drought,
+                }));
+            }
+        }
+        if draw.traffic_spike > 1.0 {
+            spec = spec.with(ScenarioModifier::Spike(Spike {
+                signal: Signal::Traffic,
+                window,
+                factor: draw.traffic_spike,
+            }));
+        }
+        if draw.price_spike > 1.0 {
+            spec = spec.with(ScenarioModifier::Spike(Spike {
+                signal: Signal::Price,
+                window,
+                factor: draw.price_spike,
+            }));
+        }
+        if draw.tariff_surge > 0.0 {
+            spec = spec.with(ScenarioModifier::TariffSurge(TariffSurge {
+                window,
+                added_mwh: draw.tariff_surge,
+            }));
+        }
+        if draw.ev_surge != 1.0 {
+            spec = spec.with(ScenarioModifier::DemandSurge(DemandSurge {
+                window,
+                factor: draw.ev_surge,
+            }));
+        }
+        let outage_slots = (draw.outage_frac * horizon as f64).round() as usize;
+        if outage_slots > 0 {
+            let start = window.start.min(horizon - 1);
+            let len = outage_slots.min(horizon - start).max(1);
+            spec = spec.with_outage(SlotWindow { start, len });
+        }
+        spec
+    }
+}
+
+/// One set of drawn parameter values, before modifier materialisation.
+struct ScenarioDraw {
+    solar_amp: f64,
+    wind_amp: f64,
+    traffic_amp: f64,
+    drought: f64,
+    traffic_spike: f64,
+    price_spike: f64,
+    tariff_surge: f64,
+    ev_surge: f64,
+    outage_frac: f64,
+}
+
+impl ScenarioDraw {
+    fn neutral() -> Self {
+        Self {
+            solar_amp: 1.0,
+            wind_amp: 1.0,
+            traffic_amp: 1.0,
+            drought: 1.0,
+            traffic_spike: 1.0,
+            price_spike: 1.0,
+            tariff_surge: 0.0,
+            ev_surge: 1.0,
+            outage_frac: 0.0,
+        }
+    }
+}
+
+/// Converts fractional window coordinates to a validating [`SlotWindow`]:
+/// the window always keeps at least one slot and never runs past `horizon`.
+fn fraction_window(horizon: usize, start_frac: f64, len_frac: f64) -> SlotWindow {
+    let start = ((horizon as f64 * start_frac) as usize).min(horizon.saturating_sub(1));
+    let len = ((horizon as f64 * len_frac).round() as usize)
+        .max(1)
+        .min(horizon - start);
+    SlotWindow { start, len }
+}
+
+// ---------------------------------------------------------------------------
+// Named distribution presets
+// ---------------------------------------------------------------------------
+
+/// Names of every preset in [`distribution_library`]: the five single-axis
+/// bands (matching [`StressAxis`] display names) plus the wide training
+/// mixture.
+pub const DISTRIBUTION_NAMES: [&str; 6] = [
+    "renewable-drought",
+    "traffic-surge",
+    "price-shock",
+    "ev-surge",
+    "outage",
+    "all-stress",
+];
+
+/// Single-axis band: windowed solar + wind collapse of varying depth
+/// (the winter-storm family).
+pub fn renewable_drought_band() -> ScenarioDistribution {
+    let mut d = ScenarioDistribution::neutral(
+        "renewable-drought",
+        "windowed PV + WT collapse of varying depth",
+    );
+    d.renewable_drought = ParamRange::new(0.1, 0.9);
+    d
+}
+
+/// Single-axis band: windowed base-station traffic surge (the flash-crowd
+/// family).
+pub fn traffic_surge_band() -> ScenarioDistribution {
+    let mut d = ScenarioDistribution::neutral(
+        "traffic-surge",
+        "windowed traffic surge of varying magnitude",
+    );
+    d.traffic_spike = ParamRange::new(1.1, 2.5);
+    d
+}
+
+/// Single-axis band: windowed RTP multiplication plus an additive tariff
+/// surge (the scarcity-pricing family).
+pub fn price_shock_band() -> ScenarioDistribution {
+    let mut d = ScenarioDistribution::neutral(
+        "price-shock",
+        "windowed RTP spike and tariff surge of varying level",
+    );
+    d.price_spike = ParamRange::new(1.1, 2.0);
+    d.tariff_surge_mwh = ParamRange::new(20.0, 250.0);
+    d
+}
+
+/// Single-axis band: windowed EV-charging demand surge (the holiday-weekend
+/// family).
+pub fn ev_surge_band() -> ScenarioDistribution {
+    let mut d =
+        ScenarioDistribution::neutral("ev-surge", "windowed EV-demand surge of varying magnitude");
+    d.ev_surge = ParamRange::new(1.1, 2.5);
+    d
+}
+
+/// Single-axis band: a scripted grid outage covering a varying fraction of
+/// the horizon (the rolling-blackout family).
+pub fn outage_band() -> ScenarioDistribution {
+    let mut d = ScenarioDistribution::neutral("outage", "scripted grid outage of varying duration");
+    d.outage_fraction = ParamRange::new(0.02, 0.25);
+    d
+}
+
+/// The wide training mixture: every stress axis active at once, plus mild
+/// whole-horizon amplitude jitter — the domain-randomisation counterpart of
+/// training on the whole fixed library.
+pub fn all_stress() -> ScenarioDistribution {
+    let mut d = ScenarioDistribution::neutral(
+        "all-stress",
+        "every stress axis randomised at once, with amplitude jitter",
+    );
+    d.window_start = ParamRange::new(0.0, 0.7);
+    d.window_len = ParamRange::new(0.05, 0.35);
+    d.solar_amplitude = ParamRange::new(0.8, 1.2);
+    d.wind_amplitude = ParamRange::new(0.8, 1.2);
+    d.traffic_amplitude = ParamRange::new(0.9, 1.15);
+    d.renewable_drought = ParamRange::new(0.2, 1.0);
+    d.traffic_spike = ParamRange::new(1.0, 2.2);
+    d.price_spike = ParamRange::new(1.0, 1.8);
+    d.tariff_surge_mwh = ParamRange::new(0.0, 180.0);
+    d.ev_surge = ParamRange::new(1.0, 2.2);
+    d.outage_fraction = ParamRange::new(0.0, 0.15);
+    d
+}
+
+/// The full preset catalog, in [`DISTRIBUTION_NAMES`] order. Every entry
+/// validates by construction (pinned by tests).
+pub fn distribution_library() -> Vec<ScenarioDistribution> {
+    vec![
+        renewable_drought_band(),
+        traffic_surge_band(),
+        price_shock_band(),
+        ev_surge_band(),
+        outage_band(),
+        all_stress(),
+    ]
+}
+
+/// Looks a preset distribution up by name (the registry key).
+pub fn distribution_by_name(name: &str) -> Option<ScenarioDistribution> {
+    distribution_library().into_iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const HORIZON: usize = 24 * 14;
+
+    #[test]
+    fn library_covers_every_named_distribution_and_validates() {
+        let lib = distribution_library();
+        assert_eq!(lib.len(), DISTRIBUTION_NAMES.len());
+        for (d, name) in lib.iter().zip(DISTRIBUTION_NAMES) {
+            assert_eq!(d.name, name);
+            d.validate().unwrap();
+        }
+        assert!(distribution_by_name("all-stress").is_some());
+        assert!(distribution_by_name("no-such-distribution").is_none());
+        // Axis presets share the axis display name.
+        for axis in StressAxis::ALL {
+            assert_eq!(axis.preset().name, axis.to_string());
+        }
+    }
+
+    #[test]
+    fn validation_rejects_inverted_ranges() {
+        // Satellite fix: inverted ranges must be InvalidConfig, not clamps.
+        let mut d = all_stress();
+        d.traffic_spike = ParamRange::new(2.0, 1.5);
+        let err = d.validate().unwrap_err();
+        assert!(
+            matches!(err, ect_types::EctError::InvalidConfig(_)),
+            "{err}"
+        );
+        assert!(err.to_string().contains("inverted"), "{err}");
+
+        let mut d = all_stress();
+        d.window_start = ParamRange::new(0.6, 0.2);
+        assert!(d.validate().is_err());
+
+        let mut d = all_stress();
+        d.outage_fraction = ParamRange::new(f64::NAN, 0.2);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_domain_fractions() {
+        // Satellite fix: out-of-domain values must be InvalidConfig, not
+        // silently clamped into the domain.
+        let cases: Vec<ScenarioDistribution> = vec![
+            {
+                let mut d = all_stress();
+                d.window_start = ParamRange::new(-0.1, 0.5);
+                d
+            },
+            {
+                let mut d = all_stress();
+                d.window_len = ParamRange::new(0.1, 1.5);
+                d
+            },
+            {
+                let mut d = all_stress();
+                d.renewable_drought = ParamRange::new(0.2, 1.2);
+                d
+            },
+            {
+                let mut d = all_stress();
+                d.outage_fraction = ParamRange::new(0.0, MAX_OUTAGE_FRACTION + 0.1);
+                d
+            },
+            {
+                let mut d = all_stress();
+                d.traffic_spike = ParamRange::new(0.5, 2.0);
+                d
+            },
+            {
+                let mut d = all_stress();
+                d.tariff_surge_mwh = ParamRange::new(-5.0, 50.0);
+                d
+            },
+            {
+                let mut d = all_stress();
+                d.solar_amplitude = ParamRange::new(0.0, 1.0);
+                d
+            },
+            {
+                let mut d = all_stress();
+                d.ev_surge = ParamRange::new(1.0, MAX_SCALE_FACTOR * 2.0);
+                d
+            },
+        ];
+        for d in cases {
+            let err = d.validate().unwrap_err();
+            assert!(
+                matches!(err, ect_types::EctError::InvalidConfig(_)),
+                "{err}"
+            );
+            assert!(err.to_string().contains("domain"), "{err}");
+            // Sampling refuses the invalid distribution too.
+            assert!(d.sample_spec(7, 0, HORIZON).is_err());
+        }
+        let mut unnamed = all_stress();
+        unnamed.name = String::new();
+        assert!(unnamed.validate().is_err());
+    }
+
+    #[test]
+    fn sampling_rejects_degenerate_requests() {
+        let d = all_stress();
+        assert!(d.sample_specs(7, 0, 0, HORIZON).is_err());
+        assert!(d.sample_specs(7, 0, 2, 0).is_err());
+        assert!(d.severity_spec(StressAxis::Outage, -0.1, HORIZON).is_err());
+        assert!(d.severity_spec(StressAxis::Outage, 1.1, HORIZON).is_err());
+        assert!(d
+            .severity_spec(StressAxis::Outage, f64::NAN, HORIZON)
+            .is_err());
+        assert!(d.severity_spec(StressAxis::Outage, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn neutral_distribution_samples_baseline_equivalent_specs() {
+        let d = ScenarioDistribution::neutral("idle", "nothing happens");
+        for episode in 0..4 {
+            let spec = d.sample_spec(3, episode, HORIZON).unwrap();
+            assert!(spec.modifiers.is_empty(), "{:?}", spec.modifiers);
+            assert!(spec.outages.is_empty());
+            assert!(spec.is_baseline(), "no modifiers ⇒ baseline-equivalent");
+            assert_ne!(spec.name, "baseline", "sampled specs keep their own name");
+            assert_eq!(
+                spec.feature_vector(HORIZON),
+                [0.0; crate::scenario::SCENARIO_FEATURE_DIM]
+            );
+        }
+    }
+
+    #[test]
+    fn severity_ladder_is_monotone_along_each_axis() {
+        // Magnitude at intensity 0 is neutral and grows with intensity —
+        // feature-vector magnitudes must be non-decreasing along the ladder.
+        for axis in StressAxis::ALL {
+            let d = axis.preset();
+            let mut last = 0.0;
+            for step in 0..=4 {
+                let intensity = step as f64 / 4.0;
+                let spec = d.severity_spec(axis, intensity, HORIZON).unwrap();
+                spec.validate(HORIZON).unwrap();
+                let magnitude: f64 = spec.feature_vector(HORIZON).iter().map(|f| f.abs()).sum();
+                if step == 0 {
+                    assert_eq!(magnitude, 0.0, "{axis}: intensity 0 must be neutral");
+                } else {
+                    assert!(
+                        magnitude >= last,
+                        "{axis}: magnitude fell from {last} to {magnitude} at {intensity}"
+                    );
+                    assert!(magnitude > 0.0, "{axis}: no stress at {intensity}");
+                }
+                last = magnitude;
+            }
+        }
+    }
+
+    #[test]
+    fn severity_specs_are_deterministic() {
+        let d = all_stress();
+        let a = d
+            .severity_spec(StressAxis::PriceShock, 0.6, HORIZON)
+            .unwrap();
+        let b = d
+            .severity_spec(StressAxis::PriceShock, 0.6, HORIZON)
+            .unwrap();
+        assert_eq!(a, b);
+        // The price-shock axis touches price modifiers only.
+        for m in &a.modifiers {
+            assert_eq!(m.signal(), Signal::Price, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn distributions_round_trip_through_serde() {
+        for d in distribution_library() {
+            let json = serde_json::to_string(&d).unwrap();
+            let back: ScenarioDistribution = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, d, "{}", d.name);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Satellite contract: sampling is a pure function of
+        /// `(seed, episode)` and every sampled spec validates.
+        #[test]
+        fn sampling_is_pure_and_specs_validate(
+            seed in 0u64..1_000,
+            episode in 0usize..64,
+            lanes in 1usize..5,
+            preset_idx in 0usize..6,
+            horizon in 24usize..24 * 30,
+        ) {
+            let d = &distribution_library()[preset_idx];
+            let a = d.sample_specs(seed, episode, lanes, horizon).unwrap();
+            let b = d.sample_specs(seed, episode, lanes, horizon).unwrap();
+            prop_assert_eq!(&a, &b, "same (seed, episode) must reproduce specs");
+            for spec in &a {
+                prop_assert!(spec.validate(horizon).is_ok(), "{:?}", spec);
+            }
+            // Prefix stability: lane i does not depend on how many lanes
+            // were requested after it.
+            let wider = d.sample_specs(seed, episode, lanes + 1, horizon).unwrap();
+            prop_assert_eq!(&wider[..lanes], &a[..]);
+            // A different episode yields a different stream (the window
+            // draw alone makes collisions astronomically unlikely for
+            // non-degenerate ranges).
+            let other = d.sample_specs(seed, episode + 1, lanes, horizon).unwrap();
+            prop_assert!(
+                other != a || d.window_start.lo == d.window_start.hi,
+                "episodes {} and {} drew identical specs",
+                episode,
+                episode + 1
+            );
+        }
+
+        /// Severity intensities stay within every parameter's domain, so the
+        /// resulting specs always validate.
+        #[test]
+        fn severity_specs_validate_at_any_intensity(
+            axis_idx in 0usize..5,
+            intensity in 0.0f64..1.0,
+            horizon in 24usize..24 * 30,
+        ) {
+            let axis = StressAxis::ALL[axis_idx];
+            let d = axis.preset();
+            for t in [intensity, 1.0] {
+                let spec = d.severity_spec(axis, t, horizon).unwrap();
+                prop_assert!(spec.validate(horizon).is_ok());
+            }
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Batched rollout collection and fleet training over [`FleetEnv`].
 //!
-//! The sequential [`crate::trainer::train`] loop steps one [`HubEnv`]
+//! The sequential [`crate::trainer::train`] loop steps one [`HubEnv`](ect_env::env::HubEnv)
 //! (`ect_env::env::HubEnv`) at a time. This module rides the batched fleet
 //! engine instead: all lanes advance in lockstep through
 //! [`FleetEnv::step_batch`], transitions land in **per-lane**

@@ -24,6 +24,7 @@ use crate::actor_critic::ActorCritic;
 use crate::collector::collect_shared_policy_episode;
 use crate::ppo::Ppo;
 use crate::rollout::RolloutBuffer;
+use crate::scenario_source::ScenarioSource;
 use crate::trainer::{EvalSummary, TrainerConfig, TrainingHistory};
 use ect_data::scenario::{scenario_library, ScenarioSpec};
 use ect_env::battery::BpAction;
@@ -278,9 +279,28 @@ impl GeneralistConfig {
 pub fn train_generalist<F: MixtureFleetFactory>(
     config: &GeneralistConfig,
     mixture: &ScenarioMixture,
+    factory: F,
+) -> ect_types::Result<(ActorCritic, TrainingHistory)> {
+    train_generalist_source(config, &ScenarioSource::Fixed(mixture.clone()), factory)
+}
+
+/// [`train_generalist`] over an arbitrary [`ScenarioSource`]: the `Fixed`
+/// variant reproduces the mixture path bit for bit (same `(seed, episode)`
+/// assignment stream), while `Sampled` trains on fresh domain-randomised
+/// specs every episode — the infinite-family curriculum. Pair the sampled
+/// path with a [`WorldCache`](crate::scenario_source::WorldCache)-backed
+/// factory so world generation stays memory-bounded.
+///
+/// # Errors
+///
+/// As [`train_generalist`], plus source validation failures.
+pub fn train_generalist_source<F: MixtureFleetFactory>(
+    config: &GeneralistConfig,
+    source: &ScenarioSource,
     mut factory: F,
 ) -> ect_types::Result<(ActorCritic, TrainingHistory)> {
     config.validate()?;
+    source.validate()?;
     let n = config.lanes;
     let seed = config.trainer.seed;
     let mut master = EctRng::seed_from(seed);
@@ -288,8 +308,8 @@ pub fn train_generalist<F: MixtureFleetFactory>(
 
     // Probe the state dimension from episode 0 on forked streams (the forks
     // leave the real lane streams untouched).
-    let assignment = mixture.assignment(seed, 0, n);
-    let specs: Vec<&ScenarioSpec> = assignment.iter().map(|&idx| mixture.spec(idx)).collect();
+    let episode_specs = source.specs_for_episode(seed, 0, n)?;
+    let specs: Vec<&ScenarioSpec> = episode_specs.iter().collect();
     let mut probe_rngs: Vec<EctRng> = rngs.iter().map(|r| r.fork(0)).collect();
     let probe = factory.make(0, &specs, &mut probe_rngs)?;
     let state_dim = probe.state_dim();
@@ -312,8 +332,8 @@ pub fn train_generalist<F: MixtureFleetFactory>(
     let episodes = config.trainer.episodes;
     let per_update = config.trainer.episodes_per_update.max(1);
     for episode in 0..episodes {
-        let assignment = mixture.assignment(seed, episode, n);
-        let specs: Vec<&ScenarioSpec> = assignment.iter().map(|&idx| mixture.spec(idx)).collect();
+        let episode_specs = source.specs_for_episode(seed, episode, n)?;
+        let specs: Vec<&ScenarioSpec> = episode_specs.iter().collect();
         let mut fleet = factory.make(episode, &specs, &mut rngs)?;
         if fleet.num_lanes() != n {
             return Err(ect_types::EctError::ShapeMismatch {

@@ -21,9 +21,33 @@
 //!   heterogeneous stress worlds, with zero-shot held-out evaluation
 //!   ([`generalist::ScenarioMixture`], [`generalist::train_generalist`],
 //!   [`generalist::evaluate_generalist`]);
+//! * [`scenario_source`] — where lane scenarios come from: fixed mixtures or
+//!   domain-randomised sampling ([`scenario_source::ScenarioSource`]), plus
+//!   the LRU-bounded [`scenario_source::WorldCache`] that keeps an infinite
+//!   spec family memory-bounded;
 //! * [`checkpoint`] — versioned JSON persistence for trained policies,
 //!   carrying the observation-layout metadata a loaded generalist needs to
 //!   refuse a mismatched environment.
+//!
+//! # Example
+//!
+//! Scenario curricula are pure functions of `(seed, episode)` — whichever
+//! source they come from:
+//!
+//! ```
+//! use ect_drl::generalist::ScenarioMixture;
+//! use ect_drl::scenario_source::ScenarioSource;
+//! use ect_data::scenario::randomized::all_stress;
+//! use ect_data::scenario::scenario_library;
+//!
+//! let fixed = ScenarioSource::Fixed(ScenarioMixture::uniform(scenario_library(48))?);
+//! let sampled = ScenarioSource::sampled(all_stress(), 48);
+//! for source in [&fixed, &sampled] {
+//!     let a = source.specs_for_episode(/*seed=*/ 7, /*episode=*/ 3, /*lanes=*/ 2)?;
+//!     assert_eq!(a, source.specs_for_episode(7, 3, 2)?);
+//! }
+//! # Ok::<(), ect_types::EctError>(())
+//! ```
 
 pub mod actor_critic;
 pub mod checkpoint;
@@ -32,6 +56,7 @@ pub mod generalist;
 pub mod heuristics;
 pub mod ppo;
 pub mod rollout;
+pub mod scenario_source;
 pub mod trainer;
 
 pub use actor_critic::{ActorCritic, ActorCriticConfig};
@@ -44,10 +69,11 @@ pub use collector::{
     FleetFactory,
 };
 pub use generalist::{
-    evaluate_generalist, train_generalist, train_holdout_split, GeneralistConfig,
-    MixtureFleetFactory, ScenarioMixture, HELDOUT_SCENARIOS, TRAIN_SCENARIOS,
+    evaluate_generalist, train_generalist, train_generalist_source, train_holdout_split,
+    GeneralistConfig, MixtureFleetFactory, ScenarioMixture, HELDOUT_SCENARIOS, TRAIN_SCENARIOS,
 };
 pub use heuristics::{run_episode, DrlScheduler, GreedyPrice, NoBattery, Scheduler, TimeOfUse};
 pub use ppo::{Ppo, PpoConfig, UpdateStats};
 pub use rollout::{RolloutBuffer, Transition};
+pub use scenario_source::{ScenarioSource, WorldCache};
 pub use trainer::{evaluate, train, EpisodeFactory, EvalSummary, TrainerConfig, TrainingHistory};

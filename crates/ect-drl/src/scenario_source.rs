@@ -1,0 +1,383 @@
+//! Scenario sourcing for generalist training: fixed mixtures or
+//! domain-randomised sampling, plus the bounded world cache that keeps an
+//! *infinite* spec family affordable.
+//!
+//! PR 3's generalist drew every episode's lane scenarios from the finite
+//! stress library via [`ScenarioMixture`]. [`ScenarioSource`] generalises
+//! the draw: the `Fixed` variant reproduces the mixture path bit for bit,
+//! while `Sampled` draws fresh concrete specs from a continuous
+//! [`ScenarioDistribution`] each episode — the domain-randomisation path in
+//! which no two episodes share a world.
+//!
+//! That second path breaks the "generate each world once, re-slice forever"
+//! trick (`fleet_env_for_worlds` over a handful of pre-generated worlds):
+//! with an unbounded spec space the world set grows with the episode count.
+//! [`WorldCache`] bounds it — an LRU-evicting spec → world map with a hard
+//! capacity, so mixture training keeps its 100 % hit rate while randomised
+//! training degrades to an on-the-fly generation budget with bounded memory.
+
+use crate::generalist::ScenarioMixture;
+use ect_data::dataset::{WorldConfig, WorldDataset};
+use ect_data::scenario::randomized::ScenarioDistribution;
+use ect_data::scenario::ScenarioSpec;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The sampled half of a [`ScenarioSource`]: a continuous distribution plus
+/// the horizon its fractional windows are laid out against.
+///
+/// (A named payload struct, not a struct variant, so the source serialises
+/// through the workspace's externally-tagged serde stack — the same idiom as
+/// `ScenarioModifier`.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampledScenarios {
+    /// The parameter-range family specs are drawn from.
+    pub distribution: ScenarioDistribution,
+    /// Horizon the sampled specs target (must match the worlds built from
+    /// them).
+    pub horizon: usize,
+}
+
+/// Where a generalist trainer's per-episode lane scenarios come from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioSource {
+    /// Weighted draws from a finite spec set — the PR 3 mixture path,
+    /// reproduced bit for bit ([`ScenarioMixture::assignment`] drives the
+    /// lane assignment exactly as before).
+    Fixed(ScenarioMixture),
+    /// Fresh specs sampled from a continuous distribution every episode
+    /// (boxed: the distribution is an order of magnitude larger than the
+    /// mixture handle).
+    Sampled(Box<SampledScenarios>),
+}
+
+impl ScenarioSource {
+    /// Convenience constructor for the sampled variant.
+    pub fn sampled(distribution: ScenarioDistribution, horizon: usize) -> Self {
+        ScenarioSource::Sampled(Box::new(SampledScenarios {
+            distribution,
+            horizon,
+        }))
+    }
+}
+
+impl ScenarioSource {
+    /// Validates the source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for an invalid
+    /// distribution or a zero sampling horizon (`Fixed` mixtures are
+    /// validated at construction).
+    pub fn validate(&self) -> ect_types::Result<()> {
+        match self {
+            ScenarioSource::Fixed(_) => Ok(()),
+            ScenarioSource::Sampled(sampled) => {
+                sampled.distribution.validate()?;
+                if sampled.horizon == 0 {
+                    return Err(ect_types::EctError::InvalidConfig(
+                        "sampled scenario source needs a non-empty horizon".into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The per-lane specs of one episode — a pure function of
+    /// `(seed, episode)`: both variants derive every draw from those two
+    /// values alone, so curricula replay identically regardless of any other
+    /// RNG consumption.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures ([`ScenarioSource::validate`]).
+    pub fn specs_for_episode(
+        &self,
+        seed: u64,
+        episode: usize,
+        lanes: usize,
+    ) -> ect_types::Result<Vec<ScenarioSpec>> {
+        match self {
+            ScenarioSource::Fixed(mixture) => Ok(mixture
+                .assignment(seed, episode, lanes)
+                .into_iter()
+                .map(|idx| mixture.spec(idx).clone())
+                .collect()),
+            ScenarioSource::Sampled(sampled) => {
+                sampled
+                    .distribution
+                    .sample_specs(seed, episode, lanes, sampled.horizon)
+            }
+        }
+    }
+
+    /// Names describing what the source trains on — the fixed specs'
+    /// names, or the distribution's name for the sampled family.
+    pub fn scenario_names(&self) -> Vec<String> {
+        match self {
+            ScenarioSource::Fixed(mixture) => mixture
+                .entries()
+                .iter()
+                .map(|(spec, _)| spec.name.clone())
+                .collect(),
+            ScenarioSource::Sampled(sampled) => vec![sampled.distribution.name.clone()],
+        }
+    }
+}
+
+/// A bounded spec → world cache with least-recently-used eviction.
+///
+/// [`WorldCache::world_for`] returns the cached
+/// [`WorldDataset`] for a [`ScenarioSpec`] or generates it on miss; when the
+/// cache is full the least-recently-used entry is evicted first. Returned
+/// worlds are `Arc`-shared, so an evicted world stays alive for as long as a
+/// caller still holds it — eviction bounds the *cache's* memory, it never
+/// invalidates a fleet that is mid-episode. Lanes handed clones of one `Arc`
+/// also keep the pointer-identity RTP dedupe of
+/// [`fleet_env_for_worlds`](ect_env::fleet::fleet_env_for_worlds) working.
+///
+/// The lookup is a linear scan: capacities are small (tens of worlds, each
+/// megabytes of series data), so a hash map would optimise the wrong cost.
+#[derive(Debug, Clone)]
+pub struct WorldCache {
+    config: WorldConfig,
+    capacity: usize,
+    tick: u64,
+    generations: usize,
+    hits: usize,
+    entries: Vec<CacheEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    spec: ScenarioSpec,
+    world: Arc<WorldDataset>,
+    last_used: u64,
+}
+
+impl WorldCache {
+    /// A cache generating worlds from `config`, holding at most `capacity`
+    /// of them at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for a zero capacity.
+    pub fn new(config: WorldConfig, capacity: usize) -> ect_types::Result<Self> {
+        if capacity == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "world cache needs capacity for at least one world".into(),
+            ));
+        }
+        Ok(Self {
+            config,
+            capacity,
+            tick: 0,
+            generations: 0,
+            hits: 0,
+            entries: Vec::new(),
+        })
+    }
+
+    /// The world for one spec: cached if present, generated (and cached,
+    /// evicting the least-recently-used entry when full) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates world-generation failures.
+    pub fn world_for(&mut self, spec: &ScenarioSpec) -> ect_types::Result<Arc<WorldDataset>> {
+        self.tick += 1;
+        if let Some(entry) = self.entries.iter_mut().find(|e| &e.spec == spec) {
+            entry.last_used = self.tick;
+            self.hits += 1;
+            return Ok(Arc::clone(&entry.world));
+        }
+        let world = Arc::new(WorldDataset::generate_scenario(self.config.clone(), spec)?);
+        self.generations += 1;
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("a full cache is non-empty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push(CacheEntry {
+            spec: spec.clone(),
+            world: Arc::clone(&world),
+            last_used: self.tick,
+        });
+        Ok(world)
+    }
+
+    /// The worlds for a whole lane assignment, resolved through the cache in
+    /// order. Collect these **before** building a fleet: the returned `Arc`s
+    /// keep every lane's world alive even if a later lookup evicts it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates world-generation failures.
+    pub fn worlds_for(
+        &mut self,
+        specs: &[&ScenarioSpec],
+    ) -> ect_types::Result<Vec<Arc<WorldDataset>>> {
+        specs.iter().map(|spec| self.world_for(spec)).collect()
+    }
+
+    /// Worlds currently cached (never exceeds the capacity).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Worlds generated so far (cache misses) — the on-the-fly generation
+    /// budget actually spent.
+    pub fn generations(&self) -> usize {
+        self.generations
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// The world configuration the cache generates from.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ect_data::scenario::randomized::{all_stress, outage_band};
+    use ect_data::scenario::{scenario_library, ScenarioSpec};
+    use proptest::prelude::*;
+
+    const HORIZON: usize = 24 * 4;
+
+    fn tiny_config() -> WorldConfig {
+        WorldConfig {
+            num_hubs: 1,
+            horizon_slots: HORIZON,
+            ..WorldConfig::default()
+        }
+    }
+
+    #[test]
+    fn fixed_source_reproduces_the_mixture_assignment() {
+        let mixture = ScenarioMixture::uniform(scenario_library(HORIZON)).unwrap();
+        let source = ScenarioSource::Fixed(mixture.clone());
+        source.validate().unwrap();
+        for episode in 0..16 {
+            let specs = source.specs_for_episode(7, episode, 3).unwrap();
+            let assignment = mixture.assignment(7, episode, 3);
+            assert_eq!(specs.len(), 3);
+            for (spec, idx) in specs.iter().zip(assignment) {
+                assert_eq!(spec, mixture.spec(idx), "episode {episode}");
+            }
+        }
+        assert_eq!(source.scenario_names().len(), mixture.len());
+    }
+
+    #[test]
+    fn sampled_source_is_deterministic_and_validates() {
+        let source = ScenarioSource::sampled(all_stress(), HORIZON);
+        source.validate().unwrap();
+        let a = source.specs_for_episode(11, 3, 4).unwrap();
+        let b = source.specs_for_episode(11, 3, 4).unwrap();
+        assert_eq!(a, b);
+        for spec in &a {
+            spec.validate(HORIZON).unwrap();
+        }
+        assert_eq!(source.scenario_names(), vec!["all-stress".to_string()]);
+
+        // Degenerate sources are refused.
+        assert!(ScenarioSource::sampled(all_stress(), 0).validate().is_err());
+        let mut inverted = all_stress();
+        inverted.outage_fraction = ect_data::scenario::randomized::ParamRange::new(0.3, 0.1);
+        assert!(ScenarioSource::sampled(inverted, HORIZON)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_evicts_least_recently_used() {
+        let mut cache = WorldCache::new(tiny_config(), 2).unwrap();
+        assert!(cache.is_empty());
+        let baseline = ScenarioSpec::baseline();
+        let outage = outage_band()
+            .severity_spec(
+                ect_data::scenario::randomized::StressAxis::Outage,
+                1.0,
+                HORIZON,
+            )
+            .unwrap();
+        let surge = all_stress().sample_spec(5, 0, HORIZON).unwrap();
+
+        let w1 = cache.world_for(&baseline).unwrap();
+        let w1_again = cache.world_for(&baseline).unwrap();
+        assert!(Arc::ptr_eq(&w1, &w1_again), "hit must share the Arc");
+        assert_eq!(cache.generations(), 1);
+        assert_eq!(cache.hits(), 1);
+
+        cache.world_for(&outage).unwrap();
+        assert_eq!(cache.len(), 2);
+
+        // Touch baseline so the outage world is the LRU victim.
+        cache.world_for(&baseline).unwrap();
+        cache.world_for(&surge).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.generations(), 3);
+
+        // Baseline survived (hit), the outage world was evicted (miss).
+        cache.world_for(&baseline).unwrap();
+        assert_eq!(cache.generations(), 3);
+        cache.world_for(&outage).unwrap();
+        assert_eq!(cache.generations(), 4);
+
+        // An evicted world stays alive through the caller's Arc.
+        assert_eq!(w1.horizon(), HORIZON);
+        assert!(WorldCache::new(tiny_config(), 0).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Satellite contract: the cache never exceeds its configured
+        /// capacity, whatever the lookup sequence.
+        #[test]
+        fn cache_never_exceeds_capacity(
+            capacity in 1usize..4,
+            picks in proptest::collection::vec(0usize..6, 1..24),
+        ) {
+            let specs: Vec<ScenarioSpec> = (0..6)
+                .map(|i| all_stress().sample_spec(23, i, HORIZON).unwrap())
+                .collect();
+            let mut cache = WorldCache::new(tiny_config(), capacity).unwrap();
+            for &pick in &picks {
+                cache.world_for(&specs[pick]).unwrap();
+                prop_assert!(cache.len() <= cache.capacity());
+            }
+            let distinct = {
+                let mut seen: Vec<usize> = picks.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                seen.len()
+            };
+            prop_assert!(cache.generations() >= distinct.min(capacity));
+            prop_assert_eq!(cache.hits() + cache.generations(), picks.len());
+        }
+    }
+}

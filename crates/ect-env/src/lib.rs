@@ -25,6 +25,39 @@
 //! `[soc_min, soc_max]` under arbitrary action sequences; grid power is never
 //! negative (no feed-in, Section I); `soc_min` always covers the worst-case
 //! base-station draw for the configured recovery time.
+//!
+//! # Example
+//!
+//! Slice one hub of a generated world into an episode and step it:
+//!
+//! ```
+//! use ect_data::dataset::{WorldConfig, WorldDataset};
+//! use ect_env::battery::BpAction;
+//! use ect_env::fleet::env_for_hub;
+//! use ect_env::tariff::DiscountSchedule;
+//! use ect_types::ids::HubId;
+//! use ect_types::rng::EctRng;
+//!
+//! let world = WorldDataset::generate(WorldConfig {
+//!     num_hubs: 1,
+//!     horizon_slots: 48,
+//!     ..WorldConfig::default()
+//! })?;
+//! let mut rng = EctRng::seed_from(7);
+//! let mut env = env_for_hub(
+//!     &world,
+//!     HubId::new(0),
+//!     /*start_slot=*/ 0,
+//!     /*len=*/ 48,
+//!     DiscountSchedule::none(48),
+//!     /*window=*/ 6,
+//!     &mut rng,
+//! )?;
+//! env.reset(/*initial_soc=*/ 0.5);
+//! let step = env.step(BpAction::Idle);
+//! assert!(step.reward.is_finite());
+//! # Ok::<(), ect_types::EctError>(())
+//! ```
 
 pub mod battery;
 pub mod blackout;

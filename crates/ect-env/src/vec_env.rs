@@ -8,8 +8,8 @@
 //! observations into one flat reusable buffer. After warm-up the stepping
 //! and observation paths perform no heap allocations.
 //!
-//! Bit-exactness: each lane runs the same [`compute_slot`] kernel and
-//! [`write_observation`] layout as [`HubEnv::step`], so a batched trajectory
+//! Bit-exactness: each lane runs the same `compute_slot` kernel and
+//! `write_observation` layout as [`HubEnv::step`], so a batched trajectory
 //! is bit-identical to stepping the equivalent `HubEnv`s sequentially (the
 //! `tests/batched_equivalence.rs` suite pins this).
 
