@@ -1,12 +1,9 @@
 //! Runs the DESIGN.md ablations (scheduler / renewables / PPO entropy).
-use ect_bench::experiments::{ablations, build_pricing_artifacts};
-use ect_bench::output::save_json;
-use ect_bench::Scale;
-
+//!
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its paper-shaped view and writes its `results/*.json`
+//! artifacts exactly as `run_all` does.
 fn main() -> ect_types::Result<()> {
-    let artifacts = build_pricing_artifacts(Scale::from_args())?;
-    let result = ablations::run(&artifacts)?;
-    ablations::print(&result);
-    save_json("ablations", &result);
-    Ok(())
+    ect_bench::registry::run_single("ablations")
 }

@@ -1,10 +1,9 @@
 //! Regenerates Fig. 1 (road/base-station coincidence).
-use ect_bench::experiments::fig01;
-use ect_bench::output::save_json;
-
+//!
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its paper-shaped view and writes its `results/*.json`
+//! artifacts exactly as `run_all` does.
 fn main() -> ect_types::Result<()> {
-    let result = fig01::run()?;
-    fig01::print(&result);
-    save_json("fig01_spatial", &result);
-    Ok(())
+    ect_bench::registry::run_single("fig01_spatial")
 }

@@ -1,10 +1,9 @@
-//! Regenerates Fig. 2 (renewable active power over two days).
-use ect_bench::experiments::fig02;
-use ect_bench::output::save_json;
-
+//! Regenerates Fig. 2 (PV + WT output over a sample week).
+//!
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its paper-shaped view and writes its `results/*.json`
+//! artifacts exactly as `run_all` does.
 fn main() -> ect_types::Result<()> {
-    let result = fig02::run()?;
-    fig02::print(&result);
-    save_json("fig02_renewables", &result);
-    Ok(())
+    ect_bench::registry::run_single("fig02_renewables")
 }

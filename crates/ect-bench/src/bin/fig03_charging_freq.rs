@@ -1,10 +1,9 @@
-//! Regenerates Fig. 3 (EV charging frequency by hour).
-use ect_bench::experiments::fig03;
-use ect_bench::output::save_json;
-
+//! Regenerates Fig. 3 (charging-session frequency histogram).
+//!
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its paper-shaped view and writes its `results/*.json`
+//! artifacts exactly as `run_all` does.
 fn main() -> ect_types::Result<()> {
-    let result = fig03::run()?;
-    fig03::print(&result);
-    save_json("fig03_charging_freq", &result);
-    Ok(())
+    ect_bench::registry::run_single("fig03_charging_freq")
 }

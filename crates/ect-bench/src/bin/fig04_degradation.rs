@@ -1,10 +1,9 @@
-//! Regenerates Fig. 4 (battery voltage decay).
-use ect_bench::experiments::fig04;
-use ect_bench::output::save_json;
-
+//! Regenerates Fig. 4 (backup-battery capacity decay).
+//!
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its paper-shaped view and writes its `results/*.json`
+//! artifacts exactly as `run_all` does.
 fn main() -> ect_types::Result<()> {
-    let result = fig04::run()?;
-    fig04::print(&result);
-    save_json("fig04_degradation", &result);
-    Ok(())
+    ect_bench::registry::run_single("fig04_degradation")
 }

@@ -1,10 +1,9 @@
-//! Regenerates Fig. 5 (RTP vs network traffic).
-use ect_bench::experiments::fig05;
-use ect_bench::output::save_json;
-
+//! Regenerates Fig. 5 (RTP vs traffic correlation).
+//!
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its paper-shaped view and writes its `results/*.json`
+//! artifacts exactly as `run_all` does.
 fn main() -> ect_types::Result<()> {
-    let result = fig05::run()?;
-    fig05::print(&result);
-    save_json("fig05_rtp_traffic", &result);
-    Ok(())
+    ect_bench::registry::run_single("fig05_rtp_traffic")
 }

@@ -1,13 +1,9 @@
-//! Regenerates Fig. 11 (per-station strata curves). Pass `--full` for the
-//! paper-scale training budget.
-use ect_bench::experiments::{build_pricing_artifacts, fig11};
-use ect_bench::output::save_json;
-use ect_bench::Scale;
-
+//! Regenerates Fig. 11 (per-station strata curves).
+//!
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its paper-shaped view and writes its `results/*.json`
+//! artifacts exactly as `run_all` does.
 fn main() -> ect_types::Result<()> {
-    let artifacts = build_pricing_artifacts(Scale::from_args())?;
-    let result = fig11::run(&artifacts);
-    fig11::print(&result);
-    save_json("fig11_strata_stations", &result);
-    Ok(())
+    ect_bench::registry::run_single("fig11_strata_stations")
 }

@@ -1,13 +1,9 @@
-//! Regenerates Fig. 12 (strata shares per period). Pass `--full` for the
-//! paper-scale training budget.
-use ect_bench::experiments::{build_pricing_artifacts, fig12};
-use ect_bench::output::save_json;
-use ect_bench::Scale;
-
+//! Regenerates Fig. 12 (per-period strata mix).
+//!
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its paper-shaped view and writes its `results/*.json`
+//! artifacts exactly as `run_all` does.
 fn main() -> ect_types::Result<()> {
-    let artifacts = build_pricing_artifacts(Scale::from_args())?;
-    let result = fig12::run(&artifacts);
-    fig12::print(&result);
-    save_json("fig12_strata_periods", &result);
-    Ok(())
+    ect_bench::registry::run_single("fig12_strata_periods")
 }

@@ -1,20 +1,9 @@
-//! Trains the scenario-mixture generalist, scores zero-shot generalisation
-//! on held-out stress worlds and writes `results/generalization.json`.
+//! Trains the scenario-mixture generalist and scores held-out transfer.
 //!
-//! Flags: `--full` for paper-scale budgets, `--smoke` for the CI-sized run.
-use ect_bench::experiments::generalization;
-use ect_bench::output::save_json;
-use ect_bench::Scale;
-
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its paper-shaped view and writes its `results/*.json`
+//! artifacts exactly as `run_all` does.
 fn main() -> ect_types::Result<()> {
-    let result = if std::env::args().any(|a| a == "--smoke") {
-        eprintln!("[generalization] smoke-sized generalist run …");
-        generalization::run_with_config(generalization::smoke_config(), 8)?
-    } else {
-        eprintln!("[generalization] training the scenario-mixture generalist …");
-        generalization::run(Scale::from_args(), 8)?
-    };
-    generalization::print(&result);
-    save_json("generalization", &result);
-    Ok(())
+    ect_bench::registry::run_single("generalization")
 }

@@ -1,290 +1,15 @@
-//! Runs every experiment once, sharing the expensive pricing artifacts, and
-//! writes all JSON results under `results/`. Pass `--full` for paper-scale
-//! budgets, or `--list` to print the available experiments and exit.
+//! Runs every registered experiment once over one shared session (the
+//! expensive pricing artifacts, baselines and generalists are memoised in
+//! its artifact store) and writes all JSON results under `results/`.
 //!
-//! Besides the per-experiment JSON, the run emits
-//! `results/BENCH_summary.json` — experiment name → wall time + headline
+//! Flags (shared bench CLI): `--full` for paper-scale budgets, `--smoke`
+//! for CI budgets, `--only <ids>` / `--skip <ids>` to filter the registry,
+//! `--threads <n>`, and `--list` to print the catalog and exit.
+//!
+//! Besides the per-experiment JSON, a *full* (unfiltered) pass emits
+//! `results/BENCH_summary.json` — experiment id → wall time + headline
 //! metric — so the performance trajectory of the harness is captured per
 //! change, not just per ad-hoc benchmark run.
-use ect_bench::experiments::*;
-use ect_bench::output::{save_json, BenchSummaryEntry};
-use ect_bench::Scale;
-use std::time::Instant;
-
-/// Every experiment stage `run_all` executes, in execution order:
-/// `(name, results file stem, one-line description)` — the `--list` output.
-const EXPERIMENTS: &[(&str, &str, &str)] = &[
-    (
-        "fig01_spatial",
-        "fig01_spatial",
-        "road coverage vs base-station density (Fig. 1)",
-    ),
-    (
-        "fig02_renewables",
-        "fig02_renewables",
-        "PV + WT output over a sample week (Fig. 2)",
-    ),
-    (
-        "fig03_charging_freq",
-        "fig03_charging_freq",
-        "charging-session frequency histogram (Fig. 3)",
-    ),
-    (
-        "fig04_degradation",
-        "fig04_degradation",
-        "backup-battery capacity decay (Fig. 4)",
-    ),
-    (
-        "fig05_rtp_traffic",
-        "fig05_rtp_traffic",
-        "RTP vs traffic correlation (Fig. 5)",
-    ),
-    (
-        "pricing_artifacts",
-        "-",
-        "shared world + trained ECT-Price model (no JSON)",
-    ),
-    (
-        "table2_price",
-        "table2_price",
-        "pricing methods vs oracle strata (Table II)",
-    ),
-    (
-        "fig11_strata_stations",
-        "fig11_strata_stations",
-        "per-station strata mix (Fig. 11)",
-    ),
-    (
-        "fig12_strata_periods",
-        "fig12_strata_periods",
-        "per-period strata mix (Fig. 12)",
-    ),
-    (
-        "fleet",
-        "fig13_hub_rewards + table3_hub_rewards",
-        "batched PPO fleet scheduling (Fig. 13 / Table III)",
-    ),
-    (
-        "ablations",
-        "ablations",
-        "component ablations of the hub reward",
-    ),
-    (
-        "scenario_sweep",
-        "scenario_sweep",
-        "stress-scenario library × pricing methods",
-    ),
-    (
-        "generalization",
-        "generalization",
-        "scenario-mixture generalist vs held-out worlds",
-    ),
-    (
-        "severity_sweep",
-        "severity_sweep",
-        "domain-randomised generalist vs per-axis stress intensity",
-    ),
-];
-
-fn print_experiment_list() {
-    println!("experiments run by run_all, in order:\n");
-    for (name, files, description) in EXPERIMENTS {
-        println!("  {name:<22} {description}");
-        println!("  {:<22} └─ results/: {files}", "");
-    }
-    println!("\nflags: --full (paper budgets), --list (this listing)");
-}
-
-/// Times one experiment stage and records its headline metric.
-fn timed<T>(
-    summary: &mut Vec<BenchSummaryEntry>,
-    name: &str,
-    metric_name: &str,
-    run: impl FnOnce() -> ect_types::Result<T>,
-    metric: impl FnOnce(&T) -> f64,
-) -> ect_types::Result<T> {
-    let t0 = Instant::now();
-    let result = run()?;
-    summary.push(BenchSummaryEntry {
-        experiment: name.to_string(),
-        wall_time_s: t0.elapsed().as_secs_f64(),
-        metric_name: metric_name.to_string(),
-        metric_value: metric(&result),
-    });
-    Ok(result)
-}
-
 fn main() -> ect_types::Result<()> {
-    if std::env::args().any(|a| a == "--list") {
-        print_experiment_list();
-        return Ok(());
-    }
-    let scale = Scale::from_args();
-    let t0 = Instant::now();
-    let mut summary: Vec<BenchSummaryEntry> = Vec::new();
-
-    println!("################ measurement figures ################\n");
-    let r = timed(
-        &mut summary,
-        "fig01_spatial",
-        "road_coverage_2km",
-        fig01::run,
-        |r| r.affine.road_coverage_2km,
-    )?;
-    fig01::print(&r);
-    save_json("fig01_spatial", &r);
-    let r = timed(
-        &mut summary,
-        "fig02_renewables",
-        "peak_total_w",
-        fig02::run,
-        |r| r.total_w.iter().copied().fold(0.0, f64::max),
-    )?;
-    fig02::print(&r);
-    save_json("fig02_renewables", &r);
-    let r = timed(
-        &mut summary,
-        "fig03_charging_freq",
-        "total_sessions",
-        fig03::run,
-        |r| r.total_sessions as f64,
-    )?;
-    fig03::print(&r);
-    save_json("fig03_charging_freq", &r);
-    let r = timed(
-        &mut summary,
-        "fig04_degradation",
-        "final_group_capacity",
-        fig04::run,
-        |r| r.group.last().copied().unwrap_or(f64::NAN),
-    )?;
-    fig04::print(&r);
-    save_json("fig04_degradation", &r);
-    let r = timed(
-        &mut summary,
-        "fig05_rtp_traffic",
-        "correlation",
-        fig05::run,
-        |r| r.correlation,
-    )?;
-    fig05::print(&r);
-    save_json("fig05_rtp_traffic", &r);
-
-    println!("\n################ pricing experiments ({scale:?}) ################\n");
-    eprintln!("[run_all] training pricing models …");
-    let artifacts = timed(
-        &mut summary,
-        "pricing_artifacts",
-        "train_records",
-        || build_pricing_artifacts(scale),
-        |a| a.train.len() as f64,
-    )?;
-    let t = timed(
-        &mut summary,
-        "table2_price",
-        "methods",
-        || table2::run(&artifacts),
-        |t| t.methods.len() as f64,
-    )?;
-    table2::print(&t);
-    save_json("table2_price", &t);
-    let r = timed(
-        &mut summary,
-        "fig11_strata_stations",
-        "stations",
-        || Ok(fig11::run(&artifacts)),
-        |r| r.stations.len() as f64,
-    )?;
-    fig11::print(&r);
-    save_json("fig11_strata_stations", &r);
-    let r = timed(
-        &mut summary,
-        "fig12_strata_periods",
-        "periods",
-        || Ok(fig12::run(&artifacts)),
-        |r| r.predicted.len() as f64,
-    )?;
-    fig12::print(&r);
-    save_json("fig12_strata_periods", &r);
-
-    println!("\n################ scheduling experiments ({scale:?}) ################\n");
-    eprintln!("[run_all] training the hub fleet (this is the long stage) …");
-    let report = timed(
-        &mut summary,
-        "fleet",
-        "mean_avg_daily_reward",
-        || fleet::run(&artifacts, 8),
-        |r| r.cells.iter().map(|c| c.avg_daily_reward).sum::<f64>() / r.cells.len().max(1) as f64,
-    )?;
-    fleet::print_fig13(&report);
-    fleet::print_table3(&report);
-    save_json("fig13_hub_rewards", &report);
-    save_json("table3_hub_rewards", &report);
-
-    println!("\n################ ablations ################\n");
-    let r = timed(
-        &mut summary,
-        "ablations",
-        "rows",
-        || ablations::run(&artifacts),
-        |r| r.rows.len() as f64,
-    )?;
-    ablations::print(&r);
-    save_json("ablations", &r);
-
-    println!("\n################ scenario sweep ({scale:?}) ################\n");
-    eprintln!("[run_all] sweeping the stress-scenario library …");
-    let r = timed(
-        &mut summary,
-        "scenario_sweep",
-        "scenarios",
-        || scenario_sweep::run(scale, 8),
-        |r| r.summaries.len() as f64,
-    )?;
-    scenario_sweep::print(&r);
-    save_json("scenario_sweep", &r);
-
-    println!("\n################ generalisation ({scale:?}) ################\n");
-    eprintln!("[run_all] training the scenario-mixture generalist …");
-    let r = timed(
-        &mut summary,
-        "generalization",
-        "mean_heldout_gap",
-        || generalization::run(scale, 8),
-        |r| r.headline_gap(),
-    )?;
-    generalization::print(&r);
-    save_json("generalization", &r);
-
-    println!("\n################ severity sweep ({scale:?}) ################\n");
-    eprintln!("[run_all] sweeping stress intensity per axis …");
-    let r = timed(
-        &mut summary,
-        "severity_sweep",
-        "mean_degradation",
-        || severity_sweep::run(scale),
-        |r| r.headline_degradation(),
-    )?;
-    severity_sweep::print(&r);
-    save_json("severity_sweep", &r);
-
-    // Keep the --list catalog honest: every timed stage must be listed.
-    // (Runs on every pass, so a stage added without its EXPERIMENTS entry
-    // fails the next full run instead of silently drifting.)
-    for entry in &summary {
-        assert!(
-            EXPERIMENTS
-                .iter()
-                .any(|(name, _, _)| *name == entry.experiment),
-            "stage '{}' is missing from the EXPERIMENTS catalog (--list)",
-            entry.experiment
-        );
-    }
-
-    save_json("BENCH_summary", &summary);
-    println!(
-        "\nall experiments done in {:.1} s",
-        t0.elapsed().as_secs_f64()
-    );
-    Ok(())
+    ect_bench::registry::run_all_main()
 }

@@ -1,20 +1,9 @@
-//! Runs the stress-scenario library × pricing methods over the batched
-//! scenario grid and writes `results/scenario_sweep.json`.
+//! Runs the stress-scenario library sweep over the batched scenario grid.
 //!
-//! Flags: `--full` for paper-scale budgets, `--smoke` for the CI-sized run.
-use ect_bench::experiments::scenario_sweep;
-use ect_bench::output::save_json;
-use ect_bench::Scale;
-
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its paper-shaped view and writes its `results/*.json`
+//! artifacts exactly as `run_all` does.
 fn main() -> ect_types::Result<()> {
-    let result = if std::env::args().any(|a| a == "--smoke") {
-        eprintln!("[scenario_sweep] smoke-sized sweep …");
-        scenario_sweep::run_with_config(scenario_sweep::smoke_config(), 8)?
-    } else {
-        eprintln!("[scenario_sweep] sweeping the stress library …");
-        scenario_sweep::run(Scale::from_args(), 8)?
-    };
-    scenario_sweep::print(&result);
-    save_json("scenario_sweep", &result);
-    Ok(())
+    ect_bench::registry::run_single("scenario_sweep")
 }

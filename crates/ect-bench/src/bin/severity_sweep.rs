@@ -1,23 +1,9 @@
-//! Trains a domain-randomised generalist and walks per-axis severity
-//! ladders, writing `results/severity_sweep.json`.
+//! Trains a domain-randomised generalist and walks per-axis severity ladders.
 //!
-//! Flags: `--full` for paper-scale budgets, `--smoke` for the CI-sized run.
-use ect_bench::experiments::severity_sweep;
-use ect_bench::output::save_json;
-use ect_bench::Scale;
-
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its paper-shaped view and writes its `results/*.json`
+//! artifacts exactly as `run_all` does.
 fn main() -> ect_types::Result<()> {
-    let result = if std::env::args().any(|a| a == "--smoke") {
-        eprintln!("[severity_sweep] smoke-sized severity sweep …");
-        severity_sweep::run_with_config(
-            severity_sweep::smoke_config(),
-            severity_sweep::smoke_options(),
-        )?
-    } else {
-        eprintln!("[severity_sweep] training the domain-randomised generalist …");
-        severity_sweep::run(Scale::from_args())?
-    };
-    severity_sweep::print(&result);
-    save_json("severity_sweep", &result);
-    Ok(())
+    ect_bench::registry::run_single("severity_sweep")
 }

@@ -1,15 +1,9 @@
-//! Regenerates Table II (pricing evaluation). Pass `--full` for the paper's
-//! 2-year/1-year split and full training budget.
-use ect_bench::experiments::{build_pricing_artifacts, table2};
-use ect_bench::output::save_json;
-use ect_bench::Scale;
-
+//! Regenerates Table II (pricing evaluation).
+//!
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its paper-shaped view and writes its `results/*.json`
+//! artifacts exactly as `run_all` does.
 fn main() -> ect_types::Result<()> {
-    let scale = Scale::from_args();
-    eprintln!("[table2] building pricing artifacts ({scale:?}) …");
-    let artifacts = build_pricing_artifacts(scale)?;
-    let table = table2::run(&artifacts)?;
-    table2::print(&table);
-    save_json("table2_price", &table);
-    Ok(())
+    ect_bench::registry::run_single("table2_price")
 }

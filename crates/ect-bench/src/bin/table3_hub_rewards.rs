@@ -1,14 +1,9 @@
-//! Regenerates Table III (average daily rewards for all 12 hubs). Pass
-//! `--full` for the paper's 500/100 episode budget.
-use ect_bench::experiments::{build_pricing_artifacts, fleet};
-use ect_bench::output::save_json;
-use ect_bench::Scale;
-
+//! Regenerates Table III via the shared fleet experiment (also writes Fig. 13).
+//!
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its paper-shaped view and writes its `results/*.json`
+//! artifacts exactly as `run_all` does.
 fn main() -> ect_types::Result<()> {
-    let artifacts = build_pricing_artifacts(Scale::from_args())?;
-    eprintln!("[table3] training the hub fleet …");
-    let report = fleet::run(&artifacts, 8)?;
-    fleet::print_table3(&report);
-    save_json("table3_hub_rewards", &report);
-    Ok(())
+    ect_bench::registry::run_single("fleet")
 }

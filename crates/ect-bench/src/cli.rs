@@ -1,0 +1,193 @@
+//! The shared CLI of every bench binary.
+//!
+//! Every `src/bin/*` used to hand-roll its own `--smoke`/`--full` parsing;
+//! this module is the single parser they all share now, plus the registry
+//! filters (`--only` / `--skip`) and the session factory that turns the
+//! parsed arguments into a configured [`Session`].
+//!
+//! Flags:
+//!
+//! * `--smoke` — CI-sized budgets ([`Scale::Smoke`]);
+//! * `--full` — the paper's budgets ([`Scale::Paper`]); the default is
+//!   laptop-scale [`Scale::Quick`];
+//! * `--only <ids>` / `--skip <ids>` — registry filters (comma-separated,
+//!   repeatable); only meaningful for `run_all`;
+//! * `--threads <n>` — worker threads for fan-out stages (default 8);
+//! * `--list` — print the experiment catalog and exit.
+
+use crate::Scale;
+use ect_core::session::{Session, SessionBuilder};
+
+/// Parsed bench arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Experiment budget (`--smoke` / default / `--full`).
+    pub scale: Scale,
+    /// Print the experiment catalog and exit (`--list`).
+    pub list: bool,
+    /// Run only these experiment ids (`--only`, comma-separated).
+    pub only: Vec<String>,
+    /// Skip these experiment ids (`--skip`, comma-separated).
+    pub skip: Vec<String>,
+    /// Worker threads for fan-out stages (`--threads`).
+    pub threads: usize,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Quick,
+            list: false,
+            only: Vec::new(),
+            skip: Vec::new(),
+            threads: 8,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses the process arguments (everything after the binary name).
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list. Unknown flags are ignored with a
+    /// warning (the historical binaries were lenient, and CI pipelines rely
+    /// on that).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut parsed = Self::default();
+        let mut iter = args.into_iter().peekable();
+        // A value-taking flag must not swallow a following flag: peek, and
+        // only consume the next token when it is not itself a `--flag`.
+        fn value(
+            iter: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+            flag: &str,
+        ) -> Option<String> {
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next(),
+                _ => {
+                    eprintln!("[bench] {flag} expects a value; ignoring");
+                    None
+                }
+            }
+        }
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--smoke" => parsed.scale = Scale::Smoke,
+                "--full" => parsed.scale = Scale::Paper,
+                "--list" => parsed.list = true,
+                "--only" => {
+                    if let Some(ids) = value(&mut iter, "--only") {
+                        parsed
+                            .only
+                            .extend(ids.split(',').map(|s| s.trim().to_string()));
+                    }
+                }
+                "--skip" => {
+                    if let Some(ids) = value(&mut iter, "--skip") {
+                        parsed
+                            .skip
+                            .extend(ids.split(',').map(|s| s.trim().to_string()));
+                    }
+                }
+                "--threads" => {
+                    if let Some(n) = value(&mut iter, "--threads").and_then(|s| s.parse().ok()) {
+                        parsed.threads = n;
+                    }
+                }
+                other => eprintln!("[bench] ignoring unknown argument '{other}'"),
+            }
+        }
+        parsed
+    }
+
+    /// `true` when the registry filters select this experiment id.
+    pub fn selects(&self, id: &str) -> bool {
+        (self.only.is_empty() || self.only.iter().any(|only| only == id))
+            && !self.skip.iter().any(|skip| skip == id)
+    }
+
+    /// Builds the session every bench run shares: base configuration at the
+    /// parsed scale, the parsed thread budget, progress to stderr under the
+    /// given tag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn session(&self, tag: &str) -> ect_types::Result<Session> {
+        SessionBuilder::new(crate::experiments::system_config(self.scale))
+            .scale(self.scale)
+            .threads(self.threads)
+            .stderr_progress(tag)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn scale_flags_map_to_run_scales() {
+        assert_eq!(parse(&[]).scale, Scale::Quick);
+        assert_eq!(parse(&["--smoke"]).scale, Scale::Smoke);
+        assert_eq!(parse(&["--full"]).scale, Scale::Paper);
+        // The last scale flag wins, mirroring the historical precedence of
+        // later arguments.
+        assert_eq!(parse(&["--smoke", "--full"]).scale, Scale::Paper);
+    }
+
+    #[test]
+    fn filters_parse_comma_lists_and_repeats() {
+        let args = parse(&["--only", "fleet,table2_price", "--only", "ablations"]);
+        assert_eq!(args.only, vec!["fleet", "table2_price", "ablations"]);
+        assert!(args.selects("fleet"));
+        assert!(args.selects("ablations"));
+        assert!(!args.selects("fig01_spatial"));
+
+        let args = parse(&["--skip", "fleet"]);
+        assert!(!args.selects("fleet"));
+        assert!(args.selects("fig01_spatial"));
+
+        // --skip beats --only on the same id.
+        let args = parse(&["--only", "fleet", "--skip", "fleet"]);
+        assert!(!args.selects("fleet"));
+    }
+
+    #[test]
+    fn threads_list_and_unknowns_parse() {
+        let args = parse(&["--threads", "3", "--list", "--bogus"]);
+        assert_eq!(args.threads, 3);
+        assert!(args.list);
+        // Malformed thread counts keep the default.
+        assert_eq!(parse(&["--threads", "lots"]).threads, 8);
+    }
+
+    #[test]
+    fn value_flags_never_swallow_a_following_flag() {
+        // `--threads --list` must still honour --list (and keep the default
+        // thread count) instead of eating it as a malformed value.
+        let args = parse(&["--threads", "--list"]);
+        assert!(args.list);
+        assert_eq!(args.threads, 8);
+        // Same for the filters, and a trailing value-flag is a no-op.
+        let args = parse(&["--only", "--smoke"]);
+        assert!(args.only.is_empty());
+        assert_eq!(args.scale, Scale::Smoke);
+        let args = parse(&["--skip"]);
+        assert!(args.skip.is_empty());
+    }
+
+    #[test]
+    fn session_factory_carries_the_scale() {
+        let session = parse(&["--smoke", "--threads", "2"])
+            .session("test")
+            .unwrap();
+        assert_eq!(session.scale(), Scale::Smoke);
+        assert_eq!(session.threads(), 2);
+    }
+}

@@ -167,3 +167,32 @@ pub fn print(result: &AblationResult) {
         println!("  {:<26} {:>10.2} $/day", row.variant, row.avg_daily_reward);
     }
 }
+
+/// Registry face of this experiment (see [`crate::registry`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AblationsExperiment;
+
+impl ect_core::Experiment for AblationsExperiment {
+    fn id(&self) -> &'static str {
+        "ablations"
+    }
+    fn description(&self) -> &'static str {
+        "component ablations of the hub reward"
+    }
+    fn artifact_stems(&self) -> &'static [&'static str] {
+        &["ablations"]
+    }
+    fn run(
+        &self,
+        session: &mut ect_core::Session,
+    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+        let artifacts = super::pricing_artifacts(session)?;
+        let result = run(&artifacts)?;
+        print(&result);
+        crate::output::save_json(self.id(), &result);
+        Ok(
+            ect_core::ExperimentOutput::new(self.id(), "rows", result.rows.len() as f64)
+                .with_artifact(self.id()),
+        )
+    }
+}

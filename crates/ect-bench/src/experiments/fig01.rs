@@ -93,3 +93,33 @@ pub fn print(result: &Fig01Result) {
         result.uniform.road_coverage_2km * 100.0
     );
 }
+
+/// Registry face of this experiment (see [`crate::registry`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig01Experiment;
+
+impl ect_core::Experiment for Fig01Experiment {
+    fn id(&self) -> &'static str {
+        "fig01_spatial"
+    }
+    fn description(&self) -> &'static str {
+        "road coverage vs base-station density (Fig. 1)"
+    }
+    fn artifact_stems(&self) -> &'static [&'static str] {
+        &["fig01_spatial"]
+    }
+    fn run(
+        &self,
+        _session: &mut ect_core::Session,
+    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+        let result = run()?;
+        print(&result);
+        crate::output::save_json(self.id(), &result);
+        Ok(ect_core::ExperimentOutput::new(
+            self.id(),
+            "road_coverage_2km",
+            result.affine.road_coverage_2km,
+        )
+        .with_artifact(self.id()))
+    }
+}

@@ -57,3 +57,32 @@ pub fn print(result: &Fig02Result) {
     let peak_wt = result.wt_w.iter().cloned().fold(0.0, f64::max);
     println!("\npeaks: PV {peak_pv:.0} W (midday), WT {peak_wt:.0} W (irregular)");
 }
+
+/// Registry face of this experiment (see [`crate::registry`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig02Experiment;
+
+impl ect_core::Experiment for Fig02Experiment {
+    fn id(&self) -> &'static str {
+        "fig02_renewables"
+    }
+    fn description(&self) -> &'static str {
+        "PV + WT output over a sample week (Fig. 2)"
+    }
+    fn artifact_stems(&self) -> &'static [&'static str] {
+        &["fig02_renewables"]
+    }
+    fn run(
+        &self,
+        _session: &mut ect_core::Session,
+    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+        let result = run()?;
+        print(&result);
+        crate::output::save_json(self.id(), &result);
+        let peak = result.total_w.iter().copied().fold(0.0, f64::max);
+        Ok(
+            ect_core::ExperimentOutput::new(self.id(), "peak_total_w", peak)
+                .with_artifact(self.id()),
+        )
+    }
+}

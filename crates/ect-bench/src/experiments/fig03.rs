@@ -43,3 +43,33 @@ pub fn print(result: &Fig03Result) {
     let values: Vec<f64> = result.frequency.iter().map(|&v| v as f64).collect();
     print!("{}", ascii_series(&hour_labels(), &values, 50));
 }
+
+/// Registry face of this experiment (see [`crate::registry`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig03Experiment;
+
+impl ect_core::Experiment for Fig03Experiment {
+    fn id(&self) -> &'static str {
+        "fig03_charging_freq"
+    }
+    fn description(&self) -> &'static str {
+        "charging-session frequency histogram (Fig. 3)"
+    }
+    fn artifact_stems(&self) -> &'static [&'static str] {
+        &["fig03_charging_freq"]
+    }
+    fn run(
+        &self,
+        _session: &mut ect_core::Session,
+    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+        let result = run()?;
+        print(&result);
+        crate::output::save_json(self.id(), &result);
+        Ok(ect_core::ExperimentOutput::new(
+            self.id(),
+            "total_sessions",
+            result.total_sessions as f64,
+        )
+        .with_artifact(self.id()))
+    }
+}

@@ -47,3 +47,32 @@ pub fn print(result: &Fig04Result) {
         result.group[0] - result.group[349]
     );
 }
+
+/// Registry face of this experiment (see [`crate::registry`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig04Experiment;
+
+impl ect_core::Experiment for Fig04Experiment {
+    fn id(&self) -> &'static str {
+        "fig04_degradation"
+    }
+    fn description(&self) -> &'static str {
+        "backup-battery capacity decay (Fig. 4)"
+    }
+    fn artifact_stems(&self) -> &'static [&'static str] {
+        &["fig04_degradation"]
+    }
+    fn run(
+        &self,
+        _session: &mut ect_core::Session,
+    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+        let result = run()?;
+        print(&result);
+        crate::output::save_json(self.id(), &result);
+        let final_capacity = result.group.last().copied().unwrap_or(f64::NAN);
+        Ok(
+            ect_core::ExperimentOutput::new(self.id(), "final_group_capacity", final_capacity)
+                .with_artifact(self.id()),
+        )
+    }
+}

@@ -58,3 +58,31 @@ pub fn print(result: &Fig05Result) {
         result.correlation
     );
 }
+
+/// Registry face of this experiment (see [`crate::registry`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig05Experiment;
+
+impl ect_core::Experiment for Fig05Experiment {
+    fn id(&self) -> &'static str {
+        "fig05_rtp_traffic"
+    }
+    fn description(&self) -> &'static str {
+        "RTP vs traffic correlation (Fig. 5)"
+    }
+    fn artifact_stems(&self) -> &'static [&'static str] {
+        &["fig05_rtp_traffic"]
+    }
+    fn run(
+        &self,
+        _session: &mut ect_core::Session,
+    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+        let result = run()?;
+        print(&result);
+        crate::output::save_json(self.id(), &result);
+        Ok(
+            ect_core::ExperimentOutput::new(self.id(), "correlation", result.correlation)
+                .with_artifact(self.id()),
+        )
+    }
+}

@@ -40,3 +40,32 @@ pub fn print(result: &Fig11Result) {
         println!("            Incentive peak at {peak}:00");
     }
 }
+
+/// Registry face of this experiment (see [`crate::registry`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig11Experiment;
+
+impl ect_core::Experiment for Fig11Experiment {
+    fn id(&self) -> &'static str {
+        "fig11_strata_stations"
+    }
+    fn description(&self) -> &'static str {
+        "per-station strata mix (Fig. 11)"
+    }
+    fn artifact_stems(&self) -> &'static [&'static str] {
+        &["fig11_strata_stations"]
+    }
+    fn run(
+        &self,
+        session: &mut ect_core::Session,
+    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+        let artifacts = super::pricing_artifacts(session)?;
+        let result = run(&artifacts);
+        print(&result);
+        crate::output::save_json(self.id(), &result);
+        Ok(
+            ect_core::ExperimentOutput::new(self.id(), "stations", result.stations.len() as f64)
+                .with_artifact(self.id()),
+        )
+    }
+}

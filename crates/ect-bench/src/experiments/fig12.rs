@@ -77,3 +77,32 @@ pub fn print(result: &Fig12Result) {
         evening_inc / other_max.max(1e-9)
     );
 }
+
+/// Registry face of this experiment (see [`crate::registry`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig12Experiment;
+
+impl ect_core::Experiment for Fig12Experiment {
+    fn id(&self) -> &'static str {
+        "fig12_strata_periods"
+    }
+    fn description(&self) -> &'static str {
+        "per-period strata mix (Fig. 12)"
+    }
+    fn artifact_stems(&self) -> &'static [&'static str] {
+        &["fig12_strata_periods"]
+    }
+    fn run(
+        &self,
+        session: &mut ect_core::Session,
+    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+        let artifacts = super::pricing_artifacts(session)?;
+        let result = run(&artifacts);
+        print(&result);
+        crate::output::save_json(self.id(), &result);
+        Ok(
+            ect_core::ExperimentOutput::new(self.id(), "periods", result.predicted.len() as f64)
+                .with_artifact(self.id()),
+        )
+    }
+}

@@ -1,24 +1,28 @@
 //! Shared fleet experiment: per-hub DRL training under each pricing method.
 //! Backs both Fig. 13 (daily series) and Table III (reward matrix).
 //!
-//! Rides the batched fleet engine: [`ect_core::run_fleet`] trains each
-//! method's 12 hubs as lockstep [`ect_env::vec_env::FleetEnv`] batches
-//! (exogenous series `Arc`-shared, observations allocation-free), with
-//! results bit-identical to the sequential per-cell path.
+//! Rides the batched fleet engine through
+//! [`Session::fleet_for`](ect_core::Session::fleet_for): each method's hubs
+//! train as lockstep [`ect_env::vec_env::FleetEnv`] batches (exogenous
+//! series `Arc`-shared, observations allocation-free), with results
+//! bit-identical to the sequential per-cell path. The assembled system and
+//! the trained ECT-Price model come from the session's artifact store, so
+//! the fleet shares them with Table II and the Fig. 11/12 experiments.
 
-use super::PricingArtifacts;
+use super::{pricing_artifacts, system_config};
 use ect_core::prelude::*;
 use ect_core::report::FleetReport;
 use ect_price::engine::{EctPriceEngine, PricingEngine};
 use ect_types::rng::EctRng;
 
-/// Trains the four paper engines (reusing the artifact ECT-Price model) and
-/// runs the full hub × method fleet on the batched engine.
+/// Trains the four paper engines (reusing the session's shared ECT-Price
+/// model) and runs the full hub × method fleet on the batched engine.
 ///
 /// # Errors
 ///
 /// Propagates training failures.
-pub fn run(artifacts: &PricingArtifacts, threads: usize) -> ect_types::Result<FleetReport> {
+pub fn run(session: &mut Session) -> ect_types::Result<FleetReport> {
+    let artifacts = pricing_artifacts(session)?;
     let system = &artifacts.system;
     let mut rng = EctRng::seed_from(system.config().seed ^ 0xF1EE7);
 
@@ -38,7 +42,8 @@ pub fn run(artifacts: &PricingArtifacts, threads: usize) -> ect_types::Result<Fl
         Box::new(EctPriceEngine::new(artifacts.model.clone())),
     ));
 
-    let cells = ect_core::run_fleet(system, &engines, threads)?;
+    let config = system_config(session.scale());
+    let cells = session.fleet_for(&config, &engines)?;
     Ok(FleetReport::new(cells))
 }
 
@@ -71,4 +76,46 @@ pub fn print_table3(report: &FleetReport) {
         .filter(|(_, w)| w == "Ours")
         .count();
     println!("Ours wins {wins}/{} hubs", report.hubs().len());
+}
+
+/// Mean `avg_daily_reward` across every (hub, method) cell — the headline
+/// metric of the fleet stage.
+pub fn mean_reward(report: &FleetReport) -> f64 {
+    let cells = &report.cells;
+    cells.iter().map(|c| c.avg_daily_reward).sum::<f64>() / cells.len().max(1) as f64
+}
+
+/// Registry face of this experiment (see [`crate::registry`]): one run
+/// backs both the Fig. 13 and Table III artifacts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetExperiment;
+
+impl ect_core::Experiment for FleetExperiment {
+    fn id(&self) -> &'static str {
+        "fleet"
+    }
+    fn description(&self) -> &'static str {
+        "batched PPO fleet scheduling (Fig. 13 / Table III)"
+    }
+    fn artifact_stems(&self) -> &'static [&'static str] {
+        &["fig13_hub_rewards", "table3_hub_rewards"]
+    }
+    fn run(
+        &self,
+        session: &mut ect_core::Session,
+    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+        session.report("training the hub fleet (this is the long stage) …");
+        let report = run(session)?;
+        print_fig13(&report);
+        print_table3(&report);
+        crate::output::save_json("fig13_hub_rewards", &report);
+        crate::output::save_json("table3_hub_rewards", &report);
+        Ok(ect_core::ExperimentOutput::new(
+            self.id(),
+            "mean_avg_daily_reward",
+            mean_reward(&report),
+        )
+        .with_artifact("fig13_hub_rewards")
+        .with_artifact("table3_hub_rewards"))
+    }
 }

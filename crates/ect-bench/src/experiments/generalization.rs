@@ -31,9 +31,10 @@ impl GeneralizationResult {
 }
 
 /// The experiment's scale knobs.
-fn experiment_config(scale: crate::Scale) -> SystemConfig {
+pub fn experiment_config(scale: crate::Scale) -> SystemConfig {
     let mut config = SystemConfig::miniature();
     match scale {
+        crate::Scale::Smoke => return smoke_config(),
         crate::Scale::Quick => {
             config.world.num_hubs = 3;
             config.world.horizon_slots = 24 * 7;
@@ -61,8 +62,44 @@ pub fn smoke_config() -> SystemConfig {
     config
 }
 
-/// Runs both arms over a caller-supplied system configuration — the
-/// reusable core behind [`run`] and the smoke test.
+/// Runs both arms over a caller-supplied system configuration inside a
+/// session — the registry path. The held-out baselines and each arm's
+/// trained generalist are memoised in the session's artifact store, so a
+/// combined `run_all` (or a repeated run) trains each of them exactly once.
+///
+/// # Errors
+///
+/// Propagates system construction, training and evaluation failures.
+pub fn run_in_session(
+    session: &mut Session,
+    config: SystemConfig,
+) -> ect_types::Result<GeneralizationResult> {
+    let threads = session.threads();
+    let conditioned = session.generalist_for(
+        &config,
+        &GeneralistOptions {
+            augmentation: ObsAugmentation::SCENARIO,
+            lanes: 0,
+            threads,
+        },
+    )?;
+    let blind = session.generalist_for(
+        &config,
+        &GeneralistOptions {
+            augmentation: ObsAugmentation::NONE,
+            lanes: 0,
+            threads,
+        },
+    )?;
+    Ok(GeneralizationResult {
+        conditioned: conditioned.report.clone(),
+        blind: blind.report.clone(),
+    })
+}
+
+/// Runs both arms over a caller-supplied system configuration through the
+/// **legacy free-function path** — kept for the session-equivalence pins
+/// (`tests/session_equivalence.rs`) and the smoke test.
 ///
 /// # Errors
 ///
@@ -138,6 +175,34 @@ pub fn print(result: &GeneralizationResult) {
     println!("== Generalisation: mixture generalist on held-out stress worlds ==\n");
     print_report("scenario-conditioned", &result.conditioned);
     print_report("blind (no conditioning)", &result.blind);
+}
+
+/// Registry face of this experiment (see [`crate::registry`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GeneralizationExperiment;
+
+impl ect_core::Experiment for GeneralizationExperiment {
+    fn id(&self) -> &'static str {
+        "generalization"
+    }
+    fn description(&self) -> &'static str {
+        "scenario-mixture generalist vs held-out worlds"
+    }
+    fn artifact_stems(&self) -> &'static [&'static str] {
+        &["generalization"]
+    }
+    fn run(
+        &self,
+        session: &mut ect_core::Session,
+    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+        let result = run_in_session(session, experiment_config(session.scale()))?;
+        print(&result);
+        crate::output::save_json(self.id(), &result);
+        Ok(
+            ect_core::ExperimentOutput::new(self.id(), "mean_heldout_gap", result.headline_gap())
+                .with_artifact(self.id()),
+        )
+    }
 }
 
 #[cfg(test)]

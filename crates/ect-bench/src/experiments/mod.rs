@@ -19,6 +19,10 @@ use crate::Scale;
 use ect_core::prelude::*;
 use ect_price::features::PricingDataset;
 use ect_price::model::EctPriceModel;
+use std::sync::Arc;
+
+/// Seed-stream separator of the shared ECT-Price training rng.
+const PRICING_SEED_STREAM: u64 = 0x9A1C;
 
 /// Everything the pricing experiments share: the system, the observational
 /// split and a trained ECT-Price model.
@@ -37,6 +41,13 @@ pub struct PricingArtifacts {
 pub fn system_config(scale: Scale) -> SystemConfig {
     let mut config = SystemConfig::default();
     match scale {
+        Scale::Smoke => {
+            // CI-sized: the miniature world with a trimmed pricing history,
+            // so even the pricing/fleet stages finish in seconds.
+            config = SystemConfig::miniature();
+            config.trainer.episodes = 2;
+            config.test_episodes = 1;
+        }
         Scale::Quick => {
             config.pricing_history_slots = 24 * 7 * 26;
             config.pricing_test_slots = 24 * 7 * 8;
@@ -59,16 +70,9 @@ pub fn system_config(scale: Scale) -> SystemConfig {
     config
 }
 
-/// Builds the shared pricing artifacts (generates the world, splits the
-/// history, trains ECT-Price).
-///
-/// # Errors
-///
-/// Propagates system construction and training failures.
-pub fn build_pricing_artifacts(scale: Scale) -> ect_types::Result<PricingArtifacts> {
-    let system = EctHubSystem::new(system_config(scale))?;
+fn train_artifacts(system: EctHubSystem) -> ect_types::Result<PricingArtifacts> {
     let (train, test) = system.pricing_datasets();
-    let mut rng = EctRng::seed_from(system.config().seed ^ 0x9A1C);
+    let mut rng = EctRng::seed_from(system.config().seed ^ PRICING_SEED_STREAM);
     let space = system.feature_space();
     let config = system.config().ect_price.clone();
     let mut model = EctPriceModel::new(space, &config, &mut rng);
@@ -79,4 +83,75 @@ pub fn build_pricing_artifacts(scale: Scale) -> ect_types::Result<PricingArtifac
         test,
         model,
     })
+}
+
+/// Builds the shared pricing artifacts (generates the world, splits the
+/// history, trains ECT-Price). Standalone path for benches; harness runs
+/// share one build through [`pricing_artifacts`] instead.
+///
+/// # Errors
+///
+/// Propagates system construction and training failures.
+pub fn build_pricing_artifacts(scale: Scale) -> ect_types::Result<PricingArtifacts> {
+    train_artifacts(EctHubSystem::new(system_config(scale))?)
+}
+
+/// Build provenance of the shared pricing artifacts: how long the one
+/// ECT-Price training of a session took and how much data it saw. Stored
+/// next to the artifacts so `run_all` can keep the historical
+/// `pricing_artifacts` row of `results/BENCH_summary.json` (wall time would
+/// otherwise be silently folded into whichever pricing experiment runs
+/// first).
+#[derive(Debug, Clone, Copy)]
+pub struct PricingBuild {
+    /// Wall-clock seconds spent generating the history and training.
+    pub wall_time_s: f64,
+    /// Training records the model saw (the row's historical metric).
+    pub train_records: usize,
+}
+
+fn pricing_build_key(config: &SystemConfig) -> ArtifactKey {
+    ArtifactKey::of("pricing-artifacts-build", config)
+}
+
+/// The shared pricing artifacts of the session's scale, memoised in its
+/// artifact store: `run_all`, `table2_price`, the Fig. 11/12 bins and the
+/// fleet stage all train ECT-Price exactly once per session. Bit-identical
+/// to [`build_pricing_artifacts`] at the same scale.
+///
+/// # Errors
+///
+/// Propagates system construction and training failures.
+pub fn pricing_artifacts(session: &mut Session) -> ect_types::Result<Arc<PricingArtifacts>> {
+    let config = system_config(session.scale());
+    let key = ArtifactKey::of("pricing-artifacts", &config);
+    let first_build = !session.store().contains(&key);
+    if first_build {
+        session.report("training pricing models …");
+    }
+    let system = session.system_for(&config)?;
+    let t0 = std::time::Instant::now();
+    let artifacts = session
+        .store_mut()
+        .get_or_insert(key, || train_artifacts((*system).clone()))?;
+    if first_build {
+        let build = PricingBuild {
+            wall_time_s: t0.elapsed().as_secs_f64(),
+            train_records: artifacts.train.len(),
+        };
+        session
+            .store_mut()
+            .get_or_insert(pricing_build_key(&config), || Ok(build))?;
+    }
+    Ok(artifacts)
+}
+
+/// The build provenance recorded by [`pricing_artifacts`], if this session
+/// trained the shared model (None when no pricing experiment ran).
+pub fn pricing_build(session: &Session) -> Option<PricingBuild> {
+    let config = system_config(session.scale());
+    session
+        .store()
+        .get::<PricingBuild>(&pricing_build_key(&config))
+        .map(|build| *build)
 }

@@ -40,9 +40,10 @@ pub struct ScenarioSweepResult {
 }
 
 /// The sweep's experiment scale knobs.
-fn sweep_config(scale: crate::Scale) -> SystemConfig {
+pub fn sweep_config(scale: crate::Scale) -> SystemConfig {
     let mut config = SystemConfig::miniature();
     match scale {
+        crate::Scale::Smoke => return smoke_config(),
         crate::Scale::Quick => {
             config.world.num_hubs = 4;
             config.world.horizon_slots = 24 * 14;
@@ -109,12 +110,31 @@ fn summarise(grid: &[ScenarioGridResult]) -> Vec<ScenarioSummary> {
         .collect()
 }
 
-/// Runs the sweep over a caller-supplied system configuration — the reusable
-/// core behind [`run`] and the smoke test.
+/// Runs the sweep over a caller-supplied system configuration inside a
+/// session — the registry path; the base system is shared through the
+/// session's artifact store.
 ///
 /// # Errors
 ///
 /// Propagates system construction and grid failures.
+pub fn run_in_session(
+    session: &mut Session,
+    config: SystemConfig,
+) -> ect_types::Result<ScenarioSweepResult> {
+    let scenarios = scenario_library(config.world.horizon_slots);
+    let grid = session.scenario_grid_for(&config, &scenarios, &engines)?;
+    let summaries = summarise(&grid);
+    Ok(ScenarioSweepResult { grid, summaries })
+}
+
+/// Runs the sweep over a caller-supplied system configuration through the
+/// **legacy free-function path** — kept for the session-equivalence pins
+/// (`tests/session_equivalence.rs`) and the smoke test.
+///
+/// # Errors
+///
+/// Propagates system construction and grid failures.
+#[allow(deprecated)] // the legacy shim must stay green and bit-identical
 pub fn run_with_config(
     config: SystemConfig,
     threads: usize,
@@ -174,6 +194,35 @@ pub fn print(result: &ScenarioSweepResult) {
         result.summaries.len(),
         methods.len()
     );
+}
+
+/// Registry face of this experiment (see [`crate::registry`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScenarioSweepExperiment;
+
+impl ect_core::Experiment for ScenarioSweepExperiment {
+    fn id(&self) -> &'static str {
+        "scenario_sweep"
+    }
+    fn description(&self) -> &'static str {
+        "stress-scenario library × pricing methods"
+    }
+    fn artifact_stems(&self) -> &'static [&'static str] {
+        &["scenario_sweep"]
+    }
+    fn run(
+        &self,
+        session: &mut ect_core::Session,
+    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+        session.report("sweeping the stress library …");
+        let result = run_in_session(session, sweep_config(session.scale()))?;
+        print(&result);
+        crate::output::save_json(self.id(), &result);
+        Ok(
+            ect_core::ExperimentOutput::new(self.id(), "scenarios", result.summaries.len() as f64)
+                .with_artifact(self.id()),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -29,9 +29,10 @@ impl SeveritySweepResult {
 }
 
 /// The experiment's scale knobs.
-fn experiment_config(scale: crate::Scale) -> SystemConfig {
+pub fn experiment_config(scale: crate::Scale) -> SystemConfig {
     let mut config = SystemConfig::miniature();
     match scale {
+        crate::Scale::Smoke => return smoke_config(),
         crate::Scale::Quick => {
             config.world.num_hubs = 3;
             config.world.horizon_slots = 24 * 7;
@@ -68,12 +69,41 @@ pub fn smoke_options() -> SeverityOptions {
     }
 }
 
-/// Runs the sweep over caller-supplied configurations — the reusable core
-/// behind [`run`] and the smoke test.
+/// The sweep options of one experiment scale (the smoke ladder exercises
+/// the tight world cache; the other scales use the defaults).
+pub fn options_for(scale: crate::Scale) -> SeverityOptions {
+    match scale {
+        crate::Scale::Smoke => smoke_options(),
+        _ => SeverityOptions::default(),
+    }
+}
+
+/// Runs the sweep over caller-supplied configurations inside a session —
+/// the registry path; the trained domain-randomised generalist and its
+/// curves are memoised in the session's artifact store.
 ///
 /// # Errors
 ///
 /// Propagates system construction, training and evaluation failures.
+pub fn run_in_session(
+    session: &mut Session,
+    config: SystemConfig,
+    options: SeverityOptions,
+) -> ect_types::Result<SeveritySweepResult> {
+    let outcome = session.severity_for(&config, &options)?;
+    Ok(SeveritySweepResult {
+        report: outcome.report.clone(),
+    })
+}
+
+/// Runs the sweep over caller-supplied configurations through the **legacy
+/// free-function path** — kept for the session-equivalence pins
+/// (`tests/session_equivalence.rs`) and the smoke test.
+///
+/// # Errors
+///
+/// Propagates system construction, training and evaluation failures.
+#[allow(deprecated)] // the legacy shim must stay green and bit-identical
 pub fn run_with_config(
     config: SystemConfig,
     options: SeverityOptions,
@@ -92,6 +122,38 @@ pub fn run_with_config(
 /// Propagates system construction, training and evaluation failures.
 pub fn run(scale: crate::Scale) -> ect_types::Result<SeveritySweepResult> {
     run_with_config(experiment_config(scale), SeverityOptions::default())
+}
+
+/// Registry face of this experiment (see [`crate::registry`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeveritySweepExperiment;
+
+impl ect_core::Experiment for SeveritySweepExperiment {
+    fn id(&self) -> &'static str {
+        "severity_sweep"
+    }
+    fn description(&self) -> &'static str {
+        "domain-randomised generalist vs per-axis stress intensity"
+    }
+    fn artifact_stems(&self) -> &'static [&'static str] {
+        &["severity_sweep"]
+    }
+    fn run(
+        &self,
+        session: &mut ect_core::Session,
+    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+        session.report("sweeping stress intensity per axis …");
+        let scale = session.scale();
+        let result = run_in_session(session, experiment_config(scale), options_for(scale))?;
+        print(&result);
+        crate::output::save_json(self.id(), &result);
+        Ok(ect_core::ExperimentOutput::new(
+            self.id(),
+            "mean_degradation",
+            result.headline_degradation(),
+        )
+        .with_artifact(self.id()))
+    }
 }
 
 /// Prints one reward-vs-intensity table per axis.
@@ -177,6 +239,22 @@ mod tests {
                 assert!(
                     unserved.windows(2).all(|w| w[1] >= w[0]),
                     "outage unserved energy not monotone: {unserved:?}"
+                );
+                // Scripted outages feed the stepping reward path (shed
+                // charging revenue + VoLL penalties), so the axis moves
+                // reward, not just the endurance diagnostics: the extreme
+                // rung pays for its blackouts.
+                let first = curve.points.first().unwrap();
+                let last = curve.points.last().unwrap();
+                assert!(
+                    last.generalist < first.generalist,
+                    "outage axis must degrade reward: {} -> {}",
+                    first.generalist,
+                    last.generalist
+                );
+                assert!(
+                    last.best_heuristic < first.best_heuristic,
+                    "outage axis must degrade the rule-based anchors too"
                 );
             } else {
                 assert!(curve.points.iter().all(|p| p.outage_unserved_kwh == 0.0));

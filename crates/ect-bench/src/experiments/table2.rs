@@ -19,6 +19,10 @@ pub const DISCOUNTS: [f64; 6] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
 /// # Errors
 ///
 /// Propagates baseline-training failures.
+// The legacy shim is pinned on purpose: this rng stream (seed ^ 0x7AB2)
+// reproduces the historical Table II bit for bit, whereas the session's
+// memoised `pricing_table` uses its own decorrelated stream.
+#[allow(deprecated)]
 pub fn run(artifacts: &PricingArtifacts) -> ect_types::Result<Table2Result> {
     let mut rng = EctRng::seed_from(artifacts.system.config().seed ^ 0x7AB2);
     let mut table = ect_core::pricing_table(
@@ -44,4 +48,33 @@ pub fn run(artifacts: &PricingArtifacts) -> ect_types::Result<Table2Result> {
 pub fn print(table: &Table2Result) {
     println!("== Table II: pricing evaluation across discount levels ==");
     println!("{}", table.to_markdown());
+}
+
+/// Registry face of this experiment (see [`crate::registry`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Table2Experiment;
+
+impl ect_core::Experiment for Table2Experiment {
+    fn id(&self) -> &'static str {
+        "table2_price"
+    }
+    fn description(&self) -> &'static str {
+        "pricing methods vs oracle strata (Table II)"
+    }
+    fn artifact_stems(&self) -> &'static [&'static str] {
+        &["table2_price"]
+    }
+    fn run(
+        &self,
+        session: &mut ect_core::Session,
+    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+        let artifacts = super::pricing_artifacts(session)?;
+        let table = run(&artifacts)?;
+        print(&table);
+        crate::output::save_json(self.id(), &table);
+        Ok(
+            ect_core::ExperimentOutput::new(self.id(), "methods", table.methods.len() as f64)
+                .with_artifact(self.id()),
+        )
+    }
 }

@@ -1,7 +1,9 @@
 //! Experiment harnesses regenerating every table and figure of the paper.
 //!
 //! Each experiment lives in [`experiments`] as a pure function returning a
-//! serialisable result; the `src/bin/*` binaries are thin CLI wrappers, and
+//! serialisable result **and** as an [`Experiment`](ect_core::Experiment)
+//! implementation registered in the [`registry`]. The `src/bin/*` binaries
+//! are one-line registry lookups behind the shared [`cli`] parser, and
 //! `benches/bench_experiments.rs` times scaled-down versions of each one.
 //!
 //! Conventions:
@@ -9,27 +11,18 @@
 //! * every run prints the paper-shaped rows/series to stdout **and** writes
 //!   JSON under `results/` (next to the workspace root) for EXPERIMENTS.md;
 //! * [`Scale::Quick`] (default) finishes in seconds-to-minutes on a laptop;
-//!   [`Scale::Paper`] matches the paper's budgets (pass `--full`).
+//!   [`Scale::Paper`] matches the paper's budgets (pass `--full`);
+//!   [`Scale::Smoke`] (pass `--smoke`) is the CI-sized preset;
+//! * experiments run inside one [`Session`](ect_core::Session): expensive
+//!   intermediates (the assembled system, the trained ECT-Price model, the
+//!   held-out baselines, trained generalists) are memoised in its artifact
+//!   store, so `run_all` trains each of them exactly once.
 
+pub mod cli;
 pub mod experiments;
 pub mod output;
+pub mod registry;
 
-/// Experiment budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Laptop-scale defaults.
-    Quick,
-    /// The paper's budgets (500 training episodes, 2-year histories, …).
-    Paper,
-}
-
-impl Scale {
-    /// Parses `--full` from argv; everything else is Quick.
-    pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--full") {
-            Scale::Paper
-        } else {
-            Scale::Quick
-        }
-    }
-}
+/// Experiment budget — the bench-layer name of
+/// [`ect_core::RunScale`] (`--smoke` / default / `--full`).
+pub use ect_core::session::RunScale as Scale;

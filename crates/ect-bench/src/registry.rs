@@ -1,0 +1,395 @@
+//! The experiment registry: every paper figure/table and beyond-paper study
+//! as one uniform, driveable catalog.
+//!
+//! [`ExperimentRegistry::standard`] lists every [`Experiment`] in `run_all`
+//! execution order. The `src/bin/*` binaries are one-line wrappers over
+//! [`run_single`]; `run_all` is [`run_all_main`] — both share the
+//! [`crate::cli`] parser and one [`Session`], so every expensive
+//! intermediate (the assembled system, the trained ECT-Price model, the
+//! held-out baselines, trained generalists) is built exactly once per
+//! process however many experiments run.
+
+use crate::cli::BenchArgs;
+use crate::experiments::{
+    ablations::AblationsExperiment, fig01::Fig01Experiment, fig02::Fig02Experiment,
+    fig03::Fig03Experiment, fig04::Fig04Experiment, fig05::Fig05Experiment, fig11::Fig11Experiment,
+    fig12::Fig12Experiment, fleet::FleetExperiment, generalization::GeneralizationExperiment,
+    scenario_sweep::ScenarioSweepExperiment, severity_sweep::SeveritySweepExperiment,
+    table2::Table2Experiment,
+};
+use crate::output::{save_json, BenchSummaryEntry};
+use ect_core::experiment::{run_timed, Experiment, ExperimentOutput};
+use ect_core::session::Session;
+use std::time::Instant;
+
+/// An ordered catalog of registered experiments.
+pub struct ExperimentRegistry {
+    entries: Vec<Box<dyn Experiment>>,
+}
+
+impl Default for ExperimentRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl ExperimentRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The standard catalog: every experiment `run_all` executes, in
+    /// execution order.
+    pub fn standard() -> Self {
+        let mut registry = Self::new();
+        registry.register(Box::new(Fig01Experiment));
+        registry.register(Box::new(Fig02Experiment));
+        registry.register(Box::new(Fig03Experiment));
+        registry.register(Box::new(Fig04Experiment));
+        registry.register(Box::new(Fig05Experiment));
+        registry.register(Box::new(Table2Experiment));
+        registry.register(Box::new(Fig11Experiment));
+        registry.register(Box::new(Fig12Experiment));
+        registry.register(Box::new(FleetExperiment));
+        registry.register(Box::new(AblationsExperiment));
+        registry.register(Box::new(ScenarioSweepExperiment));
+        registry.register(Box::new(GeneralizationExperiment));
+        registry.register(Box::new(SeveritySweepExperiment));
+        registry
+    }
+
+    /// Registers an experiment at the end of the execution order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the experiment's id or any of its artifact stems collides
+    /// with an already-registered experiment — ids are CLI names and stems
+    /// are `results/` files, so a collision is a harness bug.
+    pub fn register(&mut self, experiment: Box<dyn Experiment>) {
+        assert!(
+            self.get(experiment.id()).is_none(),
+            "duplicate experiment id '{}'",
+            experiment.id()
+        );
+        for stem in experiment.artifact_stems() {
+            assert!(
+                !self
+                    .entries
+                    .iter()
+                    .any(|e| e.artifact_stems().contains(stem)),
+                "artifact stem '{stem}' already written by another experiment"
+            );
+        }
+        self.entries.push(experiment);
+    }
+
+    /// The registered experiments, in execution order.
+    pub fn experiments(&self) -> &[Box<dyn Experiment>] {
+        &self.entries
+    }
+
+    /// Registered ids, in execution order.
+    pub fn ids(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.id()).collect()
+    }
+
+    /// Number of registered experiments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks an experiment up by id.
+    pub fn get(&self, id: &str) -> Option<&dyn Experiment> {
+        self.entries
+            .iter()
+            .find(|e| e.id() == id)
+            .map(|e| e.as_ref())
+    }
+
+    /// The `--list` catalog text: one row per experiment plus the flag
+    /// summary.
+    pub fn catalog(&self) -> String {
+        let mut out = String::from("experiments run by run_all, in order:\n\n");
+        for experiment in &self.entries {
+            out.push_str(&format!(
+                "  {:<22} {}\n",
+                experiment.id(),
+                experiment.description()
+            ));
+            out.push_str(&format!(
+                "  {:<22} └─ results/: {}\n",
+                "",
+                experiment.artifact_stems().join(" + ")
+            ));
+        }
+        out.push_str(
+            "\nflags: --full (paper budgets), --smoke (CI budgets), \
+             --only <ids>, --skip <ids>, --threads <n>, --list (this listing)",
+        );
+        out
+    }
+
+    /// Validates that every filter id names a registered experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] naming the unknown id.
+    pub fn check_filters(&self, args: &BenchArgs) -> ect_types::Result<()> {
+        for id in args.only.iter().chain(&args.skip) {
+            if self.get(id).is_none() {
+                return Err(ect_types::EctError::InvalidConfig(format!(
+                    "unknown experiment id '{id}' (run with --list for the catalog)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs every experiment the filters select, in order, sharing the
+    /// session. Returns one summary entry per executed experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter validation and the first experiment failure.
+    pub fn run_filtered(
+        &self,
+        session: &mut Session,
+        args: &BenchArgs,
+    ) -> ect_types::Result<Vec<BenchSummaryEntry>> {
+        self.check_filters(args)?;
+        let mut summary = Vec::new();
+        for experiment in &self.entries {
+            if !args.selects(experiment.id()) {
+                continue;
+            }
+            println!(
+                "\n################ {} ({}) ################\n",
+                experiment.id(),
+                session.scale()
+            );
+            let output = run_timed(experiment.as_ref(), session)?;
+            summary.push(summary_entry(&output));
+        }
+        Ok(summary)
+    }
+}
+
+/// Converts an experiment envelope into its `results/BENCH_summary.json`
+/// row.
+pub fn summary_entry(output: &ExperimentOutput) -> BenchSummaryEntry {
+    BenchSummaryEntry {
+        experiment: output.id.clone(),
+        wall_time_s: output.wall_time_s,
+        metric_name: output.metric_name.clone(),
+        metric_value: output.metric_value,
+    }
+}
+
+/// Shared `main` of the single-experiment binaries: parse the CLI, build
+/// the session, run the one registered experiment (`--list` prints the
+/// catalog instead).
+///
+/// # Errors
+///
+/// Propagates lookup and experiment failures.
+pub fn run_single(id: &str) -> ect_types::Result<()> {
+    let args = BenchArgs::parse();
+    let registry = ExperimentRegistry::standard();
+    if args.list {
+        println!("{}", registry.catalog());
+        return Ok(());
+    }
+    let experiment = registry.get(id).ok_or_else(|| {
+        ect_types::EctError::InvalidConfig(format!("experiment '{id}' is not registered"))
+    })?;
+    let mut session = args.session(id)?;
+    run_timed(experiment, &mut session)?;
+    Ok(())
+}
+
+/// The `run_all` entry point: runs the (filtered) catalog over one shared
+/// session and writes `results/BENCH_summary.json` for full passes.
+///
+/// # Errors
+///
+/// Propagates filter validation and the first experiment failure.
+pub fn run_all_main() -> ect_types::Result<()> {
+    let args = BenchArgs::parse();
+    let registry = ExperimentRegistry::standard();
+    if args.list {
+        println!("{}", registry.catalog());
+        return Ok(());
+    }
+    let t0 = Instant::now();
+    let mut session = args.session("run_all")?;
+    let mut summary = registry.run_filtered(&mut session, &args)?;
+    // Keep the historical `pricing_artifacts` row: the shared ECT-Price
+    // training happens inside whichever pricing experiment touches the
+    // store first, so its wall time is re-attributed to its own row at the
+    // row's historical position (just before table2_price).
+    if let Some(build) = crate::experiments::pricing_build(&session) {
+        let row = BenchSummaryEntry {
+            experiment: "pricing_artifacts".into(),
+            wall_time_s: build.wall_time_s,
+            metric_name: "train_records".into(),
+            metric_value: build.train_records as f64,
+        };
+        // Experiments run in registry order, so the *first* executed
+        // pricing-dependent experiment is the one that hosted the build;
+        // subtract the shared cost from its wall so per-experiment numbers
+        // stay comparable across passes.
+        const PRICING_DEPENDENT: &[&str] = &[
+            "table2_price",
+            "fig11_strata_stations",
+            "fig12_strata_periods",
+            "fleet",
+            "ablations",
+        ];
+        if let Some(host) = summary
+            .iter_mut()
+            .find(|entry| PRICING_DEPENDENT.contains(&entry.experiment.as_str()))
+        {
+            host.wall_time_s = (host.wall_time_s - build.wall_time_s).max(0.0);
+        }
+        let at = summary
+            .iter()
+            .position(|entry| entry.experiment == "table2_price")
+            .unwrap_or(summary.len());
+        summary.insert(at, row);
+    }
+    if args.only.is_empty() && args.skip.is_empty() {
+        save_json("BENCH_summary", &summary);
+    } else {
+        println!(
+            "\n[run_all] filtered pass ({} of {} experiments) — BENCH_summary.json untouched",
+            summary.len(),
+            registry.len()
+        );
+    }
+    println!(
+        "\nall experiments done in {:.1} s ({} artifact-store hits, {} builds)",
+        t0.elapsed().as_secs_f64(),
+        session.store().hits(),
+        session.store().misses()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_unique_ids_and_artifact_stems() {
+        let registry = ExperimentRegistry::standard();
+        assert_eq!(registry.len(), 13);
+        assert!(!registry.is_empty());
+
+        let ids = registry.ids();
+        let mut deduped = ids.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), ids.len(), "experiment ids must be unique");
+
+        let mut stems: Vec<&str> = registry
+            .experiments()
+            .iter()
+            .flat_map(|e| e.artifact_stems().iter().copied())
+            .collect();
+        let total = stems.len();
+        stems.sort_unstable();
+        stems.dedup();
+        assert_eq!(stems.len(), total, "results/*.json stems must be unique");
+
+        // Every experiment writes at least one artifact and describes
+        // itself.
+        for experiment in registry.experiments() {
+            assert!(
+                !experiment.artifact_stems().is_empty(),
+                "{}",
+                experiment.id()
+            );
+            assert!(!experiment.description().is_empty(), "{}", experiment.id());
+        }
+    }
+
+    #[test]
+    fn registry_keeps_the_historical_run_all_order() {
+        let registry = ExperimentRegistry::standard();
+        assert_eq!(
+            registry.ids(),
+            vec![
+                "fig01_spatial",
+                "fig02_renewables",
+                "fig03_charging_freq",
+                "fig04_degradation",
+                "fig05_rtp_traffic",
+                "table2_price",
+                "fig11_strata_stations",
+                "fig12_strata_periods",
+                "fleet",
+                "ablations",
+                "scenario_sweep",
+                "generalization",
+                "severity_sweep",
+            ]
+        );
+    }
+
+    #[test]
+    fn catalog_lists_every_registered_experiment() {
+        let registry = ExperimentRegistry::standard();
+        let catalog = registry.catalog();
+        for experiment in registry.experiments() {
+            assert!(catalog.contains(experiment.id()), "{}", experiment.id());
+            for stem in experiment.artifact_stems() {
+                assert!(catalog.contains(stem), "{stem}");
+            }
+        }
+        assert!(catalog.contains("--only"));
+        assert!(catalog.contains("--skip"));
+    }
+
+    #[test]
+    fn lookup_and_filter_validation() {
+        let registry = ExperimentRegistry::standard();
+        assert!(registry.get("fleet").is_some());
+        assert!(registry.get("no-such-experiment").is_none());
+
+        let ok = BenchArgs {
+            only: vec!["fleet".into()],
+            skip: vec!["ablations".into()],
+            ..BenchArgs::default()
+        };
+        registry.check_filters(&ok).unwrap();
+        let bad = BenchArgs {
+            only: vec!["flete".into()],
+            ..BenchArgs::default()
+        };
+        assert!(registry.check_filters(&bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate experiment id")]
+    fn duplicate_ids_are_rejected_at_registration() {
+        let mut registry = ExperimentRegistry::standard();
+        registry.register(Box::new(crate::experiments::fleet::FleetExperiment));
+    }
+
+    #[test]
+    fn summary_entries_mirror_the_envelope() {
+        let output = ExperimentOutput::new("fleet", "mean_avg_daily_reward", 310.25);
+        let entry = summary_entry(&output);
+        assert_eq!(entry.experiment, "fleet");
+        assert_eq!(entry.metric_name, "mean_avg_daily_reward");
+        assert_eq!(entry.metric_value.to_bits(), 310.25f64.to_bits());
+    }
+}

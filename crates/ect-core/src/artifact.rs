@@ -1,0 +1,311 @@
+//! The session artifact store: content-addressed memoisation of expensive
+//! intermediates.
+//!
+//! Every costly stage of the pipeline — generating a [`WorldDataset`]
+//! (ect-data), training a pricing engine (ect-price), training a specialist
+//! or generalist policy (ect-drl) — is a *pure function of its serialisable
+//! inputs*: the same configuration always reproduces the same artifact bit
+//! for bit (the workspace determinism contract, see `docs/ARCHITECTURE.md`).
+//! That makes memoisation safe: an [`ArtifactStore`] keys each artifact by a
+//! content hash of its inputs ([`ArtifactKey`]) and hands out `Arc`-shared
+//! results, so experiments that request the same world, baselines or policy
+//! share one computation instead of re-running it.
+//!
+//! The store is deliberately *type-erased* (`Arc<dyn Any>`): the core
+//! [`Session`](crate::session::Session) memoises systems, worlds, held-out
+//! baselines and trained policies through it, and downstream layers (the
+//! `ect-bench` registry) memoise their own artifact types — e.g. the shared
+//! pricing artifacts — through the same store without `ect-core` knowing
+//! their shape.
+//!
+//! [`WorldDataset`]: ect_data::dataset::WorldDataset
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Content-addressed identity of one artifact: the artifact kind (a short
+/// static label such as `"world"` or `"generalist"`) plus an FNV-1a digest
+/// of the serialised inputs that produce it.
+///
+/// Two keys are equal exactly when the kind matches and the inputs
+/// serialise identically — any input change (a different seed, horizon,
+/// scenario modifier, training budget, …) changes the digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// Artifact kind label (namespaces the digest).
+    pub kind: &'static str,
+    /// FNV-1a hash of the serialised inputs.
+    pub digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl ArtifactKey {
+    /// Keys an artifact by a content hash of its serialisable inputs.
+    ///
+    /// The inputs are serialised through the workspace serde stack, so the
+    /// digest covers every field that participates in `Serialize` — exactly
+    /// the fields that determine the artifact under the determinism
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs fail to serialise (the workspace value-tree
+    /// serialiser is infallible for derived impls, so this indicates a bug).
+    pub fn of<T: serde::Serialize + ?Sized>(kind: &'static str, inputs: &T) -> Self {
+        let json = serde_json::to_string(inputs).expect("artifact inputs serialise");
+        Self {
+            kind,
+            digest: fnv1a(json.as_bytes()),
+        }
+    }
+
+    /// The key as a stable display string, e.g. `world:9c3f21ab04d87e51`.
+    pub fn display(&self) -> String {
+        format!("{}:{:016x}", self.kind, self.digest)
+    }
+}
+
+impl std::fmt::Display for ArtifactKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+/// Hit/miss counters of one artifact kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Lookups served from the store.
+    pub hits: usize,
+    /// Lookups that ran the builder (the computation budget spent).
+    pub misses: usize,
+}
+
+/// A content-addressed memo store for expensive pipeline intermediates.
+///
+/// Artifacts are held as `Arc<dyn Any>` and recovered by their concrete
+/// type through [`ArtifactStore::get_or_insert`]; the per-kind hit/miss
+/// counters make work sharing observable (the acceptance probes of the
+/// experiment harness assert on them).
+///
+/// Unlike the LRU-bounded `WorldCache` (which serves the *unbounded*
+/// domain-randomised spec space inside a single training run), the store
+/// holds every artifact for the session's lifetime: the artifact population
+/// of an experiment run is small and bounded by construction — one entry
+/// per distinct `(kind, inputs)` pair that the session touches.
+#[derive(Default)]
+pub struct ArtifactStore {
+    entries: HashMap<ArtifactKey, Arc<dyn Any + Send + Sync>>,
+    stats: HashMap<&'static str, KindStats>,
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("len", &self.entries.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The artifact under `key`, built by `build` on first request and
+    /// served from the store afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error (nothing is cached on failure).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stored artifact under `key` has a different concrete
+    /// type than `T` — two callers disagreeing on the payload type of one
+    /// kind is a programming error, not a runtime condition.
+    pub fn get_or_insert<T, F>(&mut self, key: ArtifactKey, build: F) -> ect_types::Result<Arc<T>>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> ect_types::Result<T>,
+    {
+        if let Some(found) = self.entries.get(&key) {
+            self.stats.entry(key.kind).or_default().hits += 1;
+            let typed = Arc::clone(found)
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("artifact {key} stored with a different type"));
+            return Ok(typed);
+        }
+        let built = Arc::new(build()?);
+        self.stats.entry(key.kind).or_default().misses += 1;
+        self.entries
+            .insert(key, Arc::clone(&built) as Arc<dyn Any + Send + Sync>);
+        Ok(built)
+    }
+
+    /// The artifact under `key`, if present — a read-only peek that does
+    /// not touch the hit/miss counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stored artifact has a different concrete type than
+    /// `T` (same contract as [`ArtifactStore::get_or_insert`]).
+    pub fn get<T: Any + Send + Sync>(&self, key: &ArtifactKey) -> Option<Arc<T>> {
+        self.entries.get(key).map(|found| {
+            Arc::clone(found)
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("artifact {key} stored with a different type"))
+        })
+    }
+
+    /// `true` when an artifact is stored under `key`.
+    pub fn contains(&self, key: &ArtifactKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of stored artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss counters of one artifact kind (zero when never touched).
+    pub fn kind_stats(&self, kind: &str) -> KindStats {
+        self.stats.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Total lookups served from the store across all kinds.
+    pub fn hits(&self) -> usize {
+        self.stats.values().map(|s| s.hits).sum()
+    }
+
+    /// Total builder invocations across all kinds — the computation budget
+    /// actually spent.
+    pub fn misses(&self) -> usize {
+        self.stats.values().map(|s| s.misses).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn keys_are_stable_and_input_sensitive() {
+        let a = ArtifactKey::of("world", &(7u64, "baseline"));
+        let b = ArtifactKey::of("world", &(7u64, "baseline"));
+        assert_eq!(a, b);
+        assert_eq!(a.display(), b.to_string());
+        // Any input change moves the digest; a kind change moves the key.
+        assert_ne!(a, ArtifactKey::of("world", &(8u64, "baseline")));
+        assert_ne!(a, ArtifactKey::of("world", &(7u64, "heatwave")));
+        assert_ne!(a, ArtifactKey::of("system", &(7u64, "baseline")));
+    }
+
+    #[test]
+    fn store_builds_once_and_shares_the_arc() {
+        let mut store = ArtifactStore::new();
+        let key = ArtifactKey::of("demo", &42u64);
+        let mut builds = 0usize;
+        let first: Arc<Vec<u64>> = store
+            .get_or_insert(key, || {
+                builds += 1;
+                Ok(vec![1, 2, 3])
+            })
+            .unwrap();
+        let second: Arc<Vec<u64>> = store
+            .get_or_insert(key, || {
+                builds += 1;
+                Ok(vec![9, 9, 9])
+            })
+            .unwrap();
+        assert_eq!(builds, 1, "second lookup must not rebuild");
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(store.kind_stats("demo"), KindStats { hits: 1, misses: 1 });
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(&key));
+        assert!(!store.is_empty());
+
+        // get() peeks without counting.
+        let peeked: Arc<Vec<u64>> = store.get(&key).expect("stored");
+        assert!(Arc::ptr_eq(&peeked, &first));
+        assert_eq!(store.kind_stats("demo"), KindStats { hits: 1, misses: 1 });
+        assert!(store
+            .get::<Vec<u64>>(&ArtifactKey::of("demo", &43u64))
+            .is_none());
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let mut store = ArtifactStore::new();
+        let key = ArtifactKey::of("flaky", &1u8);
+        let err: ect_types::Result<Arc<u32>> = store.get_or_insert(key, || {
+            Err(ect_types::EctError::InvalidConfig("boom".into()))
+        });
+        assert!(err.is_err());
+        assert!(!store.contains(&key));
+        // The next attempt runs the builder again and succeeds.
+        let ok: Arc<u32> = store.get_or_insert(key, || Ok(5)).unwrap();
+        assert_eq!(*ok, 5);
+        assert_eq!(
+            store.kind_stats("flaky"),
+            KindStats { hits: 0, misses: 1 },
+            "failures are not counted as misses"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_confusion_panics() {
+        let mut store = ArtifactStore::new();
+        let key = ArtifactKey::of("demo", &0u8);
+        let _: Arc<u32> = store.get_or_insert(key, || Ok(1)).unwrap();
+        let _: Arc<String> = store.get_or_insert(key, || Ok("no".into())).unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Satellite contract: the key hash is a pure function of the
+        /// serialised inputs — identical inputs collide, any change to any
+        /// field separates the keys.
+        #[test]
+        fn key_hash_tracks_input_identity(
+            seed_a in 0u64..1_000_000,
+            seed_b in 0u64..1_000_000,
+            name_a in 0usize..6,
+            name_b in 0usize..6,
+            scale in 0usize..4,
+        ) {
+            const NAMES: [&str; 6] =
+                ["", "baseline", "heatwave", "winter-storm", "ev-surge", "outage"];
+            let a = ArtifactKey::of("probe", &(seed_a, NAMES[name_a], scale));
+            let a_again = ArtifactKey::of("probe", &(seed_a, NAMES[name_a], scale));
+            prop_assert_eq!(a, a_again, "identical inputs must share one key");
+            let b = ArtifactKey::of("probe", &(seed_b, NAMES[name_b], scale));
+            if seed_a == seed_b && name_a == name_b {
+                prop_assert_eq!(a, b);
+            } else {
+                prop_assert_ne!(a, b);
+            }
+        }
+    }
+}

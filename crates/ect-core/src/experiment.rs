@@ -1,0 +1,148 @@
+//! The experiment abstraction: named, registrable units of evaluation work.
+//!
+//! An [`Experiment`] is anything that can reproduce one of the paper's
+//! tables/figures (or one of the repo's beyond-paper studies) inside a
+//! [`Session`]: it has a stable id, knows which `results/*.json` artifacts
+//! it writes, and returns a typed [`ExperimentOutput`] envelope — headline
+//! metric, wall time, artifact paths — that the bench registry aggregates
+//! into `results/BENCH_summary.json`.
+//!
+//! The concrete experiments live in the `ect-bench` crate (they own the
+//! printing and JSON layout of each figure); this module defines the
+//! contract so any layer — registry, CI smoke steps, downstream binaries —
+//! can drive them uniformly through a session.
+
+use crate::session::Session;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The typed result envelope of one experiment run.
+///
+/// The full figure/table payload lands in the experiment's `results/*.json`
+/// files; the envelope carries the *summary* every harness layer needs —
+/// it is exactly one row of `results/BENCH_summary.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOutput {
+    /// The experiment's registry id.
+    pub id: String,
+    /// Name of the headline metric.
+    pub metric_name: String,
+    /// Value of the headline metric.
+    pub metric_value: f64,
+    /// Wall-clock time of the run, seconds (stamped by [`run_timed`]).
+    pub wall_time_s: f64,
+    /// Paths of the JSON artifacts written, workspace-relative
+    /// (`results/<stem>.json`).
+    pub artifacts: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// An envelope with the given identity and headline metric; wall time
+    /// is stamped later by [`run_timed`], artifacts start empty.
+    pub fn new(id: &str, metric_name: &str, metric_value: f64) -> Self {
+        Self {
+            id: id.to_string(),
+            metric_name: metric_name.to_string(),
+            metric_value,
+            wall_time_s: 0.0,
+            artifacts: Vec::new(),
+        }
+    }
+
+    /// Records one written artifact stem as its workspace-relative path.
+    #[must_use]
+    pub fn with_artifact(mut self, stem: &str) -> Self {
+        self.artifacts.push(format!("results/{stem}.json"));
+        self
+    }
+}
+
+/// One registrable unit of evaluation work.
+///
+/// Implementations translate the session's [`RunScale`] into their own
+/// budgets, route all expensive intermediates through the session's
+/// artifact store, print their paper-shaped terminal view and persist
+/// their JSON — [`Experiment::run`] is the *whole* experiment, so a
+/// registry lookup plus one call replaces what used to be a hand-rolled
+/// binary.
+///
+/// [`RunScale`]: crate::session::RunScale
+pub trait Experiment {
+    /// Stable registry id (also the CLI name: `run_all --only <id>`).
+    fn id(&self) -> &'static str;
+
+    /// One-line description for catalogs (`run_all --list`).
+    fn description(&self) -> &'static str;
+
+    /// File stems of the `results/*.json` artifacts this experiment
+    /// writes. Must be unique across a registry.
+    fn artifact_stems(&self) -> &'static [&'static str];
+
+    /// Runs the experiment inside the session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, training and evaluation failures.
+    fn run(&self, session: &mut Session) -> ect_types::Result<ExperimentOutput>;
+}
+
+/// Runs an experiment and stamps its wall time into the envelope.
+///
+/// # Errors
+///
+/// Propagates [`Experiment::run`] failures.
+pub fn run_timed(
+    experiment: &dyn Experiment,
+    session: &mut Session,
+) -> ect_types::Result<ExperimentOutput> {
+    let t0 = Instant::now();
+    let mut output = experiment.run(session)?;
+    output.wall_time_s = t0.elapsed().as_secs_f64();
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionBuilder;
+    use crate::system::SystemConfig;
+
+    struct Probe;
+
+    impl Experiment for Probe {
+        fn id(&self) -> &'static str {
+            "probe"
+        }
+        fn description(&self) -> &'static str {
+            "counts the session's stored artifacts"
+        }
+        fn artifact_stems(&self) -> &'static [&'static str] {
+            &["probe"]
+        }
+        fn run(&self, session: &mut Session) -> ect_types::Result<ExperimentOutput> {
+            let world = session.world()?;
+            Ok(
+                ExperimentOutput::new("probe", "hubs", world.num_hubs() as f64)
+                    .with_artifact("probe"),
+            )
+        }
+    }
+
+    #[test]
+    fn experiments_run_through_a_session_and_stamp_wall_time() {
+        let mut config = SystemConfig::miniature();
+        config.world.horizon_slots = 24 * 2;
+        let mut session = SessionBuilder::new(config).build().unwrap();
+        let output = run_timed(&Probe, &mut session).unwrap();
+        assert_eq!(output.id, "probe");
+        assert_eq!(output.metric_name, "hubs");
+        assert_eq!(output.metric_value, 3.0);
+        assert!(output.wall_time_s >= 0.0);
+        assert_eq!(output.artifacts, vec!["results/probe.json".to_string()]);
+
+        // The envelope round-trips for results/BENCH_summary.json.
+        let json = serde_json::to_string(&output).unwrap();
+        let back: ExperimentOutput = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, output);
+    }
+}

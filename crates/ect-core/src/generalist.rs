@@ -8,7 +8,7 @@
 //!    ([`ect_drl::generalist::train_holdout_split`]);
 //! 2. score the held-out **baselines** ([`heldout_baselines`]): the
 //!    per-scenario specialists that
-//!    [`run_scenario_grid`] trains
+//!    [`run_scenario_grid`](crate::scenario_grid::run_scenario_grid) trains
 //!    inside each held-out world, plus the rule-based schedulers
 //!    (NoBattery, GreedyPrice, TimeOfUse) — these are independent of any
 //!    generalist choice, so ablation sweeps compute them **once** and share
@@ -24,7 +24,7 @@
 //! number isolates *battery scheduling* quality under world shift rather
 //! than pricing-policy differences.
 
-use crate::scenario_grid::{run_scenario_grid, NamedEngines};
+use crate::scenario_grid::{scenario_grid_impl, NamedEngines};
 use crate::scheduling::{run_hub_scheduler, OBS_WINDOW};
 use crate::system::EctHubSystem;
 use ect_data::dataset::WorldDataset;
@@ -191,7 +191,7 @@ pub fn heldout_baselines(
     let horizon = system.world().horizon();
     let num_hubs = system.world().num_hubs() as usize;
     let (_, heldout_specs) = train_holdout_split(horizon);
-    let grid = run_scenario_grid(system, &heldout_specs, &no_discount_engines, threads)?;
+    let grid = scenario_grid_impl(system, &heldout_specs, &no_discount_engines, threads)?;
 
     let mut baselines = Vec::with_capacity(heldout_specs.len());
     for (spec, grid_result) in heldout_specs.iter().zip(&grid) {
@@ -366,6 +366,11 @@ pub fn run_generalist_against(
 /// # Errors
 ///
 /// Propagates world-generation, training and evaluation failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "route through the unified experiment API: `Session::generalist` \
+            (crate::session) memoises the baselines and the trained policy"
+)]
 pub fn run_generalist(
     system: &EctHubSystem,
     options: &GeneralistOptions,
@@ -391,6 +396,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the legacy shim must stay green
     fn generalist_report_covers_every_heldout_scenario() {
         let system = tiny_system();
         let outcome = run_generalist(&system, &GeneralistOptions::default()).unwrap();

@@ -5,72 +5,118 @@
 //! world ([`ect_data`]), train pricing engines (ECT-Price and the OR/IPS/DR
 //! baselines, [`ect_price`]), schedule batteries with PPO ([`ect_drl`]) on
 //! the hub simulator ([`ect_env`]), and assemble the paper's evaluation
-//! artifacts (Table II, Table III, the Fig. 11–13 series).
+//! artifacts (Table II, Table III, the Fig. 11–13 series) plus the repo's
+//! beyond-paper studies (scenario grids, generalist training, severity
+//! sweeps).
 //!
 //! # Quick start
 //!
+//! The unified entry point is a [`Session`]: a builder-configured handle
+//! owning an [`ArtifactStore`] that memoises every expensive intermediate
+//! (worlds, assembled systems, trained policies, pricing tables) by a
+//! content hash of its inputs — repeated or overlapping experiments share
+//! work automatically.
+//!
 //! ```
 //! use ect_core::prelude::*;
+//! use std::sync::Arc;
 //!
 //! // A miniature world: 3 hubs, short histories, tiny training budgets.
-//! let system = EctHubSystem::new(SystemConfig::miniature())?;
-//! let (train, test) = system.pricing_datasets();
+//! let mut session = SessionBuilder::new(SystemConfig::miniature())
+//!     .scale(RunScale::Smoke)
+//!     .threads(2)
+//!     .build()?;
 //!
-//! // Train the paper's pricing method and score it against the oracle.
-//! let mut rng = EctRng::seed_from(7);
-//! let engine = train_engine(&system, PricingMethod::EctPrice, &train, &mut rng)?;
-//! let eval = evaluate_engine(engine.as_ref(), &test, 0.2);
-//! assert!(eval.reward > 0.0);
+//! // The world is generated on first use and memoised afterwards.
+//! let system = session.system()?;
+//! assert!(Arc::ptr_eq(&system, &session.system()?));
+//!
+//! // Table II: the paper's pricing methods vs the oracle, trained once per
+//! // (config, discount grid) and served from the artifact store afterwards.
+//! let table = session.pricing_table(&[0.2])?;
+//! assert!(table.result("Ours", 0.2).is_some());
+//! assert_eq!(session.store().kind_stats("pricing-table").misses, 1);
 //! # Ok::<(), ect_types::EctError>(())
 //! ```
 //!
+//! Evaluation units implement the [`Experiment`] trait (`ect-bench` keeps a
+//! registry of every paper figure/table); the legacy free functions
+//! (`run_fleet`, `run_scenario_grid`, `run_generalist`,
+//! `run_severity_sweep`, `pricing_table`) remain as deprecated shims over
+//! the same engines.
+//!
 //! The [`prelude`] re-exports the types most applications need.
 
+pub mod artifact;
+pub mod experiment;
 pub mod generalist;
 pub mod pricing;
 pub mod report;
 pub mod scenario_grid;
 pub mod scheduling;
+pub mod session;
 pub mod severity;
 pub mod system;
 
+pub use artifact::{ArtifactKey, ArtifactStore, KindStats};
+pub use experiment::{run_timed, Experiment, ExperimentOutput};
+#[allow(deprecated)]
+pub use generalist::run_generalist;
 pub use generalist::{
-    heldout_baselines, run_generalist, run_generalist_against, GeneralistOptions,
-    GeneralistOutcome, GeneralistReport, HeldOutBaseline, HeldOutComparison,
+    heldout_baselines, run_generalist_against, GeneralistOptions, GeneralistOutcome,
+    GeneralistReport, HeldOutBaseline, HeldOutComparison,
 };
-pub use pricing::{pricing_table, train_engine, MethodPricingResults, PricingTable};
+#[allow(deprecated)]
+pub use pricing::pricing_table;
+pub use pricing::{train_engine, MethodPricingResults, PricingTable};
 pub use report::FleetReport;
-pub use scenario_grid::{
-    run_scenario_grid, scenario_stress, ScenarioGridResult, ScenarioHubStress,
-};
+#[allow(deprecated)]
+pub use scenario_grid::run_scenario_grid;
+pub use scenario_grid::{scenario_stress, NamedEngines, ScenarioGridResult, ScenarioHubStress};
+#[allow(deprecated)]
+pub use scheduling::run_fleet;
 pub use scheduling::{
-    run_fleet, run_hub_method, run_hub_scheduler, run_hubs_method_batched, schedule_for_hub,
+    run_hub_method, run_hub_scheduler, run_hubs_method_batched, schedule_for_hub,
     HubExperimentResult, OBS_WINDOW,
 };
+pub use session::{ProgressSink, RunScale, Session, SessionBuilder};
+#[allow(deprecated)]
+pub use severity::run_severity_sweep;
 pub use severity::{
-    run_severity_sweep, SeverityCurve, SeverityOptions, SeverityOutcome, SeverityPoint,
-    SeverityReport,
+    SeverityCurve, SeverityOptions, SeverityOutcome, SeverityPoint, SeverityReport,
 };
 pub use system::{EctHubSystem, PricingMethod, SystemConfig};
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
+    pub use crate::artifact::{ArtifactKey, ArtifactStore, KindStats};
+    pub use crate::experiment::{run_timed, Experiment, ExperimentOutput};
+    #[allow(deprecated)]
+    pub use crate::generalist::run_generalist;
     pub use crate::generalist::{
-        heldout_baselines, run_generalist, run_generalist_against, GeneralistOptions,
-        GeneralistOutcome, GeneralistReport, HeldOutBaseline, HeldOutComparison,
+        heldout_baselines, run_generalist_against, GeneralistOptions, GeneralistOutcome,
+        GeneralistReport, HeldOutBaseline, HeldOutComparison,
     };
-    pub use crate::pricing::{pricing_table, train_engine, PricingTable};
+    #[allow(deprecated)]
+    pub use crate::pricing::pricing_table;
+    pub use crate::pricing::{train_engine, PricingTable};
     pub use crate::report::FleetReport;
+    #[allow(deprecated)]
+    pub use crate::scenario_grid::run_scenario_grid;
     pub use crate::scenario_grid::{
-        run_scenario_grid, scenario_stress, ScenarioGridResult, ScenarioHubStress,
+        scenario_stress, NamedEngines, ScenarioGridResult, ScenarioHubStress,
     };
+    #[allow(deprecated)]
+    pub use crate::scheduling::run_fleet;
     pub use crate::scheduling::{
-        run_fleet, run_hub_method, run_hub_scheduler, run_hubs_method_batched, schedule_for_hub,
+        run_hub_method, run_hub_scheduler, run_hubs_method_batched, schedule_for_hub,
         HubExperimentResult,
     };
+    pub use crate::session::{ProgressSink, RunScale, Session, SessionBuilder};
+    #[allow(deprecated)]
+    pub use crate::severity::run_severity_sweep;
     pub use crate::severity::{
-        run_severity_sweep, SeverityCurve, SeverityOptions, SeverityOutcome, SeverityPoint,
-        SeverityReport,
+        SeverityCurve, SeverityOptions, SeverityOutcome, SeverityPoint, SeverityReport,
     };
     pub use crate::system::{EctHubSystem, PricingMethod, SystemConfig};
     pub use ect_data::charging::Stratum;

@@ -160,7 +160,23 @@ pub type NamedEngines = Vec<(String, Box<dyn PricingEngine>)>;
 ///
 /// Returns the first scenario-construction, engine-construction or training
 /// error encountered.
+#[deprecated(
+    since = "0.2.0",
+    note = "route through the unified experiment API: `Session::scenario_grid` \
+            (crate::session) shares the base system via the artifact store"
+)]
 pub fn run_scenario_grid(
+    base: &EctHubSystem,
+    scenarios: &[ScenarioSpec],
+    engines_for: &(dyn Fn(&EctHubSystem) -> ect_types::Result<NamedEngines> + Sync),
+    threads: usize,
+) -> ect_types::Result<Vec<ScenarioGridResult>> {
+    scenario_grid_impl(base, scenarios, engines_for, threads)
+}
+
+/// The scenario-grid engine behind [`run_scenario_grid`] and
+/// [`Session::scenario_grid`](crate::session::Session::scenario_grid).
+pub(crate) fn scenario_grid_impl(
     base: &EctHubSystem,
     scenarios: &[ScenarioSpec],
     engines_for: &(dyn Fn(&EctHubSystem) -> ect_types::Result<NamedEngines> + Sync),
@@ -328,7 +344,7 @@ mod tests {
             ScenarioSpec::baseline(),
             scenario_by_name("rtp-price-spike", horizon).unwrap(),
         ];
-        let grid = run_scenario_grid(&base, &scenarios, &cheap_engines, 4).unwrap();
+        let grid = scenario_grid_impl(&base, &scenarios, &cheap_engines, 4).unwrap();
         assert_eq!(grid.len(), 2);
         for (result, spec) in grid.iter().zip(&scenarios) {
             assert_eq!(result.scenario, spec.name);
@@ -352,12 +368,13 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the legacy shim must stay green
     fn grid_results_match_direct_fleet_runs() {
         // A grid over the baseline scenario must reproduce run_fleet's cells
         // bit for bit (same seeds, same batched engine underneath).
         let base = small_system();
         let grid =
-            run_scenario_grid(&base, &[ScenarioSpec::baseline()], &cheap_engines, 2).unwrap();
+            scenario_grid_impl(&base, &[ScenarioSpec::baseline()], &cheap_engines, 2).unwrap();
         let engines = cheap_engines(&base).unwrap();
         let direct = crate::scheduling::run_fleet(&base, &engines, 2).unwrap();
         assert_eq!(grid[0].cells.len(), direct.len());
@@ -387,7 +404,7 @@ mod tests {
     #[test]
     fn empty_grids_are_empty() {
         let base = small_system();
-        assert!(run_scenario_grid(&base, &[], &cheap_engines, 2)
+        assert!(scenario_grid_impl(&base, &[], &cheap_engines, 2)
             .unwrap()
             .is_empty());
         let no_engines =
@@ -395,7 +412,7 @@ mod tests {
                 Ok(Vec::new())
             };
         assert!(
-            run_scenario_grid(&base, &[ScenarioSpec::baseline()], &no_engines, 2)
+            scenario_grid_impl(&base, &[ScenarioSpec::baseline()], &no_engines, 2)
                 .unwrap()
                 .is_empty()
         );

@@ -1,0 +1,616 @@
+//! The operator session: one configured handle over the whole pipeline.
+//!
+//! A [`Session`] is the unified entry point the paper's "base-station-centric
+//! hub controller" surface calls for: built once through a
+//! [`SessionBuilder`] (base configuration, experiment scale, parallelism,
+//! progress sink), it owns an [`ArtifactStore`] that memoises every
+//! expensive intermediate — generated worlds, assembled systems, held-out
+//! baselines, trained generalists, severity sweeps, pricing tables — keyed
+//! by a content hash of their inputs. Experiments that used to re-train
+//! from scratch (`generalization` and `severity_sweep` both training
+//! generalists; every pricing figure re-fitting ECT-Price) share work
+//! automatically when they run inside one session.
+//!
+//! All memoisation is safe by the workspace determinism contract: every
+//! artifact is a pure function of its serialised inputs, so a cache hit is
+//! bit-identical to a recomputation (pinned by the
+//! `tests/session_equivalence.rs` suite).
+//!
+//! ```
+//! use ect_core::prelude::*;
+//!
+//! let mut session = SessionBuilder::new(SystemConfig::miniature()).build()?;
+//! let system = session.system()?; // generates the world once …
+//! let again = session.system()?; // … and serves it from the store
+//! assert!(std::sync::Arc::ptr_eq(&system, &again));
+//! assert_eq!(session.store().kind_stats("system").misses, 1);
+//! # Ok::<(), ect_types::EctError>(())
+//! ```
+
+use crate::artifact::{ArtifactKey, ArtifactStore};
+use crate::generalist::{
+    heldout_baselines, run_generalist_against, GeneralistOptions, GeneralistOutcome,
+    HeldOutBaseline,
+};
+use crate::pricing::{pricing_table_impl, PricingTable};
+use crate::scenario_grid::{scenario_grid_impl, NamedEngines, ScenarioGridResult};
+use crate::scheduling::{run_fleet_impl, HubExperimentResult};
+use crate::severity::{severity_sweep_impl, SeverityOptions, SeverityOutcome};
+use crate::system::{EctHubSystem, SystemConfig};
+use ect_data::dataset::{WorldConfig, WorldDataset};
+use ect_data::scenario::ScenarioSpec;
+use ect_price::engine::PricingEngine;
+use ect_types::rng::EctRng;
+use std::sync::Arc;
+
+/// Seed-stream separator of [`Session::pricing_table`] (decorrelated from
+/// the per-figure streams of the bench harness).
+const PRICING_TABLE_SEED_STREAM: u64 = 0x7AB1_E002;
+
+/// Budget preset of an experiment run.
+///
+/// Experiments translate the scale into their own configurations; the
+/// shared CLI of the bench layer maps `--smoke` / (default) / `--full`
+/// onto the three presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunScale {
+    /// CI-sized: small worlds, a handful of episodes, seconds per
+    /// experiment.
+    Smoke,
+    /// Laptop-scale defaults (seconds to minutes per experiment).
+    Quick,
+    /// The paper's budgets (500 training episodes, 2-year histories, …).
+    Paper,
+}
+
+impl RunScale {
+    /// Display label (`smoke` / `quick` / `paper`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RunScale::Smoke => "smoke",
+            RunScale::Quick => "quick",
+            RunScale::Paper => "paper",
+        }
+    }
+}
+
+impl std::fmt::Display for RunScale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Where a session reports coarse progress ("training the generalist …").
+pub type ProgressSink = Box<dyn Fn(&str) + Send>;
+
+/// Configures and builds a [`Session`].
+pub struct SessionBuilder {
+    config: SystemConfig,
+    scale: RunScale,
+    threads: usize,
+    progress: Option<ProgressSink>,
+}
+
+impl SessionBuilder {
+    /// A builder over the given base system configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        Self {
+            config,
+            scale: RunScale::Quick,
+            threads: 4,
+            progress: None,
+        }
+    }
+
+    /// Replaces the base configuration's exogenous scenario — the session's
+    /// world source.
+    #[must_use]
+    pub fn scenario(mut self, spec: ScenarioSpec) -> Self {
+        self.config.scenario = spec;
+        self
+    }
+
+    /// Sets the experiment scale ([`RunScale::Quick`] by default).
+    #[must_use]
+    pub fn scale(mut self, scale: RunScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Overrides the master seed of the base configuration.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Worker threads for fan-out stages (0 = one worker per job).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Attaches a progress sink; without one the session is silent.
+    #[must_use]
+    pub fn progress(mut self, sink: ProgressSink) -> Self {
+        self.progress = Some(sink);
+        self
+    }
+
+    /// Convenience: report progress to standard error, prefixed with the
+    /// given tag (the harness binaries use their experiment id).
+    #[must_use]
+    pub fn stderr_progress(self, tag: &str) -> Self {
+        let tag = format!("[{tag}]");
+        self.progress(Box::new(move |msg| eprintln!("{tag} {msg}")))
+    }
+
+    /// Validates the base configuration and builds the session. No world is
+    /// generated yet — artifacts materialise on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SystemConfig::validate`] failures.
+    pub fn build(self) -> ect_types::Result<Session> {
+        self.config.validate()?;
+        Ok(Session {
+            config: self.config,
+            scale: self.scale,
+            threads: self.threads,
+            progress: self.progress,
+            store: ArtifactStore::new(),
+        })
+    }
+}
+
+impl std::fmt::Debug for SessionBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("scale", &self.scale)
+            .field("threads", &self.threads)
+            .field("progress", &self.progress.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A configured handle over the pipeline, owning the artifact store.
+///
+/// Methods come in pairs: `*_for` takes an explicit [`SystemConfig`] (the
+/// bench experiments each bring their own scale-derived configuration),
+/// while the short names use the session's base configuration. Both routes
+/// share one store, so any two calls with identical inputs share one
+/// computation.
+pub struct Session {
+    config: SystemConfig,
+    scale: RunScale,
+    threads: usize,
+    progress: Option<ProgressSink>,
+    store: ArtifactStore,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("scale", &self.scale)
+            .field("threads", &self.threads)
+            .field("store", &self.store)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Starts a builder over the given base configuration.
+    pub fn builder(config: SystemConfig) -> SessionBuilder {
+        SessionBuilder::new(config)
+    }
+
+    /// The session's base configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The experiment scale the session was built for.
+    pub fn scale(&self) -> RunScale {
+        self.scale
+    }
+
+    /// Worker threads for fan-out stages (0 = one worker per job).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The artifact store (inspection and probe counters).
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Mutable store access, for downstream layers memoising their own
+    /// artifact types (e.g. the bench registry's pricing artifacts).
+    pub fn store_mut(&mut self) -> &mut ArtifactStore {
+        &mut self.store
+    }
+
+    /// Reports coarse progress through the configured sink, if any.
+    pub fn report(&self, message: &str) {
+        if let Some(sink) = &self.progress {
+            sink(message);
+        }
+    }
+
+    fn announce_miss(&self, key: &ArtifactKey, message: &str) {
+        if !self.store.contains(key) {
+            self.report(message);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memoised artifacts
+    // ------------------------------------------------------------------
+
+    /// The generated world of `(world configuration, scenario)`, memoised.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and generation failures.
+    pub fn world_for(
+        &mut self,
+        world: &WorldConfig,
+        spec: &ScenarioSpec,
+    ) -> ect_types::Result<Arc<WorldDataset>> {
+        let key = ArtifactKey::of("world", &(world, spec));
+        self.store
+            .get_or_insert(key, || WorldDataset::generate_scenario(world.clone(), spec))
+    }
+
+    /// The world of the session's base configuration, memoised.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and generation failures.
+    pub fn world(&mut self) -> ect_types::Result<Arc<WorldDataset>> {
+        let world = self.config.world.clone();
+        let spec = self.config.scenario.clone();
+        self.world_for(&world, &spec)
+    }
+
+    /// The assembled system of an explicit configuration, memoised. The
+    /// underlying world flows through the world memo, so a system and a
+    /// bare world request for the same `(world config, scenario)` share one
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and generation failures.
+    pub fn system_for(&mut self, config: &SystemConfig) -> ect_types::Result<Arc<EctHubSystem>> {
+        let key = ArtifactKey::of("system", config);
+        let world = self.world_for(&config.world.clone(), &config.scenario.clone())?;
+        self.store
+            .get_or_insert(key, || EctHubSystem::from_parts(config.clone(), world))
+    }
+
+    /// The system of the session's base configuration, memoised.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and generation failures.
+    pub fn system(&mut self) -> ect_types::Result<Arc<EctHubSystem>> {
+        let config = self.config.clone();
+        self.system_for(&config)
+    }
+
+    /// The held-out baselines (per-scenario specialists + rule-based
+    /// schedulers) of an explicit configuration, memoised — the expensive,
+    /// generalist-independent half of a generalisation study.
+    ///
+    /// # Errors
+    ///
+    /// Propagates world-generation, training and evaluation failures.
+    pub fn heldout_baselines_for(
+        &mut self,
+        config: &SystemConfig,
+    ) -> ect_types::Result<Arc<Vec<HeldOutBaseline>>> {
+        let key = ArtifactKey::of("heldout-baselines", config);
+        self.announce_miss(&key, "scoring held-out specialists and heuristics …");
+        let system = self.system_for(config)?;
+        let threads = self.threads;
+        self.store
+            .get_or_insert(key, || heldout_baselines(&system, threads))
+    }
+
+    /// Held-out baselines of the session's base configuration, memoised.
+    ///
+    /// # Errors
+    ///
+    /// Propagates world-generation, training and evaluation failures.
+    pub fn heldout_baselines(&mut self) -> ect_types::Result<Arc<Vec<HeldOutBaseline>>> {
+        let config = self.config.clone();
+        self.heldout_baselines_for(&config)
+    }
+
+    /// The scenario-mixture generalist of `(configuration, options)`,
+    /// memoised: trained once, scored against the (memoised) held-out
+    /// baselines. Any experiment requesting the same pair reuses the
+    /// trained policy — the work-sharing path behind the combined
+    /// `generalization` + `severity_sweep` acceptance probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and evaluation failures.
+    pub fn generalist_for(
+        &mut self,
+        config: &SystemConfig,
+        options: &GeneralistOptions,
+    ) -> ect_types::Result<Arc<GeneralistOutcome>> {
+        let key = ArtifactKey::of("generalist", &(config, options));
+        let baselines = self.heldout_baselines_for(config)?;
+        let system = self.system_for(config)?;
+        self.announce_miss(&key, "training the scenario-mixture generalist …");
+        self.store
+            .get_or_insert(key, || run_generalist_against(&system, options, &baselines))
+    }
+
+    /// The generalist of the session's base configuration, memoised.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and evaluation failures.
+    pub fn generalist(
+        &mut self,
+        options: &GeneralistOptions,
+    ) -> ect_types::Result<Arc<GeneralistOutcome>> {
+        let config = self.config.clone();
+        self.generalist_for(&config, options)
+    }
+
+    /// The severity sweep of `(configuration, options)`, memoised: one
+    /// domain-randomised generalist trained per distinct pair, its per-axis
+    /// robustness curves served from the store afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates option validation, training and evaluation failures.
+    pub fn severity_for(
+        &mut self,
+        config: &SystemConfig,
+        options: &SeverityOptions,
+    ) -> ect_types::Result<Arc<SeverityOutcome>> {
+        let key = ArtifactKey::of("severity", &(config, options));
+        let system = self.system_for(config)?;
+        self.announce_miss(&key, "training the domain-randomised generalist …");
+        self.store
+            .get_or_insert(key, || severity_sweep_impl(&system, options))
+    }
+
+    /// The severity sweep of the session's base configuration, memoised.
+    ///
+    /// # Errors
+    ///
+    /// Propagates option validation, training and evaluation failures.
+    pub fn severity_sweep(
+        &mut self,
+        options: &SeverityOptions,
+    ) -> ect_types::Result<Arc<SeverityOutcome>> {
+        let config = self.config.clone();
+        self.severity_for(&config, options)
+    }
+
+    /// The Table II pricing table of `(configuration, discount levels)`,
+    /// memoised: the paper set of pricing engines is trained once per
+    /// distinct pair (seed stream decorrelated from the bench harness's
+    /// figure streams).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn pricing_table_for(
+        &mut self,
+        config: &SystemConfig,
+        discounts: &[f64],
+    ) -> ect_types::Result<Arc<PricingTable>> {
+        let key = ArtifactKey::of("pricing-table", &(config, discounts));
+        let system = self.system_for(config)?;
+        self.announce_miss(&key, "training the paper's pricing engines …");
+        self.store.get_or_insert(key, || {
+            let (train, test) = system.pricing_datasets();
+            let mut rng = EctRng::seed_from(system.config().seed ^ PRICING_TABLE_SEED_STREAM);
+            pricing_table_impl(&system, &train, &test, discounts, &mut rng)
+        })
+    }
+
+    /// The pricing table of the session's base configuration, memoised.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn pricing_table(&mut self, discounts: &[f64]) -> ect_types::Result<Arc<PricingTable>> {
+        let config = self.config.clone();
+        self.pricing_table_for(&config, discounts)
+    }
+
+    // ------------------------------------------------------------------
+    // Fan-out stages (pass-through: pricing engines are opaque trait
+    // objects, not content-addressable inputs)
+    // ------------------------------------------------------------------
+
+    /// Runs the full hub × engine fleet of an explicit configuration on the
+    /// batched engine, using the session's worker-thread budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first job error encountered, if any.
+    pub fn fleet_for(
+        &mut self,
+        config: &SystemConfig,
+        engines: &[(String, Box<dyn PricingEngine>)],
+    ) -> ect_types::Result<Vec<HubExperimentResult>> {
+        let system = self.system_for(config)?;
+        run_fleet_impl(&system, engines, self.threads)
+    }
+
+    /// Runs the fleet of the session's base configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first job error encountered, if any.
+    pub fn fleet(
+        &mut self,
+        engines: &[(String, Box<dyn PricingEngine>)],
+    ) -> ect_types::Result<Vec<HubExperimentResult>> {
+        let config = self.config.clone();
+        self.fleet_for(&config, engines)
+    }
+
+    /// Runs the scenario × method grid of an explicit configuration over
+    /// the batched fleet workers, using the session's thread budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates world-generation, training and evaluation failures.
+    pub fn scenario_grid_for(
+        &mut self,
+        config: &SystemConfig,
+        scenarios: &[ScenarioSpec],
+        engines_for: &(dyn Fn(&EctHubSystem) -> ect_types::Result<NamedEngines> + Sync),
+    ) -> ect_types::Result<Vec<ScenarioGridResult>> {
+        let system = self.system_for(config)?;
+        scenario_grid_impl(&system, scenarios, engines_for, self.threads)
+    }
+
+    /// Runs the scenario grid of the session's base configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates world-generation, training and evaluation failures.
+    pub fn scenario_grid(
+        &mut self,
+        scenarios: &[ScenarioSpec],
+        engines_for: &(dyn Fn(&EctHubSystem) -> ect_types::Result<NamedEngines> + Sync),
+    ) -> ect_types::Result<Vec<ScenarioGridResult>> {
+        let config = self.config.clone();
+        self.scenario_grid_for(&config, scenarios, engines_for)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ect_price::engine::NeverDiscount;
+
+    fn tiny_config() -> SystemConfig {
+        let mut config = SystemConfig::miniature();
+        config.world.num_hubs = 2;
+        config.world.horizon_slots = 24 * 4;
+        config.trainer.episodes = 2;
+        config.test_episodes = 1;
+        config
+    }
+
+    #[test]
+    fn builder_validates_and_carries_knobs() {
+        let session = SessionBuilder::new(SystemConfig::miniature())
+            .scale(RunScale::Smoke)
+            .threads(2)
+            .seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(session.scale(), RunScale::Smoke);
+        assert_eq!(session.threads(), 2);
+        assert_eq!(session.config().seed, 99);
+        assert_eq!(RunScale::Smoke.to_string(), "smoke");
+        assert_eq!(RunScale::Paper.label(), "paper");
+
+        let mut bad = SystemConfig::miniature();
+        bad.discount = 0.0;
+        assert!(SessionBuilder::new(bad).build().is_err());
+    }
+
+    #[test]
+    fn scenario_knob_replaces_the_world_source() {
+        use ect_data::scenario::scenario_by_name;
+        let config = SystemConfig::miniature();
+        let storm = scenario_by_name("winter-storm", config.world.horizon_slots).unwrap();
+        let mut session = SessionBuilder::new(config).scenario(storm).build().unwrap();
+        assert_eq!(session.config().scenario.name, "winter-storm");
+        assert_eq!(
+            session.system().unwrap().world().scenario.name,
+            "winter-storm"
+        );
+    }
+
+    #[test]
+    fn system_and_world_share_one_generation() {
+        let mut session = SessionBuilder::new(tiny_config()).build().unwrap();
+        let world = session.world().unwrap();
+        let system = session.system().unwrap();
+        // The system adopted the memoised world: no second generation.
+        assert_eq!(session.store().kind_stats("world").misses, 1);
+        assert_eq!(session.store().kind_stats("world").hits, 1);
+        assert_eq!(system.world().rtp, world.rtp);
+
+        // And the memoised system is bit-identical to a fresh assembly.
+        let fresh = EctHubSystem::new(tiny_config()).unwrap();
+        assert_eq!(system.world().rtp, fresh.world().rtp);
+    }
+
+    #[test]
+    fn session_results_match_the_free_functions_bitwise() {
+        let config = tiny_config();
+        let mut session = SessionBuilder::new(config.clone())
+            .threads(2)
+            .build()
+            .unwrap();
+
+        // Generalist: session path vs the direct composition.
+        let options = GeneralistOptions {
+            threads: 2,
+            ..GeneralistOptions::default()
+        };
+        let via_session = session.generalist(&options).unwrap();
+        let system = EctHubSystem::new(config.clone()).unwrap();
+        let baselines = heldout_baselines(&system, 2).unwrap();
+        let direct = run_generalist_against(&system, &options, &baselines).unwrap();
+        assert_eq!(
+            serde_json::to_string(&via_session.report).unwrap(),
+            serde_json::to_string(&direct.report).unwrap(),
+            "session memoisation must not move a single bit"
+        );
+
+        // A repeat request is a pure cache hit: no second training.
+        let misses = session.store().kind_stats("generalist").misses;
+        let again = session.generalist(&options).unwrap();
+        assert!(Arc::ptr_eq(&via_session, &again));
+        assert_eq!(session.store().kind_stats("generalist").misses, misses);
+
+        // Changed options miss (different artifact).
+        let blind = GeneralistOptions {
+            augmentation: ect_env::env::ObsAugmentation::NONE,
+            threads: 2,
+            ..GeneralistOptions::default()
+        };
+        session.generalist(&blind).unwrap();
+        assert_eq!(session.store().kind_stats("generalist").misses, misses + 1);
+        // Both arms shared one baseline pass.
+        assert_eq!(session.store().kind_stats("heldout-baselines").misses, 1);
+    }
+
+    #[test]
+    fn fleet_and_pricing_route_through_the_session() {
+        let mut session = SessionBuilder::new(tiny_config())
+            .threads(2)
+            .build()
+            .unwrap();
+        let engines: Vec<(String, Box<dyn PricingEngine>)> =
+            vec![("NoDiscount".into(), Box::new(NeverDiscount))];
+        let cells = session.fleet(&engines).unwrap();
+        assert_eq!(cells.len(), 2);
+
+        let table = session.pricing_table(&[0.2]).unwrap();
+        assert_eq!(table.methods.len(), 5);
+        let again = session.pricing_table(&[0.2]).unwrap();
+        assert!(Arc::ptr_eq(&table, &again));
+        // A different discount grid is a different artifact.
+        let other = session.pricing_table(&[0.1]).unwrap();
+        assert!(!Arc::ptr_eq(&table, &other));
+    }
+}

@@ -41,6 +41,7 @@ use ect_price::engine::NeverDiscount;
 use ect_types::ids::HubId;
 use ect_types::rng::EctRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Seed-stream separator for the randomised-generalist trainer
 /// (decorrelated from the mixture-generalist and specialist streams).
@@ -140,9 +141,10 @@ pub struct SeverityPoint {
     pub heuristics: Vec<(String, f64)>,
     /// The strongest rule-based baseline's reward.
     pub best_heuristic: f64,
-    /// Fleet-minimum worst-case blackout endurance at this rung, hours —
-    /// the number the outage axis actually moves (scripted outages feed the
-    /// resilience harness, not the stepping reward).
+    /// Fleet-minimum worst-case blackout endurance at this rung, hours.
+    /// Scripted outages also feed the stepping reward directly (grid gone,
+    /// unserved load penalised at the hub's value of lost load), so the
+    /// outage axis moves `generalist` as well as these diagnostics.
     pub min_endurance_hours: f64,
     /// Fleet-total unserved energy across the rung's scripted outages, kWh.
     pub outage_unserved_kwh: f64,
@@ -226,7 +228,21 @@ pub struct SeverityOutcome {
 ///
 /// Propagates option validation, world-generation, training and evaluation
 /// failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "route through the unified experiment API: `Session::severity_sweep` \
+            (crate::session) memoises the trained generalist and its curves"
+)]
 pub fn run_severity_sweep(
+    system: &EctHubSystem,
+    options: &SeverityOptions,
+) -> ect_types::Result<SeverityOutcome> {
+    severity_sweep_impl(system, options)
+}
+
+/// The sweep engine behind [`run_severity_sweep`] and
+/// [`Session::severity_sweep`](crate::session::Session::severity_sweep).
+pub(crate) fn severity_sweep_impl(
     system: &EctHubSystem,
     options: &SeverityOptions,
 ) -> ect_types::Result<SeverityOutcome> {
@@ -312,7 +328,7 @@ pub fn run_severity_sweep(
             )?;
 
             // Rule-based anchors inside the same (cached) world.
-            let spec_system = system.with_world((*rung_world).clone())?;
+            let spec_system = system.with_world(Arc::clone(&rung_world))?;
             let mut heuristics: Vec<(String, f64)> = Vec::new();
             let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
                 Box::new(NoBattery),
@@ -422,6 +438,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the legacy shim must stay green
     fn severity_sweep_produces_monotone_ladders_and_bounded_cache() {
         let system = tiny_system();
         let options = tiny_options();

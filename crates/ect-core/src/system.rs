@@ -9,6 +9,7 @@ use ect_price::model::EctPriceConfig;
 use ect_types::rng::EctRng;
 use ect_types::time::SlotIndex;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which pricing method drives the discount schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -181,7 +182,9 @@ impl SystemConfig {
 #[derive(Debug, Clone)]
 pub struct EctHubSystem {
     config: SystemConfig,
-    world: WorldDataset,
+    // `Arc`-shared so cloning a system (scenario grids, artifact-store
+    // adoption, bench artifacts) never duplicates the generated series.
+    world: Arc<WorldDataset>,
 }
 
 impl EctHubSystem {
@@ -192,7 +195,49 @@ impl EctHubSystem {
     /// Propagates validation and generation failures.
     pub fn new(config: SystemConfig) -> ect_types::Result<Self> {
         config.validate()?;
-        let world = WorldDataset::generate_scenario(config.world.clone(), &config.scenario)?;
+        let world = Arc::new(WorldDataset::generate_scenario(
+            config.world.clone(),
+            &config.scenario,
+        )?);
+        Ok(Self { config, world })
+    }
+
+    /// Assembles a system around an **already generated** world of the same
+    /// configuration — the artifact-store path of
+    /// [`Session::system_for`](crate::session::Session::system_for), where
+    /// the world memo has already run the generators. Bit-identical to
+    /// [`EctHubSystem::new`] because generation is deterministic in the
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures; returns
+    /// [`ect_types::EctError::InvalidConfig`] when the world was generated
+    /// under a different scenario, and
+    /// [`ect_types::EctError::ShapeMismatch`] when its shape disagrees with
+    /// the configuration.
+    pub fn from_parts(config: SystemConfig, world: Arc<WorldDataset>) -> ect_types::Result<Self> {
+        config.validate()?;
+        if world.scenario != config.scenario {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "adopted world was generated under scenario '{}', config wants '{}'",
+                world.scenario.name, config.scenario.name
+            )));
+        }
+        if world.horizon() != config.world.horizon_slots {
+            return Err(ect_types::EctError::ShapeMismatch {
+                context: "adopted world horizon",
+                expected: config.world.horizon_slots,
+                actual: world.horizon(),
+            });
+        }
+        if world.num_hubs() != config.world.num_hubs {
+            return Err(ect_types::EctError::ShapeMismatch {
+                context: "adopted world hubs",
+                expected: config.world.num_hubs as usize,
+                actual: world.num_hubs() as usize,
+            });
+        }
         Ok(Self { config, world })
     }
 
@@ -223,7 +268,7 @@ impl EctHubSystem {
     /// Propagates config validation failures, and returns
     /// [`ect_types::EctError::ShapeMismatch`] when the world's shape
     /// disagrees with this system's world configuration.
-    pub fn with_world(&self, world: WorldDataset) -> ect_types::Result<Self> {
+    pub fn with_world(&self, world: Arc<WorldDataset>) -> ect_types::Result<Self> {
         if world.horizon() != self.config.world.horizon_slots {
             return Err(ect_types::EctError::ShapeMismatch {
                 context: "adopted world horizon",

@@ -36,10 +36,23 @@ pub(crate) struct SlotInputs<'a> {
     pub discount_level: f64,
     /// Ground-truth charging stratum.
     pub stratum: Stratum,
+    /// `true` while a scripted grid outage covers the slot: no grid import,
+    /// no grid-side battery charging, unserved load penalised at the
+    /// configured value of lost load.
+    pub outage: bool,
 }
 
 /// Advances one slot of the hub dynamics: applies the battery action,
 /// balances power (Eq. 7), and accounts costs and revenue (Eqs. 8–12).
+///
+/// During a scripted grid outage (`inputs.outage`) the grid is gone and the
+/// hub follows the ride-through doctrine of [`crate::blackout`]: the
+/// charging station is shed immediately (no EV service, no revenue), a
+/// `Charge` request degrades to `Idle` (grid-side charging has no source),
+/// grid import is zero, and whatever *base-station* demand the renewables
+/// and the battery cannot cover is unserved — penalised in the reward at
+/// the configured [`HubConfig::outage_voll`]. With `outage == false` the
+/// slot is the historical kernel bit for bit.
 ///
 /// This is *the* slot kernel — [`HubEnv::step`] and the batched
 /// [`crate::vec_env::FleetEnv::step_batch`] both call it, which is what
@@ -51,21 +64,41 @@ pub(crate) fn compute_slot(
     action: BpAction,
     t: usize,
 ) -> SlotBreakdown {
+    let action = if inputs.outage && action == BpAction::Charge {
+        BpAction::Idle
+    } else {
+        action
+    };
     let bp = battery.apply(action);
 
     let p_bs = config.base_station.power(inputs.traffic.load_rate);
     let discounted = inputs.discount_level > 0.0;
-    let ev_charged = inputs.stratum.outcome(discounted);
+    // Load shedding: the charging station is disconnected for the outage
+    // (same doctrine as the ride-through simulation in `crate::blackout`).
+    let ev_charged = !inputs.outage && inputs.stratum.outcome(discounted);
     let p_cs = config.charging_station.power(ev_charged);
     let p_pv = config.plant.pv_power(inputs.weather);
     let p_wt = config.plant.wt_power(inputs.weather);
-    let p_grid = grid_power(p_bs, p_cs, bp.grid_side_power, p_wt, p_pv);
+    let p_demand = grid_power(p_bs, p_cs, bp.grid_side_power, p_wt, p_pv);
+
+    // Eq. 7 gives the grid draw; during an outage that draw is unavailable
+    // and becomes unserved energy instead.
+    let (p_grid, unserved_kwh) = if inputs.outage {
+        (KiloWatt::ZERO, p_demand.for_one_slot().as_f64())
+    } else {
+        (p_demand, 0.0)
+    };
 
     let rtp = inputs.rtp;
     let srtp = config.tariff.price_with_discount(inputs.discount_level);
     let revenue = p_cs.for_one_slot() * srtp;
     let grid_cost = p_grid.for_one_slot() * rtp;
-    let reward = revenue - grid_cost - bp.op_cost;
+    let outage_penalty = if inputs.outage {
+        p_demand.for_one_slot() * config.outage_voll
+    } else {
+        Money::ZERO
+    };
+    let reward = revenue - grid_cost - bp.op_cost - outage_penalty;
 
     SlotBreakdown {
         slot: t,
@@ -80,6 +113,8 @@ pub(crate) fn compute_slot(
         revenue,
         grid_cost,
         bp_cost: bp.op_cost,
+        outage_penalty,
+        unserved_kwh,
         reward,
         soc_kwh: bp.soc.as_f64(),
         effective_action: bp.effective_action,
@@ -304,7 +339,14 @@ pub struct SlotBreakdown {
     pub grid_cost: Money,
     /// Battery operation cost this slot (Eq. 8).
     pub bp_cost: Money,
-    /// Profit this slot (Eq. 12 summand) — the RL reward.
+    /// Value-of-lost-load penalty charged for unserved demand during a
+    /// scripted grid outage (zero outside outage slots).
+    pub outage_penalty: Money,
+    /// Hub demand the renewables and battery could not cover while the grid
+    /// was out, kWh (zero outside outage slots).
+    pub unserved_kwh: f64,
+    /// Profit this slot (Eq. 12 summand, minus the outage penalty when one
+    /// applies) — the RL reward.
     pub reward: Money,
     /// State of charge after the slot, kWh.
     pub soc_kwh: f64,
@@ -332,6 +374,8 @@ impl Default for SlotBreakdown {
             revenue: Money::ZERO,
             grid_cost: Money::ZERO,
             bp_cost: Money::ZERO,
+            outage_penalty: Money::ZERO,
+            unserved_kwh: 0.0,
             reward: Money::ZERO,
             soc_kwh: 0.0,
             effective_action: BpAction::Idle,
@@ -413,6 +457,8 @@ pub struct HubEnv {
     /// Scenario-conditioning block appended to every observation (empty =
     /// the plain Eq. 24 state).
     aug: Vec<f64>,
+    /// Per-slot scripted-outage mask (empty = the grid never fails).
+    outages: Vec<bool>,
 }
 
 impl HubEnv {
@@ -439,7 +485,34 @@ impl HubEnv {
             window,
             t: 0,
             aug: Vec::new(),
+            outages: Vec::new(),
         })
+    }
+
+    /// Builder: scripts a per-slot grid-outage mask over the episode —
+    /// masked slots shed the charging station, cut grid import and penalise
+    /// unserved load at [`HubConfig::outage_voll`]. An empty mask restores
+    /// the always-on grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::ShapeMismatch`] when the mask is
+    /// neither empty nor exactly one flag per slot.
+    pub fn with_outages(mut self, outages: Vec<bool>) -> ect_types::Result<Self> {
+        if !outages.is_empty() && outages.len() != self.inputs.len() {
+            return Err(ect_types::EctError::ShapeMismatch {
+                context: "episode outage mask",
+                expected: self.inputs.len(),
+                actual: outages.len(),
+            });
+        }
+        self.outages = outages;
+        Ok(self)
+    }
+
+    /// The scripted per-slot outage mask (empty = the grid never fails).
+    pub fn outages(&self) -> &[bool] {
+        &self.outages
     }
 
     /// Builder: appends a fixed scenario-conditioning block to every
@@ -576,6 +649,7 @@ impl HubEnv {
                 traffic: &self.inputs.traffic[t],
                 discount_level: self.inputs.discounts.level(t),
                 stratum: self.inputs.strata[t],
+                outage: self.outages.get(t).copied().unwrap_or(false),
             },
             &mut self.battery,
             action,
@@ -724,6 +798,97 @@ mod tests {
             .features_for(&ect_data::scenario::ScenarioSpec::baseline(), horizon)
             .is_empty());
         assert_eq!(ObsAugmentation::default(), ObsAugmentation::NONE);
+    }
+
+    #[test]
+    fn outage_slots_cut_the_grid_and_penalise_unserved_load() {
+        // Night slots (no solar), light wind: the urban hub (PV only) must
+        // rely on battery or eat the VoLL penalty while the grid is out.
+        let mut inputs = flat_inputs(24, Stratum::NoCharge);
+        for w in &mut inputs.weather {
+            w.solar_irradiance = 0.0;
+        }
+        let mask: Vec<bool> = (0..24).map(|t| t < 4).collect();
+        let mut out = HubEnv::new(HubConfig::urban(), inputs.clone(), 4)
+            .unwrap()
+            .with_outages(mask)
+            .unwrap();
+        let mut on = HubEnv::new(HubConfig::urban(), inputs, 4).unwrap();
+        out.reset(0.15); // battery at the reserve floor: discharge is clamped
+        on.reset(0.15);
+
+        let o = out.step(BpAction::Idle);
+        let n = on.step(BpAction::Idle);
+        // The grid is gone and demand goes unserved at the VoLL rate.
+        assert_eq!(o.breakdown.p_grid, KiloWatt::ZERO);
+        assert_eq!(o.breakdown.grid_cost, Money::ZERO);
+        assert!(o.breakdown.unserved_kwh > 0.0);
+        let expected = o.breakdown.unserved_kwh * HubConfig::urban().outage_voll.as_f64();
+        assert!((o.breakdown.outage_penalty.as_f64() - expected).abs() < 1e-12);
+        // VoLL (2 $/kWh) dwarfs the RTP (0.08 $/kWh): reward drops.
+        assert!(o.reward < n.reward);
+        // Charging from a dead grid degrades to Idle.
+        let c = out.step(BpAction::Charge);
+        assert_eq!(c.breakdown.effective_action, BpAction::Idle);
+        // Outside the scripted window the slot is the historical kernel.
+        let mut out2 = HubEnv::new(
+            HubConfig::urban(),
+            {
+                let mut i = flat_inputs(24, Stratum::NoCharge);
+                for w in &mut i.weather {
+                    w.solar_irradiance = 0.0;
+                }
+                i
+            },
+            4,
+        )
+        .unwrap()
+        .with_outages((0..24).map(|t| t < 4).collect())
+        .unwrap();
+        out2.reset(0.15);
+        for _ in 0..4 {
+            out2.step(BpAction::Idle);
+        }
+        let mut on2 = on;
+        on2.reset(0.15);
+        for _ in 0..4 {
+            on2.step(BpAction::Idle);
+        }
+        let a = out2.step(BpAction::Idle);
+        let b = on2.step(BpAction::Idle);
+        assert_eq!(a.reward.to_bits(), b.reward.to_bits());
+        assert_eq!(a.breakdown.outage_penalty, Money::ZERO);
+        assert_eq!(a.breakdown.unserved_kwh, 0.0);
+    }
+
+    #[test]
+    fn outage_discharge_reduces_the_penalty() {
+        // A charged battery rides the outage through: discharging covers
+        // load the grid can no longer supply, shrinking the unserved energy.
+        let mut inputs = flat_inputs(24, Stratum::NoCharge);
+        for w in &mut inputs.weather {
+            w.solar_irradiance = 0.0;
+        }
+        let mut env = HubEnv::new(HubConfig::urban(), inputs, 4)
+            .unwrap()
+            .with_outages(vec![true; 24])
+            .unwrap();
+        env.reset(0.8);
+        let discharge = env.step(BpAction::Discharge).breakdown;
+        env.reset(0.8);
+        let idle = env.step(BpAction::Idle).breakdown;
+        assert!(discharge.unserved_kwh < idle.unserved_kwh);
+        assert!(discharge.outage_penalty.as_f64() < idle.outage_penalty.as_f64());
+        assert!(discharge.reward > idle.reward);
+    }
+
+    #[test]
+    fn outage_mask_length_is_validated() {
+        let env = HubEnv::new(HubConfig::urban(), flat_inputs(24, Stratum::NoCharge), 4).unwrap();
+        assert!(env.clone().with_outages(vec![true; 3]).is_err());
+        let cleared = env.clone().with_outages(Vec::new()).unwrap();
+        assert!(cleared.outages().is_empty());
+        assert!(env.with_outages(vec![false; 24]).is_ok());
     }
 
     #[test]

@@ -161,7 +161,22 @@ pub fn env_for_hub(
 ) -> ect_types::Result<HubEnv> {
     let inputs = episode_for_hub(world, hub, start_slot, len, discounts, rng)?;
     let config = HubConfig::for_siting(world.hubs[hub.index()].siting);
-    HubEnv::new(config, inputs, window)
+    HubEnv::new(config, inputs, window)?.with_outages(outage_mask(world, start_slot, len))
+}
+
+/// The per-slot scripted-outage mask of a world's scenario over one episode
+/// window — how `SlotWindow` outage scripts reach the stepping reward path
+/// (grid gone, unserved load penalised; see `ect_env::env::compute_slot`).
+pub fn outage_mask(world: &WorldDataset, start_slot: usize, len: usize) -> Vec<bool> {
+    let mut mask = vec![false; len];
+    for window in &world.scenario.outages {
+        for t in window.start..window.start + window.len {
+            if t >= start_slot && t < start_slot + len {
+                mask[t - start_slot] = true;
+            }
+        }
+    }
+    mask
 }
 
 /// Slices the world's shared RTP series for one episode window into an
@@ -204,6 +219,7 @@ fn build_lane(
         traffic: traces.traffic[start_slot..start_slot + len].into(),
         discounts: Arc::new(schedule.clone()),
         strata: strata.into(),
+        outages: outage_mask(world, start_slot, len).into(),
     };
     Ok((HubConfig::for_siting(traces.siting), series))
 }
@@ -872,6 +888,73 @@ mod tests {
             &mut rngs
         )
         .is_err());
+    }
+
+    #[test]
+    fn outage_scenarios_reach_both_stepping_paths_identically() {
+        use ect_data::scenario::scenario_by_name;
+        let config = ect_data::dataset::WorldConfig {
+            num_hubs: 2,
+            horizon_slots: 24 * 7,
+            ..ect_data::dataset::WorldConfig::default()
+        };
+        let horizon = config.horizon_slots;
+        let blackout = scenario_by_name("rolling-blackout", horizon).unwrap();
+        assert!(!blackout.outages.is_empty());
+        let w = WorldDataset::generate_scenario(config, &blackout).unwrap();
+
+        // The mask mirrors the scenario's scripted windows.
+        let mask = outage_mask(&w, 0, horizon);
+        let scripted: usize = blackout.outages.iter().map(|o| o.len).sum();
+        assert_eq!(mask.iter().filter(|&&o| o).count(), scripted);
+        assert!(outage_mask(&w, 0, 1).len() == 1);
+
+        // Sequential env and batched lane see the same outage slots and
+        // produce bit-identical penalised rewards.
+        let mut rng = EctRng::seed_from(9);
+        let mut env = env_for_hub(
+            &w,
+            HubId::new(0),
+            0,
+            horizon,
+            DiscountSchedule::none(horizon),
+            6,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(env.outages(), mask.as_slice());
+        let mut rngs = vec![EctRng::seed_from(9)];
+        let mut fleet = fleet_env_for_hubs(
+            &w,
+            &[HubId::new(0)],
+            0,
+            horizon,
+            &[DiscountSchedule::none(horizon)],
+            6,
+            &mut rngs,
+        )
+        .unwrap();
+        assert_eq!(&*fleet.series()[0].outages, mask.as_slice());
+
+        env.reset(0.5);
+        fleet.reset(&[0.5]);
+        let mut outage_slots_hit = 0usize;
+        for t in 0..horizon {
+            let seq = env.step(BpAction::Idle);
+            let step = fleet.step_batch(&[BpAction::Idle]);
+            assert_eq!(seq.breakdown, step.breakdowns[0], "slot {t}");
+            if seq.breakdown.outage_penalty.as_f64() > 0.0 {
+                outage_slots_hit += 1;
+                assert_eq!(seq.breakdown.p_grid.as_f64(), 0.0);
+            }
+            if step.done {
+                break;
+            }
+        }
+        assert!(
+            outage_slots_hit > 0,
+            "scripted outages must reach the stepping reward"
+        );
     }
 
     #[test]

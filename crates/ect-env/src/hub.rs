@@ -6,6 +6,7 @@ use crate::power::{BaseStationModel, ChargingStationModel};
 use crate::tariff::SellingTariff;
 use ect_data::dataset::HubSiting;
 use ect_data::renewables::{PvArray, RenewablePlant, WindTurbine};
+use ect_types::units::DollarsPerKwh;
 use serde::{Deserialize, Serialize};
 
 /// Full configuration of one ECT-Hub (Fig. 6 of the paper).
@@ -23,6 +24,11 @@ pub struct HubConfig {
     pub tariff: SellingTariff,
     /// Estimated grid recovery time `T_r` after a blackout, hours (Eq. 6).
     pub recovery_hours: usize,
+    /// Value of lost load during a scripted grid outage, $/kWh: every kWh
+    /// of hub demand the renewables and battery cannot cover while the grid
+    /// is down is charged at this rate in the stepping reward. Far above
+    /// any RTP level, so outages dominate the slots they script.
+    pub outage_voll: DollarsPerKwh,
 }
 
 impl HubConfig {
@@ -38,6 +44,7 @@ impl HubConfig {
             }),
             tariff: SellingTariff::default(),
             recovery_hours: 8,
+            outage_voll: DollarsPerKwh::new(2.0),
         }
     }
 
@@ -96,6 +103,12 @@ impl HubConfig {
         if let Some(wt) = &self.plant.wt {
             WindTurbine::new(wt.rated_kw, wt.cut_in, wt.rated_speed, wt.cut_out)?;
         }
+        if !(self.outage_voll.as_f64() >= 0.0 && self.outage_voll.as_f64().is_finite()) {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "outage value of lost load must be finite and non-negative, got {}",
+                self.outage_voll.as_f64()
+            )));
+        }
         Ok(())
     }
 }
@@ -134,6 +147,17 @@ mod tests {
         let mut cfg = HubConfig::urban();
         cfg.recovery_hours = 48; // needs 192 kWh of reserve; soc_min holds 45
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn bad_voll_is_rejected() {
+        let mut cfg = HubConfig::urban();
+        cfg.outage_voll = DollarsPerKwh::new(-0.5);
+        assert!(cfg.validate().is_err());
+        cfg.outage_voll = DollarsPerKwh::new(f64::NAN);
+        assert!(cfg.validate().is_err());
+        cfg.outage_voll = DollarsPerKwh::new(0.0);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

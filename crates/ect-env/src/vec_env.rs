@@ -40,17 +40,23 @@ pub struct HubSeries {
     pub discounts: Arc<DiscountSchedule>,
     /// Ground-truth charging stratum per slot.
     pub strata: Arc<[Stratum]>,
+    /// Scripted grid-outage flag per slot (all `false` when the lane's
+    /// scenario scripts none).
+    pub outages: Arc<[bool]>,
 }
 
 impl HubSeries {
-    /// Wraps owned episode inputs, taking sole ownership of each series.
+    /// Wraps owned episode inputs, taking sole ownership of each series;
+    /// the outage mask starts all-clear (the grid never fails).
     pub fn from_inputs(inputs: EpisodeInputs) -> Self {
+        let slots = inputs.rtp.len();
         Self {
             rtp: inputs.rtp.into(),
             weather: inputs.weather.into(),
             traffic: inputs.traffic.into(),
             discounts: Arc::new(inputs.discounts),
             strata: inputs.strata.into(),
+            outages: vec![false; slots].into(),
         }
     }
 
@@ -82,6 +88,7 @@ impl HubSeries {
             ("fleet lane traffic series", self.traffic.len()),
             ("fleet lane discount schedule", self.discounts.len()),
             ("fleet lane strata series", self.strata.len()),
+            ("fleet lane outage mask", self.outages.len()),
         ] {
             if len != n {
                 return Err(ect_types::EctError::ShapeMismatch {
@@ -285,7 +292,11 @@ impl FleetEnv {
             let inputs = env.inputs().clone();
             batteries.push(env.battery().clone());
             features.push(env.augmentation().to_vec());
-            lanes.push((config, HubSeries::from_inputs(inputs)));
+            let mut series = HubSeries::from_inputs(inputs);
+            if !env.outages().is_empty() {
+                series.outages = env.outages().into();
+            }
+            lanes.push((config, series));
         }
         let mut fleet = Self::new(lanes, window)?;
         if features.iter().any(|f| !f.is_empty()) {
@@ -489,6 +500,7 @@ impl FleetEnv {
                     traffic: &series.traffic[t],
                     discount_level: series.discounts.level(t),
                     stratum: series.strata[t],
+                    outage: series.outages[t],
                 },
                 &mut self.batteries[lane],
                 action,

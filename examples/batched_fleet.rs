@@ -1,7 +1,7 @@
 //! The batched fleet engine end to end: train every hub of a miniature
-//! world under two pricing engines with `run_fleet` (lockstep `FleetEnv`
-//! batches), then cross-check one method against the sequential per-cell
-//! path.
+//! world under two pricing engines through `Session::fleet` (lockstep
+//! `FleetEnv` batches), then cross-check one method against the sequential
+//! per-cell path.
 //!
 //! ```bash
 //! cargo run --release --example batched_fleet
@@ -12,7 +12,10 @@ use ect_price::engine::{AlwaysDiscount, NeverDiscount};
 use std::time::Instant;
 
 fn main() -> ect_types::Result<()> {
-    let system = EctHubSystem::new(SystemConfig::miniature())?;
+    let mut session = SessionBuilder::new(SystemConfig::miniature())
+        .threads(2)
+        .build()?;
+    let system = session.system()?;
     let hubs: Vec<HubId> = (0..system.world().num_hubs()).map(HubId::new).collect();
     println!(
         "world: {} hubs × {} slots, {} training episodes per cell",
@@ -27,9 +30,9 @@ fn main() -> ect_types::Result<()> {
         ("AlwaysDiscount".into(), Box::new(AlwaysDiscount)),
     ];
     let t0 = Instant::now();
-    let cells = run_fleet(&system, &engines, 2)?;
+    let cells = session.fleet(&engines)?;
     println!(
-        "\nrun_fleet (batched engine, 2 workers) finished in {:.2?}:",
+        "\nSession::fleet (batched engine, 2 workers) finished in {:.2?}:",
         t0.elapsed()
     );
     println!("hub | method         | avg daily reward ($)");

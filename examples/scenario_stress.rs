@@ -67,8 +67,9 @@ fn main() -> ect_types::Result<()> {
         println!("  {:<20} {:>10.2} $", spec.name, profit.as_f64());
     }
 
-    // 3. A small method × scenario grid with stress diagnostics.
-    let system = EctHubSystem::new(config)?;
+    // 3. A small method × scenario grid with stress diagnostics, through
+    // the unified Session API (the base system is memoised in its store).
+    let mut session = SessionBuilder::new(config).threads(4).build()?;
     let scenarios = vec![
         ScenarioSpec::baseline(),
         scenario_by_name("rtp-price-spike", horizon).expect("library scenario"),
@@ -80,7 +81,7 @@ fn main() -> ect_types::Result<()> {
             Box::new(NeverDiscount) as Box<dyn PricingEngine>,
         )])
     };
-    let grid = run_scenario_grid(&system, &scenarios, &engines, 4)?;
+    let grid = session.scenario_grid(&scenarios, &engines)?;
     println!("\nmethod × scenario grid:");
     for result in &grid {
         let cost: f64 = result.stress.iter().map(|s| s.baseline_grid_cost).sum();

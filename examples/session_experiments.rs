@@ -1,0 +1,49 @@
+//! The unified experiment API end to end: one [`Session`], several registry
+//! experiments, shared artifacts.
+//!
+//! Runs the `generalization` and `severity_sweep` experiments back to back
+//! inside a single smoke-scale session — the generated world, assembled
+//! system and every trained policy are memoised in the session's artifact
+//! store, so overlapping work is done exactly once (watch the hit/build
+//! counters at the end).
+//!
+//! ```bash
+//! cargo run --release --example session_experiments
+//! ```
+
+use ect_bench::registry::ExperimentRegistry;
+use ect_core::prelude::*;
+
+fn main() -> ect_types::Result<()> {
+    // The registry catalog — exactly what `run_all --list` prints.
+    let registry = ExperimentRegistry::standard();
+    println!("{}\n", registry.catalog());
+
+    // One CI-sized session shared by every experiment below.
+    let mut session = SessionBuilder::new(ect_bench::experiments::system_config(RunScale::Smoke))
+        .scale(RunScale::Smoke)
+        .threads(4)
+        .stderr_progress("session_experiments")
+        .build()?;
+
+    for id in ["generalization", "severity_sweep"] {
+        let experiment = registry.get(id).expect("standard registry entry");
+        let output = run_timed(experiment, &mut session)?;
+        println!(
+            "\n[{}] {} = {:.3} in {:.1} s → {}",
+            output.id,
+            output.metric_name,
+            output.metric_value,
+            output.wall_time_s,
+            output.artifacts.join(", ")
+        );
+    }
+
+    println!(
+        "\nartifact store after both experiments: {} artifacts, {} hits, {} builds",
+        session.store().len(),
+        session.store().hits(),
+        session.store().misses()
+    );
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! Acceptance pins of the unified experiment API (PR 5).
+//!
+//! Two contracts:
+//!
+//! 1. **Bit-identity** — routing an experiment through the [`Session`] /
+//!    artifact-store path must not move a single bit relative to the legacy
+//!    free-function path (`run_with_config`, which rides the deprecated
+//!    shims). Pinned here by comparing the serialised smoke JSON of the
+//!    `generalization`, `severity_sweep` and `scenario_sweep` experiments.
+//! 2. **Work sharing** — a combined run of `generalization` and
+//!    `severity_sweep` inside one session trains each distinct generalist
+//!    exactly once, and *repeating* both experiments trains nothing at all:
+//!    every lookup is an artifact-store hit (asserted through the store's
+//!    hit/miss probes).
+
+use ect_bench::experiments::{generalization, scenario_sweep, severity_sweep};
+use ect_bench::Scale;
+use ect_core::prelude::*;
+
+/// One session at the smoke scale with a fixed thread budget (the thread
+/// count participates in `GeneralistOptions`, so both paths must agree).
+const THREADS: usize = 4;
+
+fn smoke_session() -> Session {
+    SessionBuilder::new(ect_bench::experiments::system_config(Scale::Smoke))
+        .scale(Scale::Smoke)
+        .threads(THREADS)
+        .build()
+        .expect("smoke session builds")
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("result serialises")
+}
+
+#[test]
+fn generalization_smoke_json_is_bit_identical_through_the_session() {
+    let legacy = generalization::run_with_config(generalization::smoke_config(), THREADS).unwrap();
+    let mut session = smoke_session();
+    let via_session =
+        generalization::run_in_session(&mut session, generalization::smoke_config()).unwrap();
+    assert_eq!(
+        json(&legacy),
+        json(&via_session),
+        "generalization smoke JSON must be bit-identical through the Session path"
+    );
+    // The session path actually produced artifacts (it did not silently
+    // fall back to the legacy path).
+    assert_eq!(session.store().kind_stats("generalist").misses, 2);
+    assert_eq!(session.store().kind_stats("heldout-baselines").misses, 1);
+}
+
+#[test]
+fn severity_smoke_json_is_bit_identical_through_the_session() {
+    let legacy = severity_sweep::run_with_config(
+        severity_sweep::smoke_config(),
+        severity_sweep::smoke_options(),
+    )
+    .unwrap();
+    let mut session = smoke_session();
+    let via_session = severity_sweep::run_in_session(
+        &mut session,
+        severity_sweep::smoke_config(),
+        severity_sweep::smoke_options(),
+    )
+    .unwrap();
+    assert_eq!(
+        json(&legacy),
+        json(&via_session),
+        "severity smoke JSON must be bit-identical through the Session path"
+    );
+    assert_eq!(session.store().kind_stats("severity").misses, 1);
+}
+
+#[test]
+fn scenario_sweep_smoke_json_is_bit_identical_through_the_session() {
+    let legacy = scenario_sweep::run_with_config(scenario_sweep::smoke_config(), THREADS).unwrap();
+    let mut session = smoke_session();
+    let via_session =
+        scenario_sweep::run_in_session(&mut session, scenario_sweep::smoke_config()).unwrap();
+    assert_eq!(
+        json(&legacy),
+        json(&via_session),
+        "scenario sweep smoke JSON must be bit-identical through the Session path"
+    );
+}
+
+#[test]
+fn combined_run_trains_each_generalist_exactly_once() {
+    let mut session = smoke_session();
+    let config = generalization::experiment_config(Scale::Smoke);
+    // Both experiments bring the same smoke system configuration, which is
+    // exactly what makes the sharing observable below.
+    assert_eq!(
+        serde_json::to_string(&config).unwrap(),
+        serde_json::to_string(&severity_sweep::experiment_config(Scale::Smoke)).unwrap(),
+    );
+
+    // Combined run: generalization (two mixture-generalist arms) plus the
+    // severity sweep (one domain-randomised generalist).
+    let gen_first = generalization::run_in_session(&mut session, config.clone()).unwrap();
+    let sev_first = severity_sweep::run_in_session(
+        &mut session,
+        config.clone(),
+        severity_sweep::options_for(Scale::Smoke),
+    )
+    .unwrap();
+
+    // Each distinct generalist trained exactly once …
+    assert_eq!(session.store().kind_stats("generalist").misses, 2);
+    assert_eq!(session.store().kind_stats("severity").misses, 1);
+    // … over exactly one shared world/system and one baseline pass.
+    assert_eq!(session.store().kind_stats("world").misses, 1);
+    assert_eq!(session.store().kind_stats("system").misses, 1);
+    assert_eq!(session.store().kind_stats("heldout-baselines").misses, 1);
+
+    // Re-running BOTH experiments trains nothing: misses stay flat, hits
+    // grow, and the reports are bit-identical to the first pass.
+    let hits_before = session.store().hits();
+    let gen_again = generalization::run_in_session(&mut session, config.clone()).unwrap();
+    let sev_again = severity_sweep::run_in_session(
+        &mut session,
+        config,
+        severity_sweep::options_for(Scale::Smoke),
+    )
+    .unwrap();
+    assert_eq!(session.store().kind_stats("generalist").misses, 2);
+    assert_eq!(session.store().kind_stats("severity").misses, 1);
+    assert!(
+        session.store().hits() > hits_before,
+        "the repeat pass must be served from the artifact store"
+    );
+    assert_eq!(
+        serde_json::to_string(&gen_first).unwrap(),
+        serde_json::to_string(&gen_again).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&sev_first).unwrap(),
+        serde_json::to_string(&sev_again).unwrap()
+    );
+}
