@@ -1,0 +1,10 @@
+//! Saturates the SoA stepping kernel and reports hub-slots/sec per rung.
+//!
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its rung table, writes `results/throughput.json` and
+//! upserts its rows into `results/BENCH_summary.json` exactly as `run_all`
+//! does.
+fn main() -> ect_types::Result<()> {
+    ect_bench::registry::run_single("throughput")
+}

@@ -14,6 +14,7 @@ pub mod generalization;
 pub mod scenario_sweep;
 pub mod severity_sweep;
 pub mod table2;
+pub mod throughput;
 
 use crate::Scale;
 use ect_core::prelude::*;

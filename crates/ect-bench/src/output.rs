@@ -43,6 +43,36 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     println!("\n[saved {}]", path.display());
 }
 
+/// Merges rows into `results/BENCH_summary.json`, replacing rows with the
+/// same `experiment` name and appending new ones — so a filtered pass
+/// (`run_all --only throughput`) publishes its rows without clobbering the
+/// rest of the trajectory, and an unfiltered pass refreshes every row it
+/// produced while keeping experiment-upserted extras (e.g. the per-rung
+/// throughput rows).
+///
+/// # Panics
+///
+/// Panics if the summary file cannot be written (harness binaries fail
+/// loudly). A present-but-unparsable file is treated as empty.
+pub fn upsert_bench_summary(rows: &[BenchSummaryEntry]) {
+    let path = results_dir().join("BENCH_summary.json");
+    let mut existing: Vec<BenchSummaryEntry> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|json| serde_json::from_str(&json).ok())
+        .unwrap_or_default();
+    for row in rows {
+        if let Some(slot) = existing
+            .iter_mut()
+            .find(|entry| entry.experiment == row.experiment)
+        {
+            *slot = row.clone();
+        } else {
+            existing.push(row.clone());
+        }
+    }
+    save_json("BENCH_summary", &existing);
+}
+
 /// Renders a numeric series as a fixed-width ASCII bar chart (one row per
 /// point), for eyeballing figure shapes in the terminal.
 pub fn ascii_series(labels: &[String], values: &[f64], width: usize) -> String {

@@ -15,9 +15,9 @@ use crate::experiments::{
     fig03::Fig03Experiment, fig04::Fig04Experiment, fig05::Fig05Experiment, fig11::Fig11Experiment,
     fig12::Fig12Experiment, fleet::FleetExperiment, generalization::GeneralizationExperiment,
     scenario_sweep::ScenarioSweepExperiment, severity_sweep::SeveritySweepExperiment,
-    table2::Table2Experiment,
+    table2::Table2Experiment, throughput::ThroughputExperiment,
 };
-use crate::output::{save_json, BenchSummaryEntry};
+use crate::output::{upsert_bench_summary, BenchSummaryEntry};
 use ect_core::experiment::{run_timed, Experiment, ExperimentOutput};
 use ect_core::session::Session;
 use std::time::Instant;
@@ -58,6 +58,7 @@ impl ExperimentRegistry {
         registry.register(Box::new(ScenarioSweepExperiment));
         registry.register(Box::new(GeneralizationExperiment));
         registry.register(Box::new(SeveritySweepExperiment));
+        registry.register(Box::new(ThroughputExperiment));
         registry
     }
 
@@ -266,7 +267,7 @@ pub fn run_all_main() -> ect_types::Result<()> {
         summary.insert(at, row);
     }
     if args.only.is_empty() && args.skip.is_empty() {
-        save_json("BENCH_summary", &summary);
+        upsert_bench_summary(&summary);
     } else {
         println!(
             "\n[run_all] filtered pass ({} of {} experiments) — BENCH_summary.json untouched",
@@ -290,7 +291,7 @@ mod tests {
     #[test]
     fn standard_registry_has_unique_ids_and_artifact_stems() {
         let registry = ExperimentRegistry::standard();
-        assert_eq!(registry.len(), 13);
+        assert_eq!(registry.len(), 14);
         assert!(!registry.is_empty());
 
         let ids = registry.ids();
@@ -340,6 +341,7 @@ mod tests {
                 "scenario_sweep",
                 "generalization",
                 "severity_sweep",
+                "throughput",
             ]
         );
     }

@@ -1,0 +1,225 @@
+//! Work-stealing job dispatch for the fan-out stages.
+//!
+//! The historical dispatch split the job list into one static chunk per
+//! worker; a straggler job (a heterogeneous scenario lane, an uneven hub
+//! chunk) then serialised its whole chunk's tail while other workers sat
+//! idle. [`run_indexed`] replaces that with work-stealing over the
+//! crossbeam deque surface: all jobs start in a shared
+//! [`crossbeam::deque::Injector`], each worker drains batches into its own
+//! [`crossbeam::deque::Worker`] queue, and an idle worker steals from its
+//! peers before giving up.
+//!
+//! Determinism: job `i`'s result lands in slot `i` of a preallocated
+//! results slab, so the returned vector is in job order regardless of
+//! which worker ran what and when — the fleet/scenario equivalence suites
+//! pin that the output is bit-identical across thread counts.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Pulls the next task: local queue first, then a batch from the global
+/// injector, then stealing from peers.
+fn find_task<T>(
+    local: &Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
+    me: usize,
+) -> Option<T> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(task) => return Some(task),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    loop {
+        let mut retry = false;
+        for (peer, stealer) in stealers.iter().enumerate() {
+            if peer == me {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+/// Runs every job across `threads` work-stealing workers (0 = one worker
+/// per job) and returns the results **in job order**.
+///
+/// Each job runs exactly once; its result is written into the slab slot of
+/// its index, so the output order is independent of scheduling. On error
+/// the dispatch aborts outstanding work and returns the error of the
+/// lowest-indexed failing job among those that ran.
+///
+/// # Errors
+///
+/// Returns the lowest-indexed job error encountered.
+pub fn run_indexed<J, R, F>(jobs: Vec<J>, threads: usize, run: F) -> ect_types::Result<Vec<R>>
+where
+    J: Send,
+    R: Send,
+    F: Fn(usize, J) -> ect_types::Result<R> + Sync,
+{
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = if threads == 0 {
+        jobs.len()
+    } else {
+        threads.min(jobs.len()).max(1)
+    };
+    if workers == 1 {
+        // Single worker: run inline, no queues, first error wins (it is
+        // also the lowest-indexed one).
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, job)| run(idx, job))
+            .collect();
+    }
+
+    let n = jobs.len();
+    let injector = Injector::new();
+    for task in jobs.into_iter().enumerate() {
+        injector.push(task);
+    }
+    let locals: Vec<Worker<(usize, J)>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(usize, J)>> = locals.iter().map(Worker::stealer).collect();
+    // One uncontended mutex per slot (rather than `OnceLock`) so results
+    // only need `Send`, not `Sync` — jobs may carry `Box<dyn Trait>` state.
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let first_error: Mutex<Option<(usize, ect_types::EctError)>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+
+    crossbeam::thread::scope(|scope| {
+        for (me, local) in locals.into_iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers;
+            let slots = &slots;
+            let first_error = &first_error;
+            let abort = &abort;
+            let run = &run;
+            scope.spawn(move |_| {
+                while !abort.load(Ordering::Relaxed) {
+                    let Some((idx, job)) = find_task(&local, injector, stealers, me) else {
+                        break;
+                    };
+                    match run(idx, job) {
+                        Ok(result) => {
+                            let previous = slots[idx].lock().replace(result);
+                            debug_assert!(previous.is_none(), "job {idx} ran twice");
+                        }
+                        Err(e) => {
+                            let mut guard = first_error.lock();
+                            if guard.as_ref().is_none_or(|(prev, _)| idx < *prev) {
+                                *guard = Some((idx, e));
+                            }
+                            abort.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("dispatch worker panicked");
+
+    if let Some((_, e)) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every job ran to completion without error")
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_job_order_for_any_thread_count() {
+        let jobs: Vec<usize> = (0..37).collect();
+        for threads in [0, 1, 2, 3, 8, 64] {
+            let results = run_indexed(jobs.clone(), threads, |idx, job| {
+                assert_eq!(idx, job);
+                Ok(job * job)
+            })
+            .unwrap();
+            let expected: Vec<usize> = jobs.iter().map(|j| j * j).collect();
+            assert_eq!(results, expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let results = run_indexed((0..100).collect::<Vec<usize>>(), 4, |_, job| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            Ok(job)
+        })
+        .unwrap();
+        assert_eq!(counter.into_inner(), 100);
+        assert_eq!(results.len(), 100);
+    }
+
+    #[test]
+    fn empty_job_lists_are_empty() {
+        let results = run_indexed(Vec::<usize>::new(), 4, |_, job| Ok(job)).unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn the_lowest_indexed_error_wins_sequentially() {
+        // Single worker: deterministic first-error semantics.
+        let err = run_indexed((0..10).collect::<Vec<usize>>(), 1, |idx, _| {
+            if idx >= 3 {
+                Err(ect_types::EctError::InvalidConfig(format!("job {idx}")))
+            } else {
+                Ok(idx)
+            }
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("job 3"), "{err}");
+    }
+
+    #[test]
+    fn parallel_errors_abort_and_surface() {
+        // All jobs fail: whichever error surfaces must be a real job error,
+        // and the dispatch must not hang or panic.
+        let err = run_indexed((0..32).collect::<Vec<usize>>(), 4, |idx, _| {
+            Err::<usize, _>(ect_types::EctError::InvalidConfig(format!("job {idx}")))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("job "), "{err}");
+    }
+
+    #[test]
+    fn uneven_job_durations_still_complete() {
+        // Stragglers: a few long jobs mixed with many short ones must all
+        // finish (the work-stealing motivation case).
+        let results = run_indexed((0..64).collect::<Vec<u64>>(), 4, |_, job| {
+            if job % 16 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Ok(job + 1)
+        })
+        .unwrap();
+        assert_eq!(results, (1..=64).collect::<Vec<u64>>());
+    }
+}

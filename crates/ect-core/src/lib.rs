@@ -48,6 +48,7 @@
 //! The [`prelude`] re-exports the types most applications need.
 
 pub mod artifact;
+pub mod dispatch;
 pub mod experiment;
 pub mod generalist;
 pub mod pricing;
@@ -59,6 +60,7 @@ pub mod severity;
 pub mod system;
 
 pub use artifact::{ArtifactKey, ArtifactStore, KindStats};
+pub use dispatch::run_indexed;
 pub use experiment::{run_timed, Experiment, ExperimentOutput};
 #[allow(deprecated)]
 pub use generalist::run_generalist;

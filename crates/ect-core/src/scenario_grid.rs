@@ -23,7 +23,6 @@ use ect_env::tariff::DiscountSchedule;
 use ect_price::engine::PricingEngine;
 use ect_types::ids::HubId;
 use ect_types::rng::EctRng;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Per-hub stress diagnostics of one scenario world, independent of any
@@ -193,44 +192,13 @@ pub(crate) fn scenario_grid_impl(
     } else {
         threads.min(scenarios.len()).max(1)
     };
-    let built: Mutex<Vec<(usize, EctHubSystem, NamedEngines)>> =
-        Mutex::new(Vec::with_capacity(scenarios.len()));
-    let build_errors: Mutex<Vec<ect_types::EctError>> = Mutex::new(Vec::new());
-    let indexed_specs: Vec<(usize, &ScenarioSpec)> = scenarios.iter().enumerate().collect();
-    crossbeam::thread::scope(|scope| {
-        for specs in indexed_specs.chunks(scenarios.len().div_ceil(stage1_workers.max(1)).max(1)) {
-            let built = &built;
-            let build_errors = &build_errors;
-            scope.spawn(move |_| {
-                for &(idx, spec) in specs {
-                    let system = match base.with_scenario(spec.clone()) {
-                        Ok(system) => system,
-                        Err(e) => {
-                            build_errors.lock().push(e);
-                            return;
-                        }
-                    };
-                    match engines_for(&system) {
-                        Ok(engines) => built.lock().push((idx, system, engines)),
-                        Err(e) => {
-                            build_errors.lock().push(e);
-                            return;
-                        }
-                    }
-                }
-            });
-        }
-    })
-    .expect("scenario build worker panicked");
-    if let Some(e) = build_errors.into_inner().into_iter().next() {
-        return Err(e);
-    }
-    let mut built = built.into_inner();
-    built.sort_by_key(|(idx, _, _)| *idx);
-    let runs: Vec<(EctHubSystem, NamedEngines)> = built
-        .into_iter()
-        .map(|(_, system, engines)| (system, engines))
-        .collect();
+    let specs: Vec<&ScenarioSpec> = scenarios.iter().collect();
+    let runs: Vec<(EctHubSystem, NamedEngines)> =
+        crate::dispatch::run_indexed(specs, stage1_workers, |_, spec| {
+            let system = base.with_scenario(spec.clone())?;
+            let engines = engines_for(&system)?;
+            Ok((system, engines))
+        })?;
 
     // Stage 2 (parallel): fan scenario × method × hub-chunk jobs.
     let num_hubs = base.world().num_hubs() as usize;
@@ -259,40 +227,18 @@ pub(crate) fn scenario_grid_impl(
         })
         .collect();
 
-    let results: Mutex<Vec<(usize, Vec<HubExperimentResult>)>> =
-        Mutex::new(Vec::with_capacity(jobs.len()));
-    let errors: Mutex<Vec<ect_types::EctError>> = Mutex::new(Vec::new());
     let runs_ref = &runs;
-    crossbeam::thread::scope(|scope| {
-        for worker_jobs in jobs.chunks(jobs.len().div_ceil(workers)) {
-            let results = &results;
-            let errors = &errors;
-            scope.spawn(move |_| {
-                let mut local: Vec<(usize, Vec<HubExperimentResult>)> = Vec::new();
-                for &(scenario_idx, engine_idx, chunk) in worker_jobs {
-                    let (system, engines) = &runs_ref[scenario_idx];
-                    let (label, engine) = &engines[engine_idx];
-                    match run_hubs_method_batched(system, chunk, engine.as_ref(), label) {
-                        Ok(cells) => local.push((scenario_idx, cells)),
-                        Err(e) => {
-                            errors.lock().push(e);
-                            return;
-                        }
-                    }
-                }
-                results.lock().append(&mut local);
-            });
-        }
-    })
-    .expect("scenario grid worker panicked");
-
-    if let Some(e) = errors.into_inner().into_iter().next() {
-        return Err(e);
-    }
+    let per_job =
+        crate::dispatch::run_indexed(jobs, workers, |_, (scenario_idx, engine_idx, chunk)| {
+            let (system, engines) = &runs_ref[scenario_idx];
+            let (label, engine) = &engines[engine_idx];
+            run_hubs_method_batched(system, chunk, engine.as_ref(), label)
+                .map(|cells| (scenario_idx, cells))
+        })?;
 
     // Stage 3 (sequential): group cells per scenario and attach stress.
     let mut grouped: Vec<Vec<HubExperimentResult>> = vec![Vec::new(); runs.len()];
-    for (scenario_idx, mut cells) in results.into_inner() {
+    for (scenario_idx, mut cells) in per_job {
         grouped[scenario_idx].append(&mut cells);
     }
     let mut out = Vec::with_capacity(runs.len());

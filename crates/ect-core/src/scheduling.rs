@@ -6,9 +6,9 @@
 //! * [`run_hub_method`] — one `(hub, method)` cell at a time over the
 //!   sequential [`ect_env::env::HubEnv`];
 //! * [`run_hubs_method_batched`] / [`run_fleet`] — hub *batches* stepped in
-//!   lockstep through the [`ect_env::vec_env::FleetEnv`] engine, with each
-//!   worker thread owning a whole chunk of hubs and pushing its results
-//!   once (no per-cell lock traffic).
+//!   lockstep through the [`ect_env::vec_env::FleetEnv`] engine, with the
+//!   `(method, hub-chunk)` jobs dispatched over the work-stealing
+//!   [`crate::dispatch`] pool so no worker idles behind a straggler chunk.
 //!
 //! The batched path is bit-identical to the sequential one under the same
 //! system seed — lane RNG streams are isolated exactly as the per-hub
@@ -24,7 +24,6 @@ use ect_env::tariff::DiscountSchedule;
 use ect_price::engine::{discount_levels, PricingEngine};
 use ect_types::ids::{HubId, StationId};
 use ect_types::rng::EctRng;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Observation window of the Eq. 24 state (one day of history).
@@ -247,9 +246,9 @@ pub fn run_hubs_method_batched(
 /// Runs the full fleet: every hub × every named engine.
 ///
 /// Execution rides the batched engine: the `hub × method` grid is split
-/// into per-method hub chunks, each worker thread trains its chunk as one
-/// lockstep [`ect_env::vec_env::FleetEnv`] batch and publishes the chunk's
-/// results with a single lock acquisition. Results are bit-identical to
+/// into per-method hub chunks, each job trains its chunk as one lockstep
+/// [`ect_env::vec_env::FleetEnv`] batch; jobs flow through the
+/// work-stealing [`crate::dispatch`] pool. Results are bit-identical to
 /// running [`run_hub_method`] per cell.
 ///
 /// `threads` caps the worker count (0 = one worker per chunk).
@@ -297,37 +296,15 @@ pub(crate) fn run_fleet_impl(
         .flat_map(|e| hubs.chunks(chunk_len).map(move |chunk| (e, chunk)))
         .collect();
 
-    let results = Mutex::new(Vec::with_capacity(cells));
-    let errors: Mutex<Vec<ect_types::EctError>> = Mutex::new(Vec::new());
+    // Work-stealing keeps all `workers` busy even when chunks train at
+    // uneven speeds; each job's result lands in its own slab slot, so the
+    // output is deterministic regardless of which worker ran what.
+    let per_job = crate::dispatch::run_indexed(jobs, workers, |_, (engine_idx, hub_chunk)| {
+        let (label, engine) = &engines[engine_idx];
+        run_hubs_method_batched(system, hub_chunk, engine.as_ref(), label)
+    })?;
 
-    crossbeam::thread::scope(|scope| {
-        for worker_jobs in jobs.chunks(jobs.len().div_ceil(workers)) {
-            let results = &results;
-            let errors = &errors;
-            scope.spawn(move |_| {
-                // Accumulate locally; publish once per worker.
-                let mut local = Vec::new();
-                for &(engine_idx, hub_chunk) in worker_jobs {
-                    let (label, engine) = &engines[engine_idx];
-                    match run_hubs_method_batched(system, hub_chunk, engine.as_ref(), label) {
-                        Ok(mut cells) => local.append(&mut cells),
-                        Err(e) => {
-                            errors.lock().push(e);
-                            return;
-                        }
-                    }
-                }
-                results.lock().append(&mut local);
-            });
-        }
-    })
-    .expect("fleet worker panicked");
-
-    let errors = errors.into_inner();
-    if let Some(e) = errors.into_iter().next() {
-        return Err(e);
-    }
-    let mut results = results.into_inner();
+    let mut results: Vec<HubExperimentResult> = per_job.into_iter().flatten().collect();
     results.sort_by(|a, b| (a.hub, &a.method).cmp(&(b.hub, &b.method)));
     Ok(results)
 }
@@ -425,6 +402,39 @@ mod tests {
         for (a, b) in wide.iter().zip(&narrow) {
             assert_eq!(a.hub, b.hub);
             assert_eq!(a.avg_daily_reward.to_bits(), b.avg_daily_reward.to_bits());
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)] // the legacy shim must stay green
+    fn work_stealing_fleet_is_bit_identical_across_thread_counts() {
+        // The work-stealing pool hands jobs to whichever worker is free, so
+        // execution order varies run to run — the slab-indexed results must
+        // not. Pin bitwise identity against the single-worker inline path.
+        let s = system();
+        let engines: Vec<(String, Box<dyn PricingEngine>)> =
+            vec![("NoDiscount".into(), Box::new(NeverDiscount))];
+        let reference = run_fleet(&s, &engines, 1).unwrap();
+        for threads in [2, 3, 5] {
+            let stolen = run_fleet(&s, &engines, threads).unwrap();
+            assert_eq!(stolen.len(), reference.len(), "threads {threads}");
+            for (a, b) in stolen.iter().zip(&reference) {
+                assert_eq!(a.hub, b.hub);
+                assert_eq!(a.method, b.method);
+                assert_eq!(
+                    a.avg_daily_reward.to_bits(),
+                    b.avg_daily_reward.to_bits(),
+                    "hub {} threads {threads}",
+                    a.hub
+                );
+                assert_eq!(
+                    a.final_training_return.to_bits(),
+                    b.final_training_return.to_bits()
+                );
+                for (x, y) in a.daily_series.iter().zip(&b.daily_series) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
         }
     }
 

@@ -211,6 +211,13 @@ impl BatteryPoint {
         self.soc.as_f64() / self.config.capacity_kwh
     }
 
+    /// Overwrites the SoC with a value the SoA fast path already bounded.
+    /// No clamping: the caller guarantees the value came from the same
+    /// Eq. 3–5 arithmetic [`Self::apply`] would have produced.
+    pub(crate) fn set_soc_kwh(&mut self, soc_kwh: f64) {
+        self.soc = KiloWattHour::new(soc_kwh);
+    }
+
     /// Resets the SoC (start of an episode).
     pub fn reset(&mut self, soc_fraction: f64) {
         self.soc = KiloWattHour::new(Ratio::saturating(soc_fraction) * self.config.capacity_kwh)

@@ -65,6 +65,7 @@ pub mod env;
 pub mod fleet;
 pub mod hub;
 pub mod power;
+mod soa;
 pub mod tariff;
 pub mod vec_env;
 
@@ -78,4 +79,4 @@ pub use fleet::{
 pub use hub::HubConfig;
 pub use power::{grid_power, BaseStationModel, ChargingStationModel};
 pub use tariff::{DiscountSchedule, SellingTariff};
-pub use vec_env::{BatchStep, FleetEnv, HubSeries};
+pub use vec_env::{BatchStep, FastBatchStep, FleetEnv, HubSeries};

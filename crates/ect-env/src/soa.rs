@@ -1,0 +1,318 @@
+//! Struct-of-arrays slot lanes: the batched stepping fast path.
+//!
+//! [`SlotLanes`] precomputes everything about a fleet slot that does not
+//! depend on the battery action into contiguous per-slot `f64` arrays —
+//! loads, renewables, prices, revenue, outage flags and the five
+//! pre-normalised observation windows — deduplicated per *group* of lanes
+//! that share one `(HubConfig, HubSeries)` (a 100k-lane fleet replicated
+//! from a 12-hub world holds 12 groups, not 100k copies). What remains per
+//! lane is the battery recurrence: eight flat constant lanes plus one live
+//! SoC lane, iterated branch-light in [`SlotLanes::step`].
+//!
+//! Bit-exactness is the contract: every precomputed value is produced by
+//! the *same expressions* (same operand order, same unit-type wrappers
+//! unwrapped to the identical `f64` arithmetic) as the scalar
+//! [`crate::env::compute_slot`] / [`crate::env::write_observation`] pair,
+//! so a SoA trajectory is bit-identical to the scalar one. The
+//! `vec_env::tests` and the proptest suite pin this.
+
+use crate::battery::{BatteryPoint, BpAction};
+use crate::env::ObsNorm;
+use crate::hub::HubConfig;
+use crate::vec_env::HubSeries;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of one lane's shared inputs: the data pointers of its six
+/// `Arc`-held series. Lanes replicated from one world compare equal here
+/// without touching the series contents.
+type SeriesKey = [usize; 6];
+
+fn series_key(series: &HubSeries) -> SeriesKey {
+    [
+        series.rtp.as_ptr() as usize,
+        series.weather.as_ptr() as usize,
+        series.traffic.as_ptr() as usize,
+        Arc::as_ptr(&series.discounts) as usize,
+        series.strata.as_ptr() as usize,
+        series.outages.as_ptr() as usize,
+    ]
+}
+
+/// The SoA mirror of a fleet: per-group slot lanes plus per-lane battery
+/// lanes. Built lazily by [`crate::vec_env::FleetEnv::step_batch_soa`].
+#[derive(Debug, Clone)]
+pub(crate) struct SlotLanes {
+    horizon: usize,
+    groups: usize,
+    /// Lane → group index.
+    group_of: Vec<u32>,
+    // Per-(group, slot) dynamics lanes, group-major: group `g`, slot `t`
+    // lives at `g * horizon + t`.
+    load_sum: Vec<f64>,
+    wt: Vec<f64>,
+    pv: Vec<f64>,
+    rtp: Vec<f64>,
+    revenue: Vec<f64>,
+    outage: Vec<bool>,
+    // Per-(group, slot) observation lanes, already normalised exactly as
+    // `write_observation` would.
+    obs_rtp: Vec<f64>,
+    obs_solar: Vec<f64>,
+    obs_wind: Vec<f64>,
+    obs_load: Vec<f64>,
+    obs_srtp: Vec<f64>,
+    // Per-lane battery constants (duplicated per lane so the inner loop
+    // indexes flat arrays only).
+    soc_min: Vec<f64>,
+    soc_max: Vec<f64>,
+    full_gain: Vec<f64>,
+    eta_ch: Vec<f64>,
+    full_draw: Vec<f64>,
+    eta_dch: Vec<f64>,
+    op_cost: Vec<f64>,
+    voll: Vec<f64>,
+    capacity: Vec<f64>,
+    // Per-lane live state.
+    soc: Vec<f64>,
+}
+
+impl SlotLanes {
+    /// Builds the SoA mirror of the given fleet lanes. Groups lanes by
+    /// series identity (`Arc` data pointers) plus config equality, then
+    /// precomputes every action-independent slot quantity once per group.
+    pub(crate) fn build(
+        configs: &[HubConfig],
+        series: &[HubSeries],
+        batteries: &[BatteryPoint],
+        norm: &ObsNorm,
+    ) -> Self {
+        let n = configs.len();
+        let horizon = series.first().map_or(0, HubSeries::len);
+
+        // Group assignment: same series pointers AND equal config.
+        let mut buckets: HashMap<SeriesKey, Vec<u32>> = HashMap::new();
+        let mut group_of = vec![0u32; n];
+        let mut reps: Vec<usize> = Vec::new();
+        for lane in 0..n {
+            let key = series_key(&series[lane]);
+            let candidates = buckets.entry(key).or_default();
+            let group = candidates
+                .iter()
+                .copied()
+                .find(|&g| configs[reps[g as usize]] == configs[lane]);
+            let g = match group {
+                Some(g) => g,
+                None => {
+                    let g = u32::try_from(reps.len()).expect("group count fits u32");
+                    reps.push(lane);
+                    candidates.push(g);
+                    g
+                }
+            };
+            group_of[lane] = g;
+        }
+        let groups = reps.len();
+
+        // Per-(group, slot) lanes.
+        let cells = groups * horizon;
+        let mut load_sum = vec![0.0; cells];
+        let mut wt = vec![0.0; cells];
+        let mut pv = vec![0.0; cells];
+        let mut rtp = vec![0.0; cells];
+        let mut revenue = vec![0.0; cells];
+        let mut outage = vec![false; cells];
+        let mut obs_rtp = vec![0.0; cells];
+        let mut obs_solar = vec![0.0; cells];
+        let mut obs_wind = vec![0.0; cells];
+        let mut obs_load = vec![0.0; cells];
+        let mut obs_srtp = vec![0.0; cells];
+        for (g, &rep) in reps.iter().enumerate() {
+            let config = &configs[rep];
+            let lane_series = &series[rep];
+            let base_price = config.tariff.base_price.as_f64();
+            for t in 0..horizon {
+                let cell = g * horizon + t;
+                let level = lane_series.discounts.level(t);
+                let out = lane_series.outages[t];
+                // Identical expressions to `compute_slot`, operand for
+                // operand: `p_bs + p_cs` is the first (left-assoc) addition
+                // of Eq. 7, so pre-summing it preserves bits.
+                let p_bs = config
+                    .base_station
+                    .power(lane_series.traffic[t].load_rate)
+                    .as_f64();
+                let discounted = level > 0.0;
+                let ev_charged = !out && lane_series.strata[t].outcome(discounted);
+                let p_cs = config.charging_station.power(ev_charged).as_f64();
+                let srtp = config.tariff.price_with_discount(level);
+                load_sum[cell] = p_bs + p_cs;
+                wt[cell] = config.plant.wt_power(&lane_series.weather[t]).as_f64();
+                pv[cell] = config.plant.pv_power(&lane_series.weather[t]).as_f64();
+                rtp[cell] = lane_series.rtp[t].as_f64();
+                revenue[cell] = p_cs * srtp.as_f64();
+                outage[cell] = out;
+                // The five Eq. 24 windows, normalised as `write_observation`
+                // normalises them.
+                obs_rtp[cell] = lane_series.rtp[t].as_f64() / norm.price_scale;
+                obs_solar[cell] = lane_series.weather[t].solar_irradiance / norm.irradiance_scale;
+                obs_wind[cell] = lane_series.weather[t].wind_speed / norm.wind_scale;
+                obs_load[cell] = lane_series.traffic[t].load_rate.as_f64();
+                obs_srtp[cell] = srtp.as_f64() / base_price;
+            }
+        }
+
+        // Per-lane battery constants, unwrapped through the same unit-type
+        // expressions `BatteryPoint::apply` evaluates.
+        let mut soc_min = vec![0.0; n];
+        let mut soc_max = vec![0.0; n];
+        let mut full_gain = vec![0.0; n];
+        let mut eta_ch = vec![0.0; n];
+        let mut full_draw = vec![0.0; n];
+        let mut eta_dch = vec![0.0; n];
+        let mut op_cost = vec![0.0; n];
+        let mut voll = vec![0.0; n];
+        let mut capacity = vec![0.0; n];
+        let mut soc = vec![0.0; n];
+        for lane in 0..n {
+            let cfg = batteries[lane].config();
+            soc_min[lane] = cfg.soc_min_kwh().as_f64();
+            soc_max[lane] = cfg.soc_max_kwh().as_f64();
+            full_gain[lane] = cfg.charge_efficiency * (cfg.charge_rate_kw * 1.0);
+            eta_ch[lane] = cfg.charge_efficiency.as_f64();
+            full_draw[lane] = cfg.discharge_rate_kw * 1.0;
+            eta_dch[lane] = cfg.discharge_efficiency.as_f64();
+            op_cost[lane] = cfg.op_cost_per_slot;
+            voll[lane] = configs[lane].outage_voll.as_f64();
+            capacity[lane] = cfg.capacity_kwh;
+            soc[lane] = batteries[lane].soc().as_f64();
+        }
+
+        Self {
+            horizon,
+            groups,
+            group_of,
+            load_sum,
+            wt,
+            pv,
+            rtp,
+            revenue,
+            outage,
+            obs_rtp,
+            obs_solar,
+            obs_wind,
+            obs_load,
+            obs_srtp,
+            soc_min,
+            soc_max,
+            full_gain,
+            eta_ch,
+            full_draw,
+            eta_dch,
+            op_cost,
+            voll,
+            capacity,
+            soc,
+        }
+    }
+
+    /// Number of deduplicated `(config, series)` groups.
+    pub(crate) fn group_count(&self) -> usize {
+        self.groups
+    }
+
+    /// Current SoC of one lane, kWh.
+    pub(crate) fn soc(&self, lane: usize) -> f64 {
+        self.soc[lane]
+    }
+
+    /// Re-seeds the SoC lane from the authoritative batteries (after a
+    /// reset or a scalar-path step).
+    pub(crate) fn sync_soc_from(&mut self, batteries: &[BatteryPoint]) {
+        for (soc, battery) in self.soc.iter_mut().zip(batteries) {
+            *soc = battery.soc().as_f64();
+        }
+    }
+
+    /// Advances every lane one slot, writing per-lane rewards. The battery
+    /// recurrence replicates `BatteryPoint::apply` bit for bit (same `1e-9`
+    /// epsilon, same min/divide order); the power balance and accounting
+    /// replicate `compute_slot`.
+    pub(crate) fn step(&mut self, t: usize, actions: &[BpAction], rewards: &mut [f64]) {
+        const EPS: f64 = 1e-9;
+        debug_assert!(t < self.horizon);
+        for (lane, (&action, reward)) in actions.iter().zip(rewards.iter_mut()).enumerate() {
+            let cell = self.group_of[lane] as usize * self.horizon + t;
+            let out = self.outage[cell];
+            let action = if out && action == BpAction::Charge {
+                BpAction::Idle
+            } else {
+                action
+            };
+            let soc = self.soc[lane];
+            let (p_bp, new_soc, active) = match action {
+                BpAction::Charge => {
+                    let headroom = self.soc_max[lane] - soc;
+                    let gain = headroom.min(self.full_gain[lane]);
+                    if gain <= EPS {
+                        (0.0, soc, false)
+                    } else {
+                        (gain / self.eta_ch[lane], soc + gain, true)
+                    }
+                }
+                BpAction::Discharge => {
+                    let available = soc - self.soc_min[lane];
+                    let drawn = available.min(self.full_draw[lane]);
+                    if drawn <= EPS {
+                        (0.0, soc, false)
+                    } else {
+                        (-(self.eta_dch[lane] * drawn), soc - drawn, true)
+                    }
+                }
+                BpAction::Idle => (0.0, soc, false),
+            };
+            self.soc[lane] = new_soc;
+            let op_cost = if active { self.op_cost[lane] } else { 0.0 };
+            let p_demand =
+                (((self.load_sum[cell] + p_bp) - self.wt[cell]) - self.pv[cell]).max(0.0);
+            let p_grid = if out { 0.0 } else { p_demand };
+            let grid_cost = p_grid * self.rtp[cell];
+            let penalty = if out { p_demand * self.voll[lane] } else { 0.0 };
+            *reward = ((self.revenue[cell] - grid_cost) - op_cost) - penalty;
+        }
+    }
+
+    /// Writes one lane's Eq. 24 core observation (`5 × window + 1` values,
+    /// no conditioning block) for slot `t` into `out`, reading the
+    /// precomputed group lanes. In steady state (full window available)
+    /// each of the five windows is one contiguous `copy_from_slice`; at the
+    /// episode edges it falls back to the clamped-index walk
+    /// `write_observation` performs, over the same precomputed values.
+    pub(crate) fn write_obs(&self, lane: usize, t: usize, window: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), 5 * window + 1);
+        let g = self.group_of[lane] as usize;
+        let base = g * self.horizon;
+        let lanes = [
+            &self.obs_rtp,
+            &self.obs_solar,
+            &self.obs_wind,
+            &self.obs_load,
+            &self.obs_srtp,
+        ];
+        if t + 1 >= window && t < self.horizon {
+            let start = base + t + 1 - window;
+            for (i, lane_values) in lanes.iter().enumerate() {
+                out[i * window..(i + 1) * window]
+                    .copy_from_slice(&lane_values[start..start + window]);
+            }
+        } else {
+            for (i, lane_values) in lanes.iter().enumerate() {
+                for k in 0..window {
+                    let idx = (t + k).saturating_sub(window - 1).min(self.horizon - 1);
+                    out[i * window + k] = lane_values[base + idx];
+                }
+            }
+        }
+        out[5 * window] = self.soc[lane] / self.capacity[lane];
+    }
+}

@@ -18,6 +18,7 @@ use crate::env::{
     compute_slot, write_observation, EpisodeInputs, HubEnv, ObsNorm, SlotBreakdown, SlotInputs,
 };
 use crate::hub::HubConfig;
+use crate::soa::SlotLanes;
 use crate::tariff::DiscountSchedule;
 use ect_data::charging::Stratum;
 use ect_data::traffic::TrafficSample;
@@ -129,6 +130,62 @@ impl BatchStep<'_> {
     }
 }
 
+/// Result of one SoA fast-path step ([`FleetEnv::step_batch_soa`]):
+/// observations and rewards only, no per-slot [`SlotBreakdown`] audit trail
+/// (training loops don't read it; the scalar [`FleetEnv::step_batch`] keeps
+/// the full accounting).
+#[derive(Debug)]
+pub struct FastBatchStep<'a> {
+    /// All observations, lane-major: lane `i` occupies
+    /// `obs[i * state_dim .. (i + 1) * state_dim]`.
+    pub obs: &'a [f64],
+    /// Per-lane reward (Eq. 12 profit), bit-identical to the scalar path.
+    pub rewards: &'a [f64],
+    /// `true` when every lane's episode has ended.
+    pub done: bool,
+}
+
+impl FastBatchStep<'_> {
+    /// Observation slice of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_obs(&self, lane: usize) -> &[f64] {
+        let dim = self.obs.len() / self.rewards.len();
+        &self.obs[lane * dim..(lane + 1) * dim]
+    }
+}
+
+/// The one observation writer both [`FleetEnv::observe_into`] and the
+/// stepping paths share — a single call site for the Eq. 24 layout so the
+/// flat-buffer refresh and the public per-lane view cannot drift.
+#[allow(clippy::too_many_arguments)]
+fn write_lane_obs(
+    out: &mut [f64],
+    window: usize,
+    t: usize,
+    norm: &ObsNorm,
+    config: &HubConfig,
+    series: &HubSeries,
+    soc_fraction: f64,
+    extra: &[f64],
+) {
+    write_observation(
+        out,
+        window,
+        t,
+        norm,
+        config,
+        &series.rtp,
+        &series.weather,
+        &series.traffic,
+        &series.discounts,
+        soc_fraction,
+        extra,
+    );
+}
+
 /// Batched environment over N hub lanes advancing in lockstep.
 ///
 /// # Example
@@ -183,6 +240,9 @@ pub struct FleetEnv {
     obs: Vec<f64>,
     rewards: Vec<f64>,
     breakdowns: Vec<SlotBreakdown>,
+    // Struct-of-arrays fast-path mirror, built lazily on the first
+    // `step_batch_soa` call; `None` until then.
+    soa: Option<SlotLanes>,
 }
 
 impl FleetEnv {
@@ -240,6 +300,7 @@ impl FleetEnv {
             obs: vec![0.0; n * state_dim],
             rewards: vec![0.0; n],
             breakdowns: vec![SlotBreakdown::default(); n],
+            soa: None,
         };
         // Populate real slot-0 observations so a freshly built fleet reads
         // like a freshly built HubEnv instead of returning zero vectors
@@ -416,17 +477,13 @@ impl FleetEnv {
     ///
     /// Panics if `lane` is out of range or `out.len() != state_dim`.
     pub fn observe_into(&self, lane: usize, out: &mut [f64]) {
-        let series = &self.series[lane];
-        write_observation(
+        write_lane_obs(
             out,
             self.window,
             self.t,
             &self.norm,
             &self.configs[lane],
-            &series.rtp,
-            &series.weather,
-            &series.traffic,
-            &series.discounts,
+            &self.series[lane],
             self.batteries[lane].soc_fraction(),
             self.lane_features(lane),
         );
@@ -438,17 +495,13 @@ impl FleetEnv {
         let norm = self.norm;
         let window = self.window;
         for (lane, out) in self.obs.chunks_exact_mut(dim).enumerate() {
-            let series = &self.series[lane];
-            write_observation(
+            write_lane_obs(
                 out,
                 window,
                 t,
                 &norm,
                 &self.configs[lane],
-                &series.rtp,
-                &series.weather,
-                &series.traffic,
-                &series.discounts,
+                &self.series[lane],
                 self.batteries[lane].soc_fraction(),
                 &self.aug[lane * self.aug_dim..(lane + 1) * self.aug_dim],
             );
@@ -470,6 +523,9 @@ impl FleetEnv {
         for (battery, &soc) in self.batteries.iter_mut().zip(initial_soc) {
             battery.reset(soc);
         }
+        if let Some(soa) = &mut self.soa {
+            soa.sync_soc_from(&self.batteries);
+        }
         self.t = 0;
         self.refresh_observations();
         &self.obs
@@ -490,7 +546,15 @@ impl FleetEnv {
         );
         assert_eq!(actions.len(), self.num_lanes(), "one action per lane");
         let t = self.t;
-        for (lane, &action) in actions.iter().enumerate() {
+        let t_next = t + 1;
+        let dim = self.state_dim;
+        let window = self.window;
+        let norm = self.norm;
+        let aug_dim = self.aug_dim;
+        // One pass over lane memory per slot: step the lane, then
+        // immediately write its next observation while its state is hot
+        // (the former separate `refresh_observations` sweep, fused).
+        for (lane, (out, &action)) in self.obs.chunks_exact_mut(dim).zip(actions).enumerate() {
             let series = &self.series[lane];
             let breakdown = compute_slot(
                 &self.configs[lane],
@@ -508,15 +572,96 @@ impl FleetEnv {
             );
             self.rewards[lane] = breakdown.reward.as_f64();
             self.breakdowns[lane] = breakdown;
+            write_lane_obs(
+                out,
+                window,
+                t_next,
+                &norm,
+                &self.configs[lane],
+                series,
+                self.batteries[lane].soc_fraction(),
+                &self.aug[lane * aug_dim..(lane + 1) * aug_dim],
+            );
         }
-        self.t += 1;
-        self.refresh_observations();
+        if let Some(soa) = &mut self.soa {
+            soa.sync_soc_from(&self.batteries);
+        }
+        self.t = t_next;
         BatchStep {
             obs: &self.obs,
             rewards: &self.rewards,
             breakdowns: &self.breakdowns,
             done: self.t >= self.horizon,
         }
+    }
+
+    /// Advances every lane one slot on the struct-of-arrays fast path:
+    /// branch-light flat-`f64` slot math over per-group precomputed lanes
+    /// (see the private `soa` module), bit-identical rewards and
+    /// observations to
+    /// [`FleetEnv::step_batch`] but without the [`SlotBreakdown`] audit
+    /// trail. The SoA mirror is built lazily on the first call and kept in
+    /// sync across `reset` and scalar steps, so the two paths can be mixed
+    /// freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the episode already finished or `actions.len()` mismatches
+    /// the lane count.
+    pub fn step_batch_soa(&mut self, actions: &[BpAction]) -> FastBatchStep<'_> {
+        assert!(
+            self.t < self.horizon,
+            "step_batch called on finished episode; call reset"
+        );
+        assert_eq!(actions.len(), self.num_lanes(), "one action per lane");
+        if self.soa.is_none() {
+            self.soa = Some(SlotLanes::build(
+                &self.configs,
+                &self.series,
+                &self.batteries,
+                &self.norm,
+            ));
+        }
+        let t = self.t;
+        let soa = self.soa.as_mut().expect("SoA mirror just ensured");
+        soa.step(t, actions, &mut self.rewards);
+        for (lane, battery) in self.batteries.iter_mut().enumerate() {
+            battery.set_soc_kwh(soa.soc(lane));
+        }
+        self.t = t + 1;
+        let t_next = self.t;
+        let window = self.window;
+        let core = 5 * window + 1;
+        let dim = self.state_dim;
+        let aug_dim = self.aug_dim;
+        for (lane, chunk) in self.obs.chunks_exact_mut(dim).enumerate() {
+            let (head, tail) = chunk.split_at_mut(core);
+            soa.write_obs(lane, t_next, window, head);
+            tail.copy_from_slice(&self.aug[lane * aug_dim..(lane + 1) * aug_dim]);
+        }
+        FastBatchStep {
+            obs: &self.obs,
+            rewards: &self.rewards,
+            done: self.t >= self.horizon,
+        }
+    }
+
+    /// Number of deduplicated `(config, series)` groups behind the SoA fast
+    /// path, building the mirror if needed. A fleet replicated from one
+    /// world shares its per-slot lanes across all replicas.
+    pub fn soa_group_count(&mut self) -> usize {
+        if self.soa.is_none() {
+            self.soa = Some(SlotLanes::build(
+                &self.configs,
+                &self.series,
+                &self.batteries,
+                &self.norm,
+            ));
+        }
+        self.soa
+            .as_ref()
+            .expect("SoA mirror just ensured")
+            .group_count()
     }
 
     /// Runs a full episode under a per-lane policy closure; returns per-lane
@@ -795,6 +940,229 @@ mod tests {
         fleet.step_batch(&actions);
         fleet.step_batch(&actions);
         fleet.step_batch(&actions);
+    }
+
+    fn varied_inputs(slots: usize) -> EpisodeInputs {
+        let strata = [
+            Stratum::NoCharge,
+            Stratum::IncentiveCharge,
+            Stratum::AlwaysCharge,
+        ];
+        EpisodeInputs {
+            rtp: (0..slots)
+                .map(|t| DollarsPerKwh::new(0.05 + 0.01 * (t % 7) as f64))
+                .collect(),
+            weather: (0..slots)
+                .map(|t| WeatherSample {
+                    solar_irradiance: 100.0 * (t % 9) as f64,
+                    wind_speed: 2.0 + (t % 11) as f64,
+                    cloud_cover: 0.1 * (t % 5) as f64,
+                })
+                .collect(),
+            traffic: (0..slots)
+                .map(|t| TrafficSample {
+                    load_rate: LoadRate::new(0.1 + 0.08 * (t % 10) as f64).unwrap(),
+                    volume_gb: 10.0 + t as f64,
+                })
+                .collect(),
+            discounts: DiscountSchedule::from_levels(
+                (0..slots)
+                    .map(|t| if t % 4 == 0 { 0.2 } else { 0.0 })
+                    .collect(),
+            )
+            .unwrap(),
+            strata: (0..slots).map(|t| strata[t % 3]).collect(),
+        }
+    }
+
+    fn varied_fleet(lanes: usize, slots: usize, outages: bool) -> FleetEnv {
+        let envs: Vec<HubEnv> = (0..lanes)
+            .map(|i| {
+                let config = if i % 2 == 0 {
+                    HubConfig::urban()
+                } else {
+                    HubConfig::rural()
+                };
+                let env = HubEnv::new(config, varied_inputs(slots), 4).unwrap();
+                if outages {
+                    env.with_outages((0..slots).map(|t| (t + i) % 5 == 0).collect())
+                        .unwrap()
+                } else {
+                    env
+                }
+            })
+            .collect();
+        FleetEnv::from_envs(envs).unwrap()
+    }
+
+    #[test]
+    fn soa_fast_path_matches_scalar_bitwise() {
+        let slots = 48;
+        let mut scalar = varied_fleet(4, slots, true);
+        let mut fast = scalar.clone();
+        let socs = [0.2, 0.45, 0.7, 0.9];
+        scalar.reset(&socs);
+        fast.reset(&socs);
+        let cycle = [BpAction::Charge, BpAction::Discharge, BpAction::Idle];
+        for t in 0..slots {
+            let actions: Vec<BpAction> = (0..4).map(|l| cycle[(t + l) % 3]).collect();
+            let (s_rewards, s_obs, s_done) = {
+                let step = scalar.step_batch(&actions);
+                (step.rewards.to_vec(), step.obs.to_vec(), step.done)
+            };
+            let step = fast.step_batch_soa(&actions);
+            for (lane, s_reward) in s_rewards.iter().enumerate() {
+                assert_eq!(
+                    s_reward.to_bits(),
+                    step.rewards[lane].to_bits(),
+                    "reward diverged at slot {t} lane {lane}"
+                );
+            }
+            for (i, (a, b)) in s_obs.iter().zip(step.obs).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "obs diverged at slot {t} idx {i}");
+            }
+            assert_eq!(s_done, step.done);
+        }
+        // Battery state stayed in sync: a reset-and-rerun agrees again.
+        for lane in 0..4 {
+            assert_eq!(scalar.batteries()[lane].soc(), fast.batteries()[lane].soc());
+        }
+    }
+
+    #[test]
+    fn soa_fast_path_carries_lane_features() {
+        let blocks = vec![vec![0.1, -0.2], vec![0.3, 0.4], vec![0.0, 0.0]];
+        let mut scalar = varied_fleet(3, 24, false)
+            .with_lane_features(blocks.clone())
+            .unwrap();
+        let mut fast = scalar.clone();
+        scalar.reset(&[0.5; 3]);
+        fast.reset(&[0.5; 3]);
+        let actions = [BpAction::Charge, BpAction::Idle, BpAction::Discharge];
+        for _ in 0..24 {
+            let (s_obs, s_done) = {
+                let step = scalar.step_batch(&actions);
+                (step.obs.to_vec(), step.done)
+            };
+            let step = fast.step_batch_soa(&actions);
+            assert_eq!(s_obs.as_slice(), step.obs);
+            for (lane, block) in blocks.iter().enumerate() {
+                let obs = step.lane_obs(lane);
+                assert_eq!(&obs[obs.len() - 2..], block.as_slice());
+            }
+            if s_done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_soa_and_scalar_paths_stay_in_sync() {
+        // Alternating the two stepping paths must still track a pure scalar
+        // trajectory bit for bit (the SoC hand-off in both directions).
+        let slots = 24;
+        let mut reference = varied_fleet(2, slots, true);
+        let mut mixed = reference.clone();
+        reference.reset(&[0.3, 0.8]);
+        mixed.reset(&[0.3, 0.8]);
+        let cycle = [BpAction::Discharge, BpAction::Charge, BpAction::Idle];
+        for t in 0..slots {
+            let actions: Vec<BpAction> = (0..2).map(|l| cycle[(t + l) % 3]).collect();
+            let (r_rewards, r_obs) = {
+                let step = reference.step_batch(&actions);
+                (step.rewards.to_vec(), step.obs.to_vec())
+            };
+            if t % 2 == 0 {
+                let step = mixed.step_batch_soa(&actions);
+                assert_eq!(r_rewards.as_slice(), step.rewards, "slot {t}");
+                assert_eq!(r_obs.as_slice(), step.obs, "slot {t}");
+            } else {
+                let step = mixed.step_batch(&actions);
+                assert_eq!(r_rewards.as_slice(), step.rewards, "slot {t}");
+                assert_eq!(r_obs.as_slice(), step.obs, "slot {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn soa_groups_deduplicate_shared_lanes() {
+        // 6 lanes replicated from 2 distinct (config, series) pairs via
+        // Arc-shared series must collapse to 2 SoA groups.
+        let inputs = varied_inputs(24);
+        let urban = HubSeries::from_inputs(inputs.clone());
+        let rural = HubSeries::from_inputs(inputs);
+        let mut lanes = Vec::new();
+        for _ in 0..3 {
+            lanes.push((HubConfig::urban(), urban.clone()));
+            lanes.push((HubConfig::rural(), rural.clone()));
+        }
+        let mut fleet = FleetEnv::new(lanes, 4).unwrap();
+        assert_eq!(fleet.num_lanes(), 6);
+        assert_eq!(fleet.soa_group_count(), 2);
+        // Distinct series allocations stay distinct groups.
+        let mut separate = varied_fleet(4, 24, false);
+        assert_eq!(separate.soa_group_count(), 4);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn soa_path_is_bit_identical_across_random_fleets(
+            config_picks in proptest::collection::vec(0usize..3, 1..5),
+            socs in proptest::collection::vec(0.0f64..1.0, 5),
+            action_seed in 0usize..1000,
+            outage_phase in 0usize..7,
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            let slots = 30;
+            let envs: Vec<HubEnv> = config_picks
+                .iter()
+                .enumerate()
+                .map(|(i, &pick)| {
+                    let config = match pick {
+                        0 => HubConfig::urban(),
+                        1 => HubConfig::rural(),
+                        _ => HubConfig::bare(),
+                    };
+                    HubEnv::new(config, varied_inputs(slots), 4)
+                        .unwrap()
+                        .with_outages(
+                            (0..slots).map(|t| (t + i + outage_phase) % 6 == 0).collect(),
+                        )
+                        .unwrap()
+                })
+                .collect();
+            let n = envs.len();
+            let mut scalar = FleetEnv::from_envs(envs).unwrap();
+            let mut fast = scalar.clone();
+            scalar.reset(&socs[..n]);
+            fast.reset(&socs[..n]);
+            for t in 0..slots {
+                let actions: Vec<BpAction> = (0..n)
+                    .map(|l| BpAction::from_index((action_seed + 3 * t + 5 * l) % 3))
+                    .collect();
+                let (s_rewards, s_obs) = {
+                    let step = scalar.step_batch(&actions);
+                    (step.rewards.to_vec(), step.obs.to_vec())
+                };
+                let step = fast.step_batch_soa(&actions);
+                for (lane, s_reward) in s_rewards.iter().enumerate() {
+                    prop_assert_eq!(
+                        s_reward.to_bits(),
+                        step.rewards[lane].to_bits(),
+                        "reward diverged at slot {} lane {}", t, lane
+                    );
+                }
+                for (i, (a, b)) in s_obs.iter().zip(step.obs).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "obs diverged at slot {} idx {}", t, i
+                    );
+                }
+            }
+        }
     }
 
     #[test]

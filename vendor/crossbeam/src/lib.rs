@@ -1,5 +1,169 @@
 //! Offline stand-in for `crossbeam`: the `thread::scope` surface the
-//! workspace uses, layered over `std::thread::scope` (stable since 1.63).
+//! workspace uses, layered over `std::thread::scope` (stable since 1.63),
+//! plus the `deque` work-stealing surface (`Injector`/`Worker`/`Stealer`)
+//! backed by mutex-guarded queues. The deque stand-in is API-faithful, not
+//! lock-free: correctness and the crossbeam call shape are what the
+//! workspace pins, the scheduling win comes from stealing itself.
+
+/// Work-stealing deques: a shared [`deque::Injector`] plus per-worker
+/// [`deque::Worker`]/[`deque::Stealer`] pairs.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt, mirroring crossbeam's enum.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `true` when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// Extracts the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+    }
+
+    /// A global FIFO queue every worker can push to and steal from.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Self {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the global queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steals one task from the front of the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `dest`, returning one of them
+        /// immediately. Mirrors crossbeam's "grab roughly half, keep one"
+        /// contract so hot workers drain the injector without a lock per
+        /// task.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut queue = self.queue.lock().expect("injector poisoned");
+            let Some(first) = queue.pop_front() else {
+                return Steal::Empty;
+            };
+            // Move up to half the remainder over to the destination worker.
+            let extra = queue.len().div_ceil(2).min(queue.len());
+            if extra > 0 {
+                let mut dest_queue = dest.queue.lock().expect("worker poisoned");
+                dest_queue.extend(queue.drain(..extra));
+            }
+            Steal::Success(first)
+        }
+
+        /// `true` when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+    }
+
+    /// A per-worker queue; the owning worker pops locally while peers steal
+    /// through the paired [`Stealer`].
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Self {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the local queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("worker poisoned").push_back(task);
+        }
+
+        /// Pops a task from the local queue (FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("worker poisoned").pop_front()
+        }
+
+        /// `true` when the local queue holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker poisoned").is_empty()
+        }
+
+        /// Creates a handle peers use to steal from this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle for stealing tasks from another worker's queue.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the front of the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("worker poisoned").pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` when the victim's queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker poisoned").is_empty()
+        }
+    }
+}
 
 /// Scoped threads.
 pub mod thread {
@@ -68,5 +232,33 @@ mod tests {
         })
         .expect("workers ran");
         assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn deque_tasks_flow_injector_to_worker_to_stealer() {
+        use super::deque::{Injector, Steal, Worker};
+
+        let injector = Injector::new();
+        for task in 0..8 {
+            injector.push(task);
+        }
+        let local = Worker::new_fifo();
+        // Batch-steal keeps FIFO order: the popped task precedes the batch.
+        assert_eq!(injector.steal_batch_and_pop(&local), Steal::Success(0));
+        let mut seen = vec![0];
+        while let Some(task) = local.pop() {
+            seen.push(task);
+        }
+        let peer = local.stealer();
+        loop {
+            match injector.steal() {
+                Steal::Success(task) => seen.push(task),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        assert!(peer.is_empty());
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
     }
 }
