@@ -12,11 +12,22 @@
 //!   laptop-scale [`Scale::Quick`];
 //! * `--only <ids>` / `--skip <ids>` — registry filters (comma-separated,
 //!   repeatable); only meaningful for `run_all`;
-//! * `--threads <n>` — worker threads for fan-out stages (default 8);
+//! * `--threads <n>` — worker threads for fan-out stages *and* the
+//!   `run_all` experiment scheduler (default: the machine's available
+//!   parallelism, [`Session::default_threads`]);
+//! * `--cache-dir <path>` — root of the persistent artifact cache
+//!   (default: the `ECT_CACHE_DIR` environment variable, then
+//!   `results/cache/`);
+//! * `--no-cache` — disable the persistent cache (in-memory memoisation
+//!   only, the pre-cache behaviour);
 //! * `--list` — print the experiment catalog and exit.
 
 use crate::Scale;
 use ect_core::session::{Session, SessionBuilder};
+
+/// Environment variable overriding the default persistent-cache root
+/// (`--cache-dir` beats it).
+pub const CACHE_DIR_ENV: &str = "ECT_CACHE_DIR";
 
 /// Parsed bench arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,8 +40,13 @@ pub struct BenchArgs {
     pub only: Vec<String>,
     /// Skip these experiment ids (`--skip`, comma-separated).
     pub skip: Vec<String>,
-    /// Worker threads for fan-out stages (`--threads`).
+    /// Worker threads for fan-out stages and the experiment scheduler
+    /// (`--threads`).
     pub threads: usize,
+    /// Disable the persistent artifact cache (`--no-cache`).
+    pub no_cache: bool,
+    /// Explicit persistent-cache root (`--cache-dir`).
+    pub cache_dir: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -40,7 +56,9 @@ impl Default for BenchArgs {
             list: false,
             only: Vec::new(),
             skip: Vec::new(),
-            threads: 8,
+            threads: Session::default_threads(),
+            no_cache: false,
+            cache_dir: None,
         }
     }
 }
@@ -76,6 +94,7 @@ impl BenchArgs {
                 "--smoke" => parsed.scale = Scale::Smoke,
                 "--full" => parsed.scale = Scale::Paper,
                 "--list" => parsed.list = true,
+                "--no-cache" => parsed.no_cache = true,
                 "--only" => {
                     if let Some(ids) = value(&mut iter, "--only") {
                         parsed
@@ -95,6 +114,11 @@ impl BenchArgs {
                         parsed.threads = n;
                     }
                 }
+                "--cache-dir" => {
+                    if let Some(dir) = value(&mut iter, "--cache-dir") {
+                        parsed.cache_dir = Some(dir);
+                    }
+                }
                 other => eprintln!("[bench] ignoring unknown argument '{other}'"),
             }
         }
@@ -107,19 +131,41 @@ impl BenchArgs {
             && !self.skip.iter().any(|skip| skip == id)
     }
 
+    /// Root of the persistent artifact cache these arguments ask for, or
+    /// `None` with `--no-cache`. Priority: `--cache-dir`, then the
+    /// [`CACHE_DIR_ENV`] environment variable, then `results/cache/` next
+    /// to the other artifacts.
+    pub fn cache_root(&self) -> Option<std::path::PathBuf> {
+        if self.no_cache {
+            return None;
+        }
+        if let Some(dir) = &self.cache_dir {
+            return Some(std::path::PathBuf::from(dir));
+        }
+        if let Ok(dir) = std::env::var(CACHE_DIR_ENV) {
+            if !dir.is_empty() {
+                return Some(std::path::PathBuf::from(dir));
+            }
+        }
+        Some(crate::output::results_dir().join("cache"))
+    }
+
     /// Builds the session every bench run shares: base configuration at the
     /// parsed scale, the parsed thread budget, progress to stderr under the
-    /// given tag.
+    /// given tag, and the persistent artifact cache (unless `--no-cache`).
     ///
     /// # Errors
     ///
     /// Propagates configuration validation failures.
     pub fn session(&self, tag: &str) -> ect_types::Result<Session> {
-        SessionBuilder::new(crate::experiments::system_config(self.scale))
+        let mut builder = SessionBuilder::new(crate::experiments::system_config(self.scale))
             .scale(self.scale)
             .threads(self.threads)
-            .stderr_progress(tag)
-            .build()
+            .stderr_progress(tag);
+        if let Some(root) = self.cache_root() {
+            builder = builder.persistent_cache(root);
+        }
+        builder.build()
     }
 }
 
@@ -163,8 +209,58 @@ mod tests {
         let args = parse(&["--threads", "3", "--list", "--bogus"]);
         assert_eq!(args.threads, 3);
         assert!(args.list);
-        // Malformed thread counts keep the default.
-        assert_eq!(parse(&["--threads", "lots"]).threads, 8);
+        // Malformed thread counts keep the default: the machine's
+        // available parallelism.
+        assert_eq!(
+            parse(&["--threads", "lots"]).threads,
+            Session::default_threads()
+        );
+        assert_eq!(parse(&[]).threads, Session::default_threads());
+    }
+
+    #[test]
+    fn cache_flags_parse_with_peek_before_consume() {
+        // Defaults: cache on, rooted under results/.
+        let args = parse(&[]);
+        assert!(!args.no_cache);
+        assert_eq!(args.cache_dir, None);
+
+        let args = parse(&["--no-cache"]);
+        assert!(args.no_cache);
+        assert_eq!(args.cache_root(), None, "--no-cache disables the cache");
+
+        let args = parse(&["--cache-dir", "/tmp/ect-cache"]);
+        assert_eq!(args.cache_dir.as_deref(), Some("/tmp/ect-cache"));
+        assert_eq!(
+            args.cache_root(),
+            Some(std::path::PathBuf::from("/tmp/ect-cache")),
+            "--cache-dir wins over every default"
+        );
+
+        // Peek-before-consume: a following flag is not swallowed as the
+        // value.
+        let args = parse(&["--cache-dir", "--smoke"]);
+        assert_eq!(args.cache_dir, None);
+        assert_eq!(args.scale, Scale::Smoke);
+        // And --no-cache beats an explicit --cache-dir.
+        let args = parse(&["--cache-dir", "/tmp/x", "--no-cache"]);
+        assert_eq!(args.cache_root(), None);
+    }
+
+    #[test]
+    fn default_cache_root_lives_under_results() {
+        // Scoped env handling: this test asserts the fallback only when the
+        // override variable is absent (tests must not mutate process env).
+        let args = parse(&[]);
+        match std::env::var(CACHE_DIR_ENV) {
+            Ok(dir) if !dir.is_empty() => {
+                assert_eq!(args.cache_root(), Some(std::path::PathBuf::from(dir)));
+            }
+            _ => {
+                let root = args.cache_root().expect("cache on by default");
+                assert!(root.ends_with("results/cache"), "{}", root.display());
+            }
+        }
     }
 
     #[test]
@@ -173,7 +269,7 @@ mod tests {
         // thread count) instead of eating it as a malformed value.
         let args = parse(&["--threads", "--list"]);
         assert!(args.list);
-        assert_eq!(args.threads, 8);
+        assert_eq!(args.threads, Session::default_threads());
         // Same for the filters, and a trailing value-flag is a no-op.
         let args = parse(&["--only", "--smoke"]);
         assert!(args.only.is_empty());
@@ -184,10 +280,19 @@ mod tests {
 
     #[test]
     fn session_factory_carries_the_scale() {
-        let session = parse(&["--smoke", "--threads", "2"])
+        let session = parse(&["--smoke", "--threads", "2", "--no-cache"])
             .session("test")
             .unwrap();
         assert_eq!(session.scale(), Scale::Smoke);
         assert_eq!(session.threads(), 2);
+        assert!(session.cache_dir().is_none());
+
+        // With the cache left on, the session adopts the resolved root.
+        let args = parse(&["--smoke", "--cache-dir", "/tmp/ect-cli-test-cache"]);
+        let session = args.session("test").unwrap();
+        assert_eq!(
+            session.cache_dir(),
+            Some(std::path::Path::new("/tmp/ect-cli-test-cache"))
+        );
     }
 }

@@ -108,10 +108,7 @@ impl ect_core::Experiment for Fig01Experiment {
     fn artifact_stems(&self) -> &'static [&'static str] {
         &["fig01_spatial"]
     }
-    fn run(
-        &self,
-        _session: &mut ect_core::Session,
-    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+    fn run(&self, _session: &ect_core::Session) -> ect_types::Result<ect_core::ExperimentOutput> {
         let result = run()?;
         print(&result);
         crate::output::save_json(self.id(), &result);

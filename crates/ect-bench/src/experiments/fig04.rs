@@ -62,10 +62,7 @@ impl ect_core::Experiment for Fig04Experiment {
     fn artifact_stems(&self) -> &'static [&'static str] {
         &["fig04_degradation"]
     }
-    fn run(
-        &self,
-        _session: &mut ect_core::Session,
-    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+    fn run(&self, _session: &ect_core::Session) -> ect_types::Result<ect_core::ExperimentOutput> {
         let result = run()?;
         print(&result);
         crate::output::save_json(self.id(), &result);

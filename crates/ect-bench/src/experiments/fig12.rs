@@ -92,10 +92,13 @@ impl ect_core::Experiment for Fig12Experiment {
     fn artifact_stems(&self) -> &'static [&'static str] {
         &["fig12_strata_periods"]
     }
-    fn run(
-        &self,
-        session: &mut ect_core::Session,
-    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+    fn dependency_stems(&self) -> &'static [&'static str] {
+        // Consumes the shared ECT-Price pricing artifacts: the scheduler
+        // runs the first declarer (table2_price) as the provider and the
+        // rest concurrently once it finishes.
+        &["pricing"]
+    }
+    fn run(&self, session: &ect_core::Session) -> ect_types::Result<ect_core::ExperimentOutput> {
         let artifacts = super::pricing_artifacts(session)?;
         let result = run(&artifacts);
         print(&result);

@@ -21,7 +21,7 @@ use ect_types::rng::EctRng;
 /// # Errors
 ///
 /// Propagates training failures.
-pub fn run(session: &mut Session) -> ect_types::Result<FleetReport> {
+pub fn run(session: &Session) -> ect_types::Result<FleetReport> {
     let artifacts = pricing_artifacts(session)?;
     let system = &artifacts.system;
     let mut rng = EctRng::seed_from(system.config().seed ^ 0xF1EE7);
@@ -100,10 +100,13 @@ impl ect_core::Experiment for FleetExperiment {
     fn artifact_stems(&self) -> &'static [&'static str] {
         &["fig13_hub_rewards", "table3_hub_rewards"]
     }
-    fn run(
-        &self,
-        session: &mut ect_core::Session,
-    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+    fn dependency_stems(&self) -> &'static [&'static str] {
+        // Consumes the shared ECT-Price pricing artifacts: the scheduler
+        // runs the first declarer (table2_price) as the provider and the
+        // rest concurrently once it finishes.
+        &["pricing"]
+    }
+    fn run(&self, session: &ect_core::Session) -> ect_types::Result<ect_core::ExperimentOutput> {
         session.report("training the hub fleet (this is the long stage) …");
         let report = run(session)?;
         print_fig13(&report);

@@ -71,7 +71,7 @@ pub fn smoke_config() -> SystemConfig {
 ///
 /// Propagates system construction, training and evaluation failures.
 pub fn run_in_session(
-    session: &mut Session,
+    session: &Session,
     config: SystemConfig,
 ) -> ect_types::Result<GeneralizationResult> {
     let threads = session.threads();
@@ -191,10 +191,7 @@ impl ect_core::Experiment for GeneralizationExperiment {
     fn artifact_stems(&self) -> &'static [&'static str] {
         &["generalization"]
     }
-    fn run(
-        &self,
-        session: &mut ect_core::Session,
-    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+    fn run(&self, session: &ect_core::Session) -> ect_types::Result<ect_core::ExperimentOutput> {
         let result = run_in_session(session, experiment_config(session.scale()))?;
         print(&result);
         crate::output::save_json(self.id(), &result);

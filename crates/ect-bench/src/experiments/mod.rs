@@ -71,13 +71,24 @@ pub fn system_config(scale: Scale) -> SystemConfig {
     config
 }
 
-fn train_artifacts(system: EctHubSystem) -> ect_types::Result<PricingArtifacts> {
-    let (train, test) = system.pricing_datasets();
+/// Trains the shared ECT-Price model on the system's observational history
+/// — the expensive, *serialisable* half of the pricing artifacts, and the
+/// piece that spills to the persistent cache.
+fn train_pricing_model(
+    system: &EctHubSystem,
+    train: &PricingDataset,
+) -> ect_types::Result<EctPriceModel> {
     let mut rng = EctRng::seed_from(system.config().seed ^ PRICING_SEED_STREAM);
     let space = system.feature_space();
     let config = system.config().ect_price.clone();
     let mut model = EctPriceModel::new(space, &config, &mut rng);
-    model.train(&train, &config, &mut rng)?;
+    model.train(train, &config, &mut rng)?;
+    Ok(model)
+}
+
+fn train_artifacts(system: EctHubSystem) -> ect_types::Result<PricingArtifacts> {
+    let (train, test) = system.pricing_datasets();
+    let model = train_pricing_model(&system, &train)?;
     Ok(PricingArtifacts {
         system,
         train,
@@ -120,28 +131,45 @@ fn pricing_build_key(config: &SystemConfig) -> ArtifactKey {
 /// fleet stage all train ECT-Price exactly once per session. Bit-identical
 /// to [`build_pricing_artifacts`] at the same scale.
 ///
+/// The datasets and assembled system are recomputed from the memoised
+/// world (cheap, deterministic); the trained `EctPriceModel` is the
+/// expensive piece and is persisted under the `pricing-model` kind, so a
+/// session with a disk cache attached skips the ECT-Price training across
+/// *processes* too.
+///
 /// # Errors
 ///
 /// Propagates system construction and training failures.
-pub fn pricing_artifacts(session: &mut Session) -> ect_types::Result<Arc<PricingArtifacts>> {
+pub fn pricing_artifacts(session: &Session) -> ect_types::Result<Arc<PricingArtifacts>> {
     let config = system_config(session.scale());
     let key = ArtifactKey::of("pricing-artifacts", &config);
+    let model_key = ArtifactKey::of("pricing-model", &config);
     let first_build = !session.store().contains(&key);
-    if first_build {
+    if first_build && !session.store().available_without_build(&model_key) {
         session.report("training pricing models …");
     }
     let system = session.system_for(&config)?;
     let t0 = std::time::Instant::now();
-    let artifacts = session
-        .store_mut()
-        .get_or_insert(key, || train_artifacts((*system).clone()))?;
+    let model = session.store().get_or_insert_cached(model_key, || {
+        let (train, _) = system.pricing_datasets();
+        train_pricing_model(&system, &train)
+    })?;
+    let artifacts = session.store().get_or_insert(key, || {
+        let (train, test) = system.pricing_datasets();
+        Ok(PricingArtifacts {
+            system: (*system).clone(),
+            train,
+            test,
+            model: (*model).clone(),
+        })
+    })?;
     if first_build {
         let build = PricingBuild {
             wall_time_s: t0.elapsed().as_secs_f64(),
             train_records: artifacts.train.len(),
         };
         session
-            .store_mut()
+            .store()
             .get_or_insert(pricing_build_key(&config), || Ok(build))?;
     }
     Ok(artifacts)

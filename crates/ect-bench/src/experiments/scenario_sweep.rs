@@ -118,7 +118,7 @@ fn summarise(grid: &[ScenarioGridResult]) -> Vec<ScenarioSummary> {
 ///
 /// Propagates system construction and grid failures.
 pub fn run_in_session(
-    session: &mut Session,
+    session: &Session,
     config: SystemConfig,
 ) -> ect_types::Result<ScenarioSweepResult> {
     let scenarios = scenario_library(config.world.horizon_slots);
@@ -210,10 +210,7 @@ impl ect_core::Experiment for ScenarioSweepExperiment {
     fn artifact_stems(&self) -> &'static [&'static str] {
         &["scenario_sweep"]
     }
-    fn run(
-        &self,
-        session: &mut ect_core::Session,
-    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+    fn run(&self, session: &ect_core::Session) -> ect_types::Result<ect_core::ExperimentOutput> {
         session.report("sweeping the stress library …");
         let result = run_in_session(session, sweep_config(session.scale()))?;
         print(&result);

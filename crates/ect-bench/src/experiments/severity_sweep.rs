@@ -86,7 +86,7 @@ pub fn options_for(scale: crate::Scale) -> SeverityOptions {
 ///
 /// Propagates system construction, training and evaluation failures.
 pub fn run_in_session(
-    session: &mut Session,
+    session: &Session,
     config: SystemConfig,
     options: SeverityOptions,
 ) -> ect_types::Result<SeveritySweepResult> {
@@ -138,10 +138,7 @@ impl ect_core::Experiment for SeveritySweepExperiment {
     fn artifact_stems(&self) -> &'static [&'static str] {
         &["severity_sweep"]
     }
-    fn run(
-        &self,
-        session: &mut ect_core::Session,
-    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+    fn run(&self, session: &ect_core::Session) -> ect_types::Result<ect_core::ExperimentOutput> {
         session.report("sweeping stress intensity per axis …");
         let scale = session.scale();
         let result = run_in_session(session, experiment_config(scale), options_for(scale))?;

@@ -339,10 +339,7 @@ impl ect_core::Experiment for ThroughputExperiment {
     fn artifact_stems(&self) -> &'static [&'static str] {
         &["throughput"]
     }
-    fn run(
-        &self,
-        session: &mut ect_core::Session,
-    ) -> ect_types::Result<ect_core::ExperimentOutput> {
+    fn run(&self, session: &ect_core::Session) -> ect_types::Result<ect_core::ExperimentOutput> {
         session.report("saturating the stepping kernel …");
         let t0 = Instant::now();
         let result = run_with_options(&options_for(session.scale()), session.threads())?;

@@ -133,7 +133,8 @@ impl ExperimentRegistry {
         }
         out.push_str(
             "\nflags: --full (paper budgets), --smoke (CI budgets), \
-             --only <ids>, --skip <ids>, --threads <n>, --list (this listing)",
+             --only <ids>, --skip <ids>, --threads <n>, \
+             --no-cache, --cache-dir <path>, --list (this listing)",
         );
         out
     }
@@ -154,33 +155,80 @@ impl ExperimentRegistry {
         Ok(())
     }
 
-    /// Runs every experiment the filters select, in order, sharing the
-    /// session. Returns one summary entry per executed experiment.
+    /// Runs every experiment the filters select over the shared session,
+    /// scheduling independent experiments concurrently across the
+    /// session's worker threads: each selected experiment becomes one job
+    /// of a dependency DAG ([`dependency_edges`]), so e.g. the five
+    /// pricing experiments wait for their shared ECT-Price training while
+    /// everything else runs alongside. Returns one summary entry per
+    /// executed experiment, **in registry order** — with one thread the
+    /// jobs also *run* in registry order, and the `results/*.json` outputs
+    /// are bit-identical at any thread count (every artifact is memoised
+    /// by content hash, never by arrival order).
     ///
     /// # Errors
     ///
-    /// Propagates filter validation and the first experiment failure.
+    /// Propagates filter validation and the lowest-indexed experiment
+    /// failure.
     pub fn run_filtered(
         &self,
-        session: &mut Session,
+        session: &Session,
         args: &BenchArgs,
     ) -> ect_types::Result<Vec<BenchSummaryEntry>> {
         self.check_filters(args)?;
-        let mut summary = Vec::new();
-        for experiment in &self.entries {
-            if !args.selects(experiment.id()) {
-                continue;
-            }
-            println!(
-                "\n################ {} ({}) ################\n",
-                experiment.id(),
-                session.scale()
-            );
-            let output = run_timed(experiment.as_ref(), session)?;
-            summary.push(summary_entry(&output));
-        }
-        Ok(summary)
+        let selected: Vec<&dyn Experiment> = self
+            .entries
+            .iter()
+            .filter(|e| args.selects(e.id()))
+            .map(|e| e.as_ref())
+            .collect();
+        let deps = dependency_edges(&selected);
+        let outputs = ect_core::dispatch::run_dag(
+            (0..selected.len()).collect(),
+            deps,
+            session.threads(),
+            |idx, _| {
+                let experiment = selected[idx];
+                println!(
+                    "\n################ {} ({}) ################\n",
+                    experiment.id(),
+                    session.scale()
+                );
+                run_timed(experiment, session)
+            },
+        )?;
+        Ok(outputs.iter().map(summary_entry).collect())
     }
+}
+
+/// Derives the scheduler's dependency edges from what the experiments
+/// declare: for each [`Experiment::dependency_stems`] stem, the *first*
+/// selected experiment declaring it is the group's provider, and every
+/// later declarer depends on that provider (and on nothing else). With the
+/// standard registry this turns the five pricing experiments into
+/// `table2_price → {fig11, fig12, fleet, ablations}` while all other
+/// experiments stay independent.
+///
+/// Providers are always earlier in the list than their consumers, so the
+/// result satisfies [`ect_core::dispatch::run_dag`]'s earlier-job contract
+/// by construction.
+pub fn dependency_edges(experiments: &[&dyn Experiment]) -> Vec<Vec<usize>> {
+    let mut provider: std::collections::HashMap<&'static str, usize> =
+        std::collections::HashMap::new();
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); experiments.len()];
+    for (idx, experiment) in experiments.iter().enumerate() {
+        for &stem in experiment.dependency_stems() {
+            match provider.get(stem) {
+                Some(&host) => deps[idx].push(host),
+                None => {
+                    provider.insert(stem, idx);
+                }
+            }
+        }
+        deps[idx].sort_unstable();
+        deps[idx].dedup();
+    }
+    deps
 }
 
 /// Converts an experiment envelope into its `results/BENCH_summary.json`
@@ -211,9 +259,51 @@ pub fn run_single(id: &str) -> ect_types::Result<()> {
     let experiment = registry.get(id).ok_or_else(|| {
         ect_types::EctError::InvalidConfig(format!("experiment '{id}' is not registered"))
     })?;
-    let mut session = args.session(id)?;
-    run_timed(experiment, &mut session)?;
+    let session = args.session(id)?;
+    run_timed(experiment, &session)?;
     Ok(())
+}
+
+/// Artifact kinds whose build is an expensive training/evaluation pass —
+/// the kinds the warm-cache acceptance probe requires to report **zero**
+/// builds on a second identical run.
+pub const EXPENSIVE_KINDS: &[&str] = &[
+    "heldout-baselines",
+    "generalist",
+    "severity",
+    "pricing-table",
+    "pricing-model",
+];
+
+/// Prints the per-kind memory/disk/build breakdown of the session's
+/// artifact store, ending with the machine-greppable
+/// `expensive builds this pass: N` line CI asserts on.
+fn print_cache_breakdown(session: &Session) {
+    let snapshot = session.store().stats_snapshot();
+    if snapshot.is_empty() {
+        return;
+    }
+    println!("\nartifact store (memory → disk → build):");
+    println!(
+        "  {:<24} {:>7} {:>6} {:>7}",
+        "kind", "memory", "disk", "builds"
+    );
+    for (kind, stats) in &snapshot {
+        println!(
+            "  {:<24} {:>7} {:>6} {:>7}",
+            kind, stats.memory_hits, stats.disk_hits, stats.builds
+        );
+    }
+    let expensive: usize = snapshot
+        .iter()
+        .filter(|(kind, _)| EXPENSIVE_KINDS.contains(kind))
+        .map(|(_, stats)| stats.builds)
+        .sum();
+    match session.cache_dir() {
+        Some(dir) => println!("persistent cache: {}", dir.display()),
+        None => println!("persistent cache: disabled"),
+    }
+    println!("expensive builds this pass: {expensive}");
 }
 
 /// The `run_all` entry point: runs the (filtered) catalog over one shared
@@ -230,8 +320,8 @@ pub fn run_all_main() -> ect_types::Result<()> {
         return Ok(());
     }
     let t0 = Instant::now();
-    let mut session = args.session("run_all")?;
-    let mut summary = registry.run_filtered(&mut session, &args)?;
+    let session = args.session("run_all")?;
+    let mut summary = registry.run_filtered(&session, &args)?;
     // Keep the historical `pricing_artifacts` row: the shared ECT-Price
     // training happens inside whichever pricing experiment touches the
     // store first, so its wall time is re-attributed to its own row at the
@@ -266,7 +356,35 @@ pub fn run_all_main() -> ect_types::Result<()> {
             .unwrap_or(summary.len());
         summary.insert(at, row);
     }
+    let wall = t0.elapsed().as_secs_f64();
     if args.only.is_empty() && args.skip.is_empty() {
+        // Scheduler + cache telemetry rows: the full-pass wall time (the
+        // number the dependency-aware scheduler is meant to shrink) and the
+        // store counters (a warm pass shows builds collapsing into disk
+        // hits).
+        let experiments = summary.len();
+        summary.push(BenchSummaryEntry {
+            experiment: "run_all".into(),
+            wall_time_s: wall,
+            metric_name: "experiments".into(),
+            metric_value: experiments as f64,
+        });
+        let store = session.store();
+        for (name, value) in [
+            (
+                "artifact_cache_memory_hits",
+                store.hits() - store.disk_hits(),
+            ),
+            ("artifact_cache_disk_hits", store.disk_hits()),
+            ("artifact_cache_builds", store.builds()),
+        ] {
+            summary.push(BenchSummaryEntry {
+                experiment: name.into(),
+                wall_time_s: 0.0,
+                metric_name: "count".into(),
+                metric_value: value as f64,
+            });
+        }
         upsert_bench_summary(&summary);
     } else {
         println!(
@@ -275,11 +393,14 @@ pub fn run_all_main() -> ect_types::Result<()> {
             registry.len()
         );
     }
+    print_cache_breakdown(&session);
     println!(
-        "\nall experiments done in {:.1} s ({} artifact-store hits, {} builds)",
-        t0.elapsed().as_secs_f64(),
+        "\nall experiments done in {:.1} s ({} artifact-store hits: {} memory + {} disk; {} builds)",
+        wall,
         session.store().hits(),
-        session.store().misses()
+        session.store().hits() - session.store().disk_hits(),
+        session.store().disk_hits(),
+        session.store().builds()
     );
     Ok(())
 }
@@ -384,6 +505,70 @@ mod tests {
     fn duplicate_ids_are_rejected_at_registration() {
         let mut registry = ExperimentRegistry::standard();
         registry.register(Box::new(crate::experiments::fleet::FleetExperiment));
+    }
+
+    #[test]
+    fn dependency_edges_chain_consumers_to_the_first_provider() {
+        let registry = ExperimentRegistry::standard();
+        let all: Vec<&dyn Experiment> = registry.experiments().iter().map(|e| e.as_ref()).collect();
+        let deps = dependency_edges(&all);
+        let idx_of = |id: &str| all.iter().position(|e| e.id() == id).unwrap();
+
+        // table2_price is the first declarer of the "pricing" stem: it is
+        // the provider and itself depends on nothing.
+        let table2 = idx_of("table2_price");
+        assert!(deps[table2].is_empty());
+        for consumer in [
+            "fig11_strata_stations",
+            "fig12_strata_periods",
+            "fleet",
+            "ablations",
+        ] {
+            assert_eq!(deps[idx_of(consumer)], vec![table2], "{consumer}");
+        }
+        // Everything else is independent.
+        for experiment in &all {
+            if !experiment.dependency_stems().contains(&"pricing") {
+                assert!(
+                    deps[idx_of(experiment.id())].is_empty(),
+                    "{}",
+                    experiment.id()
+                );
+            }
+        }
+
+        // Filtering the provider out promotes the next declarer: fig11
+        // becomes the provider of the remaining pricing experiments.
+        let filtered: Vec<&dyn Experiment> = all
+            .iter()
+            .copied()
+            .filter(|e| e.id() != "table2_price")
+            .collect();
+        let deps = dependency_edges(&filtered);
+        let fig11 = filtered
+            .iter()
+            .position(|e| e.id() == "fig11_strata_stations")
+            .unwrap();
+        assert!(deps[fig11].is_empty());
+        let fleet = filtered.iter().position(|e| e.id() == "fleet").unwrap();
+        assert_eq!(deps[fleet], vec![fig11]);
+    }
+
+    #[test]
+    fn expensive_kinds_cover_the_training_artifacts() {
+        for kind in [
+            "heldout-baselines",
+            "generalist",
+            "severity",
+            "pricing-model",
+        ] {
+            assert!(EXPENSIVE_KINDS.contains(&kind), "{kind}");
+        }
+        // Cheap, recomputed-per-process kinds stay out: their builds are
+        // expected on every pass, warm or cold.
+        for kind in ["world", "system", "pricing-artifacts"] {
+            assert!(!EXPENSIVE_KINDS.contains(&kind), "{kind}");
+        }
     }
 
     #[test]

@@ -147,6 +147,168 @@ where
         .collect())
 }
 
+/// Shared scheduler state of [`run_dag`], guarded by one `std` mutex (the
+/// vendored `parking_lot` has no condvar; waiters need `std::sync::Condvar`).
+struct DagState<J> {
+    /// Job payloads not yet started (taken when a job is claimed).
+    pending: Vec<Option<J>>,
+    /// Unmet dependency count per job.
+    remaining: Vec<usize>,
+    /// Ready, unclaimed jobs — a `BTreeSet` so claims drain
+    /// lowest-index-first (the serial registry order) and scheduling stays
+    /// reproducible.
+    ready: std::collections::BTreeSet<usize>,
+    /// Claimed jobs currently running.
+    inflight: usize,
+    /// An error occurred: claim nothing more.
+    abort: bool,
+}
+
+/// Runs a dependency DAG of jobs across `threads` workers (0 = one worker
+/// per job) and returns the results **in job order**.
+///
+/// `deps[i]` lists the jobs that must complete before job `i` may start;
+/// every listed index must be `< i` (dependencies point at earlier jobs, so
+/// plain index order is a valid serial schedule and the DAG is acyclic by
+/// construction). Independent jobs run concurrently; a job becomes ready
+/// the moment its last dependency finishes, so the critical path — not the
+/// serial sum — bounds the wall time.
+///
+/// Determinism: like [`run_indexed`], job `i`'s result lands in slot `i`,
+/// so the output is independent of scheduling; with one worker the jobs run
+/// exactly in index order.
+///
+/// # Errors
+///
+/// Returns the lowest-indexed job error among those that ran; after an
+/// error no new jobs start (already-running jobs finish).
+///
+/// # Panics
+///
+/// Panics when `deps` and `jobs` disagree in length or a dependency does
+/// not point at an earlier job.
+pub fn run_dag<J, R, F>(
+    jobs: Vec<J>,
+    deps: Vec<Vec<usize>>,
+    threads: usize,
+    run: F,
+) -> ect_types::Result<Vec<R>>
+where
+    J: Send,
+    R: Send,
+    F: Fn(usize, J) -> ect_types::Result<R> + Sync,
+{
+    let n = jobs.len();
+    assert_eq!(deps.len(), n, "one dependency list per job");
+    for (idx, dep_list) in deps.iter().enumerate() {
+        for &dep in dep_list {
+            assert!(
+                dep < idx,
+                "job {idx} depends on {dep}, which is not an earlier job"
+            );
+        }
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = if threads == 0 {
+        n
+    } else {
+        threads.min(n).max(1)
+    };
+    if workers == 1 {
+        // Index order satisfies every dependency; first error wins and is
+        // the lowest-indexed one.
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, job)| run(idx, job))
+            .collect();
+    }
+
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut remaining = vec![0usize; n];
+    for (idx, dep_list) in deps.iter().enumerate() {
+        remaining[idx] = dep_list.len();
+        for &dep in dep_list {
+            dependents[dep].push(idx);
+        }
+    }
+    let ready: std::collections::BTreeSet<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+    let state = std::sync::Mutex::new(DagState {
+        pending: jobs.into_iter().map(Some).collect(),
+        remaining,
+        ready,
+        inflight: 0,
+        abort: false,
+    });
+    let wakeup = std::sync::Condvar::new();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let first_error: Mutex<Option<(usize, ect_types::EctError)>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let claimed = {
+                    let mut guard = state.lock().expect("dag state lock");
+                    loop {
+                        if guard.abort {
+                            return;
+                        }
+                        if let Some(&idx) = guard.ready.iter().next() {
+                            guard.ready.remove(&idx);
+                            guard.inflight += 1;
+                            break Some((idx, guard.pending[idx].take().expect("job queued once")));
+                        }
+                        if guard.inflight == 0 {
+                            // Nothing ready, nothing running: all done (the
+                            // DAG is acyclic, so no job can be stranded).
+                            return;
+                        }
+                        guard = wakeup.wait(guard).expect("dag state lock");
+                    }
+                };
+                let Some((idx, job)) = claimed else { return };
+                let outcome = run(idx, job);
+                let mut guard = state.lock().expect("dag state lock");
+                guard.inflight -= 1;
+                match outcome {
+                    Ok(result) => {
+                        let previous = slots[idx].lock().replace(result);
+                        debug_assert!(previous.is_none(), "job {idx} ran twice");
+                        for &dependent in &dependents[idx] {
+                            guard.remaining[dependent] -= 1;
+                            if guard.remaining[dependent] == 0 {
+                                guard.ready.insert(dependent);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        let mut err = first_error.lock();
+                        if err.as_ref().is_none_or(|(prev, _)| idx < *prev) {
+                            *err = Some((idx, e));
+                        }
+                        guard.abort = true;
+                    }
+                }
+                drop(guard);
+                wakeup.notify_all();
+            });
+        }
+    });
+
+    if let Some((_, e)) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every job ran to completion without error")
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +369,126 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("job "), "{err}");
+    }
+
+    #[test]
+    fn dag_results_come_back_in_job_order_for_any_thread_count() {
+        // A diamond over 8 jobs: 0 → {1..6} → 7.
+        let deps: Vec<Vec<usize>> = (0..8)
+            .map(|i| match i {
+                0 => vec![],
+                7 => (1..7).collect(),
+                _ => vec![0],
+            })
+            .collect();
+        for threads in [0, 1, 2, 3, 8] {
+            let results = run_dag(
+                (0..8).collect::<Vec<usize>>(),
+                deps.clone(),
+                threads,
+                |idx, job| {
+                    assert_eq!(idx, job);
+                    Ok(job * 10)
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                results,
+                (0..8).map(|j| j * 10).collect::<Vec<_>>(),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn dag_dependencies_complete_before_dependents_start() {
+        // Chain with a fan: 0 → 1 → {2, 3, 4}; each job records the done-set
+        // it observed at start.
+        let done = [false, false, false, false, false].map(Mutex::new);
+        let deps = vec![vec![], vec![0], vec![1], vec![1], vec![1]];
+        run_dag((0..5).collect::<Vec<usize>>(), deps, 4, |idx, _| {
+            for (dep_idx, flag) in done.iter().enumerate() {
+                let dep_done = *flag.lock();
+                match (idx, dep_idx) {
+                    (1, 0) => assert!(dep_done, "job 1 started before job 0 finished"),
+                    (2..=4, 1) => assert!(dep_done, "job {idx} started before job 1 finished"),
+                    _ => {}
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            *done[idx].lock() = true;
+            Ok(())
+        })
+        .unwrap();
+        assert!(done.iter().all(|f| *f.lock()), "every job ran");
+    }
+
+    #[test]
+    fn dag_independent_jobs_overlap() {
+        // 4 independent 20ms jobs on 4 workers: well under the 80ms serial
+        // sum proves genuine overlap (generous bound for CI jitter).
+        let t0 = std::time::Instant::now();
+        run_dag(vec![(); 4], vec![vec![]; 4], 4, |_, ()| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            Ok(())
+        })
+        .unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(70),
+            "independent jobs must not serialise ({:?})",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn dag_errors_surface_and_downstream_jobs_never_start() {
+        let ran = AtomicUsize::new(0);
+        let err = run_dag(
+            (0..3).collect::<Vec<usize>>(),
+            vec![vec![], vec![0], vec![1]],
+            4,
+            |idx, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if idx == 1 {
+                    Err(ect_types::EctError::InvalidConfig("job 1".into()))
+                } else {
+                    Ok(idx)
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("job 1"), "{err}");
+        assert_eq!(
+            ran.into_inner(),
+            2,
+            "job 2 must not start after its dependency failed"
+        );
+    }
+
+    #[test]
+    fn dag_empty_and_serial_paths() {
+        assert!(run_dag(Vec::<usize>::new(), Vec::new(), 4, |_, j| Ok(j))
+            .unwrap()
+            .is_empty());
+        // Single worker runs in index order.
+        let order = Mutex::new(Vec::new());
+        run_dag(
+            (0..6).collect::<Vec<usize>>(),
+            vec![vec![]; 6],
+            1,
+            |idx, _| {
+                order.lock().push(idx);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(*order.lock(), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "not an earlier job")]
+    fn dag_forward_dependencies_are_rejected() {
+        let _ = run_dag(vec![(), ()], vec![vec![1], vec![]], 2, |_, ()| Ok(()));
     }
 
     #[test]

@@ -66,8 +66,12 @@ impl ExperimentOutput {
 /// registry lookup plus one call replaces what used to be a hand-rolled
 /// binary.
 ///
+/// `Send + Sync` because the registry scheduler fans experiments out
+/// across worker threads; implementations are stateless descriptors (all
+/// run state lives in the session), so the bound is free in practice.
+///
 /// [`RunScale`]: crate::session::RunScale
-pub trait Experiment {
+pub trait Experiment: Send + Sync {
     /// Stable registry id (also the CLI name: `run_all --only <id>`).
     fn id(&self) -> &'static str;
 
@@ -78,12 +82,24 @@ pub trait Experiment {
     /// writes. Must be unique across a registry.
     fn artifact_stems(&self) -> &'static [&'static str];
 
-    /// Runs the experiment inside the session.
+    /// Named artifact groups this experiment consumes but does not own —
+    /// the edges of the registry's dependency DAG. The scheduler runs the
+    /// *first* registered experiment declaring a stem as that group's
+    /// provider; every later declarer waits for it (and for nothing else).
+    /// The default — no stems — marks the experiment independent, free to
+    /// run concurrently with everything.
+    fn dependency_stems(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Runs the experiment inside the session. Takes `&Session` — the
+    /// session is internally synchronised, so the registry scheduler can
+    /// run independent experiments concurrently over one shared session.
     ///
     /// # Errors
     ///
     /// Propagates configuration, training and evaluation failures.
-    fn run(&self, session: &mut Session) -> ect_types::Result<ExperimentOutput>;
+    fn run(&self, session: &Session) -> ect_types::Result<ExperimentOutput>;
 }
 
 /// Runs an experiment and stamps its wall time into the envelope.
@@ -93,7 +109,7 @@ pub trait Experiment {
 /// Propagates [`Experiment::run`] failures.
 pub fn run_timed(
     experiment: &dyn Experiment,
-    session: &mut Session,
+    session: &Session,
 ) -> ect_types::Result<ExperimentOutput> {
     let t0 = Instant::now();
     let mut output = experiment.run(session)?;
@@ -119,7 +135,7 @@ mod tests {
         fn artifact_stems(&self) -> &'static [&'static str] {
             &["probe"]
         }
-        fn run(&self, session: &mut Session) -> ect_types::Result<ExperimentOutput> {
+        fn run(&self, session: &Session) -> ect_types::Result<ExperimentOutput> {
             let world = session.world()?;
             Ok(
                 ExperimentOutput::new("probe", "hubs", world.num_hubs() as f64)
@@ -132,8 +148,12 @@ mod tests {
     fn experiments_run_through_a_session_and_stamp_wall_time() {
         let mut config = SystemConfig::miniature();
         config.world.horizon_slots = 24 * 2;
-        let mut session = SessionBuilder::new(config).build().unwrap();
-        let output = run_timed(&Probe, &mut session).unwrap();
+        let session = SessionBuilder::new(config).build().unwrap();
+        assert!(
+            Probe.dependency_stems().is_empty(),
+            "independent by default"
+        );
+        let output = run_timed(&Probe, &session).unwrap();
         assert_eq!(output.id, "probe");
         assert_eq!(output.metric_name, "hubs");
         assert_eq!(output.metric_value, 3.0);

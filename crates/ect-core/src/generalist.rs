@@ -145,7 +145,11 @@ impl GeneralistReport {
 }
 
 /// A trained generalist plus its scorecard.
-#[derive(Debug, Clone)]
+///
+/// Serialisable end to end (the policy's scratch caches are skipped), so
+/// the whole outcome can spill to the persistent artifact cache and a warm
+/// process skips the training run entirely.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GeneralistOutcome {
     /// The generalisation report (serialisable).
     pub report: GeneralistReport,

@@ -22,7 +22,7 @@
 //! use std::sync::Arc;
 //!
 //! // A miniature world: 3 hubs, short histories, tiny training budgets.
-//! let mut session = SessionBuilder::new(SystemConfig::miniature())
+//! let session = SessionBuilder::new(SystemConfig::miniature())
 //!     .scale(RunScale::Smoke)
 //!     .threads(2)
 //!     .build()?;
@@ -35,7 +35,7 @@
 //! // (config, discount grid) and served from the artifact store afterwards.
 //! let table = session.pricing_table(&[0.2])?;
 //! assert!(table.result("Ours", 0.2).is_some());
-//! assert_eq!(session.store().kind_stats("pricing-table").misses, 1);
+//! assert_eq!(session.store().kind_stats("pricing-table").builds, 1);
 //! # Ok::<(), ect_types::EctError>(())
 //! ```
 //!
@@ -48,6 +48,7 @@
 //! The [`prelude`] re-exports the types most applications need.
 
 pub mod artifact;
+pub mod cache;
 pub mod dispatch;
 pub mod experiment;
 pub mod generalist;
@@ -60,7 +61,8 @@ pub mod severity;
 pub mod system;
 
 pub use artifact::{ArtifactKey, ArtifactStore, KindStats};
-pub use dispatch::run_indexed;
+pub use cache::{CacheProvenance, DiskCache, CACHE_FORMAT_VERSION};
+pub use dispatch::{run_dag, run_indexed};
 pub use experiment::{run_timed, Experiment, ExperimentOutput};
 #[allow(deprecated)]
 pub use generalist::run_generalist;
@@ -92,6 +94,7 @@ pub use system::{EctHubSystem, PricingMethod, SystemConfig};
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use crate::artifact::{ArtifactKey, ArtifactStore, KindStats};
+    pub use crate::cache::{CacheProvenance, DiskCache};
     pub use crate::experiment::{run_timed, Experiment, ExperimentOutput};
     #[allow(deprecated)]
     pub use crate::generalist::run_generalist;

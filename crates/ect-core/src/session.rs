@@ -3,31 +3,47 @@
 //! A [`Session`] is the unified entry point the paper's "base-station-centric
 //! hub controller" surface calls for: built once through a
 //! [`SessionBuilder`] (base configuration, experiment scale, parallelism,
-//! progress sink), it owns an [`ArtifactStore`] that memoises every
-//! expensive intermediate — generated worlds, assembled systems, held-out
-//! baselines, trained generalists, severity sweeps, pricing tables — keyed
-//! by a content hash of their inputs. Experiments that used to re-train
-//! from scratch (`generalization` and `severity_sweep` both training
-//! generalists; every pricing figure re-fitting ECT-Price) share work
-//! automatically when they run inside one session.
+//! progress sink, optional persistent cache), it owns an [`ArtifactStore`]
+//! that memoises every expensive intermediate — generated worlds, assembled
+//! systems, held-out baselines, trained generalists, severity sweeps,
+//! pricing tables — keyed by a content hash of their inputs. Experiments
+//! that used to re-train from scratch (`generalization` and
+//! `severity_sweep` both training generalists; every pricing figure
+//! re-fitting ECT-Price) share work automatically when they run inside one
+//! session.
+//!
+//! The store is internally synchronised, so every session method takes
+//! `&self` — experiments can run concurrently over one shared session (the
+//! bench registry's dependency-aware scheduler does exactly that), with
+//! same-key requests serialising on the store's per-key slots so each
+//! artifact is built exactly once.
+//!
+//! With [`SessionBuilder::persistent_cache`] the expensive, serialisable
+//! artifact kinds (held-out baselines, generalists, severity sweeps,
+//! pricing tables) additionally spill to a content-addressed disk cache, so
+//! repeated *processes* skip retraining: lookups resolve memory → disk →
+//! build, and any unreadable or version-mismatched disk entry is a miss,
+//! never an error.
 //!
 //! All memoisation is safe by the workspace determinism contract: every
-//! artifact is a pure function of its serialised inputs, so a cache hit is
-//! bit-identical to a recomputation (pinned by the
-//! `tests/session_equivalence.rs` suite).
+//! artifact is a pure function of its serialised inputs, so a cache hit —
+//! in-memory or deserialised from disk — is bit-identical to a
+//! recomputation (pinned by the `tests/session_equivalence.rs` and
+//! `tests/cache_persistence.rs` suites).
 //!
 //! ```
 //! use ect_core::prelude::*;
 //!
-//! let mut session = SessionBuilder::new(SystemConfig::miniature()).build()?;
+//! let session = SessionBuilder::new(SystemConfig::miniature()).build()?;
 //! let system = session.system()?; // generates the world once …
 //! let again = session.system()?; // … and serves it from the store
 //! assert!(std::sync::Arc::ptr_eq(&system, &again));
-//! assert_eq!(session.store().kind_stats("system").misses, 1);
+//! assert_eq!(session.store().kind_stats("system").builds, 1);
 //! # Ok::<(), ect_types::EctError>(())
 //! ```
 
 use crate::artifact::{ArtifactKey, ArtifactStore};
+use crate::cache::{CacheProvenance, DiskCache};
 use crate::generalist::{
     heldout_baselines, run_generalist_against, GeneralistOptions, GeneralistOutcome,
     HeldOutBaseline,
@@ -41,6 +57,7 @@ use ect_data::dataset::{WorldConfig, WorldDataset};
 use ect_data::scenario::ScenarioSpec;
 use ect_price::engine::PricingEngine;
 use ect_types::rng::EctRng;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Seed-stream separator of [`Session::pricing_table`] (decorrelated from
@@ -81,14 +98,18 @@ impl std::fmt::Display for RunScale {
 }
 
 /// Where a session reports coarse progress ("training the generalist …").
-pub type ProgressSink = Box<dyn Fn(&str) + Send>;
+/// `Sync` because scheduler threads report through one shared session.
+pub type ProgressSink = Box<dyn Fn(&str) + Send + Sync>;
 
 /// Configures and builds a [`Session`].
 pub struct SessionBuilder {
     config: SystemConfig,
     scale: RunScale,
-    threads: usize,
+    threads: Option<usize>,
     progress: Option<ProgressSink>,
+    label: String,
+    cache_dir: Option<PathBuf>,
+    cache_budget: Option<u64>,
 }
 
 impl SessionBuilder {
@@ -97,8 +118,11 @@ impl SessionBuilder {
         Self {
             config,
             scale: RunScale::Quick,
-            threads: 4,
+            threads: None,
             progress: None,
+            label: "session".to_string(),
+            cache_dir: None,
+            cache_budget: None,
         }
     }
 
@@ -124,10 +148,41 @@ impl SessionBuilder {
         self
     }
 
-    /// Worker threads for fan-out stages (0 = one worker per job).
+    /// Worker threads for fan-out stages. Defaults to
+    /// [`Session::default_threads`] (the machine's available parallelism);
+    /// an explicit value wins, and `0` keeps its one-worker-per-job
+    /// semantics.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Labels the session for cache provenance (which run produced a disk
+    /// entry). Defaults to `"session"`; [`SessionBuilder::stderr_progress`]
+    /// also adopts its tag as the label.
+    #[must_use]
+    pub fn label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// Attaches a persistent content-addressed disk cache rooted at `dir`:
+    /// expensive serialisable artifacts (held-out baselines, generalists,
+    /// severity sweeps, pricing tables, the bench layer's pricing models)
+    /// spill to disk and are served back across processes. Without this
+    /// the session memoises in memory only.
+    #[must_use]
+    pub fn persistent_cache<P: AsRef<Path>>(mut self, dir: P) -> Self {
+        self.cache_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    /// Byte budget of the persistent cache (least-recently-used entries are
+    /// evicted past it). Defaults to [`DiskCache::DEFAULT_BUDGET_BYTES`].
+    #[must_use]
+    pub fn cache_budget_bytes(mut self, budget: u64) -> Self {
+        self.cache_budget = Some(budget);
         self
     }
 
@@ -139,11 +194,13 @@ impl SessionBuilder {
     }
 
     /// Convenience: report progress to standard error, prefixed with the
-    /// given tag (the harness binaries use their experiment id).
+    /// given tag (the harness binaries use their experiment id; the tag
+    /// also becomes the session's provenance label).
     #[must_use]
     pub fn stderr_progress(self, tag: &str) -> Self {
-        let tag = format!("[{tag}]");
-        self.progress(Box::new(move |msg| eprintln!("{tag} {msg}")))
+        let prefix = format!("[{tag}]");
+        self.label(tag)
+            .progress(Box::new(move |msg| eprintln!("{prefix} {msg}")))
     }
 
     /// Validates the base configuration and builds the session. No world is
@@ -154,12 +211,27 @@ impl SessionBuilder {
     /// Propagates [`SystemConfig::validate`] failures.
     pub fn build(self) -> ect_types::Result<Session> {
         self.config.validate()?;
+        let store = match self.cache_dir {
+            Some(dir) => {
+                let disk = match self.cache_budget {
+                    Some(budget) => DiskCache::with_budget(&dir, budget),
+                    None => DiskCache::new(&dir),
+                };
+                let provenance = CacheProvenance {
+                    experiment: self.label,
+                    seed: self.config.seed,
+                    scale: self.scale.label().to_string(),
+                };
+                ArtifactStore::with_disk(disk, provenance)
+            }
+            None => ArtifactStore::new(),
+        };
         Ok(Session {
             config: self.config,
             scale: self.scale,
-            threads: self.threads,
+            threads: self.threads.unwrap_or_else(Session::default_threads),
             progress: self.progress,
-            store: ArtifactStore::new(),
+            store,
         })
     }
 }
@@ -170,6 +242,7 @@ impl std::fmt::Debug for SessionBuilder {
             .field("scale", &self.scale)
             .field("threads", &self.threads)
             .field("progress", &self.progress.is_some())
+            .field("cache_dir", &self.cache_dir)
             .finish_non_exhaustive()
     }
 }
@@ -180,7 +253,8 @@ impl std::fmt::Debug for SessionBuilder {
 /// bench experiments each bring their own scale-derived configuration),
 /// while the short names use the session's base configuration. Both routes
 /// share one store, so any two calls with identical inputs share one
-/// computation.
+/// computation — including calls racing on scheduler threads, which
+/// serialise per key inside the store.
 pub struct Session {
     config: SystemConfig,
     scale: RunScale,
@@ -205,6 +279,14 @@ impl Session {
         SessionBuilder::new(config)
     }
 
+    /// The default worker-thread budget: the machine's available
+    /// parallelism (1 when it cannot be determined).
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
     /// The session's base configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config
@@ -220,15 +302,16 @@ impl Session {
         self.threads
     }
 
-    /// The artifact store (inspection and probe counters).
+    /// The artifact store. Internally synchronised: downstream layers
+    /// memoise their own artifact types (e.g. the bench registry's pricing
+    /// model) through the same shared reference.
     pub fn store(&self) -> &ArtifactStore {
         &self.store
     }
 
-    /// Mutable store access, for downstream layers memoising their own
-    /// artifact types (e.g. the bench registry's pricing artifacts).
-    pub fn store_mut(&mut self) -> &mut ArtifactStore {
-        &mut self.store
+    /// Root of the persistent artifact cache, when one is attached.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.store.disk().map(DiskCache::root)
     }
 
     /// Reports coarse progress through the configured sink, if any.
@@ -238,8 +321,8 @@ impl Session {
         }
     }
 
-    fn announce_miss(&self, key: &ArtifactKey, message: &str) {
-        if !self.store.contains(key) {
+    fn announce_build(&self, key: &ArtifactKey, message: &str) {
+        if !self.store.available_without_build(key) {
             self.report(message);
         }
     }
@@ -254,7 +337,7 @@ impl Session {
     ///
     /// Propagates validation and generation failures.
     pub fn world_for(
-        &mut self,
+        &self,
         world: &WorldConfig,
         spec: &ScenarioSpec,
     ) -> ect_types::Result<Arc<WorldDataset>> {
@@ -268,10 +351,8 @@ impl Session {
     /// # Errors
     ///
     /// Propagates validation and generation failures.
-    pub fn world(&mut self) -> ect_types::Result<Arc<WorldDataset>> {
-        let world = self.config.world.clone();
-        let spec = self.config.scenario.clone();
-        self.world_for(&world, &spec)
+    pub fn world(&self) -> ect_types::Result<Arc<WorldDataset>> {
+        self.world_for(&self.config.world, &self.config.scenario)
     }
 
     /// The assembled system of an explicit configuration, memoised. The
@@ -282,9 +363,9 @@ impl Session {
     /// # Errors
     ///
     /// Propagates validation and generation failures.
-    pub fn system_for(&mut self, config: &SystemConfig) -> ect_types::Result<Arc<EctHubSystem>> {
+    pub fn system_for(&self, config: &SystemConfig) -> ect_types::Result<Arc<EctHubSystem>> {
         let key = ArtifactKey::of("system", config);
-        let world = self.world_for(&config.world.clone(), &config.scenario.clone())?;
+        let world = self.world_for(&config.world, &config.scenario)?;
         self.store
             .get_or_insert(key, || EctHubSystem::from_parts(config.clone(), world))
     }
@@ -294,28 +375,28 @@ impl Session {
     /// # Errors
     ///
     /// Propagates validation and generation failures.
-    pub fn system(&mut self) -> ect_types::Result<Arc<EctHubSystem>> {
-        let config = self.config.clone();
-        self.system_for(&config)
+    pub fn system(&self) -> ect_types::Result<Arc<EctHubSystem>> {
+        self.system_for(&self.config)
     }
 
     /// The held-out baselines (per-scenario specialists + rule-based
     /// schedulers) of an explicit configuration, memoised — the expensive,
-    /// generalist-independent half of a generalisation study.
+    /// generalist-independent half of a generalisation study. Spills to
+    /// the persistent cache when one is attached.
     ///
     /// # Errors
     ///
     /// Propagates world-generation, training and evaluation failures.
     pub fn heldout_baselines_for(
-        &mut self,
+        &self,
         config: &SystemConfig,
     ) -> ect_types::Result<Arc<Vec<HeldOutBaseline>>> {
         let key = ArtifactKey::of("heldout-baselines", config);
-        self.announce_miss(&key, "scoring held-out specialists and heuristics …");
+        self.announce_build(&key, "scoring held-out specialists and heuristics …");
         let system = self.system_for(config)?;
         let threads = self.threads;
         self.store
-            .get_or_insert(key, || heldout_baselines(&system, threads))
+            .get_or_insert_cached(key, || heldout_baselines(&system, threads))
     }
 
     /// Held-out baselines of the session's base configuration, memoised.
@@ -323,31 +404,31 @@ impl Session {
     /// # Errors
     ///
     /// Propagates world-generation, training and evaluation failures.
-    pub fn heldout_baselines(&mut self) -> ect_types::Result<Arc<Vec<HeldOutBaseline>>> {
-        let config = self.config.clone();
-        self.heldout_baselines_for(&config)
+    pub fn heldout_baselines(&self) -> ect_types::Result<Arc<Vec<HeldOutBaseline>>> {
+        self.heldout_baselines_for(&self.config)
     }
 
     /// The scenario-mixture generalist of `(configuration, options)`,
     /// memoised: trained once, scored against the (memoised) held-out
     /// baselines. Any experiment requesting the same pair reuses the
     /// trained policy — the work-sharing path behind the combined
-    /// `generalization` + `severity_sweep` acceptance probe.
+    /// `generalization` + `severity_sweep` acceptance probe. Spills to the
+    /// persistent cache when one is attached.
     ///
     /// # Errors
     ///
     /// Propagates training and evaluation failures.
     pub fn generalist_for(
-        &mut self,
+        &self,
         config: &SystemConfig,
         options: &GeneralistOptions,
     ) -> ect_types::Result<Arc<GeneralistOutcome>> {
         let key = ArtifactKey::of("generalist", &(config, options));
         let baselines = self.heldout_baselines_for(config)?;
         let system = self.system_for(config)?;
-        self.announce_miss(&key, "training the scenario-mixture generalist …");
+        self.announce_build(&key, "training the scenario-mixture generalist …");
         self.store
-            .get_or_insert(key, || run_generalist_against(&system, options, &baselines))
+            .get_or_insert_cached(key, || run_generalist_against(&system, options, &baselines))
     }
 
     /// The generalist of the session's base configuration, memoised.
@@ -356,30 +437,30 @@ impl Session {
     ///
     /// Propagates training and evaluation failures.
     pub fn generalist(
-        &mut self,
+        &self,
         options: &GeneralistOptions,
     ) -> ect_types::Result<Arc<GeneralistOutcome>> {
-        let config = self.config.clone();
-        self.generalist_for(&config, options)
+        self.generalist_for(&self.config, options)
     }
 
     /// The severity sweep of `(configuration, options)`, memoised: one
     /// domain-randomised generalist trained per distinct pair, its per-axis
-    /// robustness curves served from the store afterwards.
+    /// robustness curves served from the store afterwards. Spills to the
+    /// persistent cache when one is attached.
     ///
     /// # Errors
     ///
     /// Propagates option validation, training and evaluation failures.
     pub fn severity_for(
-        &mut self,
+        &self,
         config: &SystemConfig,
         options: &SeverityOptions,
     ) -> ect_types::Result<Arc<SeverityOutcome>> {
         let key = ArtifactKey::of("severity", &(config, options));
+        self.announce_build(&key, "training the domain-randomised generalist …");
         let system = self.system_for(config)?;
-        self.announce_miss(&key, "training the domain-randomised generalist …");
         self.store
-            .get_or_insert(key, || severity_sweep_impl(&system, options))
+            .get_or_insert_cached(key, || severity_sweep_impl(&system, options))
     }
 
     /// The severity sweep of the session's base configuration, memoised.
@@ -388,30 +469,30 @@ impl Session {
     ///
     /// Propagates option validation, training and evaluation failures.
     pub fn severity_sweep(
-        &mut self,
+        &self,
         options: &SeverityOptions,
     ) -> ect_types::Result<Arc<SeverityOutcome>> {
-        let config = self.config.clone();
-        self.severity_for(&config, options)
+        self.severity_for(&self.config, options)
     }
 
     /// The Table II pricing table of `(configuration, discount levels)`,
     /// memoised: the paper set of pricing engines is trained once per
     /// distinct pair (seed stream decorrelated from the bench harness's
-    /// figure streams).
+    /// figure streams). Spills to the persistent cache when one is
+    /// attached.
     ///
     /// # Errors
     ///
     /// Propagates training failures.
     pub fn pricing_table_for(
-        &mut self,
+        &self,
         config: &SystemConfig,
         discounts: &[f64],
     ) -> ect_types::Result<Arc<PricingTable>> {
         let key = ArtifactKey::of("pricing-table", &(config, discounts));
+        self.announce_build(&key, "training the paper's pricing engines …");
         let system = self.system_for(config)?;
-        self.announce_miss(&key, "training the paper's pricing engines …");
-        self.store.get_or_insert(key, || {
+        self.store.get_or_insert_cached(key, || {
             let (train, test) = system.pricing_datasets();
             let mut rng = EctRng::seed_from(system.config().seed ^ PRICING_TABLE_SEED_STREAM);
             pricing_table_impl(&system, &train, &test, discounts, &mut rng)
@@ -423,9 +504,8 @@ impl Session {
     /// # Errors
     ///
     /// Propagates training failures.
-    pub fn pricing_table(&mut self, discounts: &[f64]) -> ect_types::Result<Arc<PricingTable>> {
-        let config = self.config.clone();
-        self.pricing_table_for(&config, discounts)
+    pub fn pricing_table(&self, discounts: &[f64]) -> ect_types::Result<Arc<PricingTable>> {
+        self.pricing_table_for(&self.config, discounts)
     }
 
     // ------------------------------------------------------------------
@@ -440,7 +520,7 @@ impl Session {
     ///
     /// Returns the first job error encountered, if any.
     pub fn fleet_for(
-        &mut self,
+        &self,
         config: &SystemConfig,
         engines: &[(String, Box<dyn PricingEngine>)],
     ) -> ect_types::Result<Vec<HubExperimentResult>> {
@@ -454,11 +534,10 @@ impl Session {
     ///
     /// Returns the first job error encountered, if any.
     pub fn fleet(
-        &mut self,
+        &self,
         engines: &[(String, Box<dyn PricingEngine>)],
     ) -> ect_types::Result<Vec<HubExperimentResult>> {
-        let config = self.config.clone();
-        self.fleet_for(&config, engines)
+        self.fleet_for(&self.config, engines)
     }
 
     /// Runs the scenario × method grid of an explicit configuration over
@@ -468,7 +547,7 @@ impl Session {
     ///
     /// Propagates world-generation, training and evaluation failures.
     pub fn scenario_grid_for(
-        &mut self,
+        &self,
         config: &SystemConfig,
         scenarios: &[ScenarioSpec],
         engines_for: &(dyn Fn(&EctHubSystem) -> ect_types::Result<NamedEngines> + Sync),
@@ -483,12 +562,11 @@ impl Session {
     ///
     /// Propagates world-generation, training and evaluation failures.
     pub fn scenario_grid(
-        &mut self,
+        &self,
         scenarios: &[ScenarioSpec],
         engines_for: &(dyn Fn(&EctHubSystem) -> ect_types::Result<NamedEngines> + Sync),
     ) -> ect_types::Result<Vec<ScenarioGridResult>> {
-        let config = self.config.clone();
-        self.scenario_grid_for(&config, scenarios, engines_for)
+        self.scenario_grid_for(&self.config, scenarios, engines_for)
     }
 }
 
@@ -519,6 +597,7 @@ mod tests {
         assert_eq!(session.config().seed, 99);
         assert_eq!(RunScale::Smoke.to_string(), "smoke");
         assert_eq!(RunScale::Paper.label(), "paper");
+        assert!(session.cache_dir().is_none(), "no cache unless requested");
 
         let mut bad = SystemConfig::miniature();
         bad.discount = 0.0;
@@ -526,11 +605,26 @@ mod tests {
     }
 
     #[test]
+    fn threads_default_to_available_parallelism() {
+        let session = SessionBuilder::new(SystemConfig::miniature())
+            .build()
+            .unwrap();
+        assert_eq!(session.threads(), Session::default_threads());
+        assert!(Session::default_threads() >= 1);
+        // An explicit 0 keeps its one-worker-per-job semantics.
+        let explicit = SessionBuilder::new(SystemConfig::miniature())
+            .threads(0)
+            .build()
+            .unwrap();
+        assert_eq!(explicit.threads(), 0);
+    }
+
+    #[test]
     fn scenario_knob_replaces_the_world_source() {
         use ect_data::scenario::scenario_by_name;
         let config = SystemConfig::miniature();
         let storm = scenario_by_name("winter-storm", config.world.horizon_slots).unwrap();
-        let mut session = SessionBuilder::new(config).scenario(storm).build().unwrap();
+        let session = SessionBuilder::new(config).scenario(storm).build().unwrap();
         assert_eq!(session.config().scenario.name, "winter-storm");
         assert_eq!(
             session.system().unwrap().world().scenario.name,
@@ -540,12 +634,12 @@ mod tests {
 
     #[test]
     fn system_and_world_share_one_generation() {
-        let mut session = SessionBuilder::new(tiny_config()).build().unwrap();
+        let session = SessionBuilder::new(tiny_config()).build().unwrap();
         let world = session.world().unwrap();
         let system = session.system().unwrap();
         // The system adopted the memoised world: no second generation.
-        assert_eq!(session.store().kind_stats("world").misses, 1);
-        assert_eq!(session.store().kind_stats("world").hits, 1);
+        assert_eq!(session.store().kind_stats("world").builds, 1);
+        assert_eq!(session.store().kind_stats("world").memory_hits, 1);
         assert_eq!(system.world().rtp, world.rtp);
 
         // And the memoised system is bit-identical to a fresh assembly.
@@ -556,7 +650,7 @@ mod tests {
     #[test]
     fn session_results_match_the_free_functions_bitwise() {
         let config = tiny_config();
-        let mut session = SessionBuilder::new(config.clone())
+        let session = SessionBuilder::new(config.clone())
             .threads(2)
             .build()
             .unwrap();
@@ -577,10 +671,10 @@ mod tests {
         );
 
         // A repeat request is a pure cache hit: no second training.
-        let misses = session.store().kind_stats("generalist").misses;
+        let builds = session.store().kind_stats("generalist").builds;
         let again = session.generalist(&options).unwrap();
         assert!(Arc::ptr_eq(&via_session, &again));
-        assert_eq!(session.store().kind_stats("generalist").misses, misses);
+        assert_eq!(session.store().kind_stats("generalist").builds, builds);
 
         // Changed options miss (different artifact).
         let blind = GeneralistOptions {
@@ -589,14 +683,14 @@ mod tests {
             ..GeneralistOptions::default()
         };
         session.generalist(&blind).unwrap();
-        assert_eq!(session.store().kind_stats("generalist").misses, misses + 1);
+        assert_eq!(session.store().kind_stats("generalist").builds, builds + 1);
         // Both arms shared one baseline pass.
-        assert_eq!(session.store().kind_stats("heldout-baselines").misses, 1);
+        assert_eq!(session.store().kind_stats("heldout-baselines").builds, 1);
     }
 
     #[test]
     fn fleet_and_pricing_route_through_the_session() {
-        let mut session = SessionBuilder::new(tiny_config())
+        let session = SessionBuilder::new(tiny_config())
             .threads(2)
             .build()
             .unwrap();
@@ -612,5 +706,46 @@ mod tests {
         // A different discount grid is a different artifact.
         let other = session.pricing_table(&[0.1]).unwrap();
         assert!(!Arc::ptr_eq(&table, &other));
+    }
+
+    #[test]
+    fn persistent_cache_serves_a_fresh_session_without_retraining() {
+        let mut dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        dir.pop();
+        dir.pop();
+        dir.push("target");
+        dir.push("cache-tests");
+        dir.push(format!("session-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let config = tiny_config();
+        let cold = SessionBuilder::new(config.clone())
+            .threads(2)
+            .label("cold")
+            .persistent_cache(&dir)
+            .build()
+            .unwrap();
+        assert_eq!(cold.cache_dir(), Some(dir.as_path()));
+        let table = cold.pricing_table(&[0.2]).unwrap();
+        assert_eq!(cold.store().kind_stats("pricing-table").builds, 1);
+
+        // A fresh session over the same cache dir: disk hit, zero builds,
+        // bit-identical payload.
+        let warm = SessionBuilder::new(config)
+            .threads(2)
+            .label("warm")
+            .persistent_cache(&dir)
+            .build()
+            .unwrap();
+        let served = warm.pricing_table(&[0.2]).unwrap();
+        let stats = warm.store().kind_stats("pricing-table");
+        assert_eq!(stats.builds, 0, "warm session must not retrain");
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(
+            serde_json::to_string(&*served).unwrap(),
+            serde_json::to_string(&*table).unwrap(),
+            "disk round-trip must be bit-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

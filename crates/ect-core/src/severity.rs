@@ -213,7 +213,10 @@ impl SeverityReport {
 }
 
 /// A trained domain-randomised generalist plus its severity scorecard.
-#[derive(Debug, Clone)]
+///
+/// Serialisable end to end, so the whole outcome (curves *and* trained
+/// policy) can spill to the persistent artifact cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SeverityOutcome {
     /// The serialisable report.
     pub report: SeverityReport,

@@ -12,7 +12,7 @@ use ect_price::engine::{AlwaysDiscount, NeverDiscount};
 use std::time::Instant;
 
 fn main() -> ect_types::Result<()> {
-    let mut session = SessionBuilder::new(SystemConfig::miniature())
+    let session = SessionBuilder::new(SystemConfig::miniature())
         .threads(2)
         .build()?;
     let system = session.system()?;

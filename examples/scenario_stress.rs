@@ -69,7 +69,7 @@ fn main() -> ect_types::Result<()> {
 
     // 3. A small method × scenario grid with stress diagnostics, through
     // the unified Session API (the base system is memoised in its store).
-    let mut session = SessionBuilder::new(config).threads(4).build()?;
+    let session = SessionBuilder::new(config).threads(4).build()?;
     let scenarios = vec![
         ScenarioSpec::baseline(),
         scenario_by_name("rtp-price-spike", horizon).expect("library scenario"),

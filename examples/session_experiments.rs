@@ -20,7 +20,7 @@ fn main() -> ect_types::Result<()> {
     println!("{}\n", registry.catalog());
 
     // One CI-sized session shared by every experiment below.
-    let mut session = SessionBuilder::new(ect_bench::experiments::system_config(RunScale::Smoke))
+    let session = SessionBuilder::new(ect_bench::experiments::system_config(RunScale::Smoke))
         .scale(RunScale::Smoke)
         .threads(4)
         .stderr_progress("session_experiments")
@@ -28,7 +28,7 @@ fn main() -> ect_types::Result<()> {
 
     for id in ["generalization", "severity_sweep"] {
         let experiment = registry.get(id).expect("standard registry entry");
-        let output = run_timed(experiment, &mut session)?;
+        let output = run_timed(experiment, &session)?;
         println!(
             "\n[{}] {} = {:.3} in {:.1} s → {}",
             output.id,
@@ -43,7 +43,7 @@ fn main() -> ect_types::Result<()> {
         "\nartifact store after both experiments: {} artifacts, {} hits, {} builds",
         session.store().len(),
         session.store().hits(),
-        session.store().misses()
+        session.store().builds()
     );
     Ok(())
 }

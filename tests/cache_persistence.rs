@@ -1,0 +1,167 @@
+//! Acceptance pins of the persistent artifact cache (PR 7).
+//!
+//! Three contracts:
+//!
+//! 1. **Warm processes skip retraining** — a second session over the same
+//!    cache directory serves every expensive artifact kind (held-out
+//!    baselines, generalists, severity sweeps, pricing models) from disk:
+//!    zero expensive builds, and the served payloads are bit-identical to
+//!    the cold pass (the JSON the experiments would write cannot move).
+//! 2. **Corruption is a miss, never an error** — truncating or scribbling
+//!    over a published entry makes the next session rebuild cleanly and
+//!    republish.
+//! 3. **`--no-cache` semantics** — a session without a cache attached
+//!    behaves exactly like the pre-cache store (pure in-memory
+//!    memoisation), so the cache is strictly opt-in at the session layer.
+
+use ect_bench::experiments::{generalization, pricing_artifacts, severity_sweep};
+use ect_bench::registry::EXPENSIVE_KINDS;
+use ect_bench::Scale;
+use ect_core::prelude::*;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.push("target");
+    dir.push("cache-tests");
+    dir.push(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cached_smoke_session(dir: &std::path::Path, label: &str) -> Session {
+    SessionBuilder::new(ect_bench::experiments::system_config(Scale::Smoke))
+        .scale(Scale::Smoke)
+        .threads(4)
+        .label(label)
+        .persistent_cache(dir)
+        .build()
+        .expect("smoke session builds")
+}
+
+/// Runs the expensive artifact pipeline of the bench experiments (pricing
+/// model, held-out baselines, two generalist arms, severity sweep) and
+/// returns the serialised reports a warm pass must reproduce bitwise.
+fn run_expensive_pipeline(session: &Session) -> (String, String, String) {
+    let pricing = pricing_artifacts(session).expect("pricing artifacts");
+    let generalization =
+        generalization::run_in_session(session, generalization::experiment_config(Scale::Smoke))
+            .expect("generalization runs");
+    let severity = severity_sweep::run_in_session(
+        session,
+        severity_sweep::experiment_config(Scale::Smoke),
+        severity_sweep::options_for(Scale::Smoke),
+    )
+    .expect("severity sweep runs");
+    (
+        serde_json::to_string(&pricing.model).expect("model serialises"),
+        serde_json::to_string(&generalization).expect("report serialises"),
+        serde_json::to_string(&severity).expect("report serialises"),
+    )
+}
+
+#[test]
+fn warm_session_serves_every_expensive_kind_from_disk_bit_identically() {
+    let dir = scratch("warm-pipeline");
+
+    // Cold pass: everything expensive is built (and published to disk).
+    let cold = cached_smoke_session(&dir, "cold");
+    let cold_reports = run_expensive_pipeline(&cold);
+    for kind in [
+        "pricing-model",
+        "heldout-baselines",
+        "generalist",
+        "severity",
+    ] {
+        let stats = cold.store().kind_stats(kind);
+        assert!(stats.builds > 0, "cold pass must build {kind}");
+        assert_eq!(stats.disk_hits, 0, "cold pass cannot disk-hit {kind}");
+    }
+
+    // Warm pass, fresh process (a fresh session is the same thing the
+    // store can see): zero expensive builds, everything from disk.
+    let warm = cached_smoke_session(&dir, "warm");
+    let warm_reports = run_expensive_pipeline(&warm);
+    let mut disk_hits = 0;
+    for kind in EXPENSIVE_KINDS {
+        let stats = warm.store().kind_stats(kind);
+        assert_eq!(stats.builds, 0, "warm pass must not rebuild {kind}");
+        disk_hits += stats.disk_hits;
+    }
+    assert!(disk_hits >= 4, "expensive kinds must come from disk");
+
+    // Bit-identity: the warm artifacts serialise to exactly the cold bytes.
+    assert_eq!(cold_reports.0, warm_reports.0, "pricing model moved");
+    assert_eq!(
+        cold_reports.1, warm_reports.1,
+        "generalization report moved"
+    );
+    assert_eq!(cold_reports.2, warm_reports.2, "severity report moved");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_and_truncated_entries_rebuild_cleanly() {
+    let dir = scratch("corruption-rebuild");
+
+    let cold = cached_smoke_session(&dir, "cold");
+    let table = cold.pricing_table(&[0.2]).expect("cold table trains");
+    assert_eq!(cold.store().kind_stats("pricing-table").builds, 1);
+
+    // Vandalise every published entry: truncate one byte off the first,
+    // scribble over the rest.
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for kind_dir in std::fs::read_dir(&dir).expect("cache dir exists") {
+        let kind_dir = kind_dir.unwrap().path();
+        for entry in std::fs::read_dir(kind_dir).unwrap() {
+            entries.push(entry.unwrap().path());
+        }
+    }
+    assert!(!entries.is_empty(), "cold pass published entries");
+    for (n, path) in entries.iter().enumerate() {
+        if n == 0 {
+            let bytes = std::fs::read(path).unwrap();
+            std::fs::write(path, &bytes[..bytes.len() - 1]).unwrap();
+        } else {
+            std::fs::write(path, b"ECTC1\nnot a header\n{}").unwrap();
+        }
+    }
+
+    // The next session treats every vandalised entry as a miss: no error,
+    // no panic, a clean rebuild bit-identical to the original.
+    let rebuilt = cached_smoke_session(&dir, "rebuild");
+    let table_again = rebuilt.pricing_table(&[0.2]).expect("rebuild succeeds");
+    let stats = rebuilt.store().kind_stats("pricing-table");
+    assert_eq!(stats.builds, 1, "corrupted entry must rebuild");
+    assert_eq!(stats.disk_hits, 0, "corrupted entry must not disk-hit");
+    assert_eq!(
+        serde_json::to_string(&*table).unwrap(),
+        serde_json::to_string(&*table_again).unwrap(),
+        "rebuild must be bit-identical"
+    );
+
+    // And the rebuild republished: a third session disk-hits again.
+    let warm = cached_smoke_session(&dir, "warm");
+    let _ = warm.pricing_table(&[0.2]).expect("warm table loads");
+    assert_eq!(warm.store().kind_stats("pricing-table").disk_hits, 1);
+    assert_eq!(warm.store().kind_stats("pricing-table").builds, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sessions_without_a_cache_stay_memory_only() {
+    let session = SessionBuilder::new(ect_bench::experiments::system_config(Scale::Smoke))
+        .scale(Scale::Smoke)
+        .threads(4)
+        .build()
+        .expect("smoke session builds");
+    assert!(session.cache_dir().is_none());
+    let _ = session.pricing_table(&[0.2]).expect("table trains");
+    let _ = session.pricing_table(&[0.2]).expect("table hits");
+    let stats = session.store().kind_stats("pricing-table");
+    assert_eq!(stats.builds, 1);
+    assert_eq!(stats.memory_hits, 1);
+    assert_eq!(stats.disk_hits, 0, "no disk tier without a cache");
+}

@@ -11,7 +11,7 @@
 //!    `severity_sweep` inside one session trains each distinct generalist
 //!    exactly once, and *repeating* both experiments trains nothing at all:
 //!    every lookup is an artifact-store hit (asserted through the store's
-//!    hit/miss probes).
+//!    build counters).
 
 use ect_bench::experiments::{generalization, scenario_sweep, severity_sweep};
 use ect_bench::Scale;
@@ -36,9 +36,9 @@ fn json<T: serde::Serialize>(value: &T) -> String {
 #[test]
 fn generalization_smoke_json_is_bit_identical_through_the_session() {
     let legacy = generalization::run_with_config(generalization::smoke_config(), THREADS).unwrap();
-    let mut session = smoke_session();
+    let session = smoke_session();
     let via_session =
-        generalization::run_in_session(&mut session, generalization::smoke_config()).unwrap();
+        generalization::run_in_session(&session, generalization::smoke_config()).unwrap();
     assert_eq!(
         json(&legacy),
         json(&via_session),
@@ -46,8 +46,8 @@ fn generalization_smoke_json_is_bit_identical_through_the_session() {
     );
     // The session path actually produced artifacts (it did not silently
     // fall back to the legacy path).
-    assert_eq!(session.store().kind_stats("generalist").misses, 2);
-    assert_eq!(session.store().kind_stats("heldout-baselines").misses, 1);
+    assert_eq!(session.store().kind_stats("generalist").builds, 2);
+    assert_eq!(session.store().kind_stats("heldout-baselines").builds, 1);
 }
 
 #[test]
@@ -57,9 +57,9 @@ fn severity_smoke_json_is_bit_identical_through_the_session() {
         severity_sweep::smoke_options(),
     )
     .unwrap();
-    let mut session = smoke_session();
+    let session = smoke_session();
     let via_session = severity_sweep::run_in_session(
-        &mut session,
+        &session,
         severity_sweep::smoke_config(),
         severity_sweep::smoke_options(),
     )
@@ -69,15 +69,15 @@ fn severity_smoke_json_is_bit_identical_through_the_session() {
         json(&via_session),
         "severity smoke JSON must be bit-identical through the Session path"
     );
-    assert_eq!(session.store().kind_stats("severity").misses, 1);
+    assert_eq!(session.store().kind_stats("severity").builds, 1);
 }
 
 #[test]
 fn scenario_sweep_smoke_json_is_bit_identical_through_the_session() {
     let legacy = scenario_sweep::run_with_config(scenario_sweep::smoke_config(), THREADS).unwrap();
-    let mut session = smoke_session();
+    let session = smoke_session();
     let via_session =
-        scenario_sweep::run_in_session(&mut session, scenario_sweep::smoke_config()).unwrap();
+        scenario_sweep::run_in_session(&session, scenario_sweep::smoke_config()).unwrap();
     assert_eq!(
         json(&legacy),
         json(&via_session),
@@ -87,7 +87,7 @@ fn scenario_sweep_smoke_json_is_bit_identical_through_the_session() {
 
 #[test]
 fn combined_run_trains_each_generalist_exactly_once() {
-    let mut session = smoke_session();
+    let session = smoke_session();
     let config = generalization::experiment_config(Scale::Smoke);
     // Both experiments bring the same smoke system configuration, which is
     // exactly what makes the sharing observable below.
@@ -98,34 +98,31 @@ fn combined_run_trains_each_generalist_exactly_once() {
 
     // Combined run: generalization (two mixture-generalist arms) plus the
     // severity sweep (one domain-randomised generalist).
-    let gen_first = generalization::run_in_session(&mut session, config.clone()).unwrap();
+    let gen_first = generalization::run_in_session(&session, config.clone()).unwrap();
     let sev_first = severity_sweep::run_in_session(
-        &mut session,
+        &session,
         config.clone(),
         severity_sweep::options_for(Scale::Smoke),
     )
     .unwrap();
 
     // Each distinct generalist trained exactly once …
-    assert_eq!(session.store().kind_stats("generalist").misses, 2);
-    assert_eq!(session.store().kind_stats("severity").misses, 1);
+    assert_eq!(session.store().kind_stats("generalist").builds, 2);
+    assert_eq!(session.store().kind_stats("severity").builds, 1);
     // … over exactly one shared world/system and one baseline pass.
-    assert_eq!(session.store().kind_stats("world").misses, 1);
-    assert_eq!(session.store().kind_stats("system").misses, 1);
-    assert_eq!(session.store().kind_stats("heldout-baselines").misses, 1);
+    assert_eq!(session.store().kind_stats("world").builds, 1);
+    assert_eq!(session.store().kind_stats("system").builds, 1);
+    assert_eq!(session.store().kind_stats("heldout-baselines").builds, 1);
 
-    // Re-running BOTH experiments trains nothing: misses stay flat, hits
+    // Re-running BOTH experiments trains nothing: builds stay flat, hits
     // grow, and the reports are bit-identical to the first pass.
     let hits_before = session.store().hits();
-    let gen_again = generalization::run_in_session(&mut session, config.clone()).unwrap();
-    let sev_again = severity_sweep::run_in_session(
-        &mut session,
-        config,
-        severity_sweep::options_for(Scale::Smoke),
-    )
-    .unwrap();
-    assert_eq!(session.store().kind_stats("generalist").misses, 2);
-    assert_eq!(session.store().kind_stats("severity").misses, 1);
+    let gen_again = generalization::run_in_session(&session, config.clone()).unwrap();
+    let sev_again =
+        severity_sweep::run_in_session(&session, config, severity_sweep::options_for(Scale::Smoke))
+            .unwrap();
+    assert_eq!(session.store().kind_stats("generalist").builds, 2);
+    assert_eq!(session.store().kind_stats("severity").builds, 1);
     assert!(
         session.store().hits() > hits_before,
         "the repeat pass must be served from the artifact store"
