@@ -20,10 +20,16 @@
 //!   `results/cache/`);
 //! * `--no-cache` — disable the persistent cache (in-memory memoisation
 //!   only, the pre-cache behaviour);
+//! * `--telemetry` / `--telemetry=<path>` — stream structured telemetry
+//!   (spans, counters, histograms, the run manifest) as JSONL to
+//!   `results/telemetry/<label>-<seed>.jsonl` or the given path;
+//! * `--quiet` — suppress the stderr progress lines (telemetry events, when
+//!   enabled, still carry the progress messages);
 //! * `--list` — print the experiment catalog and exit.
 
 use crate::Scale;
 use ect_core::session::{Session, SessionBuilder};
+use std::sync::Arc;
 
 /// Environment variable overriding the default persistent-cache root
 /// (`--cache-dir` beats it).
@@ -47,6 +53,12 @@ pub struct BenchArgs {
     pub no_cache: bool,
     /// Explicit persistent-cache root (`--cache-dir`).
     pub cache_dir: Option<String>,
+    /// Stream structured telemetry JSONL (`--telemetry[=<path>]`).
+    pub telemetry: bool,
+    /// Explicit telemetry JSONL path (`--telemetry=<path>`).
+    pub telemetry_path: Option<String>,
+    /// Suppress stderr progress lines (`--quiet`).
+    pub quiet: bool,
 }
 
 impl Default for BenchArgs {
@@ -59,6 +71,9 @@ impl Default for BenchArgs {
             threads: Session::default_threads(),
             no_cache: false,
             cache_dir: None,
+            telemetry: false,
+            telemetry_path: None,
+            quiet: false,
         }
     }
 }
@@ -95,6 +110,8 @@ impl BenchArgs {
                 "--full" => parsed.scale = Scale::Paper,
                 "--list" => parsed.list = true,
                 "--no-cache" => parsed.no_cache = true,
+                "--telemetry" => parsed.telemetry = true,
+                "--quiet" => parsed.quiet = true,
                 "--only" => {
                     if let Some(ids) = value(&mut iter, "--only") {
                         parsed
@@ -119,7 +136,13 @@ impl BenchArgs {
                         parsed.cache_dir = Some(dir);
                     }
                 }
-                other => eprintln!("[bench] ignoring unknown argument '{other}'"),
+                other => match other.strip_prefix("--telemetry=") {
+                    Some(path) if !path.is_empty() => {
+                        parsed.telemetry = true;
+                        parsed.telemetry_path = Some(path.to_string());
+                    }
+                    _ => eprintln!("[bench] ignoring unknown argument '{other}'"),
+                },
             }
         }
         parsed
@@ -152,7 +175,8 @@ impl BenchArgs {
 
     /// Builds the session every bench run shares: base configuration at the
     /// parsed scale, the parsed thread budget, progress to stderr under the
-    /// given tag, and the persistent artifact cache (unless `--no-cache`).
+    /// given tag (unless `--quiet`), and the persistent artifact cache
+    /// (unless `--no-cache`).
     ///
     /// # Errors
     ///
@@ -160,13 +184,80 @@ impl BenchArgs {
     pub fn session(&self, tag: &str) -> ect_types::Result<Session> {
         let mut builder = SessionBuilder::new(crate::experiments::system_config(self.scale))
             .scale(self.scale)
-            .threads(self.threads)
-            .stderr_progress(tag);
+            .threads(self.threads);
+        builder = if self.quiet {
+            // Keep the tag as the session label (cache provenance and the
+            // telemetry manifest use it) but drop the stderr sink.
+            builder.label(tag)
+        } else {
+            builder.stderr_progress(tag)
+        };
         if let Some(root) = self.cache_root() {
             builder = builder.persistent_cache(root);
         }
         builder.build()
     }
+
+    /// The JSONL path telemetry streams to: the explicit `--telemetry=<path>`
+    /// when given, else `results/telemetry/<label>-<seed>.jsonl`.
+    pub fn telemetry_path(&self, label: &str, seed: u64) -> std::path::PathBuf {
+        match &self.telemetry_path {
+            Some(path) => std::path::PathBuf::from(path),
+            None => crate::output::results_dir()
+                .join("telemetry")
+                .join(format!("{label}-{seed}.jsonl")),
+        }
+    }
+
+    /// Installs the process-wide telemetry registry for this run when
+    /// `--telemetry` was given; a no-op (returning `None`) otherwise.
+    ///
+    /// The manifest records the run's identity (label, seed, scale, thread
+    /// budget, a best-effort `git describe`, the workspace version) and is
+    /// the first JSONL record of the stream. The caller owns teardown:
+    /// [`ect_obs::uninstall`] after flushing, so late drops cannot write
+    /// into a closed file.
+    pub fn install_telemetry(&self, session: &Session) -> Option<Arc<ect_obs::Telemetry>> {
+        if !self.telemetry {
+            return None;
+        }
+        let manifest = ect_obs::RunManifest {
+            label: session.label().to_string(),
+            seed: session.config().seed,
+            scale: session.scale().label().to_string(),
+            threads: session.threads(),
+            git_describe: git_describe(),
+            cargo_version: env!("CARGO_PKG_VERSION").to_string(),
+        };
+        let path = self.telemetry_path(session.label(), manifest.seed);
+        let telemetry = match ect_obs::Telemetry::to_jsonl(manifest, &path) {
+            Ok(telemetry) => Arc::new(telemetry),
+            Err(error) => {
+                eprintln!(
+                    "[bench] cannot open telemetry sink {}: {error}; telemetry disabled",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        ect_obs::install(Arc::clone(&telemetry));
+        Some(telemetry)
+    }
+}
+
+/// `git describe --always --dirty` of the current checkout, or `"unknown"`
+/// when git (or the repository) is unavailable. Best-effort: telemetry
+/// manifests must never fail a run.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 #[cfg(test)]
@@ -276,6 +367,54 @@ mod tests {
         assert_eq!(args.scale, Scale::Smoke);
         let args = parse(&["--skip"]);
         assert!(args.skip.is_empty());
+    }
+
+    #[test]
+    fn telemetry_and_quiet_flags_parse() {
+        let args = parse(&[]);
+        assert!(!args.telemetry);
+        assert_eq!(args.telemetry_path, None);
+        assert!(!args.quiet);
+
+        let args = parse(&["--telemetry", "--quiet"]);
+        assert!(args.telemetry);
+        assert_eq!(
+            args.telemetry_path, None,
+            "bare flag keeps the default path"
+        );
+        assert!(args.quiet);
+        // Default path: results/telemetry/<label>-<seed>.jsonl.
+        let path = args.telemetry_path("run_all", 7);
+        assert!(
+            path.ends_with("telemetry/run_all-7.jsonl"),
+            "{}",
+            path.display()
+        );
+
+        let args = parse(&["--telemetry=/tmp/trace.jsonl"]);
+        assert!(args.telemetry);
+        assert_eq!(args.telemetry_path.as_deref(), Some("/tmp/trace.jsonl"));
+        assert_eq!(
+            args.telemetry_path("run_all", 7),
+            std::path::PathBuf::from("/tmp/trace.jsonl"),
+            "an explicit path wins over the default"
+        );
+
+        // An empty path is malformed, not a silent enable.
+        let args = parse(&["--telemetry="]);
+        assert!(!args.telemetry);
+
+        // install_telemetry is a no-op without --telemetry.
+        let session = parse(&["--smoke", "--no-cache"]).session("test").unwrap();
+        assert!(parse(&[]).install_telemetry(&session).is_none());
+    }
+
+    #[test]
+    fn quiet_sessions_keep_the_label() {
+        let session = parse(&["--smoke", "--quiet", "--no-cache"])
+            .session("quiet-test")
+            .unwrap();
+        assert_eq!(session.label(), "quiet-test");
     }
 
     #[test]

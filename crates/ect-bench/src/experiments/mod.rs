@@ -122,6 +122,12 @@ pub struct PricingBuild {
     pub train_records: usize,
 }
 
+/// Code version of the `pricing-model` disk artifact. Bump whenever the
+/// ECT-Price training pipeline changes in a result-affecting way — a bump
+/// moves the key's digest, so stale cache entries stop resolving instead of
+/// silently serving the old model.
+const PRICING_MODEL_VERSION: u32 = 1;
+
 fn pricing_build_key(config: &SystemConfig) -> ArtifactKey {
     ArtifactKey::of("pricing-artifacts-build", config)
 }
@@ -143,7 +149,7 @@ fn pricing_build_key(config: &SystemConfig) -> ArtifactKey {
 pub fn pricing_artifacts(session: &Session) -> ect_types::Result<Arc<PricingArtifacts>> {
     let config = system_config(session.scale());
     let key = ArtifactKey::of("pricing-artifacts", &config);
-    let model_key = ArtifactKey::of("pricing-model", &config);
+    let model_key = ArtifactKey::versioned("pricing-model", PRICING_MODEL_VERSION, &config);
     let first_build = !session.store().contains(&key);
     if first_build && !session.store().available_without_build(&model_key) {
         session.report("training pricing models …");

@@ -134,7 +134,8 @@ impl ExperimentRegistry {
         out.push_str(
             "\nflags: --full (paper budgets), --smoke (CI budgets), \
              --only <ids>, --skip <ids>, --threads <n>, \
-             --no-cache, --cache-dir <path>, --list (this listing)",
+             --no-cache, --cache-dir <path>, --telemetry[=<path>] (JSONL \
+             spans/counters), --quiet (no stderr progress), --list (this listing)",
         );
         out
     }
@@ -189,11 +190,18 @@ impl ExperimentRegistry {
             session.threads(),
             |idx, _| {
                 let experiment = selected[idx];
-                println!(
-                    "\n################ {} ({}) ################\n",
-                    experiment.id(),
-                    session.scale()
-                );
+                {
+                    // Banner under the process-wide print lock: with a
+                    // parallel scheduler, two experiments starting at once
+                    // must not interleave their banner lines with each
+                    // other or with progress output.
+                    let _serialized = ect_obs::print_lock();
+                    println!(
+                        "\n################ {} ({}) ################\n",
+                        experiment.id(),
+                        session.scale()
+                    );
+                }
                 run_timed(experiment, session)
             },
         )?;
@@ -260,8 +268,14 @@ pub fn run_single(id: &str) -> ect_types::Result<()> {
         ect_types::EctError::InvalidConfig(format!("experiment '{id}' is not registered"))
     })?;
     let session = args.session(id)?;
-    run_timed(experiment, &session)?;
-    Ok(())
+    let telemetry = args.install_telemetry(&session);
+    let result = run_timed(experiment, &session);
+    if let Some(telemetry) = telemetry {
+        telemetry.flush_metrics();
+        ect_obs::uninstall();
+        println!("\n{}", telemetry.summary().render(10));
+    }
+    result.map(|_| ())
 }
 
 /// Artifact kinds whose build is an expensive training/evaluation pass —
@@ -321,6 +335,7 @@ pub fn run_all_main() -> ect_types::Result<()> {
     }
     let t0 = Instant::now();
     let session = args.session("run_all")?;
+    let telemetry = args.install_telemetry(&session);
     let mut summary = registry.run_filtered(&session, &args)?;
     // Keep the historical `pricing_artifacts` row: the shared ECT-Price
     // training happens inside whichever pricing experiment touches the
@@ -357,6 +372,13 @@ pub fn run_all_main() -> ect_types::Result<()> {
         summary.insert(at, row);
     }
     let wall = t0.elapsed().as_secs_f64();
+    // Telemetry teardown before the summary is written: flush the metric
+    // snapshots, close the JSONL stream, keep the handle for the
+    // utilization/overhead rows and the printed table.
+    let telemetry = telemetry.inspect(|telemetry| {
+        telemetry.flush_metrics();
+        ect_obs::uninstall();
+    });
     if args.only.is_empty() && args.skip.is_empty() {
         // Scheduler + cache telemetry rows: the full-pass wall time (the
         // number the dependency-aware scheduler is meant to shrink) and the
@@ -385,6 +407,31 @@ pub fn run_all_main() -> ect_types::Result<()> {
                 metric_value: value as f64,
             });
         }
+        if let Some(telemetry) = &telemetry {
+            // Scheduler health from the run_dag counters: the fraction of
+            // worker capacity (wall × workers) the experiment jobs kept
+            // busy, and how much of the wall the telemetry layer itself
+            // consumed.
+            let busy = telemetry.counter_value("run_dag.busy_us");
+            let capacity = telemetry.counter_value("run_dag.capacity_us");
+            summary.push(BenchSummaryEntry {
+                experiment: "dag_worker_utilization".into(),
+                wall_time_s: 0.0,
+                metric_name: "busy_over_capacity".into(),
+                metric_value: if capacity == 0 {
+                    0.0
+                } else {
+                    busy as f64 / capacity as f64
+                },
+            });
+            let wall_us = (wall * 1e6).max(1.0);
+            summary.push(BenchSummaryEntry {
+                experiment: "telemetry_overhead_pct".into(),
+                wall_time_s: 0.0,
+                metric_name: "pct_of_wall".into(),
+                metric_value: telemetry.overhead_us() as f64 / wall_us * 100.0,
+            });
+        }
         upsert_bench_summary(&summary);
     } else {
         println!(
@@ -394,6 +441,15 @@ pub fn run_all_main() -> ect_types::Result<()> {
         );
     }
     print_cache_breakdown(&session);
+    if let Some(telemetry) = &telemetry {
+        println!("\n{}", telemetry.summary().render(10));
+        println!(
+            "telemetry: {} written ({} µs recording overhead)",
+            args.telemetry_path(session.label(), session.config().seed)
+                .display(),
+            telemetry.overhead_us()
+        );
+    }
     println!(
         "\nall experiments done in {:.1} s ({} artifact-store hits: {} memory + {} disk; {} builds)",
         wall,

@@ -84,6 +84,30 @@ impl ArtifactKey {
         }
     }
 
+    /// Like [`ArtifactKey::of`], but additionally folds a per-kind **code
+    /// version** into the digest. Bump the version constant whenever the
+    /// builder's algorithm changes shape (not just its inputs): every
+    /// existing memo and disk entry for the kind silently becomes a miss,
+    /// so stale artifacts built by the old code can never be served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs fail to serialise (same contract as
+    /// [`ArtifactKey::of`]).
+    pub fn versioned<T: serde::Serialize + ?Sized>(
+        kind: &'static str,
+        version: u32,
+        inputs: &T,
+    ) -> Self {
+        let json = serde_json::to_string(inputs).expect("artifact inputs serialise");
+        let mut digest = fnv1a(json.as_bytes());
+        for &b in &version.to_le_bytes() {
+            digest ^= u64::from(b);
+            digest = digest.wrapping_mul(FNV_PRIME);
+        }
+        Self { kind, digest }
+    }
+
     /// The key as a stable display string, e.g. `world:9c3f21ab04d87e51`.
     pub fn display(&self) -> String {
         format!("{}:{:016x}", self.kind, self.digest)
@@ -248,9 +272,13 @@ impl ArtifactStore {
             let typed = Self::downcast::<T>(key, found);
             drop(guard);
             self.note_memory_hit(key.kind);
+            ect_obs::event("artifact.memory_hit", &[("kind", key.kind)]);
             return Ok(typed);
         }
-        let built = Arc::new(build()?);
+        let built = {
+            let _span = ect_obs::span("artifact.build").field("kind", key.kind);
+            Arc::new(build()?)
+        };
         *guard = Some(Arc::clone(&built) as Arc<dyn Any + Send + Sync>);
         drop(guard);
         self.note_resolved(key, Resolution::Build);
@@ -292,6 +320,7 @@ impl ArtifactStore {
             let typed = Self::downcast::<T>(key, found);
             drop(guard);
             self.note_memory_hit(key.kind);
+            ect_obs::event("artifact.memory_hit", &[("kind", key.kind)]);
             return Ok(typed);
         }
         if let Some(disk) = &self.disk {
@@ -304,10 +333,14 @@ impl ArtifactStore {
                 *guard = Some(Arc::clone(&loaded) as Arc<dyn Any + Send + Sync>);
                 drop(guard);
                 self.note_resolved(key, Resolution::Disk);
+                ect_obs::event("artifact.disk_hit", &[("kind", key.kind)]);
                 return Ok(loaded);
             }
         }
-        let built = Arc::new(build()?);
+        let built = {
+            let _span = ect_obs::span("artifact.build").field("kind", key.kind);
+            Arc::new(build()?)
+        };
         *guard = Some(Arc::clone(&built) as Arc<dyn Any + Send + Sync>);
         drop(guard);
         self.note_resolved(key, Resolution::Build);
@@ -418,6 +451,66 @@ mod tests {
         assert_ne!(a, ArtifactKey::of("world", &(8u64, "baseline")));
         assert_ne!(a, ArtifactKey::of("world", &(7u64, "heatwave")));
         assert_ne!(a, ArtifactKey::of("system", &(7u64, "baseline")));
+    }
+
+    #[test]
+    fn versioned_keys_separate_code_versions() {
+        let v1 = ArtifactKey::versioned("generalist", 1, &(7u64, "baseline"));
+        assert_eq!(
+            v1,
+            ArtifactKey::versioned("generalist", 1, &(7u64, "baseline"))
+        );
+        // Bumping the code version moves the digest for identical inputs…
+        assert_ne!(
+            v1,
+            ArtifactKey::versioned("generalist", 2, &(7u64, "baseline"))
+        );
+        // …and stays input-sensitive within one version.
+        assert_ne!(
+            v1,
+            ArtifactKey::versioned("generalist", 1, &(8u64, "baseline"))
+        );
+        // A versioned key never collides with the unversioned form.
+        assert_ne!(v1, ArtifactKey::of("generalist", &(7u64, "baseline")));
+    }
+
+    #[test]
+    fn a_version_bump_invalidates_memo_and_disk_entries() {
+        use crate::cache::{CacheProvenance, DiskCache};
+        let mut dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        dir.pop();
+        dir.pop();
+        dir.push("target");
+        dir.push("cache-tests");
+        dir.push(format!("store-version-bump-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let prov = CacheProvenance::default();
+
+        // Old code version publishes its artifact to disk.
+        let store = ArtifactStore::with_disk(DiskCache::new(&dir), prov.clone());
+        let old_key = ArtifactKey::versioned("bumped", 1, &3u8);
+        let _: Arc<Vec<u64>> = store
+            .get_or_insert_cached(old_key, || Ok(vec![1, 2]))
+            .unwrap();
+
+        // New code version (fresh process): the old entry must not be
+        // served — the lookup builds, it does not disk-hit.
+        let store2 = ArtifactStore::with_disk(DiskCache::new(&dir), prov);
+        let new_key = ArtifactKey::versioned("bumped", 2, &3u8);
+        let rebuilt: Arc<Vec<u64>> = store2
+            .get_or_insert_cached(new_key, || Ok(vec![1, 2, 3]))
+            .unwrap();
+        assert_eq!(rebuilt.len(), 3);
+        assert_eq!(
+            store2.kind_stats("bumped"),
+            KindStats {
+                memory_hits: 0,
+                disk_hits: 0,
+                builds: 1
+            },
+            "a version bump must invalidate persisted artifacts"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

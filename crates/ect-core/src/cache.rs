@@ -177,11 +177,16 @@ impl DiskCache {
         match Self::validate(key, &bytes) {
             Some(payload_start) => {
                 touch(&path);
+                ect_obs::counter_add(
+                    "cache.disk_read_bytes",
+                    (bytes.len() - payload_start) as u64,
+                );
                 Some(bytes[payload_start..].to_vec())
             }
             None => {
                 // Invalid entries are swept so they stop costing read time.
                 let _ = std::fs::remove_file(&path);
+                ect_obs::counter_add("cache.swept", 1);
                 None
             }
         }
@@ -247,6 +252,7 @@ impl DiskCache {
             let _ = std::fs::remove_file(&tmp);
             return;
         }
+        ect_obs::counter_add("cache.disk_write_bytes", bytes.len() as u64);
         self.evict_to_budget(&path);
     }
 
@@ -298,10 +304,12 @@ impl DiskCache {
             }
             if std::fs::remove_file(path).is_ok() {
                 total -= len;
+                ect_obs::counter_add("cache.evictions", 1);
             }
         }
         if total > self.budget_bytes {
             let _ = std::fs::remove_file(keep);
+            ect_obs::counter_add("cache.evictions", 1);
         }
     }
 

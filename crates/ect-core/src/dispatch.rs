@@ -19,12 +19,14 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Pulls the next task: local queue first, then a batch from the global
-/// injector, then stealing from peers.
+/// injector, then stealing from peers. Bumps `steals` when the task came
+/// from a peer's queue (telemetry: `dispatch.steals`).
 fn find_task<T>(
     local: &Worker<T>,
     injector: &Injector<T>,
     stealers: &[Stealer<T>],
     me: usize,
+    steals: &mut u64,
 ) -> Option<T> {
     if let Some(task) = local.pop() {
         return Some(task);
@@ -43,7 +45,10 @@ fn find_task<T>(
                 continue;
             }
             match stealer.steal() {
-                Steal::Success(task) => return Some(task),
+                Steal::Success(task) => {
+                    *steals += 1;
+                    return Some(task);
+                }
                 Steal::Retry => retry = true,
                 Steal::Empty => {}
             }
@@ -82,6 +87,7 @@ where
     if workers == 1 {
         // Single worker: run inline, no queues, first error wins (it is
         // also the lowest-indexed one).
+        ect_obs::counter_add("dispatch.jobs", jobs.len() as u64);
         return jobs
             .into_iter()
             .enumerate()
@@ -111,10 +117,15 @@ where
             let abort = &abort;
             let run = &run;
             scope.spawn(move |_| {
+                let mut my_jobs = 0u64;
+                let mut my_steals = 0u64;
                 while !abort.load(Ordering::Relaxed) {
-                    let Some((idx, job)) = find_task(&local, injector, stealers, me) else {
+                    let Some((idx, job)) =
+                        find_task(&local, injector, stealers, me, &mut my_steals)
+                    else {
                         break;
                     };
+                    my_jobs += 1;
                     match run(idx, job) {
                         Ok(result) => {
                             let previous = slots[idx].lock().replace(result);
@@ -126,9 +137,15 @@ where
                                 *guard = Some((idx, e));
                             }
                             abort.store(true, Ordering::Relaxed);
-                            return;
+                            break;
                         }
                     }
+                }
+                // One flush per worker, off the job path.
+                if ect_obs::enabled() {
+                    ect_obs::counter_add("dispatch.jobs", my_jobs);
+                    ect_obs::counter_add("dispatch.steals", my_steals);
+                    ect_obs::histogram_record("dispatch.jobs_per_worker", my_jobs);
                 }
             });
         }
@@ -219,11 +236,29 @@ where
     if workers == 1 {
         // Index order satisfies every dependency; first error wins and is
         // the lowest-indexed one.
-        return jobs
+        let wall = ect_obs::enabled().then(std::time::Instant::now);
+        let mut busy_us = 0u64;
+        let results: ect_types::Result<Vec<R>> = jobs
             .into_iter()
             .enumerate()
-            .map(|(idx, job)| run(idx, job))
+            .map(|(idx, job)| {
+                let span = ect_obs::span("run_dag.job").field_with("job", || idx.to_string());
+                let t0 = span.is_recording().then(std::time::Instant::now);
+                let outcome = run(idx, job);
+                if let Some(t0) = t0 {
+                    busy_us += t0.elapsed().as_micros() as u64;
+                }
+                outcome
+            })
             .collect();
+        if let Some(wall) = wall {
+            ect_obs::counter_add("run_dag.busy_us", busy_us);
+            ect_obs::counter_add(
+                "run_dag.capacity_us",
+                (wall.elapsed().as_micros() as u64).max(1),
+            );
+        }
+        return results;
     }
 
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -245,57 +280,90 @@ where
     let wakeup = std::sync::Condvar::new();
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let first_error: Mutex<Option<(usize, ect_types::EctError)>> = Mutex::new(None);
+    // Worker busy time vs. wall capacity: the utilisation numerator and
+    // denominator of the `dag_worker_utilization` bench row. Idle time is
+    // the gap between the two (workers parked waiting for dependencies).
+    let wall = ect_obs::enabled().then(std::time::Instant::now);
+    let busy_us = std::sync::atomic::AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let claimed = {
+            scope.spawn(|| {
+                let busy_us = &busy_us;
+                let mut my_busy_us = 0u64;
+                loop {
+                    let claimed = {
+                        let mut guard = state.lock().expect("dag state lock");
+                        loop {
+                            if guard.abort {
+                                break None;
+                            }
+                            if let Some(&idx) = guard.ready.iter().next() {
+                                guard.ready.remove(&idx);
+                                guard.inflight += 1;
+                                break Some((
+                                    idx,
+                                    guard.pending[idx].take().expect("job queued once"),
+                                ));
+                            }
+                            if guard.inflight == 0 {
+                                // Nothing ready, nothing running: all done
+                                // (the DAG is acyclic, so no job can be
+                                // stranded).
+                                break None;
+                            }
+                            guard = wakeup.wait(guard).expect("dag state lock");
+                        }
+                    };
+                    let Some((idx, job)) = claimed else { break };
+                    let outcome = {
+                        let span =
+                            ect_obs::span("run_dag.job").field_with("job", || idx.to_string());
+                        let t0 = span.is_recording().then(std::time::Instant::now);
+                        let outcome = run(idx, job);
+                        if let Some(t0) = t0 {
+                            my_busy_us += t0.elapsed().as_micros() as u64;
+                        }
+                        outcome
+                    };
                     let mut guard = state.lock().expect("dag state lock");
-                    loop {
-                        if guard.abort {
-                            return;
-                        }
-                        if let Some(&idx) = guard.ready.iter().next() {
-                            guard.ready.remove(&idx);
-                            guard.inflight += 1;
-                            break Some((idx, guard.pending[idx].take().expect("job queued once")));
-                        }
-                        if guard.inflight == 0 {
-                            // Nothing ready, nothing running: all done (the
-                            // DAG is acyclic, so no job can be stranded).
-                            return;
-                        }
-                        guard = wakeup.wait(guard).expect("dag state lock");
-                    }
-                };
-                let Some((idx, job)) = claimed else { return };
-                let outcome = run(idx, job);
-                let mut guard = state.lock().expect("dag state lock");
-                guard.inflight -= 1;
-                match outcome {
-                    Ok(result) => {
-                        let previous = slots[idx].lock().replace(result);
-                        debug_assert!(previous.is_none(), "job {idx} ran twice");
-                        for &dependent in &dependents[idx] {
-                            guard.remaining[dependent] -= 1;
-                            if guard.remaining[dependent] == 0 {
-                                guard.ready.insert(dependent);
+                    guard.inflight -= 1;
+                    match outcome {
+                        Ok(result) => {
+                            let previous = slots[idx].lock().replace(result);
+                            debug_assert!(previous.is_none(), "job {idx} ran twice");
+                            for &dependent in &dependents[idx] {
+                                guard.remaining[dependent] -= 1;
+                                if guard.remaining[dependent] == 0 {
+                                    guard.ready.insert(dependent);
+                                }
                             }
                         }
-                    }
-                    Err(e) => {
-                        let mut err = first_error.lock();
-                        if err.as_ref().is_none_or(|(prev, _)| idx < *prev) {
-                            *err = Some((idx, e));
+                        Err(e) => {
+                            let mut err = first_error.lock();
+                            if err.as_ref().is_none_or(|(prev, _)| idx < *prev) {
+                                *err = Some((idx, e));
+                            }
+                            guard.abort = true;
                         }
-                        guard.abort = true;
                     }
+                    drop(guard);
+                    wakeup.notify_all();
                 }
-                drop(guard);
-                wakeup.notify_all();
+                if my_busy_us > 0 {
+                    busy_us.fetch_add(my_busy_us, Ordering::Relaxed);
+                }
             });
         }
     });
+
+    if let Some(wall) = wall {
+        ect_obs::counter_add("run_dag.busy_us", busy_us.load(Ordering::Relaxed));
+        ect_obs::counter_add(
+            "run_dag.capacity_us",
+            (wall.elapsed().as_micros() as u64 * workers as u64).max(1),
+        );
+    }
 
     if let Some((_, e)) = first_error.into_inner() {
         return Err(e);

@@ -111,6 +111,7 @@ pub fn run_timed(
     experiment: &dyn Experiment,
     session: &Session,
 ) -> ect_types::Result<ExperimentOutput> {
+    let _span = ect_obs::span("experiment.run").field("id", experiment.id());
     let t0 = Instant::now();
     let mut output = experiment.run(session)?;
     output.wall_time_s = t0.elapsed().as_secs_f64();

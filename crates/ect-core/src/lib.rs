@@ -83,7 +83,7 @@ pub use scheduling::{
     run_hub_method, run_hub_scheduler, run_hubs_method_batched, schedule_for_hub,
     HubExperimentResult, OBS_WINDOW,
 };
-pub use session::{ProgressSink, RunScale, Session, SessionBuilder};
+pub use session::{kind_versions, ProgressSink, RunScale, Session, SessionBuilder};
 #[allow(deprecated)]
 pub use severity::run_severity_sweep;
 pub use severity::{

@@ -64,6 +64,28 @@ use std::sync::Arc;
 /// the per-figure streams of the bench harness).
 const PRICING_TABLE_SEED_STREAM: u64 = 0x7AB1_E002;
 
+/// Per-kind **code versions**, folded into every session artifact key via
+/// [`ArtifactKey::versioned`]. Bump a constant whenever the corresponding
+/// builder's *algorithm* changes (not just its inputs): every memoised and
+/// persisted artifact of that kind becomes a miss, so a stale artifact
+/// built by older code can never be served to newer code.
+pub mod kind_versions {
+    /// `world` — world generation.
+    pub const WORLD: u32 = 1;
+    /// `system` — system assembly on top of a generated world.
+    pub const SYSTEM: u32 = 1;
+    /// `heldout-baselines` — specialist + heuristic scoring.
+    pub const HELDOUT_BASELINES: u32 = 1;
+    /// `generalist` — scenario-mixture generalist training (bumped when
+    /// the overlapped trainer changed the update schedule).
+    pub const GENERALIST: u32 = 2;
+    /// `severity` — domain-randomised severity sweep (rides on the same
+    /// trainer as the generalist).
+    pub const SEVERITY: u32 = 2;
+    /// `pricing-table` — Table II pricing-engine training.
+    pub const PRICING_TABLE: u32 = 1;
+}
+
 /// Budget preset of an experiment run.
 ///
 /// Experiments translate the scale into their own configurations; the
@@ -218,7 +240,7 @@ impl SessionBuilder {
                     None => DiskCache::new(&dir),
                 };
                 let provenance = CacheProvenance {
-                    experiment: self.label,
+                    experiment: self.label.clone(),
                     seed: self.config.seed,
                     scale: self.scale.label().to_string(),
                 };
@@ -231,6 +253,7 @@ impl SessionBuilder {
             scale: self.scale,
             threads: self.threads.unwrap_or_else(Session::default_threads),
             progress: self.progress,
+            label: self.label,
             store,
         })
     }
@@ -260,6 +283,7 @@ pub struct Session {
     scale: RunScale,
     threads: usize,
     progress: Option<ProgressSink>,
+    label: String,
     store: ArtifactStore,
 }
 
@@ -314,9 +338,19 @@ impl Session {
         self.store.disk().map(DiskCache::root)
     }
 
-    /// Reports coarse progress through the configured sink, if any.
+    /// The session's label (cache provenance and telemetry attribution).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Reports coarse progress: always mirrored as a `progress` telemetry
+    /// event (when a registry is installed), then handed to the configured
+    /// sink — under the process-wide print lock, so progress lines from
+    /// experiments running on parallel scheduler threads never interleave.
     pub fn report(&self, message: &str) {
+        ect_obs::progress(&self.label, message);
         if let Some(sink) = &self.progress {
+            let _serialized = ect_obs::print_lock();
             sink(message);
         }
     }
@@ -341,7 +375,7 @@ impl Session {
         world: &WorldConfig,
         spec: &ScenarioSpec,
     ) -> ect_types::Result<Arc<WorldDataset>> {
-        let key = ArtifactKey::of("world", &(world, spec));
+        let key = ArtifactKey::versioned("world", kind_versions::WORLD, &(world, spec));
         self.store
             .get_or_insert(key, || WorldDataset::generate_scenario(world.clone(), spec))
     }
@@ -364,7 +398,7 @@ impl Session {
     ///
     /// Propagates validation and generation failures.
     pub fn system_for(&self, config: &SystemConfig) -> ect_types::Result<Arc<EctHubSystem>> {
-        let key = ArtifactKey::of("system", config);
+        let key = ArtifactKey::versioned("system", kind_versions::SYSTEM, config);
         let world = self.world_for(&config.world, &config.scenario)?;
         self.store
             .get_or_insert(key, || EctHubSystem::from_parts(config.clone(), world))
@@ -391,7 +425,11 @@ impl Session {
         &self,
         config: &SystemConfig,
     ) -> ect_types::Result<Arc<Vec<HeldOutBaseline>>> {
-        let key = ArtifactKey::of("heldout-baselines", config);
+        let key = ArtifactKey::versioned(
+            "heldout-baselines",
+            kind_versions::HELDOUT_BASELINES,
+            config,
+        );
         self.announce_build(&key, "scoring held-out specialists and heuristics …");
         let system = self.system_for(config)?;
         let threads = self.threads;
@@ -423,7 +461,8 @@ impl Session {
         config: &SystemConfig,
         options: &GeneralistOptions,
     ) -> ect_types::Result<Arc<GeneralistOutcome>> {
-        let key = ArtifactKey::of("generalist", &(config, options));
+        let key =
+            ArtifactKey::versioned("generalist", kind_versions::GENERALIST, &(config, options));
         let baselines = self.heldout_baselines_for(config)?;
         let system = self.system_for(config)?;
         self.announce_build(&key, "training the scenario-mixture generalist …");
@@ -456,7 +495,7 @@ impl Session {
         config: &SystemConfig,
         options: &SeverityOptions,
     ) -> ect_types::Result<Arc<SeverityOutcome>> {
-        let key = ArtifactKey::of("severity", &(config, options));
+        let key = ArtifactKey::versioned("severity", kind_versions::SEVERITY, &(config, options));
         self.announce_build(&key, "training the domain-randomised generalist …");
         let system = self.system_for(config)?;
         self.store
@@ -489,7 +528,11 @@ impl Session {
         config: &SystemConfig,
         discounts: &[f64],
     ) -> ect_types::Result<Arc<PricingTable>> {
-        let key = ArtifactKey::of("pricing-table", &(config, discounts));
+        let key = ArtifactKey::versioned(
+            "pricing-table",
+            kind_versions::PRICING_TABLE,
+            &(config, discounts),
+        );
         self.announce_build(&key, "training the paper's pricing engines …");
         let system = self.system_for(config)?;
         self.store.get_or_insert_cached(key, || {

@@ -293,6 +293,9 @@ pub fn train_fleet_overlapped<F: FleetFactory>(
 
     match overlap {
         UpdateOverlap::Lockstep => {
+            // One `ppo.collect` span per episode window, closed around each
+            // inline `ppo.update` — the per-window collect/update split.
+            let mut collect_span = Some(ect_obs::span("ppo.collect"));
             for episode in 0..episodes {
                 let mut fleet = factory.make(episode, &mut rngs)?;
                 if fleet.num_lanes() != n {
@@ -317,6 +320,8 @@ pub fn train_fleet_overlapped<F: FleetFactory>(
                 }
 
                 if (episode + 1) % per_update == 0 {
+                    collect_span.take();
+                    let update_span = ect_obs::span("ppo.update");
                     for lane in 0..n {
                         let stats = learners[lane].update(
                             &mut policies[lane],
@@ -326,16 +331,24 @@ pub fn train_fleet_overlapped<F: FleetFactory>(
                         histories[lane].update_stats.push(stats);
                         buffers[lane].clear();
                     }
+                    drop(update_span);
+                    if episode + 1 < episodes {
+                        collect_span = Some(ect_obs::span("ppo.collect"));
+                    }
                 }
             }
-            for lane in 0..n {
-                if !buffers[lane].is_empty() {
-                    let stats = learners[lane].update(
-                        &mut policies[lane],
-                        &buffers[lane],
-                        &mut rngs[lane],
-                    )?;
-                    histories[lane].update_stats.push(stats);
+            drop(collect_span);
+            if buffers.iter().any(|buffer| !buffer.is_empty()) {
+                let _update_span = ect_obs::span("ppo.update");
+                for lane in 0..n {
+                    if !buffers[lane].is_empty() {
+                        let stats = learners[lane].update(
+                            &mut policies[lane],
+                            &buffers[lane],
+                            &mut rngs[lane],
+                        )?;
+                        histories[lane].update_stats.push(stats);
+                    }
                 }
             }
             Ok(policies.into_iter().zip(histories).collect())
@@ -352,7 +365,20 @@ pub fn train_fleet_overlapped<F: FleetFactory>(
                 rngs: update_rngs,
             });
             let mut pending: Option<std::thread::JoinHandle<UpdateOutcome>> = None;
+            // Stall accounting: time the collection side spends blocked on
+            // `join()` is overlap that did NOT happen (counter
+            // `ppo.overlap_stall_us`); the update itself is spanned inside
+            // the background thread.
+            let join_pending = |handle: std::thread::JoinHandle<UpdateOutcome>| -> UpdateOutcome {
+                let t0 = ect_obs::enabled().then(std::time::Instant::now);
+                let outcome = handle.join().expect("PPO update thread panicked");
+                if let Some(t0) = t0 {
+                    ect_obs::counter_add("ppo.overlap_stall_us", t0.elapsed().as_micros() as u64);
+                }
+                outcome
+            };
 
+            let mut collect_span = Some(ect_obs::span("ppo.collect"));
             for episode in 0..episodes {
                 let mut fleet = factory.make(episode, &mut rngs)?;
                 if fleet.num_lanes() != n {
@@ -377,10 +403,11 @@ pub fn train_fleet_overlapped<F: FleetFactory>(
                 }
 
                 if (episode + 1) % per_update == 0 {
+                    collect_span.take();
                     // Join the in-flight update of window k-1 (if any),
                     // refresh the collection snapshot to its output …
                     if let Some(handle) = pending.take() {
-                        let (state, stats) = handle.join().expect("PPO update thread panicked")?;
+                        let (state, stats) = join_pending(handle)?;
                         for (history, s) in histories.iter_mut().zip(stats) {
                             history.update_stats.push(s);
                         }
@@ -392,6 +419,7 @@ pub fn train_fleet_overlapped<F: FleetFactory>(
                     let mut state = opt.take().expect("optimiser state is accounted for");
                     let filled = std::mem::replace(&mut buffers, vec![RolloutBuffer::new(); n]);
                     pending = Some(std::thread::spawn(move || {
+                        let _update_span = ect_obs::span("ppo.update");
                         let mut stats = Vec::with_capacity(filled.len());
                         for (lane, buffer) in filled.iter().enumerate() {
                             stats.push(state.learners[lane].update(
@@ -402,27 +430,34 @@ pub fn train_fleet_overlapped<F: FleetFactory>(
                         }
                         Ok((state, stats))
                     }));
+                    if episode + 1 < episodes {
+                        collect_span = Some(ect_obs::span("ppo.collect"));
+                    }
                 }
             }
+            drop(collect_span);
 
             // Drain: join the last in-flight window, then flush any partial
             // tail window inline.
             if let Some(handle) = pending.take() {
-                let (state, stats) = handle.join().expect("PPO update thread panicked")?;
+                let (state, stats) = join_pending(handle)?;
                 for (history, s) in histories.iter_mut().zip(stats) {
                     history.update_stats.push(s);
                 }
                 opt = Some(state);
             }
             let mut state = opt.take().expect("optimiser state is accounted for");
-            for lane in 0..n {
-                if !buffers[lane].is_empty() {
-                    let stats = state.learners[lane].update(
-                        &mut state.policies[lane],
-                        &buffers[lane],
-                        &mut state.rngs[lane],
-                    )?;
-                    histories[lane].update_stats.push(stats);
+            if buffers.iter().any(|buffer| !buffer.is_empty()) {
+                let _update_span = ect_obs::span("ppo.update");
+                for lane in 0..n {
+                    if !buffers[lane].is_empty() {
+                        let stats = state.learners[lane].update(
+                            &mut state.policies[lane],
+                            &buffers[lane],
+                            &mut state.rngs[lane],
+                        )?;
+                        histories[lane].update_stats.push(stats);
+                    }
                 }
             }
             Ok(state.policies.into_iter().zip(histories).collect())

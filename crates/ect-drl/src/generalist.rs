@@ -331,6 +331,9 @@ pub fn train_generalist_source<F: MixtureFleetFactory>(
 
     let episodes = config.trainer.episodes;
     let per_update = config.trainer.episodes_per_update.max(1);
+    // One `ppo.collect` span per episode window, closed around each
+    // `ppo.update` — the per-window collect/update split.
+    let mut collect_span = Some(ect_obs::span("ppo.collect"));
     for episode in 0..episodes {
         let episode_specs = source.specs_for_episode(seed, episode, n)?;
         let specs: Vec<&ScenarioSpec> = episode_specs.iter().collect();
@@ -357,6 +360,8 @@ pub fn train_generalist_source<F: MixtureFleetFactory>(
             .push(returns.iter().sum::<f64>() / n as f64);
 
         if (episode + 1) % per_update == 0 {
+            collect_span.take();
+            let update_span = ect_obs::span("ppo.update");
             for buffer in &mut buffers {
                 for t in buffer.transitions() {
                     combined.push(t.clone());
@@ -366,9 +371,15 @@ pub fn train_generalist_source<F: MixtureFleetFactory>(
             let stats = ppo.update(&mut policy, &combined, &mut master)?;
             history.update_stats.push(stats);
             combined.clear();
+            drop(update_span);
+            if episode + 1 < episodes {
+                collect_span = Some(ect_obs::span("ppo.collect"));
+            }
         }
     }
+    drop(collect_span);
     if buffers.iter().any(|b| !b.is_empty()) {
+        let _update_span = ect_obs::span("ppo.update");
         for buffer in &mut buffers {
             for t in buffer.transitions() {
                 combined.push(t.clone());

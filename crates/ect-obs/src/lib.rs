@@ -1,0 +1,508 @@
+//! ECT-Obs: hand-rolled structured telemetry for the hub pipeline.
+//!
+//! The vendored-only build environment has no `tracing` crate, so this
+//! crate provides the slice of an instrumentation stack the workspace
+//! needs: a thread-safe [`Telemetry`] registry with hierarchical **spans**
+//! (name, parent, start/duration, thread id, `key=value` fields), atomic
+//! **counters** and fixed-bucket **histograms**, and a **run manifest**
+//! (session label, seed, scale, threads, git describe, crate version).
+//! Records stream to a buffered JSONL [`Sink`] — one self-describing JSON
+//! line per record — or into memory for tests.
+//!
+//! # The zero-cost-when-off contract
+//!
+//! Instrumented code calls the free functions ([`fn@span`], [`event`],
+//! [`counter_add`], [`with`]); each starts with one relaxed atomic load of
+//! the global enable flag and returns immediately while no registry is
+//! installed. No locks are taken, no allocations happen, and nothing on
+//! the step-kernel fast path is instrumented at all — so telemetry can
+//! never perturb results: every artifact stays bit-identical with
+//! telemetry on or off (pinned by `tests/telemetry_determinism.rs`).
+//!
+//! # Install / shutdown
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let telemetry = Arc::new(ect_obs::Telemetry::to_memory(Default::default()));
+//! ect_obs::install(Arc::clone(&telemetry));
+//! {
+//!     let _span = ect_obs::span("demo.work").field("answer", "42");
+//!     ect_obs::counter_add("demo.events", 1);
+//! }
+//! let stopped = ect_obs::uninstall().expect("was installed");
+//! assert_eq!(stopped.counter_value("demo.events"), 1);
+//! assert!(!ect_obs::enabled());
+//! ```
+//!
+//! The registry is process-global (one telemetry stream per run, the
+//! `run_all` model); [`install`]/[`uninstall`] are test-friendly in that
+//! uninstalling returns the registry for inspection.
+
+pub mod metrics;
+pub mod record;
+pub mod sink;
+pub mod span;
+pub mod summary;
+
+pub use metrics::{Counter, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use record::{CounterRecord, EventRecord, HistogramRecord, Record, RunManifest, SpanRecord};
+pub use sink::Sink;
+pub use span::SpanGuard;
+pub use summary::{SpanAgg, Summary};
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// The process-global telemetry registry: spans, metrics, and the sink.
+pub struct Telemetry {
+    manifest: RunManifest,
+    epoch: Instant,
+    sink: Sink,
+    next_span: AtomicU64,
+    next_seq: AtomicU64,
+    /// Nanoseconds spent on telemetry bookkeeping (span finishing, sink
+    /// writes) — the numerator of `telemetry_overhead_pct`.
+    overhead_ns: AtomicU64,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    span_aggs: Mutex<BTreeMap<String, SpanAgg>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("manifest", &self.manifest)
+            .field(
+                "spans",
+                &self.next_span.load(Ordering::Relaxed).saturating_sub(1),
+            )
+            .field("records", &self.next_seq.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    fn with_sink(manifest: RunManifest, sink: Sink) -> Self {
+        let telemetry = Self {
+            manifest,
+            epoch: Instant::now(),
+            sink,
+            next_span: AtomicU64::new(1),
+            next_seq: AtomicU64::new(0),
+            overhead_ns: AtomicU64::new(0),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            span_aggs: Mutex::new(BTreeMap::new()),
+        };
+        telemetry
+            .sink
+            .write(&Record::Manifest(telemetry.manifest.clone()));
+        telemetry
+    }
+
+    /// A registry collecting records in memory (tests, summaries).
+    pub fn to_memory(manifest: RunManifest) -> Self {
+        Self::with_sink(manifest, Sink::Memory(Mutex::new(Vec::new())))
+    }
+
+    /// A registry dropping every record (overhead probes).
+    pub fn to_null(manifest: RunManifest) -> Self {
+        Self::with_sink(manifest, Sink::Null)
+    }
+
+    /// A registry streaming JSONL to `path` (parents created, file
+    /// truncated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-open failures.
+    pub fn to_jsonl(manifest: RunManifest, path: &Path) -> std::io::Result<Self> {
+        Ok(Self::with_sink(manifest, Sink::jsonl(path)?))
+    }
+
+    /// The run manifest this registry was built with.
+    pub fn manifest(&self) -> &RunManifest {
+        &self.manifest
+    }
+
+    /// Microseconds since the registry was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    pub(crate) fn next_span_id(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.next_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn note_overhead(&self, since: Instant) {
+        self.overhead_ns
+            .fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Total microseconds charged to telemetry bookkeeping so far.
+    pub fn overhead_us(&self) -> u64 {
+        self.overhead_ns.load(Ordering::Relaxed) / 1_000
+    }
+
+    /// The handle of counter `name`, created at zero on first use. Hot
+    /// loops should look the handle up once and [`Counter::add`] lock-free.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(self.counters.lock().entry(name.to_string()).or_default())
+    }
+
+    /// Adds `delta` to counter `name` (registry-lock lookup per call; use
+    /// [`Telemetry::counter`] handles in loops).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// The current value of counter `name` (zero when never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).map_or(0, |c| c.get())
+    }
+
+    /// The handle of histogram `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(self.histograms.lock().entry(name.to_string()).or_default())
+    }
+
+    /// Records one sample into histogram `name`.
+    pub fn histogram_record(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Emits a point-in-time event.
+    pub fn event(&self, name: &str, fields: &[(&str, &str)]) {
+        let t0 = Instant::now();
+        let record = Record::Event(EventRecord {
+            name: name.to_string(),
+            thread: span::thread_id(),
+            seq: self.next_seq(),
+            at_us: self.now_us(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        });
+        self.sink.write(&record);
+        self.note_overhead(t0);
+    }
+
+    /// Completes a span: stamps the sequence number, folds the timing into
+    /// the per-name aggregate, writes the record. Called by
+    /// [`SpanGuard`]'s drop; `bookkeeping` is when the drop started doing
+    /// telemetry work (for the overhead clock).
+    pub(crate) fn finish_span(&self, mut record: SpanRecord, bookkeeping: Instant) {
+        record.seq = self.next_seq();
+        {
+            let mut aggs = self.span_aggs.lock();
+            let agg = aggs.entry(record.name.clone()).or_default();
+            agg.count += 1;
+            agg.total_us += record.dur_us;
+            agg.self_us += record.self_us;
+        }
+        self.sink.write(&Record::Span(record));
+        self.note_overhead(bookkeeping);
+    }
+
+    /// Writes the end-of-run counter and histogram records and flushes the
+    /// sink. Call once after the instrumented run quiesces.
+    pub fn flush_metrics(&self) {
+        for (name, counter) in self.counters.lock().iter() {
+            self.sink.write(&Record::Counter(counter.record(name)));
+        }
+        for (name, histogram) in self.histograms.lock().iter() {
+            self.sink
+                .write(&Record::Histogram(histogram.snapshot().record(name)));
+        }
+        self.sink.flush();
+    }
+
+    /// The aggregate view: per-span-name totals (sorted by self time,
+    /// descending) and counter values.
+    pub fn summary(&self) -> Summary {
+        let mut spans: Vec<(String, SpanAgg)> = self
+            .span_aggs
+            .lock()
+            .iter()
+            .map(|(name, agg)| (name.clone(), *agg))
+            .collect();
+        spans.sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us).then_with(|| a.0.cmp(&b.0)));
+        let counters = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(name, counter)| (name.clone(), counter.get()))
+            .collect();
+        Summary { spans, counters }
+    }
+
+    /// The records collected so far (memory sink only; empty otherwise).
+    pub fn records(&self) -> Vec<Record> {
+        self.sink.records()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global install
+// ---------------------------------------------------------------------------
+
+/// Fast gate: one relaxed load decides whether any telemetry code runs.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CURRENT: RwLock<Option<Arc<Telemetry>>> = RwLock::new(None);
+
+/// Installs `telemetry` as the process-global registry and enables the
+/// fast gate. Replaces any previous registry.
+pub fn install(telemetry: Arc<Telemetry>) {
+    let mut current = CURRENT
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *current = Some(telemetry);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disables the fast gate and removes the global registry, returning it
+/// for final flushing/inspection. `None` when nothing was installed.
+pub fn uninstall() -> Option<Arc<Telemetry>> {
+    ENABLED.store(false, Ordering::Release);
+    CURRENT
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+}
+
+/// `true` while a registry is installed — one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Runs `f` against the installed registry, or returns `None` without
+/// taking any lock when telemetry is off.
+pub fn with<R>(f: impl FnOnce(&Telemetry) -> R) -> Option<R> {
+    if !enabled() {
+        return None;
+    }
+    let current = CURRENT
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    current.as_ref().map(|telemetry| f(telemetry))
+}
+
+/// Opens a span named `name` on the calling thread (inert guard when
+/// telemetry is off).
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    let current = CURRENT
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match current.as_ref() {
+        Some(telemetry) => SpanGuard::start(Arc::clone(telemetry), name),
+        None => SpanGuard::disabled(),
+    }
+}
+
+/// Emits a point-in-time event (no-op when telemetry is off).
+pub fn event(name: &str, fields: &[(&str, &str)]) {
+    if !enabled() {
+        return;
+    }
+    with(|telemetry| telemetry.event(name, fields));
+}
+
+/// Adds `delta` to the named counter (no-op when telemetry is off).
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with(|telemetry| telemetry.counter_add(name, delta));
+}
+
+/// Records one sample into the named histogram (no-op when telemetry is
+/// off).
+pub fn histogram_record(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with(|telemetry| telemetry.histogram_record(name, value));
+}
+
+// ---------------------------------------------------------------------------
+// Serialized terminal output
+// ---------------------------------------------------------------------------
+
+static PRINT: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// The process-wide single-writer lock for terminal output. Concurrent
+/// experiment jobs hold this across their stdout/stderr writes so lines
+/// from different experiments never interleave mid-block. Always available
+/// — serialized output is wanted with telemetry on *or* off.
+pub fn print_lock() -> std::sync::MutexGuard<'static, ()> {
+    PRINT
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Reports a progress message: emitted as a `progress` telemetry event
+/// (fields `label`, `message`) when a registry is installed. The caller's
+/// terminal sink should write under [`print_lock`] — see
+/// `Session::report` in ect-core, the thin view that keeps the historical
+/// `stderr_progress` behaviour on top of this layer.
+pub fn progress(label: &str, message: &str) {
+    event("progress", &[("label", label), ("message", message)]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Global-install tests share the process-wide registry; serialise
+    /// them so parallel test threads never observe each other's installs.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_telemetry_is_inert() {
+        let _gate = serial();
+        uninstall(); // clean slate whatever an earlier test left installed
+        assert!(!enabled());
+        let guard = span("off.span");
+        assert!(!guard.is_recording());
+        drop(guard);
+        event("off.event", &[("k", "v")]);
+        counter_add("off.counter", 5);
+        histogram_record("off.hist", 5);
+        assert_eq!(with(|_| ()).map(|()| true), None);
+    }
+
+    #[test]
+    fn spans_nest_and_report_self_time() {
+        let _gate = serial();
+        let telemetry = Arc::new(Telemetry::to_memory(RunManifest::default()));
+        install(Arc::clone(&telemetry));
+        {
+            let _outer = span("outer").field("who", "test");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let _inner = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(4));
+            }
+        }
+        uninstall();
+
+        let records = telemetry.records();
+        assert!(matches!(records[0], Record::Manifest(_)));
+        let spans: Vec<&SpanRecord> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // Inner closes first; outer parents it.
+        let (inner, outer) = (spans[0], spans[1]);
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(outer.fields, vec![("who".to_string(), "test".to_string())]);
+        assert!(outer.dur_us >= inner.dur_us);
+        assert!(
+            outer.self_us <= outer.dur_us - inner.dur_us,
+            "self time must exclude the child ({} vs {} - {})",
+            outer.self_us,
+            outer.dur_us,
+            inner.dur_us
+        );
+        assert!(inner.seq < outer.seq, "closing order is the seq order");
+
+        let summary = telemetry.summary();
+        assert_eq!(summary.spans.len(), 2);
+        let outer_agg = summary
+            .spans
+            .iter()
+            .find(|(name, _)| name == "outer")
+            .unwrap();
+        assert_eq!(outer_agg.1.count, 1);
+    }
+
+    #[test]
+    fn counters_histograms_and_flush_land_in_the_sink() {
+        let _gate = serial();
+        let telemetry = Arc::new(Telemetry::to_memory(RunManifest::default()));
+        install(Arc::clone(&telemetry));
+        counter_add("demo.jobs", 3);
+        counter_add("demo.jobs", 4);
+        histogram_record("demo.latency", 100);
+        progress("unit", "halfway there");
+        uninstall();
+        telemetry.flush_metrics();
+
+        assert_eq!(telemetry.counter_value("demo.jobs"), 7);
+        assert_eq!(telemetry.counter_value("untouched"), 0);
+        let records = telemetry.records();
+        assert!(records.iter().any(|r| matches!(
+            r,
+            Record::Counter(c) if c.name == "demo.jobs" && c.value == 7
+        )));
+        assert!(records.iter().any(|r| matches!(
+            r,
+            Record::Histogram(h) if h.name == "demo.latency" && h.count == 1
+        )));
+        assert!(records.iter().any(|r| matches!(
+            r,
+            Record::Event(e) if e.name == "progress"
+                && e.fields.contains(&("message".to_string(), "halfway there".to_string()))
+        )));
+        assert!(telemetry
+            .summary()
+            .counters
+            .contains(&("demo.jobs".to_string(), 7)));
+    }
+
+    #[test]
+    fn spans_on_parallel_threads_stay_independent() {
+        let _gate = serial();
+        let telemetry = Arc::new(Telemetry::to_memory(RunManifest::default()));
+        install(Arc::clone(&telemetry));
+        std::thread::scope(|scope| {
+            for n in 0..4 {
+                scope.spawn(move || {
+                    let _span = span("worker").field("n", n.to_string());
+                });
+            }
+        });
+        uninstall();
+        let spans: Vec<SpanRecord> = telemetry
+            .records()
+            .into_iter()
+            .filter_map(|r| match r {
+                Record::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 4);
+        for span in &spans {
+            assert_eq!(span.parent, 0, "cross-thread spans must not parent");
+        }
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "span ids are unique");
+    }
+}

@@ -1,0 +1,307 @@
+//! Atomic counters and fixed-bucket histograms.
+//!
+//! Both types are lock-free on the record path (relaxed atomic adds) and
+//! live behind `Arc` handles in the [`Telemetry`](crate::Telemetry)
+//! registry, so hot loops can look a handle up once and add without ever
+//! touching the registry lock. Histograms use a fixed power-of-two bucket
+//! grid: bucket `i ≥ 1` holds values with bit length `i`
+//! (`2^(i-1) ≤ v < 2^i`), bucket `0` holds zero, and the last bucket is
+//! open-ended — merging two histograms is an element-wise add, so merge is
+//! associative and commutative by construction (pinned by the proptests
+//! below).
+
+use crate::record::{CounterRecord, HistogramRecord};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` (relaxed; counters are aggregates, not synchronisation).
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// The counter as its end-of-run record.
+    pub fn record(&self, name: &str) -> CounterRecord {
+        CounterRecord {
+            name: name.to_string(),
+            value: self.get(),
+        }
+    }
+}
+
+/// Number of histogram buckets: zero + one per bit length, last open-ended.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-bucket power-of-two histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    total: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index of `value`: `0` for zero, otherwise the bit length
+    /// clamped into the open-ended last bucket.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive `(lower, upper)` value bounds of bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < HISTOGRAM_BUCKETS, "bucket index out of range");
+        if index == 0 {
+            (0, 0)
+        } else if index == HISTOGRAM_BUCKETS - 1 {
+            (1 << (index - 1), u64::MAX)
+        } else {
+            (1 << (index - 1), (1 << index) - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(value, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds another histogram into this one (element-wise add).
+    pub fn merge_from(&self, other: &Histogram) {
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.total
+            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough point-in-time snapshot (relaxed loads; exact
+    /// once writers have quiesced, which is when snapshots are taken).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total: self.total.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A plain-data snapshot of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub total: u64,
+    /// Per-bucket sample counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            total: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The element-wise sum of two snapshots.
+    #[must_use]
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = *self;
+        out.count += other.count;
+        out.total += other.total;
+        for (mine, theirs) in out.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        out
+    }
+
+    /// The snapshot as its end-of-run record (sparse non-empty buckets).
+    pub fn record(&self, name: &str) -> HistogramRecord {
+        HistogramRecord {
+            name: name.to_string(),
+            count: self.count,
+            total: self.total,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &count)| count > 0)
+                .map(|(index, &count)| (Histogram::bucket_bounds(index).1, count))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counters_accumulate_atomically_across_threads() {
+        let counter = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        counter.add(2);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 8_000);
+        assert_eq!(counter.record("jobs").value, 8_000);
+        assert_eq!(counter.record("jobs").name, "jobs");
+    }
+
+    #[test]
+    fn histogram_buckets_partition_the_u64_range() {
+        // Bucket bounds tile the axis: each upper bound + 1 is the next
+        // lower bound, starting at zero and ending open.
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(2), (2, 3));
+        assert_eq!(Histogram::bucket_bounds(3), (4, 7));
+        for index in 0..HISTOGRAM_BUCKETS - 1 {
+            let (_, upper) = Histogram::bucket_bounds(index);
+            let (next_lower, _) = Histogram::bucket_bounds(index + 1);
+            assert_eq!(upper + 1, next_lower, "bucket {index}");
+        }
+        assert_eq!(Histogram::bucket_bounds(HISTOGRAM_BUCKETS - 1).1, u64::MAX);
+        // The range strategy below never draws u64::MAX itself; pin the
+        // open-ended top bucket explicitly.
+        let top = Histogram::bucket_index(u64::MAX);
+        let (lower, upper) = Histogram::bucket_bounds(top);
+        assert_eq!(top, HISTOGRAM_BUCKETS - 1);
+        assert_eq!(lower, 1 << (HISTOGRAM_BUCKETS - 2));
+        assert_eq!(upper, u64::MAX);
+    }
+
+    #[test]
+    fn snapshots_render_sparse_records() {
+        let hist = Histogram::new();
+        hist.record(0);
+        hist.record(5);
+        hist.record(5);
+        let record = hist.snapshot().record("latency_us");
+        assert_eq!(record.count, 3);
+        assert_eq!(record.total, 10);
+        assert_eq!(record.buckets, vec![(0, 1), (7, 2)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Satellite contract: every value lands in a bucket whose bounds
+        /// contain it.
+        #[test]
+        fn bucket_bounds_contain_their_values(value in 0u64..u64::MAX) {
+            let index = Histogram::bucket_index(value);
+            let (lower, upper) = Histogram::bucket_bounds(index);
+            prop_assert!(lower <= value && value <= upper,
+                "{value} outside bucket {index} = [{lower}, {upper}]");
+        }
+
+        /// Satellite contract: merge is associative (and agrees with
+        /// recording the concatenated sample streams).
+        #[test]
+        fn merge_is_associative_and_matches_recording(
+            a in proptest::collection::vec(0u64..1_000_000, 0..32),
+            b in proptest::collection::vec(0u64..1_000_000, 0..32),
+            c in proptest::collection::vec(0u64..1_000_000, 0..32),
+        ) {
+            let hist_of = |samples: &[u64]| {
+                let h = Histogram::new();
+                for &s in samples {
+                    h.record(s);
+                }
+                h.snapshot()
+            };
+            let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+            let left = ha.merged(&hb).merged(&hc);
+            let right = ha.merged(&hb.merged(&hc));
+            prop_assert_eq!(left, right, "merge must be associative");
+
+            let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+            prop_assert_eq!(left, hist_of(&all), "merge must equal one recording pass");
+
+            // The atomic merge path agrees with the snapshot-level one.
+            let target = Histogram::new();
+            for &s in &a { target.record(s); }
+            let other = Histogram::new();
+            for &s in b.iter().chain(&c) { other.record(s); }
+            target.merge_from(&other);
+            prop_assert_eq!(target.snapshot(), left);
+        }
+
+        /// Satellite contract: a counter is a plain sum — order and
+        /// thread-partitioning of the deltas never change the total.
+        #[test]
+        fn counter_totals_are_partition_invariant(
+            deltas in proptest::collection::vec(0u64..1_000_000, 0..64),
+            split in 0usize..64,
+        ) {
+            let split = split.min(deltas.len());
+            let sequential = Counter::new();
+            for &d in &deltas {
+                sequential.add(d);
+            }
+            let (front, back) = deltas.split_at(split);
+            let partitioned = Counter::new();
+            std::thread::scope(|scope| {
+                scope.spawn(|| for &d in front { partitioned.add(d); });
+                scope.spawn(|| for &d in back { partitioned.add(d); });
+            });
+            let expected: u64 = deltas.iter().sum();
+            prop_assert_eq!(sequential.get(), expected);
+            prop_assert_eq!(partitioned.get(), expected);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Telemetry sinks: where emitted [`Record`]s go.
+//!
+//! The JSONL sink is a single buffered writer behind one mutex — every
+//! record is serialised *outside* the lock and appended as one line inside
+//! it, so concurrent emitters never interleave partial lines (the
+//! single-writer contract the progress-serialisation satellite relies on).
+
+use crate::record::Record;
+use parking_lot::Mutex;
+use std::io::Write;
+use std::path::Path;
+
+/// A destination for telemetry records.
+#[derive(Debug)]
+pub enum Sink {
+    /// Drop everything (used by overhead probes).
+    Null,
+    /// Collect records in memory (tests and summaries).
+    Memory(Mutex<Vec<Record>>),
+    /// Append one JSON line per record to a buffered file writer.
+    Jsonl(Mutex<std::io::BufWriter<std::fs::File>>),
+}
+
+impl Sink {
+    /// A sink appending JSONL to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-open failures.
+    pub fn jsonl(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(Sink::Jsonl(Mutex::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Writes one record (best-effort for the file sink: telemetry must
+    /// never turn into an error).
+    pub fn write(&self, record: &Record) {
+        match self {
+            Sink::Null => {}
+            Sink::Memory(records) => records.lock().push(record.clone()),
+            Sink::Jsonl(writer) => {
+                let Ok(mut line) = serde_json::to_string(record) else {
+                    return;
+                };
+                line.push('\n');
+                let _ = writer.lock().write_all(line.as_bytes());
+            }
+        }
+    }
+
+    /// Flushes buffered output (no-op for null/memory sinks).
+    pub fn flush(&self) {
+        if let Sink::Jsonl(writer) = self {
+            let _ = writer.lock().flush();
+        }
+    }
+
+    /// The records collected so far (`Memory` sink only; empty otherwise).
+    pub fn records(&self) -> Vec<Record> {
+        match self {
+            Sink::Memory(records) => records.lock().clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CounterRecord;
+
+    fn counter(name: &str, value: u64) -> Record {
+        Record::Counter(CounterRecord {
+            name: name.into(),
+            value,
+        })
+    }
+
+    #[test]
+    fn memory_sink_collects_and_null_sink_drops() {
+        let memory = Sink::Memory(Mutex::new(Vec::new()));
+        memory.write(&counter("a", 1));
+        memory.write(&counter("b", 2));
+        memory.flush();
+        assert_eq!(memory.records().len(), 2);
+
+        let null = Sink::Null;
+        null.write(&counter("a", 1));
+        assert!(null.records().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_parsable_line_per_record() {
+        let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        path.pop();
+        path.pop();
+        path.push("target");
+        path.push("obs-tests");
+        path.push(format!("sink-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let sink = Sink::jsonl(&path).unwrap();
+        for n in 0..5 {
+            sink.write(&counter("n", n));
+        }
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for (n, line) in lines.iter().enumerate() {
+            let back: Record = serde_json::from_str(line).unwrap();
+            assert_eq!(back, counter("n", n as u64));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

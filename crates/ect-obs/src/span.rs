@@ -1,0 +1,147 @@
+//! RAII span guards with a thread-local span stack.
+//!
+//! Each thread keeps a stack of the spans currently open on it; a new span
+//! parents to the stack top, and on drop a span subtracts its duration
+//! from its own accumulated child time to report **self time** (time not
+//! covered by nested spans). The stack is thread-local, so span entry/exit
+//! takes no locks at all — the only synchronised step is handing the
+//! finished record to the sink.
+
+use crate::record::SpanRecord;
+use crate::Telemetry;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One open span on this thread's stack.
+struct Frame {
+    id: u64,
+    /// Microseconds spent in already-closed child spans.
+    child_us: u64,
+}
+
+/// The small per-process id of the calling thread (1-based, assigned on
+/// first use).
+pub(crate) fn thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// An open span, closed (and emitted) on drop.
+///
+/// Obtained from [`fn@crate::span`]; when telemetry is off the guard is inert
+/// — construction and drop are a no-op beyond one atomic load.
+#[must_use = "a span measures the scope holding its guard"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    telemetry: Arc<Telemetry>,
+    name: String,
+    id: u64,
+    parent: u64,
+    start: Instant,
+    start_us: u64,
+    fields: Vec<(String, String)>,
+}
+
+impl SpanGuard {
+    /// The inert guard handed out while telemetry is off.
+    pub(crate) fn disabled() -> Self {
+        Self { active: None }
+    }
+
+    /// Opens a span on the calling thread's stack.
+    pub(crate) fn start(telemetry: Arc<Telemetry>, name: &str) -> Self {
+        let id = telemetry.next_span_id();
+        let start_us = telemetry.now_us();
+        let parent = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().map_or(0, |frame| frame.id);
+            stack.push(Frame { id, child_us: 0 });
+            parent
+        });
+        Self {
+            active: Some(ActiveSpan {
+                telemetry,
+                name: name.to_string(),
+                id,
+                parent,
+                start: Instant::now(),
+                start_us,
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Annotates the span with a `key=value` field (no-op when inert).
+    pub fn field(mut self, key: &str, value: impl Into<String>) -> Self {
+        if let Some(active) = &mut self.active {
+            active.fields.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    /// Annotates the span with a lazily computed field: `value` only runs
+    /// when the span is recording, so hot paths pay nothing for the
+    /// formatting while telemetry is off.
+    pub fn field_with(mut self, key: &str, value: impl FnOnce() -> String) -> Self {
+        if let Some(active) = &mut self.active {
+            active.fields.push((key.to_string(), value()));
+        }
+        self
+    }
+
+    /// `true` when the guard is actually recording (telemetry was on at
+    /// span entry).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let dur_us = active.start.elapsed().as_micros() as u64;
+        // Everything from here on is telemetry bookkeeping, charged to the
+        // registry's overhead clock.
+        let bookkeeping = Instant::now();
+        let child_us = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Normally we are the stack top; a guard moved out of scope
+            // order is found by id and unlinked from wherever it sits.
+            match stack.iter().rposition(|frame| frame.id == active.id) {
+                Some(position) => {
+                    let frame = stack.remove(position);
+                    if position > 0 {
+                        stack[position - 1].child_us += dur_us;
+                    }
+                    frame.child_us
+                }
+                None => 0,
+            }
+        });
+        let record = SpanRecord {
+            name: active.name,
+            id: active.id,
+            parent: active.parent,
+            thread: thread_id(),
+            seq: 0, // assigned by the registry at emission
+            start_us: active.start_us,
+            dur_us,
+            self_us: dur_us.saturating_sub(child_us),
+            fields: active.fields,
+        };
+        active.telemetry.finish_span(record, bookkeeping);
+    }
+}

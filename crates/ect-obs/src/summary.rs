@@ -1,0 +1,91 @@
+//! End-of-run aggregation: per-span-name totals and the printed table.
+
+/// Aggregated timings of one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Completed spans under this name.
+    pub count: u64,
+    /// Sum of wall durations, microseconds.
+    pub total_us: u64,
+    /// Sum of self times (duration minus child spans), microseconds.
+    pub self_us: u64,
+}
+
+/// The end-of-run aggregate view of a telemetry registry.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Per-span-name aggregates, sorted by self time, descending.
+    pub spans: Vec<(String, SpanAgg)>,
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Summary {
+    /// The top `n` spans by self time.
+    pub fn top_spans(&self, n: usize) -> &[(String, SpanAgg)] {
+        &self.spans[..n.min(self.spans.len())]
+    }
+
+    /// Renders the summary as the table `run_all` prints: top spans by
+    /// self time plus the counter block.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::from("telemetry summary (top spans by self time):\n");
+        out.push_str(&format!(
+            "  {:<28} {:>7} {:>12} {:>12}\n",
+            "span", "count", "total_ms", "self_ms"
+        ));
+        for (name, agg) in self.top_spans(top) {
+            out.push_str(&format!(
+                "  {:<28} {:>7} {:>12.1} {:>12.1}\n",
+                name,
+                agg.count,
+                agg.total_us as f64 / 1e3,
+                agg.self_us as f64 / 1e3
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<28} {value:>7}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_render_top_spans_and_counters() {
+        let summary = Summary {
+            spans: vec![
+                (
+                    "ppo.update".into(),
+                    SpanAgg {
+                        count: 8,
+                        total_us: 9_000,
+                        self_us: 9_000,
+                    },
+                ),
+                (
+                    "run_dag.job".into(),
+                    SpanAgg {
+                        count: 3,
+                        total_us: 14_000,
+                        self_us: 5_000,
+                    },
+                ),
+            ],
+            counters: vec![("dispatch.steals".into(), 4)],
+        };
+        assert_eq!(summary.top_spans(1).len(), 1);
+        assert_eq!(summary.top_spans(10).len(), 2);
+        let table = summary.render(5);
+        assert!(table.contains("ppo.update"));
+        assert!(table.contains("run_dag.job"));
+        assert!(table.contains("dispatch.steals"));
+        assert!(table.contains("9.0"), "{table}");
+    }
+}
