@@ -1,0 +1,10 @@
+//! Networks the hub fleet: coupling-aware shared policy vs coupling-blind
+//! per-hub policies under a binding shared feeder.
+//!
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its two-arm scorecard and writes
+//! `results/coordination.json` exactly as `run_all` does.
+fn main() -> ect_types::Result<()> {
+    ect_bench::registry::run_single("coordination")
+}

@@ -1,6 +1,7 @@
 //! One module per paper table/figure, plus shared pricing artifacts.
 
 pub mod ablations;
+pub mod coordination;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;

@@ -11,11 +11,12 @@
 
 use crate::cli::BenchArgs;
 use crate::experiments::{
-    ablations::AblationsExperiment, fig01::Fig01Experiment, fig02::Fig02Experiment,
-    fig03::Fig03Experiment, fig04::Fig04Experiment, fig05::Fig05Experiment, fig11::Fig11Experiment,
-    fig12::Fig12Experiment, fleet::FleetExperiment, generalization::GeneralizationExperiment,
-    scenario_sweep::ScenarioSweepExperiment, severity_sweep::SeveritySweepExperiment,
-    table2::Table2Experiment, throughput::ThroughputExperiment,
+    ablations::AblationsExperiment, coordination::CoordinationExperiment, fig01::Fig01Experiment,
+    fig02::Fig02Experiment, fig03::Fig03Experiment, fig04::Fig04Experiment, fig05::Fig05Experiment,
+    fig11::Fig11Experiment, fig12::Fig12Experiment, fleet::FleetExperiment,
+    generalization::GeneralizationExperiment, scenario_sweep::ScenarioSweepExperiment,
+    severity_sweep::SeveritySweepExperiment, table2::Table2Experiment,
+    throughput::ThroughputExperiment,
 };
 use crate::output::{upsert_bench_summary, BenchSummaryEntry};
 use ect_core::experiment::{run_timed, Experiment, ExperimentOutput};
@@ -59,6 +60,7 @@ impl ExperimentRegistry {
         registry.register(Box::new(GeneralizationExperiment));
         registry.register(Box::new(SeveritySweepExperiment));
         registry.register(Box::new(ThroughputExperiment));
+        registry.register(Box::new(CoordinationExperiment));
         registry
     }
 
@@ -287,6 +289,7 @@ pub const EXPENSIVE_KINDS: &[&str] = &[
     "severity",
     "pricing-table",
     "pricing-model",
+    "coordination",
 ];
 
 /// Prints the per-kind memory/disk/build breakdown of the session's
@@ -468,7 +471,7 @@ mod tests {
     #[test]
     fn standard_registry_has_unique_ids_and_artifact_stems() {
         let registry = ExperimentRegistry::standard();
-        assert_eq!(registry.len(), 14);
+        assert_eq!(registry.len(), 15);
         assert!(!registry.is_empty());
 
         let ids = registry.ids();
@@ -519,6 +522,7 @@ mod tests {
                 "generalization",
                 "severity_sweep",
                 "throughput",
+                "coordination",
             ]
         );
     }
@@ -617,6 +621,7 @@ mod tests {
             "generalist",
             "severity",
             "pricing-model",
+            "coordination",
         ] {
             assert!(EXPENSIVE_KINDS.contains(&kind), "{kind}");
         }

@@ -49,6 +49,7 @@
 
 pub mod artifact;
 pub mod cache;
+pub mod coordination;
 pub mod dispatch;
 pub mod experiment;
 pub mod generalist;
@@ -62,6 +63,9 @@ pub mod system;
 
 pub use artifact::{ArtifactKey, ArtifactStore, KindStats};
 pub use cache::{CacheProvenance, DiskCache, CACHE_FORMAT_VERSION};
+pub use coordination::{
+    run_coordination, CoordinationArm, CoordinationOptions, CoordinationOutcome,
+};
 pub use dispatch::{run_dag, run_indexed};
 pub use experiment::{run_timed, Experiment, ExperimentOutput};
 #[allow(deprecated)]
@@ -95,6 +99,9 @@ pub use system::{EctHubSystem, PricingMethod, SystemConfig};
 pub mod prelude {
     pub use crate::artifact::{ArtifactKey, ArtifactStore, KindStats};
     pub use crate::cache::{CacheProvenance, DiskCache};
+    pub use crate::coordination::{
+        run_coordination, CoordinationArm, CoordinationOptions, CoordinationOutcome,
+    };
     pub use crate::experiment::{run_timed, Experiment, ExperimentOutput};
     #[allow(deprecated)]
     pub use crate::generalist::run_generalist;
@@ -134,6 +141,7 @@ pub mod prelude {
         scenario_by_name, scenario_library, ScenarioModifier, ScenarioSpec, Signal, SlotWindow,
         SCENARIO_NAMES,
     };
+    pub use ect_data::topology::HubTopology;
     pub use ect_drl::generalist::{
         train_holdout_split, ScenarioMixture, HELDOUT_SCENARIOS, TRAIN_SCENARIOS,
     };
@@ -141,6 +149,7 @@ pub mod prelude {
     pub use ect_drl::scenario_source::{ScenarioSource, WorldCache};
     pub use ect_drl::trainer::TrainerConfig;
     pub use ect_env::battery::BpAction;
+    pub use ect_env::coupling::{CouplingConfig, FeederConfig, SpilloverConfig, MUTUAL_OBS_DIM};
     pub use ect_env::env::{HubEnv, ObsAugmentation};
     pub use ect_env::hub::HubConfig;
     pub use ect_env::tariff::DiscountSchedule;

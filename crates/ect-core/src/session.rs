@@ -44,6 +44,7 @@
 
 use crate::artifact::{ArtifactKey, ArtifactStore};
 use crate::cache::{CacheProvenance, DiskCache};
+use crate::coordination::{coordination_impl, CoordinationOptions, CoordinationOutcome};
 use crate::generalist::{
     heldout_baselines, run_generalist_against, GeneralistOptions, GeneralistOutcome,
     HeldOutBaseline,
@@ -84,6 +85,9 @@ pub mod kind_versions {
     pub const SEVERITY: u32 = 2;
     /// `pricing-table` — Table II pricing-engine training.
     pub const PRICING_TABLE: u32 = 1;
+    /// `coordination` — networked multi-hub coordination study (trains the
+    /// coordinated and independent arms under the coupling layer).
+    pub const COORDINATION: u32 = 1;
 }
 
 /// Budget preset of an experiment run.
@@ -512,6 +516,44 @@ impl Session {
         options: &SeverityOptions,
     ) -> ect_types::Result<Arc<SeverityOutcome>> {
         self.severity_for(&self.config, options)
+    }
+
+    /// The coordination study of `(configuration, options)`, memoised: the
+    /// coupling-aware shared policy and the coupling-blind per-hub
+    /// policies are trained once per distinct pair, their joint scorecards
+    /// served from the store afterwards. Spills to the persistent cache
+    /// when one is attached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates option validation, training and evaluation failures.
+    pub fn coordination_for(
+        &self,
+        config: &SystemConfig,
+        options: &CoordinationOptions,
+    ) -> ect_types::Result<Arc<CoordinationOutcome>> {
+        let key = ArtifactKey::versioned(
+            "coordination",
+            kind_versions::COORDINATION,
+            &(config, options),
+        );
+        self.announce_build(&key, "training coordinated vs independent hub policies …");
+        let system = self.system_for(config)?;
+        self.store
+            .get_or_insert_cached(key, || coordination_impl(&system, options))
+    }
+
+    /// The coordination study of the session's base configuration,
+    /// memoised.
+    ///
+    /// # Errors
+    ///
+    /// Propagates option validation, training and evaluation failures.
+    pub fn coordination(
+        &self,
+        options: &CoordinationOptions,
+    ) -> ect_types::Result<Arc<CoordinationOutcome>> {
+        self.coordination_for(&self.config, options)
     }
 
     /// The Table II pricing table of `(configuration, discount levels)`,

@@ -63,6 +63,7 @@ pub mod rtp;
 pub mod scenario;
 pub mod sessions;
 pub mod spatial;
+pub mod topology;
 pub mod traffic;
 pub mod weather;
 
@@ -79,5 +80,6 @@ pub use scenario::{
     SlotWindow, SCENARIO_NAMES,
 };
 pub use sessions::{SessionConfig, SessionSimulator, SessionStats, SlotOccupancy};
+pub use topology::HubTopology;
 pub use traffic::{pearson_correlation, TrafficConfig, TrafficGenerator, TrafficSample};
 pub use weather::{WeatherConfig, WeatherGenerator, WeatherSample};

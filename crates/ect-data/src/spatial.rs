@@ -224,20 +224,23 @@ impl Region {
 
     /// Distance from a point to the nearest road, km.
     ///
-    /// # Panics
-    ///
-    /// Panics if the region has no roads.
+    /// A region without roads has no road near any point, so the distance
+    /// is `f64::INFINITY` — degenerate inputs degrade instead of panicking.
     pub fn distance_to_nearest_road(&self, p: Point) -> f64 {
         self.roads
             .iter()
             .map(|r| r.distance_to(p))
             .min_by(f64::total_cmp)
-            .expect("region without roads")
+            .unwrap_or(f64::INFINITY)
     }
 
     /// Fraction of base stations within `d_km` of a road — the paper's
-    /// "high degree of coincidence" claim, quantified.
+    /// "high degree of coincidence" claim, quantified. Zero when the region
+    /// has no base stations (or no roads), never `NaN`.
     pub fn bs_road_coincidence(&self, d_km: f64) -> f64 {
+        if self.base_stations.is_empty() {
+            return 0.0;
+        }
         let near = self
             .base_stations
             .iter()
@@ -291,6 +294,33 @@ mod tests {
     fn region(seed: u64) -> Region {
         let mut rng = EctRng::seed_from(seed);
         Region::generate(&RegionConfig::default(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn degenerate_regions_degrade_instead_of_panicking() {
+        // No roads: every point is infinitely far from one, coincidence and
+        // coverage collapse to zero, and nothing divides by zero.
+        let empty = Region {
+            roads: Vec::new(),
+            base_stations: vec![(1.0, 1.0)],
+            size_km: 10.0,
+        };
+        assert_eq!(empty.distance_to_nearest_road((5.0, 5.0)), f64::INFINITY);
+        assert_eq!(empty.bs_road_coincidence(0.5), 0.0);
+        assert_eq!(empty.road_bs_coverage(0.5, 4), 0.0);
+        assert_eq!(empty.total_road_length(), 0.0);
+        // No base stations: coincidence is zero, not NaN.
+        let unpopulated = Region {
+            roads: vec![RoadSegment {
+                a: (0.0, 0.0),
+                b: (10.0, 0.0),
+                kind: RoadKind::Highway,
+            }],
+            base_stations: Vec::new(),
+            size_km: 10.0,
+        };
+        assert_eq!(unpopulated.bs_road_coincidence(0.5), 0.0);
+        assert_eq!(unpopulated.road_bs_coverage(0.5, 4), 0.0);
     }
 
     #[test]

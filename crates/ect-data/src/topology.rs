@@ -1,0 +1,336 @@
+//! Hub adjacency derived from the region geography.
+//!
+//! The coupling layer (shared feeder bids, EV demand spillover, mutual
+//! observations) needs to know which hubs are *neighbours*. This module
+//! derives that adjacency from the same synthetic road/base-station
+//! geography the `fig01_spatial` experiment draws: hubs are sited on
+//! evenly-spaced base stations of a [`Region`] and linked to their `k`
+//! nearest siblings, with the union symmetrisation making every edge
+//! bidirectional. A [`HubTopology`] is pure data — sorted neighbour lists —
+//! so every consumer iterates it in the same deterministic order.
+
+use crate::spatial::{Point, Region};
+use serde::{Deserialize, Serialize};
+
+/// Symmetric hub adjacency: `neighbours[h]` lists the hubs coupled to `h`,
+/// sorted ascending and never containing `h` itself.
+///
+/// A single-hub fleet is a *valid* degenerate topology (its one neighbour
+/// list is empty), so coupling-enabled code never needs a special case for
+/// `n == 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HubTopology {
+    neighbours: Vec<Vec<usize>>,
+}
+
+impl HubTopology {
+    /// A topology with `num_hubs` hubs and no edges at all — the neutral
+    /// element every coupling feature degrades to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for zero hubs.
+    pub fn disconnected(num_hubs: usize) -> ect_types::Result<Self> {
+        if num_hubs == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "a hub topology needs at least one hub".into(),
+            ));
+        }
+        Ok(Self {
+            neighbours: vec![Vec::new(); num_hubs],
+        })
+    }
+
+    /// A ring of `num_hubs` hubs: each links to its predecessor and
+    /// successor (mod `num_hubs`). One hub yields the degenerate empty
+    /// neighbourhood; two hubs share a single edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for zero hubs.
+    pub fn ring(num_hubs: usize) -> ect_types::Result<Self> {
+        let mut topology = Self::disconnected(num_hubs)?;
+        if num_hubs >= 2 {
+            for hub in 0..num_hubs {
+                let prev = (hub + num_hubs - 1) % num_hubs;
+                let next = (hub + 1) % num_hubs;
+                let mut list = vec![prev, next];
+                list.sort_unstable();
+                list.dedup(); // num_hubs == 2 collapses prev == next
+                topology.neighbours[hub] = list;
+            }
+        }
+        Ok(topology)
+    }
+
+    /// Builds a topology from explicit neighbour lists, validating shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for zero hubs,
+    /// out-of-range indices, self-loops, duplicate entries, or an
+    /// asymmetric edge.
+    pub fn from_lists(neighbours: Vec<Vec<usize>>) -> ect_types::Result<Self> {
+        let topology = Self { neighbours };
+        topology.validate()?;
+        Ok(topology)
+    }
+
+    /// Sites `num_hubs` hubs on evenly-spaced base stations of `region` and
+    /// links each to its `k` nearest siblings (Euclidean, ties broken by
+    /// hub index), then symmetrises by union so every edge is mutual. The
+    /// base-station stride mirrors how `fig01_spatial` subsamples hubs, so
+    /// the coupling graph and the siting study agree on geography.
+    ///
+    /// `k == 0` yields the disconnected topology; `k >= num_hubs` saturates
+    /// at the complete graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for zero hubs and
+    /// [`ect_types::EctError::InsufficientData`] when the region holds
+    /// fewer base stations than hubs.
+    pub fn from_region(region: &Region, num_hubs: usize, k: usize) -> ect_types::Result<Self> {
+        if num_hubs == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "a hub topology needs at least one hub".into(),
+            ));
+        }
+        if region.base_stations.len() < num_hubs {
+            return Err(ect_types::EctError::InsufficientData(format!(
+                "region has {} base stations, cannot site {num_hubs} hubs",
+                region.base_stations.len()
+            )));
+        }
+        let stride = region.base_stations.len() / num_hubs;
+        let sites: Vec<Point> = (0..num_hubs)
+            .map(|hub| region.base_stations[hub * stride])
+            .collect();
+        Self::k_nearest(&sites, k)
+    }
+
+    /// kNN adjacency over explicit hub positions (see [`Self::from_region`]
+    /// for the tie-breaking and symmetrisation rules).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for an empty site
+    /// list.
+    pub fn k_nearest(sites: &[Point], k: usize) -> ect_types::Result<Self> {
+        let n = sites.len();
+        let mut topology = Self::disconnected(n)?;
+        if n < 2 || k == 0 {
+            return Ok(topology);
+        }
+        let k = k.min(n - 1);
+        for hub in 0..n {
+            let (hx, hy) = sites[hub];
+            let mut others: Vec<(f64, usize)> = (0..n)
+                .filter(|&other| other != hub)
+                .map(|other| {
+                    let (ox, oy) = sites[other];
+                    ((hx - ox).powi(2) + (hy - oy).powi(2), other)
+                })
+                .collect();
+            // Distance first, hub index as the deterministic tie-break.
+            others.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for &(_, other) in &others[..k] {
+                topology.neighbours[hub].push(other);
+            }
+        }
+        // Union symmetrisation: an edge picked by either endpoint binds both.
+        for hub in 0..n {
+            for idx in 0..topology.neighbours[hub].len() {
+                let other = topology.neighbours[hub][idx];
+                if !topology.neighbours[other].contains(&hub) {
+                    topology.neighbours[other].push(hub);
+                }
+            }
+        }
+        for list in &mut topology.neighbours {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Ok(topology)
+    }
+
+    /// Number of hubs.
+    pub fn num_hubs(&self) -> usize {
+        self.neighbours.len()
+    }
+
+    /// Neighbours of one hub, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hub` is out of range.
+    pub fn neighbours(&self, hub: usize) -> &[usize] {
+        &self.neighbours[hub]
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbours.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// `true` when no hub has any neighbour.
+    pub fn is_disconnected(&self) -> bool {
+        self.neighbours.iter().all(Vec::is_empty)
+    }
+
+    /// Checks the structural invariants: at least one hub, in-range
+    /// indices, no self-loops, sorted deduplicated lists, symmetric edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] naming the violation.
+    pub fn validate(&self) -> ect_types::Result<()> {
+        let n = self.neighbours.len();
+        if n == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "a hub topology needs at least one hub".into(),
+            ));
+        }
+        for (hub, list) in self.neighbours.iter().enumerate() {
+            for window in list.windows(2) {
+                if window[0] >= window[1] {
+                    return Err(ect_types::EctError::InvalidConfig(format!(
+                        "hub {hub} neighbour list is not sorted/deduplicated"
+                    )));
+                }
+            }
+            for &other in list {
+                if other >= n {
+                    return Err(ect_types::EctError::InvalidConfig(format!(
+                        "hub {hub} links to out-of-range hub {other} (of {n})"
+                    )));
+                }
+                if other == hub {
+                    return Err(ect_types::EctError::InvalidConfig(format!(
+                        "hub {hub} links to itself"
+                    )));
+                }
+                if !self.neighbours[other].contains(&hub) {
+                    return Err(ect_types::EctError::InvalidConfig(format!(
+                        "edge {hub} → {other} has no reverse edge"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial::RegionConfig;
+    use ect_types::rng::EctRng;
+
+    fn region(seed: u64) -> Region {
+        let mut rng = EctRng::seed_from(seed);
+        Region::generate(&RegionConfig::default(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn disconnected_and_single_hub_are_valid() {
+        let t = HubTopology::disconnected(4).unwrap();
+        assert_eq!(t.num_hubs(), 4);
+        assert_eq!(t.edge_count(), 0);
+        assert!(t.is_disconnected());
+        t.validate().unwrap();
+
+        // The degenerate 1-hub fleet is valid with every constructor.
+        for t in [
+            HubTopology::disconnected(1).unwrap(),
+            HubTopology::ring(1).unwrap(),
+            HubTopology::from_region(&region(1), 1, 2).unwrap(),
+        ] {
+            assert_eq!(t.num_hubs(), 1);
+            assert!(t.neighbours(0).is_empty());
+            t.validate().unwrap();
+        }
+
+        assert!(HubTopology::disconnected(0).is_err());
+        assert!(HubTopology::ring(0).is_err());
+    }
+
+    #[test]
+    fn ring_links_wrap_and_dedupe() {
+        let t = HubTopology::ring(5).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.neighbours(0), &[1, 4]);
+        assert_eq!(t.neighbours(2), &[1, 3]);
+        assert_eq!(t.edge_count(), 5);
+
+        // Two hubs share exactly one (deduplicated) edge.
+        let pair = HubTopology::ring(2).unwrap();
+        pair.validate().unwrap();
+        assert_eq!(pair.neighbours(0), &[1]);
+        assert_eq!(pair.neighbours(1), &[0]);
+        assert_eq!(pair.edge_count(), 1);
+    }
+
+    #[test]
+    fn k_nearest_is_symmetric_and_deterministic() {
+        let t1 = HubTopology::from_region(&region(2), 8, 2).unwrap();
+        let t2 = HubTopology::from_region(&region(2), 8, 2).unwrap();
+        assert_eq!(t1, t2);
+        t1.validate().unwrap();
+        // Every hub got at least its own k picks (union can only add).
+        for hub in 0..8 {
+            assert!(t1.neighbours(hub).len() >= 2, "hub {hub}");
+        }
+    }
+
+    #[test]
+    fn k_zero_disconnects_and_large_k_saturates() {
+        let sites = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)];
+        let none = HubTopology::k_nearest(&sites, 0).unwrap();
+        assert!(none.is_disconnected());
+        let full = HubTopology::k_nearest(&sites, 99).unwrap();
+        full.validate().unwrap();
+        assert_eq!(full.edge_count(), 6); // complete graph on 4
+    }
+
+    #[test]
+    fn equidistant_ties_break_by_index() {
+        // Hubs 1 and 2 are equidistant from hub 0: k = 1 must pick hub 1.
+        let sites = [(0.0, 0.0), (1.0, 0.0), (-1.0, 0.0)];
+        let t = HubTopology::k_nearest(&sites, 1).unwrap();
+        t.validate().unwrap();
+        assert!(t.neighbours(0).contains(&1));
+    }
+
+    #[test]
+    fn from_region_rejects_undersized_regions() {
+        let tiny = Region {
+            roads: Vec::new(),
+            base_stations: vec![(0.0, 0.0)],
+            size_km: 1.0,
+        };
+        assert!(matches!(
+            HubTopology::from_region(&tiny, 2, 1),
+            Err(ect_types::EctError::InsufficientData(_))
+        ));
+        assert!(HubTopology::from_region(&tiny, 0, 1).is_err());
+    }
+
+    #[test]
+    fn from_lists_validates_structure() {
+        HubTopology::from_lists(vec![vec![1], vec![0]]).unwrap();
+        assert!(HubTopology::from_lists(Vec::new()).is_err());
+        assert!(HubTopology::from_lists(vec![vec![0]]).is_err()); // self-loop
+        assert!(HubTopology::from_lists(vec![vec![5], vec![0]]).is_err()); // range
+        assert!(HubTopology::from_lists(vec![vec![1], Vec::new()]).is_err()); // asymmetric
+        assert!(HubTopology::from_lists(vec![vec![1, 1], vec![0]]).is_err()); // dupes
+    }
+
+    #[test]
+    fn topology_round_trips_through_serde() {
+        let t = HubTopology::ring(4).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: HubTopology = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

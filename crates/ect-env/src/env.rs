@@ -119,6 +119,10 @@ pub(crate) fn compute_slot(
         soc_kwh: bp.soc.as_f64(),
         effective_action: bp.effective_action,
         ev_charged,
+        curtailed_kwh: 0.0,
+        curtailment_penalty: Money::ZERO,
+        spill_in: KiloWatt::ZERO,
+        spill_out: KiloWatt::ZERO,
     }
 }
 
@@ -354,6 +358,20 @@ pub struct SlotBreakdown {
     pub effective_action: BpAction,
     /// Whether an EV charged this slot (`S_CS`).
     pub ev_charged: bool,
+    /// Grid import the shared feeder refused this slot, kWh (zero outside
+    /// coupled fleets — see [`crate::coupling`]).
+    #[serde(default)]
+    pub curtailed_kwh: f64,
+    /// Penalty charged for the feeder curtailment (zero when uncoupled).
+    #[serde(default)]
+    pub curtailment_penalty: Money,
+    /// EV charging demand received from saturated neighbour hubs (zero when
+    /// uncoupled).
+    #[serde(default)]
+    pub spill_in: KiloWatt,
+    /// Own EV demand absorbed by neighbour hubs (zero when uncoupled).
+    #[serde(default)]
+    pub spill_out: KiloWatt,
 }
 
 impl Default for SlotBreakdown {
@@ -380,6 +398,10 @@ impl Default for SlotBreakdown {
             soc_kwh: 0.0,
             effective_action: BpAction::Idle,
             ev_charged: false,
+            curtailed_kwh: 0.0,
+            curtailment_penalty: Money::ZERO,
+            spill_in: KiloWatt::ZERO,
+            spill_out: KiloWatt::ZERO,
         }
     }
 }

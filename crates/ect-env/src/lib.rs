@@ -19,7 +19,12 @@
 //!   N hubs in lockstep over `Arc`-shared series with an allocation-free
 //!   observation path;
 //! * [`blackout`] — grid-outage ride-through simulation, exercising the
-//!   Eq. 6 reserve the rest of the system merely guarantees.
+//!   Eq. 6 reserve the rest of the system merely guarantees;
+//! * [`coupling`] — the networked multi-hub layer: a shared distribution
+//!   feeder with an aggregate import cap (proportional-fairness
+//!   curtailment), deterministic EV-demand spillover between topology
+//!   neighbours, and the mutual-observation block that exposes neighbour
+//!   state to each hub's policy.
 //!
 //! Invariants enforced (and property-tested): SoC stays within
 //! `[soc_min, soc_max]` under arbitrary action sequences; grid power is never
@@ -61,6 +66,7 @@
 
 pub mod battery;
 pub mod blackout;
+pub mod coupling;
 pub mod env;
 pub mod fleet;
 pub mod hub;
@@ -71,6 +77,7 @@ pub mod vec_env;
 
 pub use battery::{BatteryPoint, BatteryPointConfig, BpAction, BpSlotResult};
 pub use blackout::{ride_through, worst_case_ride_through, BlackoutOutcome, BlackoutScenario};
+pub use coupling::{CouplingConfig, FeederConfig, SpilloverConfig, MUTUAL_OBS_DIM};
 pub use env::{EpisodeInputs, HubEnv, ObsAugmentation, SlotBreakdown, StepResult};
 pub use fleet::{
     draw_strata, env_for_hub, episode_for_hub, fleet_env_for_hubs, fleet_env_for_scenarios,

@@ -55,6 +55,12 @@ pub(crate) struct SlotLanes {
     rtp: Vec<f64>,
     revenue: Vec<f64>,
     outage: Vec<bool>,
+    // Coupled-path extras: the un-fused base-station draw, the raw selling
+    // price, and the EV willingness flag (`load_sum`/`revenue` fuse the
+    // charging station in, which the coupling layer must re-decide).
+    p_bs: Vec<f64>,
+    srtp: Vec<f64>,
+    willing: Vec<bool>,
     // Per-(group, slot) observation lanes, already normalised exactly as
     // `write_observation` would.
     obs_rtp: Vec<f64>,
@@ -73,8 +79,25 @@ pub(crate) struct SlotLanes {
     op_cost: Vec<f64>,
     voll: Vec<f64>,
     capacity: Vec<f64>,
+    /// Charging-station rate `R_CS` per lane, kW (coupled path only).
+    cs_rate: Vec<f64>,
     // Per-lane live state.
     soc: Vec<f64>,
+}
+
+/// One `(group, slot)` cell's action-independent values, read by the
+/// coupled stepping path in [`crate::vec_env::FleetEnv::step_batch_soa`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlotCell {
+    pub p_bs: f64,
+    pub wt: f64,
+    pub pv: f64,
+    pub rtp: f64,
+    pub srtp: f64,
+    pub willing: bool,
+    pub outage: bool,
+    /// Raw load rate in `[0, 1]` (the `obs_load` lane), for mutual obs.
+    pub load_rate: f64,
 }
 
 impl SlotLanes {
@@ -122,6 +145,9 @@ impl SlotLanes {
         let mut rtp = vec![0.0; cells];
         let mut revenue = vec![0.0; cells];
         let mut outage = vec![false; cells];
+        let mut p_bs_lane = vec![0.0; cells];
+        let mut srtp_lane = vec![0.0; cells];
+        let mut willing = vec![false; cells];
         let mut obs_rtp = vec![0.0; cells];
         let mut obs_solar = vec![0.0; cells];
         let mut obs_wind = vec![0.0; cells];
@@ -152,6 +178,9 @@ impl SlotLanes {
                 rtp[cell] = lane_series.rtp[t].as_f64();
                 revenue[cell] = p_cs * srtp.as_f64();
                 outage[cell] = out;
+                p_bs_lane[cell] = p_bs;
+                srtp_lane[cell] = srtp.as_f64();
+                willing[cell] = ev_charged;
                 // The five Eq. 24 windows, normalised as `write_observation`
                 // normalises them.
                 obs_rtp[cell] = lane_series.rtp[t].as_f64() / norm.price_scale;
@@ -173,6 +202,7 @@ impl SlotLanes {
         let mut op_cost = vec![0.0; n];
         let mut voll = vec![0.0; n];
         let mut capacity = vec![0.0; n];
+        let mut cs_rate = vec![0.0; n];
         let mut soc = vec![0.0; n];
         for lane in 0..n {
             let cfg = batteries[lane].config();
@@ -185,6 +215,7 @@ impl SlotLanes {
             op_cost[lane] = cfg.op_cost_per_slot;
             voll[lane] = configs[lane].outage_voll.as_f64();
             capacity[lane] = cfg.capacity_kwh;
+            cs_rate[lane] = configs[lane].charging_station.rate_kw;
             soc[lane] = batteries[lane].soc().as_f64();
         }
 
@@ -198,6 +229,9 @@ impl SlotLanes {
             rtp,
             revenue,
             outage,
+            p_bs: p_bs_lane,
+            srtp: srtp_lane,
+            willing,
             obs_rtp,
             obs_solar,
             obs_wind,
@@ -212,6 +246,7 @@ impl SlotLanes {
             op_cost,
             voll,
             capacity,
+            cs_rate,
             soc,
         }
     }
@@ -234,12 +269,46 @@ impl SlotLanes {
         }
     }
 
-    /// Advances every lane one slot, writing per-lane rewards. The battery
-    /// recurrence replicates `BatteryPoint::apply` bit for bit (same `1e-9`
-    /// epsilon, same min/divide order); the power balance and accounting
-    /// replicate `compute_slot`.
-    pub(crate) fn step(&mut self, t: usize, actions: &[BpAction], rewards: &mut [f64]) {
+    /// Applies one battery action to one lane (the action must already be
+    /// outage-degraded), updating the live SoC lane and returning
+    /// `(p_bp, op_cost)`. Replicates `BatteryPoint::apply` bit for bit
+    /// (same `1e-9` epsilon, same min/divide order); shared by [`Self::step`]
+    /// and the coupled stepping path in `vec_env` so both battery
+    /// recurrences are one code path.
+    pub(crate) fn apply_action(&mut self, lane: usize, action: BpAction) -> (f64, f64) {
         const EPS: f64 = 1e-9;
+        let soc = self.soc[lane];
+        let (p_bp, new_soc, active) = match action {
+            BpAction::Charge => {
+                let headroom = self.soc_max[lane] - soc;
+                let gain = headroom.min(self.full_gain[lane]);
+                if gain <= EPS {
+                    (0.0, soc, false)
+                } else {
+                    (gain / self.eta_ch[lane], soc + gain, true)
+                }
+            }
+            BpAction::Discharge => {
+                let available = soc - self.soc_min[lane];
+                let drawn = available.min(self.full_draw[lane]);
+                if drawn <= EPS {
+                    (0.0, soc, false)
+                } else {
+                    (-(self.eta_dch[lane] * drawn), soc - drawn, true)
+                }
+            }
+            BpAction::Idle => (0.0, soc, false),
+        };
+        self.soc[lane] = new_soc;
+        let op_cost = if active { self.op_cost[lane] } else { 0.0 };
+        (p_bp, op_cost)
+    }
+
+    /// Advances every lane one slot, writing per-lane rewards. The battery
+    /// recurrence ([`Self::apply_action`]) replicates `BatteryPoint::apply`
+    /// bit for bit; the power balance and accounting replicate
+    /// `compute_slot`.
+    pub(crate) fn step(&mut self, t: usize, actions: &[BpAction], rewards: &mut [f64]) {
         debug_assert!(t < self.horizon);
         for (lane, (&action, reward)) in actions.iter().zip(rewards.iter_mut()).enumerate() {
             let cell = self.group_of[lane] as usize * self.horizon + t;
@@ -249,30 +318,7 @@ impl SlotLanes {
             } else {
                 action
             };
-            let soc = self.soc[lane];
-            let (p_bp, new_soc, active) = match action {
-                BpAction::Charge => {
-                    let headroom = self.soc_max[lane] - soc;
-                    let gain = headroom.min(self.full_gain[lane]);
-                    if gain <= EPS {
-                        (0.0, soc, false)
-                    } else {
-                        (gain / self.eta_ch[lane], soc + gain, true)
-                    }
-                }
-                BpAction::Discharge => {
-                    let available = soc - self.soc_min[lane];
-                    let drawn = available.min(self.full_draw[lane]);
-                    if drawn <= EPS {
-                        (0.0, soc, false)
-                    } else {
-                        (-(self.eta_dch[lane] * drawn), soc - drawn, true)
-                    }
-                }
-                BpAction::Idle => (0.0, soc, false),
-            };
-            self.soc[lane] = new_soc;
-            let op_cost = if active { self.op_cost[lane] } else { 0.0 };
+            let (p_bp, op_cost) = self.apply_action(lane, action);
             let p_demand =
                 (((self.load_sum[cell] + p_bp) - self.wt[cell]) - self.pv[cell]).max(0.0);
             let p_grid = if out { 0.0 } else { p_demand };
@@ -280,6 +326,38 @@ impl SlotLanes {
             let penalty = if out { p_demand * self.voll[lane] } else { 0.0 };
             *reward = ((self.revenue[cell] - grid_cost) - op_cost) - penalty;
         }
+    }
+
+    /// Action-independent values of one lane's `(group, slot)` cell, for
+    /// the coupled stepping path.
+    pub(crate) fn slot_cell(&self, lane: usize, t: usize) -> SlotCell {
+        let cell = self.group_of[lane] as usize * self.horizon + t;
+        SlotCell {
+            p_bs: self.p_bs[cell],
+            wt: self.wt[cell],
+            pv: self.pv[cell],
+            rtp: self.rtp[cell],
+            srtp: self.srtp[cell],
+            willing: self.willing[cell],
+            outage: self.outage[cell],
+            load_rate: self.obs_load[cell],
+        }
+    }
+
+    /// Value of lost load of one lane, $/kWh.
+    pub(crate) fn lane_voll(&self, lane: usize) -> f64 {
+        self.voll[lane]
+    }
+
+    /// Charging-station rate of one lane, kW.
+    pub(crate) fn lane_cs_rate(&self, lane: usize) -> f64 {
+        self.cs_rate[lane]
+    }
+
+    /// SoC of one lane as a fraction of capacity — the same division
+    /// `BatteryPoint::soc_fraction` evaluates, for mutual observations.
+    pub(crate) fn soc_fraction(&self, lane: usize) -> f64 {
+        self.soc[lane] / self.capacity[lane]
     }
 
     /// Writes one lane's Eq. 24 core observation (`5 × window + 1` values,

@@ -13,7 +13,10 @@
 //! is bit-identical to stepping the equivalent `HubEnv`s sequentially (the
 //! `tests/batched_equivalence.rs` suite pins this).
 
-use crate::battery::{BatteryPoint, BpAction};
+use crate::battery::{BatteryPoint, BpAction, BpSlotResult};
+use crate::coupling::{
+    coupled_slot, write_mutual_obs, CoupledLaneInputs, CoupledLaneOutputs, CouplingConfig,
+};
 use crate::env::{
     compute_slot, write_observation, EpisodeInputs, HubEnv, ObsNorm, SlotBreakdown, SlotInputs,
 };
@@ -23,7 +26,7 @@ use crate::tariff::DiscountSchedule;
 use ect_data::charging::Stratum;
 use ect_data::traffic::TrafficSample;
 use ect_data::weather::WeatherSample;
-use ect_types::units::{DollarsPerKwh, Money};
+use ect_types::units::{DollarsPerKwh, KiloWatt, KiloWattHour, Money};
 use std::sync::Arc;
 
 /// One hub's exogenous series, reference-counted so fleet lanes can share
@@ -186,6 +189,55 @@ fn write_lane_obs(
     );
 }
 
+/// Live coupling state of a coupled fleet: the configuration plus reusable
+/// per-lane scratch, so coupled stepping allocates nothing after warm-up.
+#[derive(Debug, Clone)]
+struct CouplingState {
+    config: CouplingConfig,
+    /// Per-lane kernel inputs (rebuilt every slot).
+    inputs: Vec<CoupledLaneInputs>,
+    /// Per-lane kernel outputs.
+    outputs: Vec<CoupledLaneOutputs>,
+    /// Feeder-bid sort scratch.
+    bid_scratch: Vec<f64>,
+    /// Scalar-path battery results (for the `SlotBreakdown` trail).
+    bp: Vec<BpSlotResult>,
+    /// Mutual-obs gather scratch: SoC fractions, load rates, curtail shares.
+    socs: Vec<f64>,
+    loads: Vec<f64>,
+    shares: Vec<f64>,
+}
+
+impl CouplingState {
+    fn new(config: CouplingConfig, n: usize) -> Self {
+        Self {
+            config,
+            inputs: vec![CoupledLaneInputs::default(); n],
+            outputs: vec![CoupledLaneOutputs::default(); n],
+            bid_scratch: Vec::with_capacity(n),
+            bp: vec![
+                BpSlotResult {
+                    grid_side_power: KiloWatt::ZERO,
+                    soc: KiloWattHour::new(0.0),
+                    op_cost: Money::ZERO,
+                    effective_action: BpAction::Idle,
+                };
+                n
+            ],
+            socs: vec![0.0; n],
+            loads: vec![0.0; n],
+            shares: vec![0.0; n],
+        }
+    }
+
+    fn demand_scale(&self, lane: usize) -> f64 {
+        self.config
+            .spillover
+            .as_ref()
+            .map_or(1.0, |s| s.ev_demand_scale[lane])
+    }
+}
+
 /// Batched environment over N hub lanes advancing in lockstep.
 ///
 /// # Example
@@ -236,6 +288,14 @@ pub struct FleetEnv {
     // empty when the fleet runs the plain Eq. 24 observation.
     aug: Vec<f64>,
     aug_dim: usize,
+    // Multi-hub coupling (shared feeder / EV spillover / mutual obs);
+    // `None` for the plain uncoupled fleet, whose stepping paths this state
+    // never touches — the bit-identity guarantee.
+    coupling: Option<CouplingState>,
+    // Per-lane mutual-observation blocks, lane-major (`n × mutual_dim`),
+    // appended after the conditioning block; empty when mutual obs are off.
+    mutual: Vec<f64>,
+    mutual_dim: usize,
     // Reusable output buffers (the zero-allocation hot path).
     obs: Vec<f64>,
     rewards: Vec<f64>,
@@ -297,6 +357,9 @@ impl FleetEnv {
             t: 0,
             aug: Vec::new(),
             aug_dim: 0,
+            coupling: None,
+            mutual: Vec::new(),
+            mutual_dim: 0,
             obs: vec![0.0; n * state_dim],
             rewards: vec![0.0; n],
             breakdowns: vec![SlotBreakdown::default(); n],
@@ -400,10 +463,62 @@ impl FleetEnv {
         }
         self.aug = features.into_iter().flatten().collect();
         self.aug_dim = aug_dim;
-        self.state_dim = 5 * self.window + 1 + aug_dim;
+        self.state_dim = 5 * self.window + 1 + aug_dim + self.mutual_dim;
         self.obs = vec![0.0; n * self.state_dim];
         self.refresh_observations();
         Ok(self)
+    }
+
+    /// Builder: couples the fleet's lanes through a shared feeder, EV
+    /// demand spillover and/or mutual observations (see [`crate::coupling`]).
+    ///
+    /// An inactive configuration (no feeder, no spillover, no mutual obs)
+    /// leaves the fleet on the plain uncoupled stepping paths — bit for bit
+    /// the historical engine. With mutual observations on, every lane's
+    /// state gains a [`crate::coupling::MUTUAL_OBS_DIM`]-wide block after
+    /// the conditioning block, zero-filled until the first step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::ShapeMismatch`] when the topology or
+    /// spillover scales disagree with the lane count, plus any coupling
+    /// validation error.
+    pub fn with_coupling(mut self, config: CouplingConfig) -> ect_types::Result<Self> {
+        let n = self.num_lanes();
+        config.validate(n)?;
+        if !config.is_active() {
+            self.coupling = None;
+            return Ok(self);
+        }
+        self.mutual_dim = config.mutual_obs_dim();
+        self.mutual = vec![0.0; n * self.mutual_dim];
+        self.state_dim = 5 * self.window + 1 + self.aug_dim + self.mutual_dim;
+        self.obs = vec![0.0; n * self.state_dim];
+        self.coupling = Some(CouplingState::new(config, n));
+        self.refresh_observations();
+        Ok(self)
+    }
+
+    /// The coupling configuration, when the fleet is coupled.
+    pub fn coupling(&self) -> Option<&CouplingConfig> {
+        self.coupling.as_ref().map(|state| &state.config)
+    }
+
+    /// Width of the per-lane mutual-observation block (0 when mutual
+    /// observations are off).
+    pub fn mutual_obs_dim(&self) -> usize {
+        self.mutual_dim
+    }
+
+    /// The mutual-observation block of one lane (empty when mutual
+    /// observations are off; zero-filled before the first step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_mutual(&self, lane: usize) -> &[f64] {
+        assert!(lane < self.num_lanes(), "lane {lane} out of range");
+        &self.mutual[lane * self.mutual_dim..(lane + 1) * self.mutual_dim]
     }
 
     /// Width of the per-lane conditioning block (0 = plain Eq. 24 state).
@@ -477,8 +592,9 @@ impl FleetEnv {
     ///
     /// Panics if `lane` is out of range or `out.len() != state_dim`.
     pub fn observe_into(&self, lane: usize, out: &mut [f64]) {
+        let (head, tail) = out.split_at_mut(self.state_dim - self.mutual_dim);
         write_lane_obs(
-            out,
+            head,
             self.window,
             self.t,
             &self.norm,
@@ -487,16 +603,19 @@ impl FleetEnv {
             self.batteries[lane].soc_fraction(),
             self.lane_features(lane),
         );
+        tail.copy_from_slice(&self.mutual[lane * self.mutual_dim..(lane + 1) * self.mutual_dim]);
     }
 
     fn refresh_observations(&mut self) {
         let dim = self.state_dim;
+        let mutual_dim = self.mutual_dim;
         let t = self.t;
         let norm = self.norm;
         let window = self.window;
         for (lane, out) in self.obs.chunks_exact_mut(dim).enumerate() {
+            let (head, tail) = out.split_at_mut(dim - mutual_dim);
             write_lane_obs(
-                out,
+                head,
                 window,
                 t,
                 &norm,
@@ -505,6 +624,7 @@ impl FleetEnv {
                 self.batteries[lane].soc_fraction(),
                 &self.aug[lane * self.aug_dim..(lane + 1) * self.aug_dim],
             );
+            tail.copy_from_slice(&self.mutual[lane * mutual_dim..(lane + 1) * mutual_dim]);
         }
     }
 
@@ -526,6 +646,8 @@ impl FleetEnv {
         if let Some(soa) = &mut self.soa {
             soa.sync_soc_from(&self.batteries);
         }
+        // Mutual observations reset to zero — no step has exchanged yet.
+        self.mutual.fill(0.0);
         self.t = 0;
         self.refresh_observations();
         &self.obs
@@ -545,6 +667,9 @@ impl FleetEnv {
             "step_batch called on finished episode; call reset"
         );
         assert_eq!(actions.len(), self.num_lanes(), "one action per lane");
+        if self.coupling.is_some() {
+            return self.step_batch_coupled(actions);
+        }
         let t = self.t;
         let t_next = t + 1;
         let dim = self.state_dim;
@@ -595,6 +720,117 @@ impl FleetEnv {
         }
     }
 
+    /// The coupled scalar step: per-lane battery application, then one
+    /// [`coupled_slot`] exchange (spillover → feeder bids → allocation →
+    /// accounting), then the full [`SlotBreakdown`] trail and the mutual
+    /// observations. Deterministic — no RNG, no thread identity — and
+    /// bit-identical to [`FleetEnv::step_batch_soa`] on the same fleet
+    /// (both build the same plain-`f64` inputs and call the same kernel).
+    fn step_batch_coupled(&mut self, actions: &[BpAction]) -> BatchStep<'_> {
+        let t = self.t;
+        let n = self.num_lanes();
+        let mut cs = self.coupling.take().expect("coupled step without state");
+        for (lane, &requested) in actions.iter().enumerate() {
+            let series = &self.series[lane];
+            let config = &self.configs[lane];
+            let outage = series.outages[t];
+            let action = if outage && requested == BpAction::Charge {
+                BpAction::Idle
+            } else {
+                requested
+            };
+            let bp = self.batteries[lane].apply(action);
+            cs.bp[lane] = bp;
+            let level = series.discounts.level(t);
+            let discounted = level > 0.0;
+            let willing = !outage && series.strata[t].outcome(discounted);
+            let rate = config.charging_station.rate_kw;
+            let capacity = if outage { 0.0 } else { rate };
+            let demand = if willing {
+                rate * cs.demand_scale(lane)
+            } else {
+                0.0
+            };
+            cs.inputs[lane] = CoupledLaneInputs {
+                p_bs: config
+                    .base_station
+                    .power(series.traffic[t].load_rate)
+                    .as_f64(),
+                p_bp: bp.grid_side_power.as_f64(),
+                p_wt: config.plant.wt_power(&series.weather[t]).as_f64(),
+                p_pv: config.plant.pv_power(&series.weather[t]).as_f64(),
+                rtp: series.rtp[t].as_f64(),
+                srtp: config.tariff.price_with_discount(level).as_f64(),
+                op_cost: bp.op_cost.as_f64(),
+                voll: config.outage_voll.as_f64(),
+                outage,
+                ev_capacity_kw: capacity,
+                ev_demand_kw: demand,
+            };
+        }
+        coupled_slot(&cs.config, &cs.inputs, &mut cs.outputs, &mut cs.bid_scratch);
+        for lane in 0..n {
+            let i = &cs.inputs[lane];
+            let o = &cs.outputs[lane];
+            let bp = &cs.bp[lane];
+            self.rewards[lane] = o.reward;
+            self.breakdowns[lane] = SlotBreakdown {
+                slot: t,
+                p_bs: KiloWatt::new(i.p_bs),
+                p_cs: KiloWatt::new(o.p_cs),
+                p_bp: bp.grid_side_power,
+                p_wt: KiloWatt::new(i.p_wt),
+                p_pv: KiloWatt::new(i.p_pv),
+                p_grid: KiloWatt::new(o.p_grid),
+                srtp: DollarsPerKwh::new(i.srtp),
+                rtp: DollarsPerKwh::new(i.rtp),
+                revenue: Money::new(o.revenue),
+                grid_cost: Money::new(o.grid_cost),
+                bp_cost: bp.op_cost,
+                outage_penalty: Money::new(o.outage_penalty),
+                unserved_kwh: o.unserved_kwh,
+                reward: Money::new(o.reward),
+                soc_kwh: bp.soc.as_f64(),
+                effective_action: bp.effective_action,
+                ev_charged: o.p_cs > 0.0,
+                curtailed_kwh: o.curtailed_kwh,
+                curtailment_penalty: Money::new(o.curtailment_penalty),
+                spill_in: KiloWatt::new(o.spill_in),
+                spill_out: KiloWatt::new(o.spill_out),
+            };
+        }
+        if cs.config.mutual_obs {
+            for lane in 0..n {
+                cs.socs[lane] = self.batteries[lane].soc_fraction();
+                cs.loads[lane] = self.series[lane].traffic[t].load_rate.as_f64();
+                cs.shares[lane] = cs.outputs[lane].curtail_share;
+            }
+            let mutual_dim = self.mutual_dim;
+            for (lane, block) in self.mutual.chunks_exact_mut(mutual_dim).enumerate() {
+                write_mutual_obs(
+                    &cs.config.topology,
+                    lane,
+                    &cs.socs,
+                    &cs.loads,
+                    &cs.shares,
+                    block,
+                );
+            }
+        }
+        self.coupling = Some(cs);
+        if let Some(soa) = &mut self.soa {
+            soa.sync_soc_from(&self.batteries);
+        }
+        self.t = t + 1;
+        self.refresh_observations();
+        BatchStep {
+            obs: &self.obs,
+            rewards: &self.rewards,
+            breakdowns: &self.breakdowns,
+            done: self.t >= self.horizon,
+        }
+    }
+
     /// Advances every lane one slot on the struct-of-arrays fast path:
     /// branch-light flat-`f64` slot math over per-group precomputed lanes
     /// (see the private `soa` module), bit-identical rewards and
@@ -622,6 +858,9 @@ impl FleetEnv {
                 &self.norm,
             ));
         }
+        if self.coupling.is_some() {
+            return self.step_batch_soa_coupled(actions);
+        }
         let t = self.t;
         let soa = self.soa.as_mut().expect("SoA mirror just ensured");
         soa.step(t, actions, &mut self.rewards);
@@ -638,6 +877,95 @@ impl FleetEnv {
             let (head, tail) = chunk.split_at_mut(core);
             soa.write_obs(lane, t_next, window, head);
             tail.copy_from_slice(&self.aug[lane * aug_dim..(lane + 1) * aug_dim]);
+        }
+        FastBatchStep {
+            obs: &self.obs,
+            rewards: &self.rewards,
+            done: self.t >= self.horizon,
+        }
+    }
+
+    /// The coupled SoA step: the per-lane battery recurrence rides the
+    /// precomputed slot lanes (`SlotLanes::apply_action`), then the same
+    /// [`coupled_slot`] exchange phase as the scalar path runs over the
+    /// per-lane inputs — every operand sourced from the same expressions,
+    /// so the two paths stay bit-identical.
+    fn step_batch_soa_coupled(&mut self, actions: &[BpAction]) -> FastBatchStep<'_> {
+        let t = self.t;
+        let n = self.num_lanes();
+        let mut cs = self.coupling.take().expect("coupled step without state");
+        {
+            let soa = self.soa.as_mut().expect("SoA mirror ensured by caller");
+            for (lane, &requested) in actions.iter().enumerate() {
+                let cell = soa.slot_cell(lane, t);
+                let action = if cell.outage && requested == BpAction::Charge {
+                    BpAction::Idle
+                } else {
+                    requested
+                };
+                let (p_bp, op_cost) = soa.apply_action(lane, action);
+                let rate = soa.lane_cs_rate(lane);
+                let capacity = if cell.outage { 0.0 } else { rate };
+                let demand = if cell.willing {
+                    rate * cs.demand_scale(lane)
+                } else {
+                    0.0
+                };
+                cs.inputs[lane] = CoupledLaneInputs {
+                    p_bs: cell.p_bs,
+                    p_bp,
+                    p_wt: cell.wt,
+                    p_pv: cell.pv,
+                    rtp: cell.rtp,
+                    srtp: cell.srtp,
+                    op_cost,
+                    voll: soa.lane_voll(lane),
+                    outage: cell.outage,
+                    ev_capacity_kw: capacity,
+                    ev_demand_kw: demand,
+                };
+                cs.loads[lane] = cell.load_rate;
+            }
+            coupled_slot(&cs.config, &cs.inputs, &mut cs.outputs, &mut cs.bid_scratch);
+            for (lane, reward) in self.rewards.iter_mut().enumerate() {
+                *reward = cs.outputs[lane].reward;
+            }
+            for (lane, battery) in self.batteries.iter_mut().enumerate() {
+                battery.set_soc_kwh(soa.soc(lane));
+            }
+            if cs.config.mutual_obs {
+                for lane in 0..n {
+                    cs.socs[lane] = soa.soc_fraction(lane);
+                    cs.shares[lane] = cs.outputs[lane].curtail_share;
+                }
+                let mutual_dim = self.mutual_dim;
+                for (lane, block) in self.mutual.chunks_exact_mut(mutual_dim).enumerate() {
+                    write_mutual_obs(
+                        &cs.config.topology,
+                        lane,
+                        &cs.socs,
+                        &cs.loads,
+                        &cs.shares,
+                        block,
+                    );
+                }
+            }
+        }
+        self.coupling = Some(cs);
+        self.t = t + 1;
+        let t_next = self.t;
+        let window = self.window;
+        let core = 5 * window + 1;
+        let dim = self.state_dim;
+        let aug_dim = self.aug_dim;
+        let mutual_dim = self.mutual_dim;
+        let soa = self.soa.as_ref().expect("SoA mirror ensured by caller");
+        for (lane, chunk) in self.obs.chunks_exact_mut(dim).enumerate() {
+            let (head, rest) = chunk.split_at_mut(core);
+            soa.write_obs(lane, t_next, window, head);
+            let (aug_part, mutual_part) = rest.split_at_mut(aug_dim);
+            aug_part.copy_from_slice(&self.aug[lane * aug_dim..(lane + 1) * aug_dim]);
+            mutual_part.copy_from_slice(&self.mutual[lane * mutual_dim..(lane + 1) * mutual_dim]);
         }
         FastBatchStep {
             obs: &self.obs,
@@ -1182,5 +1510,186 @@ mod tests {
         let a = fleet.series()[0].rtp.as_ptr();
         let b = fleet.series()[1].rtp.as_ptr();
         assert_eq!(a, b, "lanes should share one RTP allocation");
+    }
+
+    use crate::coupling::{FeederConfig, SpilloverConfig, MUTUAL_OBS_DIM};
+    use ect_data::HubTopology;
+
+    fn binding_coupling(lanes: usize, cap_kw: f64) -> CouplingConfig {
+        CouplingConfig {
+            topology: HubTopology::ring(lanes).unwrap(),
+            feeder: Some(FeederConfig {
+                cap_kw,
+                curtailment_price: DollarsPerKwh::new(0.5),
+            }),
+            spillover: Some(SpilloverConfig::uniform(1.8, lanes)),
+            mutual_obs: true,
+        }
+    }
+
+    #[test]
+    fn inactive_coupling_is_bit_identical_to_plain_fleet() {
+        let slots = 24;
+        let mut plain = varied_fleet(3, slots, true);
+        let mut inactive = varied_fleet(3, slots, true)
+            .with_coupling(CouplingConfig::inactive(HubTopology::ring(3).unwrap()))
+            .unwrap();
+        assert_eq!(inactive.state_dim(), plain.state_dim());
+        assert_eq!(inactive.mutual_obs_dim(), 0);
+        assert!(inactive.coupling().is_none());
+        plain.reset(&[0.4; 3]);
+        inactive.reset(&[0.4; 3]);
+        let cycle = [BpAction::Charge, BpAction::Discharge, BpAction::Idle];
+        for t in 0..slots {
+            let actions: Vec<BpAction> = (0..3).map(|l| cycle[(t + l) % 3]).collect();
+            let (p_rewards, p_obs) = {
+                let step = plain.step_batch(&actions);
+                (step.rewards.to_vec(), step.obs.to_vec())
+            };
+            let step = inactive.step_batch(&actions);
+            for (lane, reward) in p_rewards.iter().enumerate() {
+                assert_eq!(reward.to_bits(), step.rewards[lane].to_bits(), "slot {t}");
+            }
+            for (a, b) in p_obs.iter().zip(step.obs) {
+                assert_eq!(a.to_bits(), b.to_bits(), "slot {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn coupled_fleet_widens_observations_and_surfaces_curtailment() {
+        let slots = 48;
+        let plain_dim = varied_fleet(4, slots, false).state_dim();
+        // Asymmetric demand: lanes 0/2 oversubscribe their stations while
+        // lanes 1/3 leave headroom, so the ring actually carries spillover.
+        let mut config = binding_coupling(4, 3.0);
+        config.spillover = Some(SpilloverConfig {
+            ev_demand_scale: vec![1.8, 0.2, 1.8, 0.2],
+        });
+        let mut coupled = varied_fleet(4, slots, false).with_coupling(config).unwrap();
+        assert_eq!(coupled.state_dim(), plain_dim + MUTUAL_OBS_DIM);
+        assert_eq!(coupled.mutual_obs_dim(), MUTUAL_OBS_DIM);
+        assert!(coupled.coupling().is_some());
+        coupled.reset(&[0.5; 4]);
+        for lane in 0..4 {
+            assert!(
+                coupled.lane_mutual(lane).iter().all(|&v| v == 0.0),
+                "mutual block starts zeroed"
+            );
+        }
+        let actions = vec![BpAction::Charge; 4];
+        let mut saw_curtailment = false;
+        let mut saw_spill = false;
+        for _ in 0..slots {
+            let (done, breakdowns): (bool, Vec<SlotBreakdown>) = {
+                let step = coupled.step_batch(&actions);
+                (step.done, step.breakdowns.to_vec())
+            };
+            for b in &breakdowns {
+                assert!(b.reward.as_f64().is_finite());
+                assert!(b.curtailed_kwh >= 0.0);
+                saw_curtailment |= b.curtailed_kwh > 0.0;
+                saw_spill |= b.spill_in.as_f64() > 0.0 || b.spill_out.as_f64() > 0.0;
+            }
+            if done {
+                break;
+            }
+        }
+        assert!(saw_curtailment, "a 3 kW feeder cap must bind somewhere");
+        assert!(saw_spill, "1.8x demand must overflow some station");
+        for lane in 0..4 {
+            let mutual = coupled.lane_mutual(lane);
+            assert_eq!(mutual.len(), MUTUAL_OBS_DIM);
+            assert!(mutual.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn single_hub_coupled_fleet_degenerates_gracefully() {
+        let slots = 24;
+        let mut solo = varied_fleet(1, slots, true)
+            .with_coupling(binding_coupling(1, 2.0))
+            .unwrap();
+        solo.reset(&[0.5]);
+        let actions = [BpAction::Charge];
+        for _ in 0..slots {
+            let done = {
+                let step = solo.step_batch(&actions);
+                assert!(step.rewards[0].is_finite());
+                step.done
+            };
+            let mutual = solo.lane_mutual(0);
+            // No neighbours: only the own-curtailment slot may be non-zero.
+            assert_eq!(mutual[0], 0.0);
+            assert_eq!(mutual[1], 0.0);
+            assert_eq!(mutual[3], 0.0);
+            assert!(mutual[2] >= 0.0 && mutual[2] <= 1.0);
+            if done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn coupled_soa_path_matches_scalar_bitwise() {
+        let slots = 48;
+        let mut scalar = varied_fleet(4, slots, true)
+            .with_coupling(binding_coupling(4, 4.0))
+            .unwrap();
+        let mut fast = scalar.clone();
+        let socs = [0.2, 0.45, 0.7, 0.9];
+        scalar.reset(&socs);
+        fast.reset(&socs);
+        let cycle = [BpAction::Charge, BpAction::Discharge, BpAction::Idle];
+        for t in 0..slots {
+            let actions: Vec<BpAction> = (0..4).map(|l| cycle[(t + l) % 3]).collect();
+            let (s_rewards, s_obs) = {
+                let step = scalar.step_batch(&actions);
+                (step.rewards.to_vec(), step.obs.to_vec())
+            };
+            let step = fast.step_batch_soa(&actions);
+            for (lane, reward) in s_rewards.iter().enumerate() {
+                assert_eq!(
+                    reward.to_bits(),
+                    step.rewards[lane].to_bits(),
+                    "reward diverged at slot {t} lane {lane}"
+                );
+            }
+            for (i, (a, b)) in s_obs.iter().zip(step.obs).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "obs diverged at slot {t} idx {i}");
+            }
+        }
+        for lane in 0..4 {
+            assert_eq!(scalar.batteries()[lane].soc(), fast.batteries()[lane].soc());
+        }
+    }
+
+    #[test]
+    fn with_coupling_validates_shapes() {
+        let fleet = varied_fleet(3, 24, false);
+        // Topology size must match the lane count.
+        assert!(fleet
+            .clone()
+            .with_coupling(binding_coupling(2, 5.0))
+            .is_err());
+        // Spillover scale vector must match too.
+        let mut config = binding_coupling(3, 5.0);
+        config.spillover = Some(SpilloverConfig::uniform(1.5, 4));
+        assert!(fleet.clone().with_coupling(config).is_err());
+        // A well-shaped config is accepted.
+        assert!(fleet.with_coupling(binding_coupling(3, 5.0)).is_ok());
+    }
+
+    #[test]
+    fn coupled_rollout_keeps_trails_consistent() {
+        let mut coupled = varied_fleet(3, 24, false)
+            .with_coupling(binding_coupling(3, 4.0))
+            .unwrap();
+        let (totals, trails) = coupled.rollout(&[0.5; 3], |_, _| BpAction::Charge);
+        for (total, trail) in totals.iter().zip(&trails) {
+            assert_eq!(trail.len(), 24);
+            let manual: f64 = trail.iter().map(|b| b.reward.as_f64()).sum();
+            assert!((total.as_f64() - manual).abs() < 1e-9);
+        }
     }
 }
