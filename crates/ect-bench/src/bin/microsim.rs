@@ -1,0 +1,10 @@
+//! Drives hub demand from simulated users: UE-slots/sec throughput rungs
+//! plus the flash-crowd training gap.
+//!
+//! A registry lookup over the shared bench CLI: `--smoke` (CI budgets),
+//! `--full` (paper budgets), `--threads <n>`, `--list` (catalog). The
+//! experiment prints its rung table and scorecard and writes
+//! `results/microsim.json` exactly as `run_all` does.
+fn main() -> ect_types::Result<()> {
+    ect_bench::registry::run_single("microsim")
+}

@@ -5,8 +5,10 @@
 //! This experiment goes beyond the paper: the original evaluation treats
 //! every hub as an island on an infinite feeder. Here the fleet shares one
 //! distribution feeder with an aggregate import cap (proportional-fairness
-//! curtailment), saturated charging stations spill EV demand to ring
-//! neighbours, and the coordinated arm observes neighbour SoC/load/
+//! curtailment), saturated charging stations spill EV demand to their
+//! road-graph neighbours (hub adjacency comes from road distances on a
+//! generated region via `HubTopology::from_region`, not a pinned ring),
+//! and the coordinated arm observes neighbour SoC/load/
 //! curtailment pressure (`ect-env`'s coupling layer). The headline is the
 //! **coordination gap**: coordinated minus independent mean daily reward on
 //! identical evaluation seeds. JSON lands in `results/coordination.json`.
@@ -92,14 +94,26 @@ pub fn smoke_config() -> SystemConfig {
     config
 }
 
+/// Region seed of the road-graph hub adjacency. Fixed per experiment (not
+/// per scale) so the quick and paper fleets sit on the same geography.
+const ROAD_TOPOLOGY_SEED: u64 = 0x0EC7_10AD;
+
 /// The study options of one experiment scale. The feeder cap scales with
-/// the fleet so it binds whenever EVs charge regardless of ring size.
+/// the fleet so it binds whenever EVs charge regardless of fleet size, and
+/// the hub adjacency comes from road distances on a generated region
+/// rather than a pinned ring — each hub couples to its 2 nearest
+/// neighbours by road. (On the 2-hub smoke fleet that degenerates to the
+/// ring's single mutual edge, so the small pins are unaffected.)
 pub fn options_for(scale: crate::Scale) -> CoordinationOptions {
     let config = experiment_config(scale);
     CoordinationOptions {
         episodes: config.trainer.episodes,
         eval_episodes: config.test_episodes,
         feeder_cap_kw: 15.0 * config.world.num_hubs as f64,
+        topology: TopologySource::RoadGraph(RoadGraphTopology {
+            seed: ROAD_TOPOLOGY_SEED,
+            k: 2,
+        }),
         ..CoordinationOptions::default()
     }
 }
@@ -161,7 +175,7 @@ fn print_arm(label: &str, arm: &CoordinationArm) {
 pub fn print(result: &CoordinationResult) {
     println!("== Coordination: networked fleet under a binding shared feeder ==\n");
     println!(
-        "{} hubs on a ring, {:.0} kW aggregate cap, {} slots, {} train / {} eval episodes",
+        "{} hubs coupled by road distance, {:.0} kW aggregate cap, {} slots, {} train / {} eval episodes",
         result.num_hubs,
         result.feeder_cap_kw,
         result.horizon_slots,
@@ -239,6 +253,27 @@ impl ect_core::Experiment for CoordinationExperiment {
 mod tests {
     use super::*;
     use ect_env::coupling::MUTUAL_OBS_DIM;
+
+    #[test]
+    fn every_scale_presets_a_valid_road_graph_topology() {
+        for scale in [
+            crate::Scale::Smoke,
+            crate::Scale::Quick,
+            crate::Scale::Paper,
+        ] {
+            let options = options_for(scale);
+            options.validate().unwrap();
+            assert!(
+                matches!(&options.topology, TopologySource::RoadGraph(road) if road.k == 2),
+                "{scale:?} couples each hub to its 2 road-nearest neighbours"
+            );
+            let num_hubs = experiment_config(scale).world.num_hubs as usize;
+            let topology = options.topology.build(num_hubs).unwrap();
+            topology.validate().unwrap();
+            assert_eq!(topology.num_hubs(), num_hubs);
+            assert!(!topology.is_disconnected());
+        }
+    }
 
     #[test]
     fn smoke_coordination_meets_the_acceptance_bar() {

@@ -12,6 +12,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fleet;
 pub mod generalization;
+pub mod microsim;
 pub mod scenario_sweep;
 pub mod severity_sweep;
 pub mod table2;

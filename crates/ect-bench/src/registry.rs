@@ -14,9 +14,9 @@ use crate::experiments::{
     ablations::AblationsExperiment, coordination::CoordinationExperiment, fig01::Fig01Experiment,
     fig02::Fig02Experiment, fig03::Fig03Experiment, fig04::Fig04Experiment, fig05::Fig05Experiment,
     fig11::Fig11Experiment, fig12::Fig12Experiment, fleet::FleetExperiment,
-    generalization::GeneralizationExperiment, scenario_sweep::ScenarioSweepExperiment,
-    severity_sweep::SeveritySweepExperiment, table2::Table2Experiment,
-    throughput::ThroughputExperiment,
+    generalization::GeneralizationExperiment, microsim::MicrosimExperiment,
+    scenario_sweep::ScenarioSweepExperiment, severity_sweep::SeveritySweepExperiment,
+    table2::Table2Experiment, throughput::ThroughputExperiment,
 };
 use crate::output::{upsert_bench_summary, BenchSummaryEntry};
 use ect_core::experiment::{run_timed, Experiment, ExperimentOutput};
@@ -61,6 +61,7 @@ impl ExperimentRegistry {
         registry.register(Box::new(SeveritySweepExperiment));
         registry.register(Box::new(ThroughputExperiment));
         registry.register(Box::new(CoordinationExperiment));
+        registry.register(Box::new(MicrosimExperiment));
         registry
     }
 
@@ -290,6 +291,7 @@ pub const EXPENSIVE_KINDS: &[&str] = &[
     "pricing-table",
     "pricing-model",
     "coordination",
+    "microsim-demand",
 ];
 
 /// Prints the per-kind memory/disk/build breakdown of the session's
@@ -471,7 +473,7 @@ mod tests {
     #[test]
     fn standard_registry_has_unique_ids_and_artifact_stems() {
         let registry = ExperimentRegistry::standard();
-        assert_eq!(registry.len(), 15);
+        assert_eq!(registry.len(), 16);
         assert!(!registry.is_empty());
 
         let ids = registry.ids();
@@ -523,6 +525,7 @@ mod tests {
                 "severity_sweep",
                 "throughput",
                 "coordination",
+                "microsim",
             ]
         );
     }
@@ -622,6 +625,7 @@ mod tests {
             "severity",
             "pricing-model",
             "coordination",
+            "microsim-demand",
         ] {
             assert!(EXPENSIVE_KINDS.contains(&kind), "{kind}");
         }

@@ -32,6 +32,7 @@
 use crate::scheduling::OBS_WINDOW;
 use crate::system::EctHubSystem;
 use ect_data::scenario::ScenarioSpec;
+use ect_data::spatial::{Region, RegionConfig};
 use ect_data::topology::HubTopology;
 use ect_drl::collector::train_fleet;
 use ect_drl::generalist::{train_generalist, GeneralistConfig, ScenarioMixture};
@@ -57,6 +58,51 @@ const COORDINATED_SEED_STREAM: u64 = 0xC002_D14A;
 /// arms, so they face identical worlds and EV draws).
 const COORDINATION_EVAL_STREAM: u64 = 0xE7A1_C002;
 
+/// Seed-stream separator for the road-graph topology region (decorrelated
+/// from the world and trainer draws).
+const ROAD_TOPOLOGY_SEED_STREAM: u64 = 0x70D0_10D7;
+
+/// Knobs of a road-graph-derived coupling topology: hubs are sited on the
+/// evenly-strided base stations of a synthetic [`Region`] and linked to
+/// their `k` nearest siblings ([`HubTopology::from_region`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoadGraphTopology {
+    /// Seed of the generated region (default [`RegionConfig`]).
+    pub seed: u64,
+    /// Nearest neighbours each hub links to (≥ 1; union-symmetrised).
+    pub k: usize,
+}
+
+/// Where the coordination study's hub adjacency comes from.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum TopologySource {
+    /// The historical ring over all hubs.
+    #[default]
+    Ring,
+    /// Road-distance adjacency from a generated region's geography.
+    RoadGraph(RoadGraphTopology),
+}
+
+impl TopologySource {
+    /// Builds the hub adjacency this source describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates region generation and topology validation failures.
+    pub fn build(&self, num_hubs: usize) -> ect_types::Result<HubTopology> {
+        match self {
+            Self::Ring => HubTopology::ring(num_hubs),
+            Self::RoadGraph(road) => {
+                let region = Region::generate(
+                    &RegionConfig::default(),
+                    &mut EctRng::seed_from(road.seed ^ ROAD_TOPOLOGY_SEED_STREAM),
+                )?;
+                HubTopology::from_region(&region, num_hubs, road.k)
+            }
+        }
+    }
+}
+
 /// Knobs of the coordination study.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CoordinationOptions {
@@ -75,6 +121,8 @@ pub struct CoordinationOptions {
     pub demand_scale_high: f64,
     /// EV demand multiplier on odd-indexed hubs (the headroom half).
     pub demand_scale_low: f64,
+    /// Where the hub adjacency comes from (ring, or road-graph geography).
+    pub topology: TopologySource,
 }
 
 impl Default for CoordinationOptions {
@@ -86,6 +134,7 @@ impl Default for CoordinationOptions {
             curtailment_price: 0.60,
             demand_scale_high: 1.8,
             demand_scale_low: 0.3,
+            topology: TopologySource::Ring,
         }
     }
 }
@@ -126,23 +175,31 @@ impl CoordinationOptions {
                 )));
             }
         }
+        if let TopologySource::RoadGraph(road) = &self.topology {
+            if road.k == 0 {
+                return Err(ect_types::EctError::InvalidConfig(
+                    "road-graph topology needs k ≥ 1 (k = 0 disconnects the fleet)".into(),
+                ));
+            }
+        }
         Ok(())
     }
 
-    /// The coupling this study runs under: a ring over every hub, the
-    /// feeder cap and curtailment price from the options, and asymmetric
-    /// EV demand (saturated even hubs, headroom odd hubs).
+    /// The coupling this study runs under: the configured topology over
+    /// every hub ([`TopologySource`]), the feeder cap and curtailment price
+    /// from the options, and asymmetric EV demand (saturated even hubs,
+    /// headroom odd hubs).
     ///
     /// # Errors
     ///
-    /// Propagates topology validation.
+    /// Propagates topology construction and validation.
     pub fn coupling(&self, num_hubs: usize, mutual_obs: bool) -> ect_types::Result<CouplingConfig> {
         let mut ev_demand_scale = vec![self.demand_scale_low; num_hubs];
         for scale in ev_demand_scale.iter_mut().step_by(2) {
             *scale = self.demand_scale_high;
         }
         Ok(CouplingConfig {
-            topology: HubTopology::ring(num_hubs)?,
+            topology: self.topology.build(num_hubs)?,
             feeder: Some(FeederConfig {
                 cap_kw: self.feeder_cap_kw,
                 curtailment_price: DollarsPerKwh::new(self.curtailment_price),
@@ -435,6 +492,62 @@ mod tests {
         assert!(o.validate().is_err(), "zero demand scale");
         o.demand_scale_high = 1.8;
         o.validate().unwrap();
+    }
+
+    #[test]
+    fn road_graph_topology_is_deterministic_and_valid() {
+        let source = TopologySource::RoadGraph(RoadGraphTopology { seed: 7, k: 2 });
+        let a = source.build(6).unwrap();
+        let b = source.build(6).unwrap();
+        assert_eq!(a.num_hubs(), 6);
+        a.validate().unwrap();
+        for hub in 0..6 {
+            assert_eq!(a.neighbours(hub), b.neighbours(hub), "hub {hub} adjacency");
+            assert!(!a.neighbours(hub).is_empty(), "k ≥ 1 keeps hub {hub} wired");
+        }
+        // A different region seed is allowed to (and here does) rewire hubs.
+        let other = TopologySource::RoadGraph(RoadGraphTopology { seed: 8, k: 2 })
+            .build(6)
+            .unwrap();
+        assert!(
+            (0..6).any(|hub| a.neighbours(hub) != other.neighbours(hub)),
+            "the topology must come from the region, not from the hub count"
+        );
+    }
+
+    #[test]
+    fn road_graph_degenerates_to_the_ring_on_two_hubs() {
+        // The smoke-scale study runs 2 hubs; geography cannot change that
+        // adjacency (a single mutual edge), so swapping the source in the
+        // bench preset leaves the small pins untouched.
+        let road = TopologySource::RoadGraph(RoadGraphTopology { seed: 3, k: 2 })
+            .build(2)
+            .unwrap();
+        let ring = HubTopology::ring(2).unwrap();
+        assert_eq!(road.neighbours(0), ring.neighbours(0));
+        assert_eq!(road.neighbours(1), ring.neighbours(1));
+        assert_eq!(road.edge_count(), ring.edge_count());
+    }
+
+    #[test]
+    fn road_graph_options_validate_and_round_trip() {
+        let options = CoordinationOptions {
+            topology: TopologySource::RoadGraph(RoadGraphTopology { seed: 11, k: 0 }),
+            ..tiny_options()
+        };
+        assert!(options.validate().is_err(), "k = 0 disconnects the fleet");
+
+        let options = CoordinationOptions {
+            topology: TopologySource::RoadGraph(RoadGraphTopology { seed: 11, k: 2 }),
+            ..tiny_options()
+        };
+        options.validate().unwrap();
+        let json = serde_json::to_string(&options).unwrap();
+        let back: CoordinationOptions = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, options, "artifact keys hash the topology source");
+        let coupling = options.coupling(4, true).unwrap();
+        assert_eq!(coupling.topology.num_hubs(), 4);
+        coupling.topology.validate().unwrap();
     }
 
     #[test]

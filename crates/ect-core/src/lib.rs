@@ -53,6 +53,7 @@ pub mod coordination;
 pub mod dispatch;
 pub mod experiment;
 pub mod generalist;
+pub mod microsim;
 pub mod pricing;
 pub mod report;
 pub mod scenario_grid;
@@ -64,7 +65,8 @@ pub mod system;
 pub use artifact::{ArtifactKey, ArtifactStore, KindStats};
 pub use cache::{CacheProvenance, DiskCache, CACHE_FORMAT_VERSION};
 pub use coordination::{
-    run_coordination, CoordinationArm, CoordinationOptions, CoordinationOutcome,
+    run_coordination, CoordinationArm, CoordinationOptions, CoordinationOutcome, RoadGraphTopology,
+    TopologySource,
 };
 pub use dispatch::{run_dag, run_indexed};
 pub use experiment::{run_timed, Experiment, ExperimentOutput};
@@ -74,6 +76,7 @@ pub use generalist::{
     heldout_baselines, run_generalist_against, GeneralistOptions, GeneralistOutcome,
     GeneralistReport, HeldOutBaseline, HeldOutComparison,
 };
+pub use microsim::{synthesize_demand_parallel, MicrosimDemandOptions};
 #[allow(deprecated)]
 pub use pricing::pricing_table;
 pub use pricing::{train_engine, MethodPricingResults, PricingTable};
@@ -101,6 +104,7 @@ pub mod prelude {
     pub use crate::cache::{CacheProvenance, DiskCache};
     pub use crate::coordination::{
         run_coordination, CoordinationArm, CoordinationOptions, CoordinationOutcome,
+        RoadGraphTopology, TopologySource,
     };
     pub use crate::experiment::{run_timed, Experiment, ExperimentOutput};
     #[allow(deprecated)]
@@ -109,6 +113,7 @@ pub mod prelude {
         heldout_baselines, run_generalist_against, GeneralistOptions, GeneralistOutcome,
         GeneralistReport, HeldOutBaseline, HeldOutComparison,
     };
+    pub use crate::microsim::{synthesize_demand_parallel, MicrosimDemandOptions};
     #[allow(deprecated)]
     pub use crate::pricing::pricing_table;
     pub use crate::pricing::{train_engine, PricingTable};
@@ -153,6 +158,9 @@ pub mod prelude {
     pub use ect_env::env::{HubEnv, ObsAugmentation};
     pub use ect_env::hub::HubConfig;
     pub use ect_env::tariff::DiscountSchedule;
+    pub use ect_microsim::{
+        synthesize_demand, FlashCrowd, MicrosimConfig, MicrosimDemand, MicrosimEngine,
+    };
     pub use ect_price::engine::PricingEngine;
     pub use ect_price::eval::evaluate_engine;
     pub use ect_types::ids::{HubId, StationId};

@@ -49,6 +49,7 @@ use crate::generalist::{
     heldout_baselines, run_generalist_against, GeneralistOptions, GeneralistOutcome,
     HeldOutBaseline,
 };
+use crate::microsim::MicrosimDemandOptions;
 use crate::pricing::{pricing_table_impl, PricingTable};
 use crate::scenario_grid::{scenario_grid_impl, NamedEngines, ScenarioGridResult};
 use crate::scheduling::{run_fleet_impl, HubExperimentResult};
@@ -88,6 +89,9 @@ pub mod kind_versions {
     /// `coordination` — networked multi-hub coordination study (trains the
     /// coordinated and independent arms under the coupling layer).
     pub const COORDINATION: u32 = 1;
+    /// `microsim-demand` — UE microsimulation demand synthesis (bump when
+    /// the particle engine's draws, mobility or aggregation change).
+    pub const MICROSIM: u32 = 1;
 }
 
 /// Budget preset of an experiment run.
@@ -554,6 +558,26 @@ impl Session {
         options: &CoordinationOptions,
     ) -> ect_types::Result<Arc<CoordinationOutcome>> {
         self.coordination_for(&self.config, options)
+    }
+
+    /// The UE-microsimulation demand of `options`, memoised: the particle
+    /// engine runs once per distinct option set (shards fanned over the
+    /// session's thread pool — the output is thread-count invariant, so
+    /// parallelism never leaks into the artifact), and the synthesized
+    /// per-hub series are served from the store afterwards. Spills to the
+    /// persistent cache when one is attached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates region-generation and microsim validation failures.
+    pub fn microsim_demand_for(
+        &self,
+        options: &MicrosimDemandOptions,
+    ) -> ect_types::Result<Arc<ect_microsim::MicrosimDemand>> {
+        let key = ArtifactKey::versioned("microsim-demand", kind_versions::MICROSIM, options);
+        self.announce_build(&key, "synthesizing UE microsim demand …");
+        self.store
+            .get_or_insert_cached(key, || options.build(self.threads))
     }
 
     /// The Table II pricing table of `(configuration, discount levels)`,

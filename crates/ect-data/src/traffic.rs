@@ -263,6 +263,13 @@ mod tests {
         assert!((pearson_correlation(&a, &down) + 1.0).abs() < 1e-12);
         let flat = [5.0, 5.0, 5.0, 5.0];
         assert_eq!(pearson_correlation(&a, &flat), 0.0);
+        // Zero variance on either side — or both — is a defined 0.0, never
+        // a 0/0 NaN. Both-flat is the case a naive guard on one variance
+        // misses.
+        assert_eq!(pearson_correlation(&flat, &a), 0.0);
+        assert_eq!(pearson_correlation(&flat, &flat), 0.0);
+        let zeros = [0.0, 0.0, 0.0];
+        assert_eq!(pearson_correlation(&zeros, &zeros), 0.0);
     }
 
     #[test]
@@ -278,6 +285,23 @@ mod tests {
         fn any_seed_stays_physical(seed in 0u64..10_000) {
             for s in series(seed, 96) {
                 prop_assert!((0.0..=1.0).contains(&s.load_rate.as_f64()));
+            }
+        }
+
+        // The correlation of anything finite — constant stretches, near-flat
+        // series, whatever the generator emits — is a number in [-1, 1],
+        // never NaN: the zero-variance guard covers every degenerate input.
+        #[test]
+        fn correlation_is_always_finite_and_bounded(seed in 0u64..10_000, level in 0.0f64..10.0) {
+            let load: Vec<f64> = series(seed, 48)
+                .iter()
+                .map(|s| s.load_rate.as_f64())
+                .collect();
+            let flat = vec![level; load.len()];
+            for (a, b) in [(&load, &flat), (&flat, &load), (&flat, &flat), (&load, &load)] {
+                let r = pearson_correlation(a, b);
+                prop_assert!(r.is_finite(), "correlation {r} for level {level}");
+                prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
             }
         }
     }

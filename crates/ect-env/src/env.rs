@@ -314,6 +314,27 @@ impl EpisodeInputs {
     pub fn is_empty(&self) -> bool {
         self.rtp.is_empty()
     }
+
+    /// Replaces the traffic series — how an alternative demand source
+    /// (e.g. the UE microsimulation) plugs into an episode that was sliced
+    /// from a world's aggregate traces. Everything else (prices, weather,
+    /// strata, discounts) is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::ShapeMismatch`] when the new series
+    /// does not cover the episode horizon.
+    pub fn with_traffic(mut self, traffic: Vec<TrafficSample>) -> ect_types::Result<Self> {
+        if traffic.len() != self.len() {
+            return Err(ect_types::EctError::ShapeMismatch {
+                context: "episode traffic override",
+                expected: self.len(),
+                actual: traffic.len(),
+            });
+        }
+        self.traffic = traffic;
+        Ok(self)
+    }
 }
 
 /// Everything that happened in one slot — the audit trail for experiments.

@@ -12,6 +12,7 @@ use crate::vec_env::{FleetEnv, HubSeries};
 use ect_data::charging::Stratum;
 use ect_data::dataset::{WorldConfig, WorldDataset};
 use ect_data::scenario::ScenarioSpec;
+use ect_data::traffic::TrafficSample;
 use ect_types::ids::{HubId, StationId};
 use ect_types::rng::EctRng;
 use ect_types::time::SlotIndex;
@@ -276,6 +277,91 @@ pub fn fleet_env_for_hubs(
     FleetEnv::new(lanes, window)
 }
 
+/// Swaps each lane's traffic series for the matching entry of `traffic` —
+/// the single injection point behind both `*_with_traffic` builders, so an
+/// alternative demand source (the UE microsimulation) replaces exactly the
+/// series the world's aggregate [`TrafficGenerator`](ect_data::traffic)
+/// supplied and nothing else. Strata were already drawn when the lanes were
+/// built, so overriding afterwards leaves every other draw untouched.
+fn override_lane_traffic(
+    lanes: &mut [(HubConfig, HubSeries)],
+    traffic: &[Arc<[TrafficSample]>],
+    len: usize,
+) -> ect_types::Result<()> {
+    if traffic.len() != lanes.len() {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "fleet traffic overrides",
+            expected: lanes.len(),
+            actual: traffic.len(),
+        });
+    }
+    for (lane, series) in lanes.iter_mut().zip(traffic) {
+        if series.len() != len {
+            return Err(ect_types::EctError::ShapeMismatch {
+                context: "fleet traffic override length",
+                expected: len,
+                actual: series.len(),
+            });
+        }
+        lane.1.traffic = Arc::clone(series);
+    }
+    Ok(())
+}
+
+/// [`fleet_env_for_hubs`] with the per-lane traffic series replaced by
+/// `traffic[i]` — how microsim-synthesized demand plugs into a fleet in
+/// place of the world's aggregate traffic traces. Every other series (RTP,
+/// weather, discounts, strata, outages) is built exactly as
+/// [`fleet_env_for_hubs`] builds it, from the same rng draws; passing each
+/// lane's own `world` traffic reproduces the plain builder bit for bit.
+///
+/// # Errors
+///
+/// Propagates [`fleet_env_for_hubs`]-style failures, plus
+/// [`ect_types::EctError::ShapeMismatch`] when `traffic` does not supply one
+/// `len`-slot series per hub.
+#[allow(clippy::too_many_arguments)]
+pub fn fleet_env_for_hubs_with_traffic(
+    world: &WorldDataset,
+    hubs: &[HubId],
+    start_slot: usize,
+    len: usize,
+    discounts: &[DiscountSchedule],
+    window: usize,
+    traffic: &[Arc<[TrafficSample]>],
+    rngs: &mut [EctRng],
+) -> ect_types::Result<FleetEnv> {
+    if discounts.len() != hubs.len() {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "fleet discount schedules",
+            expected: hubs.len(),
+            actual: discounts.len(),
+        });
+    }
+    if rngs.len() != hubs.len() {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "fleet strata rngs",
+            expected: hubs.len(),
+            actual: rngs.len(),
+        });
+    }
+    let shared_rtp = shared_rtp_slice(world, start_slot, len)?;
+    let mut lanes = Vec::with_capacity(hubs.len());
+    for ((&hub, schedule), rng) in hubs.iter().zip(discounts).zip(rngs.iter_mut()) {
+        lanes.push(build_lane(
+            world,
+            &shared_rtp,
+            hub,
+            start_slot,
+            len,
+            schedule,
+            rng,
+        )?);
+    }
+    override_lane_traffic(&mut lanes, traffic, len)?;
+    FleetEnv::new(lanes, window)
+}
+
 /// Builds a batched [`FleetEnv`] whose lanes run **heterogeneous scenarios
 /// side by side**: lane `i` lives in the world `lanes[i].0` generates (same
 /// `WorldConfig`, different [`ScenarioSpec`]) and plays hub `lanes[i].1`.
@@ -433,6 +519,73 @@ pub fn fleet_env_for_worlds(
             world, shared_rtp, *hub, start_slot, len, schedule, rng,
         )?);
     }
+    let fleet = FleetEnv::new(built, window)?;
+    if augment.width() == 0 {
+        return Ok(fleet);
+    }
+    let features: Vec<Vec<f64>> = lanes
+        .iter()
+        .map(|(world, _)| augment.features_for(&world.scenario, world.horizon()))
+        .collect();
+    fleet.with_lane_features(features)
+}
+
+/// [`fleet_env_for_worlds`] with the per-lane traffic series replaced by
+/// `traffic[i]` — the pre-generated-worlds counterpart of
+/// [`fleet_env_for_hubs_with_traffic`], for training loops that re-slice the
+/// same worlds every episode under a microsim demand source.
+///
+/// # Errors
+///
+/// Propagates [`fleet_env_for_worlds`] failures, plus
+/// [`ect_types::EctError::ShapeMismatch`] when `traffic` does not supply one
+/// `len`-slot series per lane.
+#[allow(clippy::too_many_arguments)]
+pub fn fleet_env_for_worlds_with_traffic(
+    lanes: &[(&WorldDataset, HubId)],
+    start_slot: usize,
+    len: usize,
+    discounts: &[DiscountSchedule],
+    window: usize,
+    augment: &ObsAugmentation,
+    traffic: &[Arc<[TrafficSample]>],
+    rngs: &mut [EctRng],
+) -> ect_types::Result<FleetEnv> {
+    if discounts.len() != lanes.len() {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "world fleet discount schedules",
+            expected: lanes.len(),
+            actual: discounts.len(),
+        });
+    }
+    if rngs.len() != lanes.len() {
+        return Err(ect_types::EctError::ShapeMismatch {
+            context: "world fleet strata rngs",
+            expected: lanes.len(),
+            actual: rngs.len(),
+        });
+    }
+    let mut shared: Vec<(*const WorldDataset, Arc<[ect_types::units::DollarsPerKwh]>)> = Vec::new();
+    for (world, _) in lanes {
+        let key: *const WorldDataset = *world;
+        if shared.iter().any(|(k, _)| *k == key) {
+            continue;
+        }
+        shared.push((key, shared_rtp_slice(world, start_slot, len)?));
+    }
+
+    let mut built = Vec::with_capacity(lanes.len());
+    for (((world, hub), schedule), rng) in lanes.iter().zip(discounts).zip(rngs.iter_mut()) {
+        let key: *const WorldDataset = *world;
+        let (_, shared_rtp) = shared
+            .iter()
+            .find(|(k, _)| *k == key)
+            .expect("every lane world was sliced above");
+        built.push(build_lane(
+            world, shared_rtp, *hub, start_slot, len, schedule, rng,
+        )?);
+    }
+    override_lane_traffic(&mut built, traffic, len)?;
     let fleet = FleetEnv::new(built, window)?;
     if augment.width() == 0 {
         return Ok(fleet);
@@ -955,6 +1108,142 @@ mod tests {
             outage_slots_hit > 0,
             "scripted outages must reach the stepping reward"
         );
+    }
+
+    #[test]
+    fn traffic_override_with_own_series_is_bit_identical() {
+        // Overriding with the world's own traffic must reproduce the plain
+        // builder exactly — the override path changes nothing but traffic.
+        let w = world();
+        let hubs: Vec<HubId> = (0..3).map(HubId::new).collect();
+        let discounts = vec![DiscountSchedule::none(48); 3];
+        let own: Vec<Arc<[TrafficSample]>> = hubs
+            .iter()
+            .map(|&h| w.hubs[h.index()].traffic[24..72].into())
+            .collect();
+
+        let mut rngs: Vec<EctRng> = (0..3).map(|l| EctRng::seed_from(80 + l)).collect();
+        let plain = fleet_env_for_hubs(&w, &hubs, 24, 48, &discounts, 6, &mut rngs).unwrap();
+        let mut rngs: Vec<EctRng> = (0..3).map(|l| EctRng::seed_from(80 + l)).collect();
+        let overridden =
+            fleet_env_for_hubs_with_traffic(&w, &hubs, 24, 48, &discounts, 6, &own, &mut rngs)
+                .unwrap();
+        assert_eq!(overridden.obs(), plain.obs());
+        for lane in 0..3 {
+            assert_eq!(
+                &*overridden.series()[lane].traffic,
+                &*plain.series()[lane].traffic
+            );
+            assert_eq!(
+                overridden.series()[lane].strata,
+                plain.series()[lane].strata
+            );
+        }
+
+        // The worlds variant goes through the same injection point.
+        let lanes: Vec<(&WorldDataset, HubId)> = hubs.iter().map(|&h| (&w, h)).collect();
+        let mut rngs: Vec<EctRng> = (0..3).map(|l| EctRng::seed_from(80 + l)).collect();
+        let by_worlds = fleet_env_for_worlds_with_traffic(
+            &lanes,
+            24,
+            48,
+            &discounts,
+            6,
+            &ObsAugmentation::NONE,
+            &own,
+            &mut rngs,
+        )
+        .unwrap();
+        assert_eq!(by_worlds.obs(), plain.obs());
+    }
+
+    #[test]
+    fn traffic_override_actually_lands_in_lanes() {
+        use ect_types::units::LoadRate;
+        let w = world();
+        let hubs = [HubId::new(0), HubId::new(1)];
+        let discounts = vec![DiscountSchedule::none(24); 2];
+        let synthetic: Vec<Arc<[TrafficSample]>> = (0..2)
+            .map(|lane| {
+                (0..24)
+                    .map(|t| TrafficSample {
+                        load_rate: LoadRate::saturating(0.01 * (lane * 24 + t) as f64),
+                        volume_gb: (lane * 24 + t) as f64,
+                    })
+                    .collect::<Vec<_>>()
+                    .into()
+            })
+            .collect();
+        let mut rngs: Vec<EctRng> = (0..2).map(|l| EctRng::seed_from(90 + l)).collect();
+        let fleet =
+            fleet_env_for_hubs_with_traffic(&w, &hubs, 0, 24, &discounts, 4, &synthetic, &mut rngs)
+                .unwrap();
+        for (lane, expected) in synthetic.iter().enumerate() {
+            assert_eq!(&*fleet.series()[lane].traffic, &**expected);
+        }
+    }
+
+    #[test]
+    fn traffic_override_validates_shapes() {
+        let w = world();
+        let hubs = [HubId::new(0), HubId::new(1)];
+        let discounts = vec![DiscountSchedule::none(24); 2];
+        let short: Arc<[TrafficSample]> = w.hubs[0].traffic[0..12].into();
+        let full: Arc<[TrafficSample]> = w.hubs[0].traffic[0..24].into();
+
+        // Wrong series count.
+        let mut rngs: Vec<EctRng> = (0..2).map(EctRng::seed_from).collect();
+        assert!(fleet_env_for_hubs_with_traffic(
+            &w,
+            &hubs,
+            0,
+            24,
+            &discounts,
+            4,
+            std::slice::from_ref(&full),
+            &mut rngs,
+        )
+        .is_err());
+        // Wrong series length.
+        let mut rngs: Vec<EctRng> = (0..2).map(EctRng::seed_from).collect();
+        assert!(fleet_env_for_hubs_with_traffic(
+            &w,
+            &hubs,
+            0,
+            24,
+            &discounts,
+            4,
+            &[Arc::clone(&full), short],
+            &mut rngs,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn episode_inputs_with_traffic_swaps_and_validates() {
+        use ect_types::units::LoadRate;
+        let w = world();
+        let mut rng = EctRng::seed_from(31);
+        let inputs = episode_for_hub(
+            &w,
+            HubId::new(0),
+            0,
+            24,
+            DiscountSchedule::none(24),
+            &mut rng,
+        )
+        .unwrap();
+        let flat: Vec<TrafficSample> = (0..24)
+            .map(|_| TrafficSample {
+                load_rate: LoadRate::saturating(0.5),
+                volume_gb: 1.0,
+            })
+            .collect();
+        let swapped = inputs.clone().with_traffic(flat.clone()).unwrap();
+        assert_eq!(swapped.traffic, flat);
+        assert_eq!(swapped.rtp, inputs.rtp);
+        assert_eq!(swapped.strata, inputs.strata);
+        assert!(inputs.with_traffic(flat[..12].to_vec()).is_err());
     }
 
     #[test]

@@ -80,8 +80,9 @@ pub use blackout::{ride_through, worst_case_ride_through, BlackoutOutcome, Black
 pub use coupling::{CouplingConfig, FeederConfig, SpilloverConfig, MUTUAL_OBS_DIM};
 pub use env::{EpisodeInputs, HubEnv, ObsAugmentation, SlotBreakdown, StepResult};
 pub use fleet::{
-    draw_strata, env_for_hub, episode_for_hub, fleet_env_for_hubs, fleet_env_for_scenarios,
-    fleet_env_for_scenarios_augmented, fleet_env_for_worlds,
+    draw_strata, env_for_hub, episode_for_hub, fleet_env_for_hubs, fleet_env_for_hubs_with_traffic,
+    fleet_env_for_scenarios, fleet_env_for_scenarios_augmented, fleet_env_for_worlds,
+    fleet_env_for_worlds_with_traffic,
 };
 pub use hub::HubConfig;
 pub use power::{grid_power, BaseStationModel, ChargingStationModel};

@@ -1,0 +1,245 @@
+//! Microsimulation configuration: population size, mobility, demand shape
+//! and scripted surge events.
+
+use serde::{Deserialize, Serialize};
+
+/// One scripted flash crowd: a population surge pinned to a road-graph
+/// location for a slot window (a stadium event, an incident, a festival).
+///
+/// The crowd is anchored at the midpoint of road segment
+/// `road % region.roads.len()` and scattered around it with a Gaussian
+/// spread of `spread_km`; its members demand like regular UEs (diurnal
+/// shape × activity floor/swing) for the duration of the window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowd {
+    /// First slot of the surge.
+    pub start_slot: usize,
+    /// Window length in slots (must be ≥ 1).
+    pub len_slots: usize,
+    /// Number of surging UEs (must be ≥ 1).
+    pub population: usize,
+    /// Anchor road segment, taken modulo the region's segment count.
+    pub road: usize,
+    /// Gaussian scatter radius around the anchor, km.
+    pub spread_km: f64,
+}
+
+impl FlashCrowd {
+    /// `true` when the crowd is present at `slot`.
+    #[must_use]
+    pub fn active_at(&self, slot: usize) -> bool {
+        slot >= self.start_slot && slot < self.start_slot + self.len_slots
+    }
+}
+
+/// Knobs of the UE microsimulation.
+///
+/// Everything that shapes the synthesized demand lives here; together with
+/// the region, hub count, slot count and seed it fully determines the
+/// output (see the crate-level determinism contract).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicrosimConfig {
+    /// Simulated population size.
+    pub num_ues: usize,
+    /// Mean cruising speed on highway segments, km/h.
+    pub highway_speed_kmh: f64,
+    /// Mean cruising speed on urban segments, km/h.
+    pub urban_speed_kmh: f64,
+    /// Per-slot chance a UE hops to a fresh (length-weighted) segment
+    /// instead of continuing along its current one, in `[0, 1]`.
+    pub rewire_chance: f64,
+    /// Demand floor every active UE contributes regardless of hour.
+    pub activity_floor: f64,
+    /// Diurnal demand swing on top of the floor (scaled by the shared
+    /// [`ect_data::rtp::demand_shape`] curve).
+    pub activity_swing: f64,
+    /// Strength of the morning/evening commute waves: a multiplier
+    /// `1 + commute_amplitude · (bump(8h) + bump(18h))` on both movement
+    /// and demand.
+    pub commute_amplitude: f64,
+    /// Fraction of UEs that are EVs (feed the EV-arrival series), `[0, 1]`.
+    pub ev_fraction: f64,
+    /// Pathloss distance exponent `α` in `w = 1 / (1 + (d/d₀)^α)`.
+    pub pathloss_exponent: f64,
+    /// Pathloss reference distance `d₀`, km.
+    pub pathloss_ref_km: f64,
+    /// Weighted UE-load units that saturate one hub (`load_rate = 1`).
+    pub ues_per_full_load: f64,
+    /// Traffic volume at full load, GB per slot (mirrors
+    /// [`ect_data::traffic::TrafficConfig`]).
+    pub full_load_gb: f64,
+    /// Scripted population surges.
+    pub flash_crowds: Vec<FlashCrowd>,
+}
+
+impl Default for MicrosimConfig {
+    fn default() -> Self {
+        Self {
+            num_ues: 10_000,
+            highway_speed_kmh: 80.0,
+            urban_speed_kmh: 30.0,
+            rewire_chance: 0.15,
+            activity_floor: 0.05,
+            activity_swing: 0.60,
+            commute_amplitude: 0.80,
+            ev_fraction: 0.20,
+            pathloss_exponent: 2.5,
+            pathloss_ref_km: 1.0,
+            ues_per_full_load: 400.0,
+            full_load_gb: 160.0,
+            flash_crowds: Vec::new(),
+        }
+    }
+}
+
+fn positive_finite(v: f64, what: &str) -> ect_types::Result<()> {
+    if !v.is_finite() || v <= 0.0 {
+        return Err(ect_types::EctError::InvalidConfig(format!(
+            "{what} must be positive and finite, got {v}"
+        )));
+    }
+    Ok(())
+}
+
+fn fraction(v: f64, what: &str) -> ect_types::Result<()> {
+    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+        return Err(ect_types::EctError::InvalidConfig(format!(
+            "{what} must lie in [0, 1], got {v}"
+        )));
+    }
+    Ok(())
+}
+
+impl MicrosimConfig {
+    /// Checks every knob for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] naming the first
+    /// offending field.
+    pub fn validate(&self) -> ect_types::Result<()> {
+        if self.num_ues == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "microsim needs at least one UE".into(),
+            ));
+        }
+        positive_finite(self.highway_speed_kmh, "highway speed")?;
+        positive_finite(self.urban_speed_kmh, "urban speed")?;
+        fraction(self.rewire_chance, "rewire chance")?;
+        fraction(self.ev_fraction, "EV fraction")?;
+        for (v, what) in [
+            (self.activity_floor, "activity floor"),
+            (self.activity_swing, "activity swing"),
+            (self.commute_amplitude, "commute amplitude"),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ect_types::EctError::InvalidConfig(format!(
+                    "{what} must be non-negative and finite, got {v}"
+                )));
+            }
+        }
+        if self.activity_floor + self.activity_swing <= 0.0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "activity floor + swing must be positive (UEs would never demand)".into(),
+            ));
+        }
+        positive_finite(self.pathloss_exponent, "pathloss exponent")?;
+        positive_finite(self.pathloss_ref_km, "pathloss reference distance")?;
+        positive_finite(self.ues_per_full_load, "UEs per full load")?;
+        positive_finite(self.full_load_gb, "full-load volume")?;
+        for (i, crowd) in self.flash_crowds.iter().enumerate() {
+            if crowd.len_slots == 0 || crowd.population == 0 {
+                return Err(ect_types::EctError::InvalidConfig(format!(
+                    "flash crowd {i} needs a non-empty window and population"
+                )));
+            }
+            if !crowd.spread_km.is_finite() || crowd.spread_km < 0.0 {
+                return Err(ect_types::EctError::InvalidConfig(format!(
+                    "flash crowd {i} spread must be non-negative and finite"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        MicrosimConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_knobs_are_rejected() {
+        for broken in [
+            MicrosimConfig {
+                num_ues: 0,
+                ..MicrosimConfig::default()
+            },
+            MicrosimConfig {
+                highway_speed_kmh: 0.0,
+                ..MicrosimConfig::default()
+            },
+            MicrosimConfig {
+                rewire_chance: 1.5,
+                ..MicrosimConfig::default()
+            },
+            MicrosimConfig {
+                activity_floor: 0.0,
+                activity_swing: 0.0,
+                ..MicrosimConfig::default()
+            },
+            MicrosimConfig {
+                pathloss_exponent: f64::NAN,
+                ..MicrosimConfig::default()
+            },
+            MicrosimConfig {
+                flash_crowds: vec![FlashCrowd {
+                    start_slot: 0,
+                    len_slots: 0,
+                    population: 10,
+                    road: 0,
+                    spread_km: 1.0,
+                }],
+                ..MicrosimConfig::default()
+            },
+        ] {
+            assert!(broken.validate().is_err(), "accepted {broken:?}");
+        }
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let config = MicrosimConfig {
+            flash_crowds: vec![FlashCrowd {
+                start_slot: 12,
+                len_slots: 6,
+                population: 5_000,
+                road: 3,
+                spread_km: 2.0,
+            }],
+            ..MicrosimConfig::default()
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: MicrosimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn flash_crowd_window_membership() {
+        let crowd = FlashCrowd {
+            start_slot: 10,
+            len_slots: 4,
+            population: 100,
+            road: 0,
+            spread_km: 1.0,
+        };
+        assert!(!crowd.active_at(9));
+        assert!(crowd.active_at(10));
+        assert!(crowd.active_at(13));
+        assert!(!crowd.active_at(14));
+    }
+}

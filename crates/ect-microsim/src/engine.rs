@@ -1,0 +1,775 @@
+//! The SoA particle engine: UE mobility on the road graph, per-slot
+//! association through the spatial hash, and pathloss-weighted aggregation
+//! into per-hub demand series.
+//!
+//! # Determinism contract
+//!
+//! Every per-UE draw is a pure hash of `(seed, ue index, slot)` — no
+//! sequential RNG stream crosses UE or slot boundaries — and UEs are
+//! partitioned into fixed-size shards ([`SHARD_UES`]) whose partial sums
+//! are folded in shard order. The synthesized demand is therefore
+//! bit-identical no matter how many threads step the shards, and pure in
+//! `(config, region, num_hubs, slots, seed)`; `tests/` pins both
+//! properties.
+
+use crate::config::MicrosimConfig;
+use crate::grid::SpatialHash;
+use ect_data::rtp::demand_shape;
+use ect_data::spatial::{Point, Region, RoadKind};
+use ect_data::traffic::TrafficSample;
+use ect_types::time::SLOTS_PER_DAY;
+use ect_types::units::LoadRate;
+use serde::{Deserialize, Serialize};
+
+/// UEs per shard: the unit of parallel work. Fixed (never derived from the
+/// thread count) so the shard partition — and with it the floating-point
+/// fold order — is identical on every machine.
+pub const SHARD_UES: usize = 4096;
+
+/// Representative sample cap per flash crowd; larger populations are
+/// scaled, keeping event cost bounded while the aggregate load matches.
+const CROWD_SAMPLES: usize = 2048;
+
+/// Stream separators for the stateless per-UE hash draws.
+const STREAM_INIT: u64 = 0x0515_AB1E;
+const STREAM_STEP: u64 = 0x57E9_0DD5;
+const STREAM_CROWD: u64 = 0xC09D_FACE;
+
+/// SplitMix64 finaliser: the stateless mixing primitive behind every
+/// microsim draw.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from 64 hashed bits.
+#[inline]
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Decorrelates a UE index before mixing (consecutive integers would
+/// otherwise share most of their bits).
+#[inline]
+fn spread(ue: u64) -> u64 {
+    ue.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Flattened road geometry: everything the hot loop needs per segment,
+/// laid out as parallel arrays.
+#[derive(Debug, Clone)]
+struct RoadTable {
+    ax: Vec<f64>,
+    ay: Vec<f64>,
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    len_km: Vec<f64>,
+    speed_kmh: Vec<f64>,
+    /// Cumulative segment length, for length-weighted sampling.
+    cum_len: Vec<f64>,
+    total_len: f64,
+}
+
+impl RoadTable {
+    fn new(region: &Region, config: &MicrosimConfig) -> Self {
+        let n = region.roads.len();
+        let mut table = Self {
+            ax: Vec::with_capacity(n),
+            ay: Vec::with_capacity(n),
+            dx: Vec::with_capacity(n),
+            dy: Vec::with_capacity(n),
+            len_km: Vec::with_capacity(n),
+            speed_kmh: Vec::with_capacity(n),
+            cum_len: Vec::with_capacity(n),
+            total_len: 0.0,
+        };
+        for road in &region.roads {
+            table.ax.push(road.a.0);
+            table.ay.push(road.a.1);
+            table.dx.push(road.b.0 - road.a.0);
+            table.dy.push(road.b.1 - road.a.1);
+            table.len_km.push(road.length().max(1e-9));
+            table.speed_kmh.push(match road.kind {
+                RoadKind::Highway => config.highway_speed_kmh,
+                RoadKind::Urban => config.urban_speed_kmh,
+            });
+            table.total_len += road.length();
+            table.cum_len.push(table.total_len);
+        }
+        table
+    }
+
+    /// Length-weighted segment pick from one uniform draw.
+    #[inline]
+    fn sample_segment(&self, u: f64) -> u32 {
+        let x = u * self.total_len;
+        self.cum_len
+            .partition_point(|&c| c <= x)
+            .min(self.cum_len.len() - 1) as u32
+    }
+
+    #[inline]
+    fn point_at(&self, seg: u32, t: f64) -> Point {
+        let s = seg as usize;
+        (self.ax[s] + t * self.dx[s], self.ay[s] + t * self.dy[s])
+    }
+}
+
+/// One shard of the UE population, structure-of-arrays: each lane holds
+/// one attribute for [`SHARD_UES`] (or fewer, in the tail shard) UEs.
+#[derive(Debug, Clone)]
+pub struct UeShard {
+    /// Global index of the shard's first UE.
+    base: u64,
+    seg: Vec<u32>,
+    t: Vec<f64>,
+    dir: Vec<f64>,
+    /// Current speed, km per slot (kind speed × personal jitter).
+    speed: Vec<f64>,
+    /// Personal speed jitter, re-applied when the UE hops segments.
+    jitter: Vec<f64>,
+    /// Personal demand multiplier.
+    activity: Vec<f64>,
+    is_ev: Vec<bool>,
+}
+
+impl UeShard {
+    /// UEs in this shard.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seg.len()
+    }
+
+    /// `true` when the shard holds no UEs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seg.is_empty()
+    }
+}
+
+/// Per-shard, per-slot partial aggregate: pathloss-weighted load and EV
+/// arrival mass per hub. Folded in shard order by
+/// [`MicrosimEngine::fold`].
+#[derive(Debug, Clone)]
+pub struct HubPartial {
+    load: Vec<f64>,
+    ev: Vec<f64>,
+    associations: u64,
+}
+
+/// Running `[hub][slot]` aggregation across the whole horizon.
+#[derive(Debug, Clone)]
+pub struct DemandAccumulator {
+    load: Vec<Vec<f64>>,
+    ev: Vec<Vec<f64>>,
+    associations: u64,
+}
+
+/// The synthesized demand: per-hub traffic and EV-arrival series, plus the
+/// hub sites they were aggregated against. Serialisable — this is the
+/// artifact the session disk cache stores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicrosimDemand {
+    /// Simulated population size.
+    pub num_ues: usize,
+    /// Hubs the load was aggregated onto.
+    pub num_hubs: usize,
+    /// Horizon in slots.
+    pub slots: usize,
+    /// Hub positions (stride-sited on the region's base stations, the same
+    /// rule as [`ect_data::topology::HubTopology::from_region`]).
+    pub hub_sites: Vec<Point>,
+    /// Per-hub traffic series, `traffic[hub][slot]`.
+    pub traffic: Vec<Vec<TrafficSample>>,
+    /// Per-hub expected EV arrivals, `ev_arrivals[hub][slot]`.
+    pub ev_arrivals: Vec<Vec<f64>>,
+    /// Total UE→hub associations performed (UEs × slots).
+    pub total_associations: u64,
+}
+
+impl MicrosimDemand {
+    /// Peak load rate of one hub across the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hub` is out of range.
+    #[must_use]
+    pub fn hub_peak(&self, hub: usize) -> f64 {
+        self.traffic[hub]
+            .iter()
+            .map(|s| s.load_rate.as_f64())
+            .fold(0.0, f64::max)
+    }
+
+    /// Peak load rate across all hubs and slots.
+    #[must_use]
+    pub fn peak_load_rate(&self) -> f64 {
+        (0..self.num_hubs)
+            .map(|h| self.hub_peak(h))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean load rate across all hubs and slots.
+    #[must_use]
+    pub fn mean_load_rate(&self) -> f64 {
+        let total: f64 = self
+            .traffic
+            .iter()
+            .flat_map(|series| series.iter())
+            .map(|s| s.load_rate.as_f64())
+            .sum();
+        total / (self.num_hubs * self.slots).max(1) as f64
+    }
+
+    /// The per-hub series as `Arc` slices, ready for
+    /// `fleet_env_for_hubs_with_traffic`-style consumers.
+    #[must_use]
+    pub fn traffic_arcs(&self) -> Vec<std::sync::Arc<[TrafficSample]>> {
+        self.traffic
+            .iter()
+            .map(|series| series.as_slice().into())
+            .collect()
+    }
+}
+
+/// Hub positions for a region: evenly strided over its base stations —
+/// exactly the siting rule of
+/// [`ect_data::topology::HubTopology::from_region`], so the microsim's
+/// geography agrees with the coupling topology's.
+///
+/// # Errors
+///
+/// Returns [`ect_types::EctError::InvalidConfig`] for zero hubs and
+/// [`ect_types::EctError::InsufficientData`] when the region holds fewer
+/// base stations than hubs.
+pub fn hub_sites(region: &Region, num_hubs: usize) -> ect_types::Result<Vec<Point>> {
+    if num_hubs == 0 {
+        return Err(ect_types::EctError::InvalidConfig(
+            "microsim needs at least one hub".into(),
+        ));
+    }
+    if region.base_stations.len() < num_hubs {
+        return Err(ect_types::EctError::InsufficientData(format!(
+            "region has {} base stations, cannot site {num_hubs} hubs",
+            region.base_stations.len()
+        )));
+    }
+    let stride = region.base_stations.len() / num_hubs;
+    Ok((0..num_hubs)
+        .map(|hub| region.base_stations[hub * stride])
+        .collect())
+}
+
+/// The microsimulation engine: immutable shared state (road table, hub
+/// grid, config) plus the pure shard-step kernel. `Sync`, so shards can be
+/// stepped from any number of worker threads.
+#[derive(Debug, Clone)]
+pub struct MicrosimEngine {
+    config: MicrosimConfig,
+    roads: RoadTable,
+    grid: SpatialHash,
+    sites: Vec<Point>,
+    slots: usize,
+    seed: u64,
+    /// Per crowd: sampled `(hub, pathloss weight)` pairs plus the
+    /// population scale they stand for.
+    crowd_assoc: Vec<(Vec<(u32, f64)>, f64)>,
+}
+
+impl MicrosimEngine {
+    /// Validates the inputs and precomputes the road table, the hub
+    /// spatial hash and the flash-crowd associations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for an invalid
+    /// config, an empty road graph, zero hubs or zero slots, and
+    /// [`ect_types::EctError::InsufficientData`] when the region cannot
+    /// site `num_hubs` hubs.
+    pub fn new(
+        config: &MicrosimConfig,
+        region: &Region,
+        num_hubs: usize,
+        slots: usize,
+        seed: u64,
+    ) -> ect_types::Result<Self> {
+        config.validate()?;
+        if region.roads.is_empty() {
+            return Err(ect_types::EctError::InvalidConfig(
+                "microsim needs a region with at least one road segment".into(),
+            ));
+        }
+        if slots == 0 {
+            return Err(ect_types::EctError::InvalidConfig(
+                "microsim needs at least one slot".into(),
+            ));
+        }
+        let sites = hub_sites(region, num_hubs)?;
+        let grid = SpatialHash::new(&sites, region.size_km, 0.0)?;
+        let roads = RoadTable::new(region, config);
+        let mut engine = Self {
+            config: config.clone(),
+            roads,
+            grid,
+            sites,
+            slots,
+            seed,
+            crowd_assoc: Vec::new(),
+        };
+        engine.crowd_assoc = engine.associate_crowds(region);
+        Ok(engine)
+    }
+
+    /// Samples every flash crowd's scatter once and associates the sample
+    /// points — crowds are static while active, so their hub weights never
+    /// change across the window.
+    fn associate_crowds(&self, region: &Region) -> Vec<(Vec<(u32, f64)>, f64)> {
+        self.config
+            .flash_crowds
+            .iter()
+            .enumerate()
+            .map(|(event, crowd)| {
+                let anchor = region.roads[crowd.road % region.roads.len()].point_at(0.5);
+                let samples = crowd.population.min(CROWD_SAMPLES);
+                let scale = crowd.population as f64 / samples as f64;
+                let assoc = (0..samples)
+                    .map(|k| {
+                        let h = mix64(
+                            self.seed
+                                ^ mix64(spread(k as u64) ^ mix64(event as u64 ^ STREAM_CROWD)),
+                        );
+                        // Box-Muller scatter around the anchor.
+                        let u1 = unit(h).max(1e-12);
+                        let u2 = unit(mix64(h ^ 1));
+                        let r = crowd.spread_km * (-2.0 * u1.ln()).sqrt();
+                        let theta = std::f64::consts::TAU * u2;
+                        let p = (anchor.0 + r * theta.cos(), anchor.1 + r * theta.sin());
+                        let (hub, d) = self.grid.nearest(p);
+                        (hub as u32, self.pathloss(d))
+                    })
+                    .collect();
+                (assoc, scale)
+            })
+            .collect()
+    }
+
+    /// Simulated population size.
+    #[must_use]
+    pub fn num_ues(&self) -> usize {
+        self.config.num_ues
+    }
+
+    /// Hub count the demand aggregates onto.
+    #[must_use]
+    pub fn num_hubs(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Horizon in slots.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    #[inline]
+    fn pathloss(&self, d: f64) -> f64 {
+        1.0 / (1.0 + (d / self.config.pathloss_ref_km).powf(self.config.pathloss_exponent))
+    }
+
+    /// Commute-wave multiplier: morning and evening Gaussian bumps.
+    #[inline]
+    fn commute_factor(&self, hour: usize) -> f64 {
+        let bump = |peak: f64| {
+            let z = (hour as f64 - peak) / 1.5;
+            (-0.5 * z * z).exp()
+        };
+        1.0 + self.config.commute_amplitude * (bump(8.0) + bump(18.0))
+    }
+
+    /// Demand of one unit-activity UE at this hour (before the personal
+    /// activity multiplier and pathloss weight).
+    #[inline]
+    fn base_demand(&self, hour: usize) -> f64 {
+        let commute = self.commute_factor(hour);
+        self.config.activity_floor + self.config.activity_swing * demand_shape(hour) * commute
+    }
+
+    /// Materialises the population as fixed-size shards, every UE's state
+    /// derived from its global index alone.
+    #[must_use]
+    pub fn spawn_shards(&self) -> Vec<UeShard> {
+        let num_ues = self.config.num_ues;
+        let mut shards = Vec::with_capacity(num_ues.div_ceil(SHARD_UES));
+        let mut base = 0usize;
+        while base < num_ues {
+            let len = SHARD_UES.min(num_ues - base);
+            let mut shard = UeShard {
+                base: base as u64,
+                seg: Vec::with_capacity(len),
+                t: Vec::with_capacity(len),
+                dir: Vec::with_capacity(len),
+                speed: Vec::with_capacity(len),
+                jitter: Vec::with_capacity(len),
+                activity: Vec::with_capacity(len),
+                is_ev: Vec::with_capacity(len),
+            };
+            for ue in base..base + len {
+                let h = mix64(self.seed ^ mix64(spread(ue as u64) ^ STREAM_INIT));
+                let seg = self.roads.sample_segment(unit(h));
+                let jitter = 0.75 + 0.5 * unit(mix64(h ^ 1));
+                shard.seg.push(seg);
+                shard.t.push(unit(mix64(h ^ 2)));
+                shard
+                    .dir
+                    .push(if mix64(h ^ 3) & 1 == 0 { 1.0 } else { -1.0 });
+                shard.jitter.push(jitter);
+                shard
+                    .speed
+                    .push(self.roads.speed_kmh[seg as usize] * jitter);
+                shard.activity.push(0.5 + unit(mix64(h ^ 4)));
+                shard
+                    .is_ev
+                    .push(unit(mix64(h ^ 5)) < self.config.ev_fraction);
+            }
+            shards.push(shard);
+            base += len;
+        }
+        shards
+    }
+
+    /// Advances one shard by one slot (mobility) and associates every UE
+    /// to its nearest hub, returning the shard's pathloss-weighted partial
+    /// load. Pure in `(shard state, slot)` — safe to fan out.
+    #[must_use]
+    pub fn step_shard(&self, shard: &mut UeShard, slot: usize) -> HubPartial {
+        let hour = slot % SLOTS_PER_DAY;
+        let commute = self.commute_factor(hour);
+        let base_demand = self.base_demand(hour);
+        let step_base = mix64(self.seed ^ mix64(slot as u64 ^ STREAM_STEP));
+        let mut partial = HubPartial {
+            load: vec![0.0; self.sites.len()],
+            ev: vec![0.0; self.sites.len()],
+            associations: shard.len() as u64,
+        };
+        for i in 0..shard.len() {
+            let ue = shard.base + i as u64;
+            let h = mix64(step_base ^ spread(ue));
+            // Rewire: hop to a fresh length-weighted segment, keeping the
+            // along-segment offset; speed follows the new segment's class.
+            if unit(h) < self.config.rewire_chance {
+                let seg = self.roads.sample_segment(unit(mix64(h ^ 1)));
+                shard.seg[i] = seg;
+                shard.speed[i] = self.roads.speed_kmh[seg as usize] * shard.jitter[i];
+            }
+            // Advance along the segment (one slot = one hour, so km/h is
+            // km/slot), reflecting at the endpoints.
+            let seg = shard.seg[i] as usize;
+            let advance = shard.speed[i] * commute / self.roads.len_km[seg];
+            let pos = (shard.t[i] + shard.dir[i] * advance).rem_euclid(2.0);
+            if pos > 1.0 {
+                shard.t[i] = 2.0 - pos;
+                shard.dir[i] = -shard.dir[i];
+            } else {
+                shard.t[i] = pos;
+            }
+            // Associate and aggregate.
+            let p = self.roads.point_at(shard.seg[i], shard.t[i]);
+            let (hub, d) = self.grid.nearest(p);
+            let w = self.pathloss(d);
+            let demand = base_demand * shard.activity[i] * w;
+            partial.load[hub] += demand;
+            if shard.is_ev[i] {
+                partial.ev[hub] += demand;
+            }
+        }
+        partial
+    }
+
+    /// A zeroed accumulator sized for this engine's horizon.
+    #[must_use]
+    pub fn accumulator(&self) -> DemandAccumulator {
+        DemandAccumulator {
+            load: vec![vec![0.0; self.slots]; self.sites.len()],
+            ev: vec![vec![0.0; self.slots]; self.sites.len()],
+            associations: 0,
+        }
+    }
+
+    /// Folds shard partials for one slot into the accumulator **in the
+    /// order given** — callers must pass partials in shard order, which
+    /// [`crate::synthesize_demand`] and the `ect-core` parallel driver
+    /// both do, keeping the floating-point sums identical.
+    pub fn fold(&self, slot: usize, partials: &[HubPartial], acc: &mut DemandAccumulator) {
+        for partial in partials {
+            for (hub, &load) in partial.load.iter().enumerate() {
+                acc.load[hub][slot] += load;
+            }
+            for (hub, &ev) in partial.ev.iter().enumerate() {
+                acc.ev[hub][slot] += ev;
+            }
+            acc.associations += partial.associations;
+        }
+    }
+
+    /// Applies the flash-crowd surges and converts the raw weighted-load
+    /// matrix into per-hub [`TrafficSample`] and EV-arrival series.
+    #[must_use]
+    pub fn finish(&self, mut acc: DemandAccumulator) -> MicrosimDemand {
+        for (crowd, (assoc, scale)) in self.config.flash_crowds.iter().zip(&self.crowd_assoc) {
+            for slot in crowd.start_slot..(crowd.start_slot + crowd.len_slots).min(self.slots) {
+                let per_head = self.base_demand(slot % SLOTS_PER_DAY) * scale;
+                for &(hub, w) in assoc {
+                    acc.load[hub as usize][slot] += per_head * w;
+                    acc.ev[hub as usize][slot] += self.config.ev_fraction * per_head * w;
+                }
+            }
+        }
+        let traffic = acc
+            .load
+            .iter()
+            .map(|series| {
+                series
+                    .iter()
+                    .map(|&raw| {
+                        let load_rate = LoadRate::saturating(raw / self.config.ues_per_full_load);
+                        TrafficSample {
+                            load_rate,
+                            volume_gb: load_rate.as_f64() * self.config.full_load_gb,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        MicrosimDemand {
+            num_ues: self.config.num_ues,
+            num_hubs: self.sites.len(),
+            slots: self.slots,
+            hub_sites: self.sites.clone(),
+            traffic,
+            ev_arrivals: acc.ev,
+            total_associations: acc.associations,
+        }
+    }
+
+    /// Runs the whole simulation on the calling thread — the sequential
+    /// reference path. `ect_core::microsim::synthesize_demand_parallel`
+    /// fans the same shard steps over the dispatch layer and is pinned
+    /// bit-identical to this.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; the `Result` keeps the
+    /// signature aligned with the parallel driver.
+    pub fn synthesize(&self) -> ect_types::Result<MicrosimDemand> {
+        let started = std::time::Instant::now();
+        let mut shards = self.spawn_shards();
+        let mut acc = self.accumulator();
+        let mut partials = Vec::with_capacity(shards.len());
+        for slot in 0..self.slots {
+            let _span = ect_obs::span("microsim.step");
+            partials.clear();
+            for shard in &mut shards {
+                partials.push(self.step_shard(shard, slot));
+            }
+            self.fold(slot, &partials, &mut acc);
+            ect_obs::counter_add("microsim.associations", self.config.num_ues as u64);
+        }
+        record_throughput(self.config.num_ues, self.slots, started.elapsed());
+        Ok(self.finish(acc))
+    }
+}
+
+/// Records the end-to-end UE-slots/sec of one synthesis into the shared
+/// telemetry histogram (used by both the sequential and parallel drivers).
+pub fn record_throughput(num_ues: usize, slots: usize, elapsed: std::time::Duration) {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        let rate = (num_ues as f64 * slots as f64 / secs) as u64;
+        ect_obs::histogram_record("microsim.ue_slots_per_s", rate);
+    }
+}
+
+/// One-call demand synthesis: builds the engine and runs it sequentially.
+///
+/// # Errors
+///
+/// Propagates [`MicrosimEngine::new`] validation failures.
+pub fn synthesize_demand(
+    config: &MicrosimConfig,
+    region: &Region,
+    num_hubs: usize,
+    slots: usize,
+    seed: u64,
+) -> ect_types::Result<MicrosimDemand> {
+    MicrosimEngine::new(config, region, num_hubs, slots, seed)?.synthesize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlashCrowd;
+    use ect_data::spatial::RegionConfig;
+    use ect_types::rng::EctRng;
+
+    fn small_region(seed: u64) -> Region {
+        Region::generate(
+            &RegionConfig {
+                size_km: 60.0,
+                num_highways: 3,
+                num_cities: 2,
+                streets_per_city: 4,
+                city_radius_km: 5.0,
+                num_base_stations: 120,
+                ..RegionConfig::default()
+            },
+            &mut EctRng::seed_from(seed),
+        )
+        .unwrap()
+    }
+
+    fn small_config() -> MicrosimConfig {
+        MicrosimConfig {
+            num_ues: 1_500,
+            ..MicrosimConfig::default()
+        }
+    }
+
+    #[test]
+    fn hub_sites_follow_the_topology_stride() {
+        let region = small_region(3);
+        let sites = hub_sites(&region, 5).unwrap();
+        let stride = region.base_stations.len() / 5;
+        assert_eq!(sites.len(), 5);
+        for (hub, &site) in sites.iter().enumerate() {
+            assert_eq!(site, region.base_stations[hub * stride]);
+        }
+        assert!(hub_sites(&region, 0).is_err());
+        assert!(hub_sites(&region, region.base_stations.len() + 1).is_err());
+    }
+
+    #[test]
+    fn demand_has_the_requested_shape() {
+        let region = small_region(11);
+        let demand = synthesize_demand(&small_config(), &region, 4, 48, 9).unwrap();
+        assert_eq!(demand.num_hubs, 4);
+        assert_eq!(demand.slots, 48);
+        assert_eq!(demand.traffic.len(), 4);
+        assert!(demand.traffic.iter().all(|s| s.len() == 48));
+        assert!(demand.ev_arrivals.iter().all(|s| s.len() == 48));
+        assert_eq!(demand.total_associations, 1_500 * 48);
+        assert!(demand.peak_load_rate() > 0.0);
+        // Every sample stays a valid load rate with consistent volume.
+        for series in &demand.traffic {
+            for sample in series {
+                let rate = sample.load_rate.as_f64();
+                assert!((0.0..=1.0).contains(&rate));
+                assert!((sample.volume_gb - rate * 160.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn same_inputs_are_bit_identical() {
+        let region = small_region(21);
+        let config = small_config();
+        let a = synthesize_demand(&config, &region, 3, 24, 77).unwrap();
+        let b = synthesize_demand(&config, &region, 3, 24, 77).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_and_config_move_the_output() {
+        let region = small_region(21);
+        let config = small_config();
+        let base = synthesize_demand(&config, &region, 3, 24, 77).unwrap();
+        let reseeded = synthesize_demand(&config, &region, 3, 24, 78).unwrap();
+        assert_ne!(base, reseeded);
+        let busier = synthesize_demand(
+            &MicrosimConfig {
+                num_ues: 3_000,
+                ..config
+            },
+            &region,
+            3,
+            24,
+            77,
+        )
+        .unwrap();
+        assert!(busier.mean_load_rate() > base.mean_load_rate());
+    }
+
+    #[test]
+    fn diurnal_pattern_shows_up() {
+        // With enough UEs the evening peak (hour 20) must out-demand the
+        // overnight trough (hour 4) on aggregate.
+        let region = small_region(5);
+        let demand = synthesize_demand(&small_config(), &region, 2, 24, 1).unwrap();
+        let at = |hour: usize| -> f64 {
+            demand
+                .traffic
+                .iter()
+                .map(|s| s[hour].load_rate.as_f64())
+                .sum()
+        };
+        assert!(at(20) > at(4), "evening {} <= night {}", at(20), at(4));
+    }
+
+    #[test]
+    fn flash_crowd_lifts_the_window() {
+        let region = small_region(13);
+        let quiet = synthesize_demand(&small_config(), &region, 3, 48, 5).unwrap();
+        let crowd_config = MicrosimConfig {
+            flash_crowds: vec![FlashCrowd {
+                start_slot: 20,
+                len_slots: 6,
+                population: 4_000,
+                road: 1,
+                spread_km: 1.5,
+            }],
+            ..small_config()
+        };
+        let surged = synthesize_demand(&crowd_config, &region, 3, 48, 5).unwrap();
+        let total_at = |d: &MicrosimDemand, slot: usize| -> f64 {
+            d.traffic.iter().map(|s| s[slot].load_rate.as_f64()).sum()
+        };
+        // Inside the window the surge adds load; outside it nothing moves.
+        assert!(total_at(&surged, 22) > total_at(&quiet, 22));
+        assert_eq!(total_at(&surged, 10), total_at(&quiet, 10));
+        assert_eq!(total_at(&surged, 40), total_at(&quiet, 40));
+    }
+
+    #[test]
+    fn demand_round_trips_through_json() {
+        let region = small_region(31);
+        let demand = synthesize_demand(
+            &MicrosimConfig {
+                num_ues: 400,
+                ..MicrosimConfig::default()
+            },
+            &region,
+            2,
+            12,
+            3,
+        )
+        .unwrap();
+        let json = serde_json::to_string(&demand).unwrap();
+        let back: MicrosimDemand = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, demand);
+    }
+
+    #[test]
+    fn engine_rejects_degenerate_inputs() {
+        let region = small_region(1);
+        let config = small_config();
+        assert!(MicrosimEngine::new(&config, &region, 0, 24, 1).is_err());
+        assert!(MicrosimEngine::new(&config, &region, 2, 0, 1).is_err());
+        let bare = Region {
+            roads: Vec::new(),
+            base_stations: region.base_stations.clone(),
+            size_km: region.size_km,
+        };
+        assert!(MicrosimEngine::new(&config, &bare, 2, 24, 1).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Uniform-grid spatial hash for UE → nearest-hub association.
+//!
+//! The association step runs once per UE per slot, so a full scan over hub
+//! sites would put an `O(hubs)` factor on the hottest loop. The hash
+//! buckets hub sites into a square grid sized so a query touches a handful
+//! of cells: start at the query's cell and scan outward ring by ring,
+//! stopping once no unvisited ring can hold a closer site than the best
+//! found so far.
+//!
+//! The result is **exactly** the brute-force nearest site (ties broken by
+//! the lower hub index) — pinned by a proptest against random scatters.
+
+use ect_data::spatial::Point;
+
+fn dist(a: Point, b: Point) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Square-grid spatial hash over hub sites.
+#[derive(Debug, Clone)]
+pub struct SpatialHash {
+    cell_km: f64,
+    cells_per_side: usize,
+    sites: Vec<Point>,
+    /// Hub indices per cell, row-major, each bucket sorted ascending.
+    buckets: Vec<Vec<u32>>,
+}
+
+impl SpatialHash {
+    /// Builds the hash for `sites` inside the `[0, size_km]²` region.
+    ///
+    /// Sites outside the square are clamped into it for bucketing (their
+    /// exact coordinates still decide distances). The cell size defaults
+    /// to roughly one site per cell when `cell_km` is not positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ect_types::EctError::InvalidConfig`] for an empty site
+    /// list or a non-positive region size.
+    pub fn new(sites: &[Point], size_km: f64, cell_km: f64) -> ect_types::Result<Self> {
+        if sites.is_empty() {
+            return Err(ect_types::EctError::InvalidConfig(
+                "spatial hash needs at least one site".into(),
+            ));
+        }
+        if !size_km.is_finite() || size_km <= 0.0 {
+            return Err(ect_types::EctError::InvalidConfig(format!(
+                "spatial hash region size must be positive, got {size_km}"
+            )));
+        }
+        let cell_km = if cell_km.is_finite() && cell_km > 0.0 {
+            cell_km
+        } else {
+            // ~1 site per cell keeps ring searches shallow without
+            // ballooning the bucket table for sparse fleets.
+            size_km / (sites.len() as f64).sqrt().ceil().max(1.0)
+        };
+        let cells_per_side = ((size_km / cell_km).ceil() as usize).max(1);
+        let mut hash = Self {
+            cell_km,
+            cells_per_side,
+            sites: sites.to_vec(),
+            buckets: vec![Vec::new(); cells_per_side * cells_per_side],
+        };
+        for (idx, &site) in sites.iter().enumerate() {
+            let cell = hash.cell_of(site);
+            hash.buckets[cell].push(idx as u32);
+        }
+        // Buckets are filled in site order, so they are already sorted
+        // ascending — which makes the tie-break below deterministic.
+        Ok(hash)
+    }
+
+    /// Number of sites in the hash.
+    #[must_use]
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    fn axis_cell(&self, v: f64) -> usize {
+        if v <= 0.0 {
+            return 0;
+        }
+        ((v / self.cell_km) as usize).min(self.cells_per_side - 1)
+    }
+
+    fn cell_of(&self, p: Point) -> usize {
+        self.axis_cell(p.1) * self.cells_per_side + self.axis_cell(p.0)
+    }
+
+    fn scan_cell(&self, cx: usize, cy: usize, p: Point, best: &mut (u32, f64)) {
+        for &idx in &self.buckets[cy * self.cells_per_side + cx] {
+            let d = dist(p, self.sites[idx as usize]);
+            if d < best.1 || (d == best.1 && idx < best.0) {
+                *best = (idx, d);
+            }
+        }
+    }
+
+    /// The site nearest to `p` (lowest index on exact ties) and its
+    /// distance — identical to a brute-force scan over all sites.
+    #[must_use]
+    pub fn nearest(&self, p: Point) -> (usize, f64) {
+        let n = self.cells_per_side;
+        let cx = self.axis_cell(p.0);
+        let cy = self.axis_cell(p.1);
+        let mut best: (u32, f64) = (u32::MAX, f64::INFINITY);
+        for ring in 0..n {
+            // Any site in ring `r` is at least `(r - 1) · cell` away from
+            // `p` (the query may sit anywhere inside its own cell), so once
+            // the best distance beats that bound no farther ring matters.
+            if best.0 != u32::MAX && (ring as f64 - 1.0) * self.cell_km > best.1 {
+                break;
+            }
+            let x_lo = cx.saturating_sub(ring);
+            let x_hi = (cx + ring).min(n - 1);
+            let y_lo = cy.saturating_sub(ring);
+            let y_hi = (cy + ring).min(n - 1);
+            if ring == 0 {
+                self.scan_cell(cx, cy, p, &mut best);
+                continue;
+            }
+            for x in x_lo..=x_hi {
+                if cy >= ring {
+                    self.scan_cell(x, cy - ring, p, &mut best);
+                }
+                if cy + ring < n {
+                    self.scan_cell(x, cy + ring, p, &mut best);
+                }
+            }
+            // Vertical edges, corners already covered by the rows above.
+            let y_start = y_lo + usize::from(cy >= ring);
+            let y_end = y_hi.saturating_sub(usize::from(cy + ring < n));
+            for y in y_start..=y_end {
+                if cx >= ring {
+                    self.scan_cell(cx - ring, y, p, &mut best);
+                }
+                if cx + ring < n {
+                    self.scan_cell(cx + ring, y, p, &mut best);
+                }
+            }
+        }
+        debug_assert!(best.0 != u32::MAX, "grid holds at least one site");
+        (best.0 as usize, best.1)
+    }
+}
+
+/// Brute-force nearest site (lowest index on ties) — the reference the
+/// hash must match, public for the correctness proptests.
+#[must_use]
+pub fn nearest_brute_force(sites: &[Point], p: Point) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (idx, &site) in sites.iter().enumerate() {
+        let d = dist(p, site);
+        if d < best.1 {
+            best = (idx, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ect_types::rng::EctRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(SpatialHash::new(&[], 100.0, 5.0).is_err());
+        assert!(SpatialHash::new(&[(1.0, 1.0)], 0.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn single_site_is_always_nearest() {
+        let hash = SpatialHash::new(&[(40.0, 60.0)], 100.0, 0.0).unwrap();
+        let (idx, d) = hash.nearest((0.0, 0.0));
+        assert_eq!(idx, 0);
+        assert!((d - (40.0f64.powi(2) + 60.0f64.powi(2)).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_a_seeded_scatter() {
+        let mut rng = EctRng::seed_from(7);
+        let sites: Vec<Point> = (0..50)
+            .map(|_| (rng.uniform_in(0.0, 200.0), rng.uniform_in(0.0, 200.0)))
+            .collect();
+        let hash = SpatialHash::new(&sites, 200.0, 0.0).unwrap();
+        for _ in 0..500 {
+            let p = (rng.uniform_in(-10.0, 210.0), rng.uniform_in(-10.0, 210.0));
+            assert_eq!(hash.nearest(p), nearest_brute_force(&sites, p));
+        }
+    }
+
+    proptest! {
+        /// The satellite pin: hash association equals brute-force
+        /// nearest-hub on random scatters, queries included off-grid.
+        #[test]
+        fn hash_matches_brute_force(
+            seed in 0u64..1_000,
+            num_sites in 1usize..40,
+            cell_pick in 0usize..4,
+        ) {
+            let cell = [0.0, 3.0, 17.0, 250.0][cell_pick];
+            let mut rng = EctRng::seed_from(seed);
+            let sites: Vec<Point> = (0..num_sites)
+                .map(|_| (rng.uniform_in(0.0, 100.0), rng.uniform_in(0.0, 100.0)))
+                .collect();
+            let hash = SpatialHash::new(&sites, 100.0, cell).unwrap();
+            for _ in 0..32 {
+                let p = (rng.uniform_in(-20.0, 120.0), rng.uniform_in(-20.0, 120.0));
+                prop_assert_eq!(hash.nearest(p), nearest_brute_force(&sites, p));
+            }
+        }
+    }
+}

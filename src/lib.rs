@@ -9,6 +9,7 @@
 //! ```text
 //! ect-types ← ect-data ← ect-env  ←─┐
 //!     ↑          ↑                  ├─ ect-drl ←─┐
+//!     │          ├─ ect-microsim ←──┼────────────┼─┐
 //!     └────── ect-nn ←──────────────┘            ├─ ect-core ← ect-bench
 //!                ↑                               │
 //!                └────────── ect-price ←─────────┘
@@ -18,6 +19,7 @@ pub use ect_core as core;
 pub use ect_data as data;
 pub use ect_drl as drl;
 pub use ect_env as env;
+pub use ect_microsim as microsim;
 pub use ect_nn as nn;
 pub use ect_price as price;
 pub use ect_types as types;

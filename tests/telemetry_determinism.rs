@@ -308,8 +308,11 @@ fn telemetry_overhead_on_a_twelve_hub_fleet_stays_under_two_percent() {
     let mut on = std::time::Duration::MAX;
     // Interleaved min-of-k: the minimum is the noise-robust estimate of
     // each mode's true cost, and alternating modes decorrelates both from
-    // slow drift (thermal, competing tests).
-    for round in 0..3 {
+    // slow drift (thermal, competing tests). Five rounds, not three: on a
+    // loaded host a noise burst can span several consecutive passes, and
+    // the minimum only converges once at least one pass per mode lands in
+    // a quiet window.
+    for round in 0..5 {
         off = off.min(fleet_pass(&system, &hubs));
         let path = dir.join(format!("overhead-{}-{round}.jsonl", std::process::id()));
         let telemetry =
